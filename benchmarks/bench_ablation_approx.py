@@ -1,0 +1,59 @@
+"""Ablation: approximate maintenance under very high batch rates (§VI).
+
+Sweeps the convergence iteration budget of the approximate maintainer and
+reports, per budget, the simulated ingest cost per batch and the measured
+worst-case overestimate versus the exact oracle.  The trade to see:
+smaller budgets ingest cheaper, serve staler (but always >= kappa).
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_GRAPHS, ROUNDS, SCALE, record
+
+from repro.core.approx import ApproximateModMaintainer
+from repro.core.maintainer import make_maintainer
+from repro.core.peel import peel
+from repro.eval.datasets import DATASETS
+from repro.eval.stats import Stats
+from repro.graph.batch import BatchProtocol
+from repro.parallel.simulated import SimulatedRuntime
+
+BUDGETS = (1, 2, 4)
+BATCH = 200
+THREADS = 16
+
+
+def _run(make_maintainer_fn):
+    spec = DATASETS[BENCH_GRAPHS[0]]
+    sub = spec.load(SCALE)
+    rt = SimulatedRuntime(profile=spec.profile)
+    m = make_maintainer_fn(sub, rt)
+    proto = BatchProtocol(sub, seed=2)
+    times, gaps = [], []
+    for _ in range(max(ROUNDS, 3)):
+        deletion, insertion = proto.remove_reinsert(BATCH)
+        rt.reset_clock()
+        m.apply_batch(deletion)
+        m.apply_batch(insertion)
+        times.append(rt.take_metrics().elapsed_seconds(THREADS))
+        oracle = peel(sub)
+        served = m.kappa()
+        gaps.append(max((served[v] - k for v, k in oracle.items()), default=0))
+    if hasattr(m, "flush"):
+        m.flush()
+        assert m.kappa() == peel(sub)
+    return Stats.of(times), max(gaps)
+
+
+def test_approx_budget_sweep(benchmark):
+    lines = [f"[{BENCH_GRAPHS[0]}] approximate maintenance ablation, "
+             f"batch={BATCH}, T{THREADS}"]
+    exact_time, _ = _run(lambda sub, rt: make_maintainer(sub, "mod", rt))
+    lines.append(f"  exact mod          : {exact_time.format()} ms, gap 0")
+    for budget in BUDGETS:
+        t, gap = _run(lambda sub, rt, b=budget: ApproximateModMaintainer(
+            sub, rt, iteration_budget=b))
+        lines.append(f"  budget={budget:<2} approx   : {t.format()} ms, "
+                     f"worst overestimate {gap}")
+    record("ablation_approx", "\n".join(lines))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

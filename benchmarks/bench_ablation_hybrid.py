@@ -1,0 +1,58 @@
+"""Ablation: the hybrid maintainer (the paper's future work, Section VI).
+
+Sweeps batch sizes across mod, setmb and the hybrid.  The hybrid should
+track the cheaper engine on both sides of the crossover, and its latency
+tail (max/median) at large batches should match mod's rather than
+setmb's.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_GRAPHS, ROUNDS, SCALE, record
+from figlib import wallclock_round
+
+from repro.eval.harness import run_scalability
+
+BATCH_SIZES = (4, 32, 256)
+THREADS = 16
+
+
+def test_hybrid_tracks_the_winner(benchmark):
+    ds = BENCH_GRAPHS[0]
+    results = {}
+    for algo in ("setmb", "mod", "hybrid"):
+        kwargs = {"threshold": 48} if algo == "hybrid" else None
+        results[algo] = run_scalability(
+            ds, algo, direction="insert", batch_sizes=BATCH_SIZES,
+            rounds=ROUNDS, scale=SCALE, maintainer_kwargs=kwargs,
+        )
+    lines = [f"[{ds}] hybrid ablation, insertion latency at T{THREADS} (ms)"]
+    lines.append(f"{'batch':>6} {'setmb':>14} {'mod':>14} {'hybrid':>14}")
+    for b in BATCH_SIZES:
+        cells = [results[a].times[b][THREADS] for a in ("setmb", "mod", "hybrid")]
+        lines.append(f"{b:>6} " + " ".join(f"{c.format():>14}" for c in cells))
+        best = min(cells[:2], key=lambda s: s.mean)
+        # within 2.5x of the better engine at every size (routing overhead
+        # plus the fixed threshold's misprediction margin)
+        assert cells[2].mean <= 2.5 * best.mean
+    record("ablation_hybrid", "\n".join(lines))
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_hybrid_split_hot_levels_mode(benchmark):
+    ds = BENCH_GRAPHS[0]
+    r = run_scalability(
+        ds, "hybrid", direction="insert", batch_sizes=(256,),
+        rounds=ROUNDS, scale=SCALE,
+        maintainer_kwargs={"threshold": 48, "split_hot_levels": True},
+    )
+    record("ablation_hybrid",
+           f"[{ds}] split_hot_levels=True, batch=256, T{THREADS}: "
+           f"{r.times[256][THREADS].format()} ms")
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_hybrid_wallclock(benchmark):
+    wallclock_round(benchmark, BENCH_GRAPHS[0], "hybrid", "insert", 32)

@@ -1,0 +1,58 @@
+"""Ablation: mod's increment resolution policy (paper rule vs. the
+provably-sufficient band).
+
+The paper rule increments fewer levels; the safe band trades extra
+convergence work for a correctness proof.  Both must land on identical
+core values -- the difference is purely how much transient inflation
+convergence has to undo.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_GRAPHS, ROUNDS, SCALE, record
+from figlib import wallclock_round
+
+from repro.eval.harness import run_scalability
+
+BATCH_SIZES = (64, 512)
+THREADS = 16
+
+
+def test_increment_policy_ablation(benchmark):
+    ds = BENCH_GRAPHS[0]
+    lines = [f"[{ds}] increment policy ablation, insertions, T{THREADS} (ms)"]
+    results = {}
+    for policy in ("paper", "safe"):
+        results[policy] = run_scalability(
+            ds, "mod", direction="insert", batch_sizes=BATCH_SIZES,
+            rounds=ROUNDS, scale=SCALE,
+            maintainer_kwargs={"increment_policy": policy},
+        )
+    lines.append(f"{'batch':>6} {'paper':>14} {'safe':>14} {'safe/paper':>11}")
+    for b in BATCH_SIZES:
+        p = results["paper"].times[b][THREADS]
+        s = results["safe"].times[b][THREADS]
+        lines.append(f"{b:>6} {p.format():>14} {s.format():>14} "
+                     f"{s.mean / p.mean:>10.2f}x")
+        assert s.mean >= 0.8 * p.mean  # safe never does meaningfully less work
+    record("ablation_increment_policy", "\n".join(lines))
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_increment_policy_wallclock_safe(benchmark):
+    from repro.core.maintainer import make_maintainer
+    from repro.eval.datasets import DATASETS
+    from repro.graph.batch import BatchProtocol
+
+    ds = BENCH_GRAPHS[0]
+    sub = DATASETS[ds].load(SCALE)
+    m = make_maintainer(sub, "mod", increment_policy="safe")
+    proto = BatchProtocol(sub, seed=1)
+
+    def one_round():
+        deletion, insertion = proto.remove_reinsert(64)
+        m.apply_batch(deletion)
+        m.apply_batch(insertion)
+
+    benchmark(one_round)

@@ -1,0 +1,43 @@
+"""Ablation: the cached hyperedge minimum (Section IV-A's "important
+optimization": "the minimums on hyperedges are cached").
+
+Runs mod pin-insertion batches on a hypergraph with the cache on and off;
+identical results, different work.  The win grows with hyperedge size,
+so the OrkutGroup analogue (largest groups) shows it best.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_HYPERGRAPHS, ROUNDS, SCALE, record
+from figlib import wallclock_round
+
+from repro.eval.harness import run_scalability
+
+BATCH = 200
+THREADS = 16
+
+
+def test_min_cache_ablation(benchmark):
+    lines = [f"min-cache ablation: mod pin insertions, batch={BATCH}, "
+             f"T{THREADS} (simulated ms)"]
+    for ds in BENCH_HYPERGRAPHS:
+        times = {}
+        for enabled in (True, False):
+            r = run_scalability(
+                ds, "mod", direction="insert", batch_sizes=(BATCH,),
+                rounds=ROUNDS, scale=SCALE,
+                maintainer_kwargs={"use_min_cache": enabled},
+            )
+            times[enabled] = r.times[BATCH][THREADS]
+        ratio = times[False].mean / times[True].mean
+        lines.append(
+            f"  {ds}: cached {times[True].format()}  "
+            f"uncached {times[False].format()}  ({ratio:.2f}x)"
+        )
+    record("ablation_min_cache", "\n".join(lines))
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_min_cache_wallclock_cached(benchmark):
+    wallclock_round(benchmark, BENCH_HYPERGRAPHS[0], "mod", "insert", BATCH)

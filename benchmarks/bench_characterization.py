@@ -1,0 +1,73 @@
+"""§V-A future work: characterising graphs and batches to predict runtime.
+
+Prints the structural profile of every quick dataset and validates the
+mod batch-cost predictor (blast radius model, see
+:mod:`repro.eval.characterize`) against measured simulated work on both a
+mixed-size protocol workload and a separated-level workload where batch
+size carries no signal at all.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import BENCH_GRAPHS, BENCH_HYPERGRAPHS, SCALE, record
+
+from repro.core.peel import peel
+from repro.eval.characterize import characterize_structure, validate_predictor
+from repro.eval.datasets import load_dataset
+from repro.graph.batch import Batch, BatchProtocol
+from repro.graph.generators import core_ladder
+from repro.graph.substrate import graph_edge_changes
+
+
+def test_structure_profiles(benchmark):
+    lines = ["Structural runtime factors (§V-A) of the synthetic analogues"]
+    for name in list(BENCH_GRAPHS) + list(BENCH_HYPERGRAPHS):
+        sub = load_dataset(name, scale=SCALE)
+        profile = characterize_structure(sub)
+        lines.append(f"  {name:>12}: {profile.describe()}")
+    record("characterization", "\n".join(lines))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_predictor_validation(benchmark):
+    rng = random.Random(11)
+
+    def mixed_factory(sub):
+        proto = BatchProtocol(sub, seed=12)
+        out = []
+        for _ in range(8):
+            b = rng.choice((1, 4, 16, 64))
+            deletion, insertion = proto.remove_reinsert(b)
+            out.extend((deletion, insertion))
+        return out
+
+    def ladder_factory(sub):
+        kappa = peel(sub)
+        by_level = {}
+        for (u, v) in sub.edges():
+            by_level.setdefault(min(kappa[u], kappa[v]), []).append((u, v))
+        out = []
+        for level in sorted(by_level):
+            u, v = by_level[level][0]
+            deletion = Batch(graph_edge_changes(u, v, False))
+            out.append(deletion)
+            out.append(Batch([c.inverse() for c in reversed(deletion.changes)]))
+        return out
+
+    ds = BENCH_GRAPHS[0]
+    rho_mixed, rho_size_mixed, _ = validate_predictor(
+        lambda: load_dataset(ds, scale=SCALE), mixed_factory)
+    rho_ladder, rho_size_ladder, _ = validate_predictor(
+        lambda: core_ladder(6, width=4), ladder_factory)
+    record("characterization", "\n".join([
+        "Blast-radius cost predictor (Spearman rho vs measured work):",
+        f"  mixed-size protocol on {ds}: predictor {rho_mixed:+.2f}, "
+        f"batch size {rho_size_mixed:+.2f}",
+        f"  equal-size, separated levels (core ladder): predictor "
+        f"{rho_ladder:+.2f}, batch size {rho_size_ladder:+.2f} (no signal)",
+    ]))
+    assert rho_mixed > 0.5
+    assert rho_ladder > 0.8
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,26 @@
+"""Figure 6: mod, insertion-only edge batches.
+
+Paper shape: runtime decreases as threads increase at every batch size;
+total runtime grows only ~1.5x from the smallest to the largest batch
+(the log-log flatness of Section V-B); some datasets dip slightly from 16
+to 32 threads at the NUMA boundary.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_GRAPHS
+from figlib import figure_panel, wallclock_round
+
+#: the paper sweeps 1e2..1e6; scaled to the analogue sizes
+BATCH_SIZES = (100, 400, 1600)
+
+
+def test_fig06_series(benchmark):
+    figure_panel("fig06_mod_insert_edges", BENCH_GRAPHS, "mod", "insert",
+                 BATCH_SIZES)
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig06_wallclock(benchmark):
+    wallclock_round(benchmark, BENCH_GRAPHS[0], "mod", "insert", BATCH_SIZES[0])

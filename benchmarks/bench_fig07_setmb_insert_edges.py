@@ -1,0 +1,24 @@
+"""Figure 7: setmb, insertion-only edge batches.
+
+Paper shape: setmb targets small batches (it provides the smallest
+runtimes there) but carries high variance on the larger graphs -- watch
+the std columns, which the paper renders as tall error bars.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_GRAPHS
+from figlib import figure_panel, wallclock_round
+
+BATCH_SIZES = (1, 8, 64)
+
+
+def test_fig07_series(benchmark):
+    figure_panel("fig07_setmb_insert_edges", BENCH_GRAPHS, "setmb", "insert",
+                 BATCH_SIZES)
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig07_wallclock(benchmark):
+    wallclock_round(benchmark, BENCH_GRAPHS[0], "setmb", "insert", BATCH_SIZES[1])

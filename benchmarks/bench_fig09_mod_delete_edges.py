@@ -1,0 +1,23 @@
+"""Figure 9: mod, deletion-only edge batches.
+
+Paper shape: runtime grows with batch size and falls as threads increase
+-- the approach "similarly scales on deletions".
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_GRAPHS
+from figlib import figure_panel, wallclock_round
+
+BATCH_SIZES = (100, 400, 1600)
+
+
+def test_fig09_series(benchmark):
+    figure_panel("fig09_mod_delete_edges", BENCH_GRAPHS, "mod", "delete",
+                 BATCH_SIZES)
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig09_wallclock(benchmark):
+    wallclock_round(benchmark, BENCH_GRAPHS[0], "mod", "delete", BATCH_SIZES[0])

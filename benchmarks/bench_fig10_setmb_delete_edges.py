@@ -1,0 +1,40 @@
+"""Figure 10: setmb, deletion-only edge batches.
+
+Paper shape: "For setmb, even with large batches the latency for
+deletions is low" -- deletions ride pure convergence-from-above, so the
+id-propagation overhead that makes setmb insertions expensive is absent.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_GRAPHS, ROUNDS, SCALE, record
+from figlib import figure_panel, wallclock_round
+
+BATCH_SIZES = (8, 64, 256)
+
+
+def test_fig10_series(benchmark):
+    figure_panel("fig10_setmb_delete_edges", BENCH_GRAPHS, "setmb", "delete",
+                 BATCH_SIZES)
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig10_deletions_cheaper_than_insertions(benchmark):
+    from repro.eval.harness import run_scalability
+
+    ds = BENCH_GRAPHS[0]
+    dels = run_scalability(ds, "setmb", direction="delete",
+                           batch_sizes=(64,), rounds=ROUNDS, scale=SCALE)
+    ins = run_scalability(ds, "setmb", direction="insert",
+                          batch_sizes=(64,), rounds=ROUNDS, scale=SCALE)
+    d, i = dels.times[64][16].mean, ins.times[64][16].mean
+    record("fig10_setmb_delete_edges",
+           f"{ds}: setmb deletion vs insertion at batch=64, T16: "
+           f"{d * 1e3:.3f}ms vs {i * 1e3:.3f}ms (ratio {i / d:.2f}x)")
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig10_wallclock(benchmark):
+    wallclock_round(benchmark, BENCH_GRAPHS[0], "setmb", "delete", BATCH_SIZES[1])

@@ -1,0 +1,39 @@
+"""Figure 11: mod, deletion-only pin batches on hypergraphs.
+
+Paper shape: scaling like the insertion case, but with large variance for
+small pin counts (the paper calls out OrkutGroup at 10k pins) -- pin
+deletions can both demote the losing vertex and *promote* the remaining
+pins, so batch cost depends heavily on which pins the sampler hits.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_HYPERGRAPHS, ROUNDS, SCALE, record
+from figlib import figure_panel, wallclock_round
+
+BATCH_SIZES = (50, 200, 800)
+
+
+def test_fig11_series(benchmark):
+    figure_panel("fig11_mod_delete_pins", BENCH_HYPERGRAPHS, "mod", "delete",
+                 BATCH_SIZES)
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig11_variance_report(benchmark):
+    from repro.eval.harness import run_scalability
+
+    lines = ["Deletion variance (coefficient of variation at T16):"]
+    for ds in BENCH_HYPERGRAPHS:
+        r = run_scalability(ds, "mod", direction="delete", batch_sizes=(50,),
+                            rounds=max(ROUNDS, 4), scale=SCALE)
+        lines.append(f"  {ds}: cv={r.times[50][16].cv:.2f}")
+    record("fig11_mod_delete_pins", "\n".join(lines))
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig11_wallclock(benchmark):
+    wallclock_round(benchmark, BENCH_HYPERGRAPHS[0], "mod", "delete",
+                    BATCH_SIZES[0])

@@ -1,0 +1,43 @@
+"""Figure 12: mod, mixed insertion/deletion batches.
+
+Paper shape: "Note the similarity to Figure 6" -- mixed batches need no
+stream pre-processing (Section V-D) and scale like insertion-only ones.
+The similarity check below quantifies it.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_GRAPHS, ROUNDS, SCALE, record
+from figlib import figure_panel, wallclock_round
+
+BATCH_SIZES = (100, 400, 1600)
+
+
+def test_fig12_series(benchmark):
+    figure_panel("fig12_mod_mixed", BENCH_GRAPHS, "mod", "mixed", BATCH_SIZES)
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig12_similar_to_fig06(benchmark):
+    """Mixed and insertion-only speedup curves should track each other
+    (the paper's visual 'note the similarity')."""
+    from repro.eval.harness import run_scalability
+
+    ds = BENCH_GRAPHS[0]
+    mixed = run_scalability(ds, "mod", direction="mixed", batch_sizes=(400,),
+                            rounds=ROUNDS, scale=SCALE)
+    ins = run_scalability(ds, "mod", direction="insert", batch_sizes=(400,),
+                          rounds=ROUNDS, scale=SCALE)
+    lines = [f"{ds}: speedup (mixed vs insert-only), batch=400"]
+    for t in mixed.thread_counts:
+        sm, si = mixed.speedup(400, t), ins.speedup(400, t)
+        lines.append(f"  T{t}: mixed {sm:.2f}x  insert {si:.2f}x")
+        assert abs(sm - si) < max(2.0, 0.5 * si), "curves diverged badly"
+    record("fig12_mod_mixed", "\n".join(lines))
+    # keep this panel in the prescribed --benchmark-only run
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig12_wallclock(benchmark):
+    wallclock_round(benchmark, BENCH_GRAPHS[0], "mod", "mixed", BATCH_SIZES[0])

@@ -1,0 +1,43 @@
+"""The §I latency/throughput design space, reproduced.
+
+Paper §I: sequential single-change maintenance has low latency *and* low
+throughput; recomputing from scratch has high latency and high throughput;
+the parallel batch algorithms are the middle ground that dominates for
+bursty streams.  This bench measures all four corners on one dataset and
+asserts the ordering relations the paper's framing implies.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_GRAPHS, ROUNDS, SCALE, record
+
+from repro.eval.throughput import profile_algorithm, profile_static, tradeoff_report
+
+DATASET_INDEX = 0
+
+
+def test_latency_throughput_plane(benchmark):
+    ds = BENCH_GRAPHS[DATASET_INDEX]
+    profiles = [
+        profile_algorithm(ds, "traversal", 1, rounds=max(ROUNDS, 4),
+                          scale=SCALE, label="traversal (single)"),
+        profile_algorithm(ds, "setmb", 8, rounds=max(ROUNDS, 4),
+                          scale=SCALE, label="setmb (small batch)"),
+        profile_algorithm(ds, "mod", 512, rounds=ROUNDS,
+                          scale=SCALE, label="mod (large batch)"),
+        profile_static(ds, 512, rounds=ROUNDS, scale=SCALE),
+    ]
+    record("tradeoff_latency_throughput",
+           f"[{ds}] latency/throughput plane (simulated, T16)\n"
+           + tradeoff_report(profiles))
+
+    by_label = {p.label: p for p in profiles}
+    # the paper's orderings:
+    # 1. single-change latency < large-batch latency < ... (maintenance
+    #    latencies sit below full recompute)
+    assert by_label["traversal (single)"].latency.mean < \
+        by_label["static recompute"].latency.mean
+    # 2. the batch algorithm out-throughputs single-change maintenance
+    assert by_label["mod (large batch)"].throughput > \
+        by_label["traversal (single)"].throughput
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

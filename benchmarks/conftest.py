@@ -1,0 +1,59 @@
+"""Shared machinery for the benchmark harness.
+
+Every figure/table of the paper's evaluation has one ``bench_*.py`` module
+here.  Each module does two things per panel:
+
+1. **regenerates the figure's series** on the simulated 2x16-core machine
+   (runtime vs. thread count, one series per batch size) and both prints
+   it and writes it under ``benchmarks/results/``, and
+2. **benchmarks the real wall-clock** of the same batch processing through
+   pytest-benchmark, so ``pytest benchmarks/ --benchmark-only`` also
+   reports honest Python execution times.
+
+Environment knobs:
+
+``REPRO_BENCH_SCALE``   dataset scale factor (default 0.5)
+``REPRO_BENCH_ROUNDS``  repetitions per point (default 3; the paper used 50)
+``REPRO_BENCH_FULL``    set to 1 to sweep every Table I/II dataset instead
+                        of the representative subset
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.datasets import GRAPH_DATASETS, HYPERGRAPH_DATASETS
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: representative subset (one per skew class) for the default quick run
+QUICK_GRAPHS = ("LiveJ", "Google", "WikiTalk")
+QUICK_HYPERGRAPHS = ("OrkutGroup", "WebTrackers")
+
+BENCH_GRAPHS = GRAPH_DATASETS if FULL else QUICK_GRAPHS
+BENCH_HYPERGRAPHS = HYPERGRAPH_DATASETS if FULL else QUICK_HYPERGRAPHS
+
+
+def record(name: str, text: str) -> None:
+    """Print a series table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(text + "\n\n")
+    print(f"\n{text}\n[recorded to {path}]")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_dir():
+    """Start each benchmark session with clean result files."""
+    if RESULTS_DIR.exists():
+        for f in RESULTS_DIR.glob("*.txt"):
+            f.unlink()
+    yield

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Tuning the hybrid maintainer (the paper's future-work design, §VI).
+
+The paper closes with: "Future work includes combining the two approaches
+into a hybrid approach that can provide both low latencies for small
+batches but addresses high variance."  This example measures the
+mod/setmb latency crossover on a synthetic social graph and then shows the
+hybrid tracking the better of the two on both sides of it.
+
+Run:  python examples/hybrid_latency_tuning.py
+"""
+
+from repro import CoreMaintainer, SimulatedRuntime, peel
+from repro.eval.stats import Stats
+from repro.graph.batch import BatchProtocol
+from repro.graph.generators import powerlaw_social
+
+THREADS = 16
+BATCH_SIZES = (1, 4, 16, 64, 256)
+ROUNDS = 4
+
+
+def measure(algorithm: str, **kwargs) -> dict:
+    g = powerlaw_social(1200, 9, seed=21)
+    rt = SimulatedRuntime(thread_counts=(1, THREADS))
+    m = CoreMaintainer(g, algorithm=algorithm, rt=rt, **kwargs)
+    proto = BatchProtocol(g, seed=22)
+    out = {}
+    for b in BATCH_SIZES:
+        samples = []
+        for _ in range(ROUNDS):
+            deletion, insertion = proto.remove_reinsert(b)
+            rt.reset_clock()
+            m.apply_batch(deletion)
+            rt.reset_clock()  # time the insertion side, like Fig. 6/7
+            m.apply_batch(insertion)
+            samples.append(rt.take_metrics().elapsed_seconds(THREADS))
+        out[b] = Stats.of(samples)
+    assert m.kappa() == peel(g), f"{algorithm} diverged from oracle"
+    return out
+
+
+def main() -> None:
+    print(f"insertion latency at {THREADS} simulated threads "
+          f"(mean±std ms over {ROUNDS} rounds)\n")
+    results = {
+        "setmb": measure("setmb"),
+        "mod": measure("mod"),
+    }
+    # find the crossover, then configure the hybrid on it
+    crossover = None
+    for b in BATCH_SIZES:
+        if results["mod"][b].mean < results["setmb"][b].mean:
+            crossover = b
+            break
+    threshold = (crossover or BATCH_SIZES[-1]) // 2 * 2 or 2
+    print(f"measured mod/setmb crossover near batch={crossover}; "
+          f"hybrid threshold set to {threshold}\n")
+    results["hybrid"] = measure("hybrid", threshold=threshold)
+
+    header = f"{'batch':>6} | " + " | ".join(f"{a:>16}" for a in results)
+    print(header)
+    print("-" * len(header))
+    for b in BATCH_SIZES:
+        cells = " | ".join(f"{results[a][b].format()}" for a in results)
+        best = min(results, key=lambda a: results[a][b].mean)
+        print(f"{b:>6} | {cells}   <- {best}")
+
+    print("\nvariance check (coefficient of variation at the largest batch):")
+    for a, r in results.items():
+        print(f"  {a:>7}: cv={r[BATCH_SIZES[-1]].cv:.2f} "
+              f"tail={r[BATCH_SIZES[-1]].tail_ratio:.2f}x")
+    print("\nthe hybrid should sit near setmb on small batches and near mod "
+          "on large ones.")
+
+
+if __name__ == "__main__":
+    main()

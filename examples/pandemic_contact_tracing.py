@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Pandemic contact tracing with dynamic hypergraph k-cores (paper §II-E).
+
+The paper motivates hypergraph cores with co-occurrence hypergraphs:
+people are vertices, and every close-contact event (a meeting, a shared
+room) is a hyperedge over its participants.  A k-core then isolates groups
+with *deep, repeated* mutual exposure -- unlike a plain contact graph,
+where one big event inflates everyone's degree (the paper's "person F"
+problem).
+
+This example
+
+1. rebuilds the paper's Figure 3 scenario and shows the F-vs-graph
+   contrast explicitly,
+2. then streams a day of synthetic contact events (pin changes: people
+   join and leave meetings!) through the ``mod`` maintainer, flagging
+   people whose core value crosses an alert threshold.
+
+Run:  python examples/pandemic_contact_tracing.py
+"""
+
+import random
+
+from repro import CoreMaintainer, DynamicHypergraph, peel
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+def figure3() -> None:
+    print("=" * 64)
+    print("Figure 3: why hypergraph cores, not graph cores")
+    print("=" * 64)
+    events = {
+        "meeting1": ["A", "B", "E"],
+        "meeting2": ["B", "C", "D", "E"],
+        "meeting3": ["B", "C", "D"],
+        "meeting4": ["C", "D", "E"],
+        "hallway": ["A", "B"],
+        "standup": ["B", "D", "E"],
+        "big_event": ["A", "B", "C", "D", "E", "F"],
+    }
+    h = DynamicHypergraph.from_hyperedges(events)
+    hyper_kappa = peel(h)
+
+    # the graph view: clique-expand every event
+    g = DynamicGraph()
+    for people in events.values():
+        for i, u in enumerate(people):
+            for v in people[i + 1:]:
+                g.add_edge(u, v)
+    graph_kappa = peel(g)
+
+    print(f"{'person':>8} {'graph kappa':>12} {'hypergraph kappa':>18}")
+    for p in "ABCDEF":
+        print(f"{p:>8} {graph_kappa[p]:>12} {hyper_kappa[p]:>18}")
+    print(
+        "\nPerson F attends one big event: the graph view gives F the same"
+        f"\ncore value as everyone else ({graph_kappa['F']}), the hypergraph view"
+        f" correctly\nisolates F at kappa={hyper_kappa['F']}."
+    )
+
+
+def streaming_day(n_people: int = 120, n_events: int = 200, seed: int = 7) -> None:
+    print()
+    print("=" * 64)
+    print("Streaming a day of contact events (pin-change model)")
+    print("=" * 64)
+    rng = random.Random(seed)
+    h = DynamicHypergraph()
+    m = CoreMaintainer(h, algorithm="mod")
+    alert_threshold = 3
+    alerted = set()
+
+    households = [list(range(i, min(i + 4, n_people))) for i in range(0, n_people, 4)]
+    event_id = 0
+    open_events = []
+
+    for step in range(n_events):
+        roll = rng.random()
+        if roll < 0.55 or not open_events:
+            # a new gathering: mostly one household plus drop-ins
+            event_id += 1
+            base = rng.choice(households)
+            people = set(rng.sample(base, k=max(2, len(base) - 1)))
+            while rng.random() < 0.4:
+                people.add(rng.randrange(n_people))
+            m.insert_hyperedge(("event", event_id), sorted(people))
+            open_events.append(("event", event_id))
+        elif roll < 0.8:
+            # someone drops into an ongoing event: a single pin insertion
+            ev = rng.choice(open_events)
+            m.insert_pin(ev, rng.randrange(n_people))
+        else:
+            # someone leaves early: a single pin deletion
+            ev = rng.choice(open_events)
+            pins = list(h.pins(ev))
+            if len(pins) > 1:
+                m.remove_pin(ev, rng.choice(pins))
+            else:
+                m.remove_hyperedge(ev)
+                open_events.remove(ev)
+
+        for person, k in m.kappa().items():
+            if k >= alert_threshold and person not in alerted:
+                alerted.add(person)
+                print(f"  step {step:3d}: person {person:3} entered the "
+                      f"{k}-core -- dense repeated exposure")
+
+    kappa = m.kappa()
+    assert kappa == peel(h), "maintained values diverged from oracle!"
+    top = sorted(kappa.items(), key=lambda kv: -kv[1])[:8]
+    print(f"\nend of day: {h.num_edges()} open events, {h.num_pins()} pins")
+    print("highest-exposure individuals:",
+          ", ".join(f"{p}(k={k})" for p, k in top))
+    print(f"{len(alerted)} people crossed the alert threshold "
+          f"(kappa >= {alert_threshold}) during the day.")
+
+
+if __name__ == "__main__":
+    figure3()
+    streaming_day()

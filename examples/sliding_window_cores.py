@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Sliding-window k-cores over a temporal contact stream.
+
+The paper's co-occurrence hypergraphs (§II-E) are inherently temporal:
+contacts matter "during a time period".  This example maintains the k-core
+decomposition of *the last 48 hours* of contact events: every window
+advance emits one mixed batch (expiring old events, inserting new ones) --
+exactly the fully-dynamic mixed streams the paper's algorithms process
+without separating insertions from deletions (§V-D).
+
+Run:  python examples/sliding_window_cores.py
+"""
+
+import random
+
+from repro import CoreMaintainer, DynamicHypergraph, peel
+from repro.graph.window import SlidingWindowStream, TimedEvent
+
+HOURS = 1.0
+WINDOW = 48 * HOURS
+TICK = 6 * HOURS
+DAYS = 12
+PEOPLE = 80
+
+
+def synth_events(seed: int = 13):
+    """A diurnal contact pattern: households every evening, workplaces on
+    weekdays, and one big weekend gathering."""
+    rng = random.Random(seed)
+    households = [list(range(i, min(i + 4, PEOPLE))) for i in range(0, PEOPLE, 4)]
+    workplaces = [rng.sample(range(PEOPLE), k=6) for _ in range(8)]
+    events = []
+    eid = 0
+    for day in range(DAYS):
+        base = day * 24 * HOURS
+        for hh in households:
+            events.append(TimedEvent.of(base + 20 * HOURS, f"hh{eid}", hh))
+            eid += 1
+        if day % 7 < 5:  # weekday shifts
+            for wp in workplaces:
+                crew = [p for p in wp if rng.random() < 0.8]
+                if len(crew) >= 2:
+                    events.append(TimedEvent.of(base + 10 * HOURS, f"wp{eid}", crew))
+                    eid += 1
+        elif day % 7 == 6:  # the weekend gathering
+            crowd = rng.sample(range(PEOPLE), k=18)
+            events.append(TimedEvent.of(base + 16 * HOURS, f"party{eid}", crowd))
+            eid += 1
+    return events
+
+
+def main() -> None:
+    events = synth_events()
+    print(f"replaying {len(events)} contact events through a "
+          f"{WINDOW:.0f}h window, ticking every {TICK:.0f}h\n")
+
+    h = DynamicHypergraph()
+    m = CoreMaintainer(h, algorithm="mod")
+    window = SlidingWindowStream(horizon=WINDOW)
+
+    print(f"{'t (h)':>7} {'live events':>12} {'batch':>6} "
+          f"{'people':>7} {'kmax':>5}  deepest core members")
+    for t, batch in window.replay(events, tick=TICK):
+        if batch:
+            m.apply_batch(batch)
+        kappa = m.kappa()
+        kmax = max(kappa.values(), default=0)
+        deepest = sorted(v for v, k in kappa.items() if k == kmax)[:10]
+        print(f"{t:>7.0f} {window.live_events:>12} {len(batch):>6} "
+              f"{len(kappa):>7} {kmax:>5}  {deepest if kmax else '-'}")
+        assert kappa == peel(h), "maintained window decomposition diverged!"
+
+    print("\nwindow drained; all per-tick oracle checks passed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""repro: shared-memory scalable k-core maintenance on dynamic graphs and
+hypergraphs.
+
+A from-scratch Python reproduction of Gabert, Pinar & Catalyurek (IPDPS
+2021).  The package maintains k-core decompositions over fully dynamic
+graphs and hypergraphs with two parallel batch algorithms built on the
+h-index/coreness connection:
+
+* ``mod`` -- conservative tau-level re-initialisation, then frontier
+  h-index convergence; flat latency, wins on large batches.
+* ``set`` / ``setmb`` -- convergence mixed with per-change id propagation;
+  wins on small batches.
+
+Quickstart
+----------
+>>> from repro import CoreMaintainer, DynamicGraph
+>>> g = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+>>> m = CoreMaintainer(g, algorithm="mod")
+>>> m.kappa_of(0)
+2
+>>> m.insert_edge(3, 0); m.insert_edge(3, 1)  # the graph is now K4
+>>> m.kappa_of(3)
+3
+
+See README.md for the architecture tour, DESIGN.md for the paper-to-module
+map, and EXPERIMENTS.md for the reproduced evaluation.
+"""
+
+from repro.core import (
+    ApproximateModMaintainer,
+    CoreMaintainer,
+    HybridMaintainer,
+    ModMaintainer,
+    OrderMaintainer,
+    SetMaintainer,
+    SetMBMaintainer,
+    TraversalMaintainer,
+    core_containment_tree,
+    core_numbers,
+    core_spectrum,
+    degeneracy_ordering,
+    densest_core,
+    hhc_local,
+    make_maintainer,
+    peel,
+    shell,
+    static_hindex,
+)
+from repro.graph import (
+    Batch,
+    BatchProtocol,
+    Change,
+    DynamicGraph,
+    DynamicHypergraph,
+    SlidingWindowStream,
+    TimedEvent,
+)
+from repro.parallel import (
+    MachineSpec,
+    SerialRuntime,
+    SimulatedRuntime,
+    ThreadRuntime,
+    WorkloadProfile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApproximateModMaintainer",
+    "Batch",
+    "BatchProtocol",
+    "Change",
+    "CoreMaintainer",
+    "DynamicGraph",
+    "DynamicHypergraph",
+    "HybridMaintainer",
+    "MachineSpec",
+    "ModMaintainer",
+    "OrderMaintainer",
+    "SerialRuntime",
+    "SetMaintainer",
+    "SetMBMaintainer",
+    "SimulatedRuntime",
+    "SlidingWindowStream",
+    "ThreadRuntime",
+    "TimedEvent",
+    "TraversalMaintainer",
+    "WorkloadProfile",
+    "core_containment_tree",
+    "core_numbers",
+    "core_spectrum",
+    "degeneracy_ordering",
+    "densest_core",
+    "hhc_local",
+    "make_maintainer",
+    "peel",
+    "shell",
+    "static_hindex",
+    "__version__",
+]

@@ -1,0 +1,74 @@
+"""The paper's core contribution: k-core computation and maintenance.
+
+Static algorithms (Section III)
+-------------------------------
+* :func:`~repro.core.peel.peel` -- bucket/cascading peeling, the
+  independent oracle (Matula-Beck for graphs, Shun-style for hypergraphs).
+* :func:`~repro.core.static.hhc_local` -- Algorithm 2, the frontier-based
+  local h-index computation for graphs and hypergraphs.
+* :mod:`repro.core.static` also holds the vectorised CSR variants.
+
+Maintenance algorithms (Section IV)
+-----------------------------------
+* :class:`~repro.core.mod.ModMaintainer` -- Algorithms 3/4: re-initialise
+  tau by conservative level increments, then continue convergence.
+* :class:`~repro.core.set_alg.SetMaintainer` -- Algorithm 5: mix
+  initialisation and convergence by propagating per-change ids.
+* :class:`~repro.core.setmb.SetMBMaintainer` -- ``setmb``: the set
+  algorithm over 64-change mini-batches with single-word bitsets.
+* :class:`~repro.core.hybrid.HybridMaintainer` -- the paper's future-work
+  hybrid (Section VI): setmb for small batches, mod for large.
+
+Sequential baselines (Section II-D related work)
+------------------------------------------------
+* :class:`~repro.core.traversal.TraversalMaintainer` -- the subcore
+  traversal algorithm of Sariyuce et al. [11].
+* :class:`~repro.core.order.OrderMaintainer` -- a simplified order-based
+  maintainer after Zhang et al. [13].
+
+Facade
+------
+* :class:`~repro.core.maintainer.CoreMaintainer` -- picks an algorithm by
+  name; the public entry point.
+* :mod:`repro.core.subcore` -- cores/subcores materialised from kappa via
+  disjoint sets.
+"""
+
+from repro.core.approx import ApproximateModMaintainer
+from repro.core.peel import peel, core_numbers
+from repro.core.queries import (
+    core_containment_tree,
+    core_spectrum,
+    degeneracy_ordering,
+    densest_core,
+    shell,
+)
+from repro.core.static import hhc_local, static_hindex
+from repro.core.mod import ModMaintainer
+from repro.core.set_alg import SetMaintainer
+from repro.core.setmb import SetMBMaintainer
+from repro.core.traversal import TraversalMaintainer
+from repro.core.order import OrderMaintainer
+from repro.core.hybrid import HybridMaintainer
+from repro.core.maintainer import CoreMaintainer, make_maintainer
+
+__all__ = [
+    "ApproximateModMaintainer",
+    "CoreMaintainer",
+    "HybridMaintainer",
+    "ModMaintainer",
+    "OrderMaintainer",
+    "SetMaintainer",
+    "SetMBMaintainer",
+    "TraversalMaintainer",
+    "core_containment_tree",
+    "core_numbers",
+    "core_spectrum",
+    "degeneracy_ordering",
+    "densest_core",
+    "hhc_local",
+    "make_maintainer",
+    "peel",
+    "shell",
+    "static_hindex",
+]

@@ -1,0 +1,213 @@
+"""Shared machinery for the maintenance algorithms.
+
+:class:`MaintainerBase` owns the pieces every maintainer needs:
+
+* the substrate and a parallel runtime;
+* the maintained local values ``tau`` (equal to kappa between batches);
+* a *level index* ``{tau value -> set of vertices}``, which is how the
+  implementation realises the paper's o(|H|) batches (Section III-B): the
+  ``mod`` increment sweep touches only vertices at resolved levels instead
+  of scanning all of V;
+* the per-hyperedge :class:`~repro.graph.dynamic_hypergraph.MinCache`
+  (Section IV-A's cached-minimum optimisation, hypergraphs only);
+* ``maintain_h`` -- the paper's ``MaintainH``: apply a batch's structural
+  changes while invoking the algorithm's callback per pin change.
+
+Graph edges need one care point in ``maintain_h``: a graph edge comes into
+existence atomically with both pins, and its two
+:class:`~repro.graph.substrate.Change` records are structurally a single
+insertion.  The callback must still observe *both* pin changes (Algorithm
+4's ``f-mod`` records the minimum endpoint, whichever of the two it is), so
+on a successful graph edge application the callback fires for both
+endpoints and the twin record is skipped when it arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Optional, Set
+
+from repro.core.static import hhc_local, static_hindex
+from repro.graph.dynamic_hypergraph import MinCache
+from repro.graph.substrate import Change
+from repro.parallel.runtime import ParallelRuntime, SerialRuntime
+
+__all__ = ["MaintainerBase"]
+
+Vertex = Hashable
+Callback = Callable[[Change, tuple], None]
+
+
+class MaintainerBase:
+    """Common state and operations for k-core maintainers."""
+
+    #: subclass tag used by the facade and reports
+    algorithm: str = "base"
+
+    def __init__(
+        self,
+        sub,
+        rt: Optional[ParallelRuntime] = None,
+        *,
+        tau: Optional[Dict[Vertex, int]] = None,
+        use_min_cache: bool = True,
+    ) -> None:
+        self.sub = sub
+        self.rt = rt if rt is not None else SerialRuntime()
+        self.use_min_cache = use_min_cache and getattr(sub, "is_hypergraph", False)
+        if tau is None:
+            tau = static_hindex(sub, self.rt)
+        self.tau: Dict[Vertex, int] = dict(tau)
+        self.min_cache: Optional[MinCache] = (
+            MinCache(sub, self.tau, charge=self.rt.charge) if self.use_min_cache else None
+        )
+        self._level_index: Dict[int, Set[Vertex]] = {}
+        for v, k in self.tau.items():
+            self._level_index.setdefault(k, set()).add(v)
+        self.batches_processed = 0
+
+    # -- kappa access ------------------------------------------------------------
+    def kappa(self) -> Dict[Vertex, int]:
+        """Current core values (a copy; vertices with degree 0 excluded)."""
+        return dict(self.tau)
+
+    def kappa_of(self, v: Vertex) -> int:
+        """Core value of ``v`` (0 if absent)."""
+        return self.tau.get(v, 0)
+
+    def vertices_at_level(self, k: int) -> Set[Vertex]:
+        return self._level_index.get(k, set())
+
+    def levels(self) -> Iterable[int]:
+        return self._level_index.keys()
+
+    # -- tau bookkeeping ----------------------------------------------------------
+    def _set_tau(self, v: Vertex, new: int) -> None:
+        """Commit a tau change, maintaining level index and min cache."""
+        old = self.tau.get(v)
+        if old == new:
+            return
+        if old is not None:
+            bucket = self._level_index.get(old)
+            if bucket is not None:
+                bucket.discard(v)
+                if not bucket:
+                    del self._level_index[old]
+        self.tau[v] = new
+        self._level_index.setdefault(new, set()).add(v)
+        if self.min_cache is not None:
+            self.min_cache.on_value_change(v)
+
+    def _drop_vertex(self, v: Vertex) -> None:
+        """Vertex degree hit zero: it leaves the decomposition."""
+        old = self.tau.pop(v, None)
+        if old is not None:
+            bucket = self._level_index.get(old)
+            if bucket is not None:
+                bucket.discard(v)
+                if not bucket:
+                    del self._level_index[old]
+
+    def _on_change_hook(self, v: Vertex, old: int, new: int) -> None:
+        """hhc_local commits tau[v] directly; re-sync the level index."""
+        bucket = self._level_index.get(old)
+        if bucket is not None:
+            bucket.discard(v)
+            if not bucket:
+                del self._level_index[old]
+        self._level_index.setdefault(new, set()).add(v)
+        # min cache refresh is handled inside hhc_local itself
+
+    # -- structural application (MaintainH) ------------------------------------------
+    def maintain_h(self, batch, callback: Optional[Callback]) -> Set[Vertex]:
+        """Apply every structural change of ``batch``; fire ``callback`` per
+        semantic pin change.
+
+        The callback receives ``(change, context_pins)`` where
+        ``context_pins`` is the pin tuple of the hyperedge *including* the
+        changed pin -- post-insert for insertions, pre-delete for
+        deletions -- which is what the classification rules need.
+
+        Returns the set of vertices structurally touched (pins of every
+        changed hyperedge), which every algorithm must activate.
+
+        New vertices (degree 0 -> 1) enter ``tau`` at 0 before the
+        callback; the change records themselves are the medium through
+        which their values rise.
+        """
+        sub, rt = self.sub, self.rt
+        touched: Set[Vertex] = set()
+        is_hyper = getattr(sub, "is_hypergraph", False)
+
+        for change in batch:
+            rt.serial(1)
+            if change.insert:
+                # capture nothing; apply then observe
+                applied = sub.apply(change)
+                if not applied:
+                    continue
+                if self.min_cache is not None:
+                    self.min_cache.invalidate(change.edge)
+                pins_now = tuple(sub.pins(change.edge))
+                touched.update(pins_now)
+                for p in pins_now:
+                    if p not in self.tau:
+                        self._set_tau(p, 0)
+                if callback is not None:
+                    if is_hyper:
+                        callback(change, pins_now)
+                    else:
+                        # both endpoints are semantic pin insertions
+                        u, v = change.edge
+                        callback(Change(change.edge, u, True), pins_now)
+                        callback(Change(change.edge, v, True), pins_now)
+            else:
+                if not sub.has_pin(change.edge, change.vertex):
+                    continue
+                pins_before = tuple(sub.pins(change.edge))
+                applied = sub.apply(change)
+                if not applied:
+                    continue
+                if self.min_cache is not None:
+                    self.min_cache.invalidate(change.edge)
+                touched.update(pins_before)
+                if callback is not None:
+                    if is_hyper:
+                        callback(change, pins_before)
+                    else:
+                        u, v = change.edge
+                        callback(Change(change.edge, u, False), pins_before)
+                        callback(Change(change.edge, v, False), pins_before)
+                # vertices that vanished leave the decomposition
+                for p in pins_before:
+                    if not sub.has_vertex(p):
+                        self._drop_vertex(p)
+                        touched.discard(p)
+        return touched
+
+    # -- convergence ------------------------------------------------------------------
+    def converge(self, active: Iterable[Vertex]) -> None:
+        """Run Algorithm 2 from the current tau with the given frontier."""
+        hhc_local(
+            self.sub,
+            self.rt,
+            tau=self.tau,
+            frontier=active,
+            min_cache=self.min_cache,
+            on_change=self._on_change_hook,
+        )
+
+    # -- the public entry point ---------------------------------------------------------
+    def apply_batch(self, batch) -> None:
+        raise NotImplementedError
+
+    def apply_change(self, change: Change) -> None:
+        """Single-change convenience (a batch of one)."""
+        from repro.graph.batch import Batch
+
+        self.apply_batch(Batch([change]))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(|V|={self.sub.num_vertices()}, "
+            f"batches={self.batches_processed})"
+        )

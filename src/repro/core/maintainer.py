@@ -1,0 +1,157 @@
+"""The public facade: pick a maintenance algorithm by name.
+
+    >>> from repro import CoreMaintainer, DynamicGraph
+    >>> g = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+    >>> m = CoreMaintainer(g, algorithm="mod")
+    >>> m.insert_edge(2, 3)
+    >>> m.kappa()[3]
+    1
+
+``CoreMaintainer`` wraps the algorithm classes with graph-friendly
+conveniences (``insert_edge``/``remove_edge``/``insert_hyperedge``/...)
+while exposing the underlying maintainer for full control.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Optional, Type
+
+from repro.core.approx import ApproximateModMaintainer
+from repro.core.base import MaintainerBase
+from repro.core.hybrid import HybridMaintainer
+from repro.core.mod import ModMaintainer
+from repro.core.order import OrderMaintainer
+from repro.core.set_alg import SetMaintainer
+from repro.core.setmb import SetMBMaintainer
+from repro.core.traversal import TraversalMaintainer
+from repro.graph.batch import Batch
+from repro.graph.substrate import Change, graph_edge_changes, hyperedge_changes
+
+__all__ = ["CoreMaintainer", "ALGORITHMS", "make_maintainer"]
+
+Vertex = Hashable
+
+ALGORITHMS: Dict[str, Type[MaintainerBase]] = {
+    "mod": ModMaintainer,
+    "set": SetMaintainer,
+    "setmb": SetMBMaintainer,
+    "hybrid": HybridMaintainer,
+    "traversal": TraversalMaintainer,
+    "order": OrderMaintainer,
+    "mod-approx": ApproximateModMaintainer,
+}
+
+
+def make_maintainer(sub, algorithm: str = "mod", rt=None, **kwargs) -> MaintainerBase:
+    """Instantiate the named maintenance algorithm over ``sub``."""
+    try:
+        cls = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    return cls(sub, rt, **kwargs)
+
+
+class CoreMaintainer:
+    """High-level dynamic k-core decomposition over a graph or hypergraph.
+
+    Parameters
+    ----------
+    sub:
+        A :class:`~repro.graph.DynamicGraph` or
+        :class:`~repro.graph.DynamicHypergraph` (mutate it only through
+        this object once maintenance starts).
+    algorithm:
+        One of ``mod`` / ``set`` / ``setmb`` / ``hybrid`` / ``traversal``
+        / ``order``.
+    rt:
+        Optional parallel runtime (serial by default).
+    kwargs:
+        Forwarded to the algorithm class.
+    """
+
+    def __init__(self, sub, algorithm: str = "mod", rt=None, **kwargs) -> None:
+        self.impl = make_maintainer(sub, algorithm, rt, **kwargs)
+
+    # -- queries -----------------------------------------------------------------
+    @property
+    def sub(self):
+        return self.impl.sub
+
+    @property
+    def algorithm(self) -> str:
+        return self.impl.algorithm
+
+    def kappa(self) -> Dict[Vertex, int]:
+        """Current core values (vertices with degree 0 excluded)."""
+        return self.impl.kappa()
+
+    def kappa_of(self, v: Vertex) -> int:
+        return self.impl.kappa_of(v)
+
+    def k_core(self, k: int):
+        """The connected k-cores at the current state."""
+        from repro.core.subcore import k_core_components
+
+        return k_core_components(self.sub, k, self.impl.tau)
+
+    def spectrum(self):
+        """Vertices per core value (see :func:`repro.core.queries.core_spectrum`)."""
+        from repro.core.queries import core_spectrum
+
+        return core_spectrum(self.sub, self.impl.tau)
+
+    def densest(self):
+        """``(degeneracy, components)`` of the innermost cores."""
+        from repro.core.queries import densest_core
+
+        return densest_core(self.sub, self.impl.tau)
+
+    def shell_of(self, v: Vertex):
+        """The subcore (same-value connected region) containing ``v``."""
+        from repro.core.queries import shell
+
+        return shell(self.sub, v, self.impl.tau)
+
+    # -- updates -----------------------------------------------------------------
+    def apply_batch(self, batch: Batch) -> None:
+        self.impl.apply_batch(batch)
+
+    def apply_changes(self, changes: Iterable[Change]) -> None:
+        self.impl.apply_batch(Batch(list(changes)))
+
+    def insert_edge(self, u: Vertex, v: Vertex) -> None:
+        self.impl.apply_batch(Batch(graph_edge_changes(u, v, True)))
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        self.impl.apply_batch(Batch(graph_edge_changes(u, v, False)))
+
+    def insert_edges(self, edges: Iterable[tuple]) -> None:
+        """One batch inserting every (u, v) pair."""
+        b = Batch()
+        for u, v in edges:
+            b.extend(graph_edge_changes(u, v, True))
+        self.impl.apply_batch(b)
+
+    def remove_edges(self, edges: Iterable[tuple]) -> None:
+        b = Batch()
+        for u, v in edges:
+            b.extend(graph_edge_changes(u, v, False))
+        self.impl.apply_batch(b)
+
+    def insert_pin(self, edge, vertex: Vertex) -> None:
+        self.impl.apply_batch(Batch([Change(edge, vertex, True)]))
+
+    def remove_pin(self, edge, vertex: Vertex) -> None:
+        self.impl.apply_batch(Batch([Change(edge, vertex, False)]))
+
+    def insert_hyperedge(self, edge, pins: Iterable[Vertex]) -> None:
+        self.impl.apply_batch(Batch(hyperedge_changes(edge, pins, True)))
+
+    def remove_hyperedge(self, edge) -> None:
+        pins = list(self.sub.pins(edge))
+        self.impl.apply_batch(Batch(hyperedge_changes(edge, pins, False)))
+
+    def __repr__(self) -> str:
+        return f"CoreMaintainer({self.algorithm!r}, {self.sub!r})"

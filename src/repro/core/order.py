@@ -1,0 +1,175 @@
+"""A simplified order-based maintenance baseline (after Zhang et al. [13]).
+
+The order algorithm maintains a *valid decomposition order* -- a vertex
+sequence that could arise from peeling -- alongside the core values.  The
+paper summarises it (Section II-D): "On an edge insertion, this algorithm
+corrects the order by moving vertices that change coreness, keeping their
+relative prior order, to the beginning of the next core."
+
+Simplifications versus the original ICDE'17 algorithm (documented per
+DESIGN.md):
+
+* the O(1) order-maintenance data structure is replaced by plain per-level
+  Python lists;
+* promoted/demoted vertex sets are computed with the same provably correct
+  eviction core the traversal baseline uses;
+* instead of the original's incremental ``deg+`` repositioning, the
+  sequences of the levels touched by a change are *re-derived* by a local
+  level-restricted peel (:meth:`_repair_level_order`), stable with respect
+  to the prior sequence -- an edge insertion can invalidate the within-level
+  order even when no core value changes, so position repair is required
+  either way.  Cost is O(size of touched levels) per change, asymptotically
+  worse than [13] but output-compatible.
+
+What the class adds over traversal: it maintains and exposes the
+decomposition *order* (:meth:`decomposition_order` / :meth:`position`),
+whose validity is a strong independent invariant the test-suite checks
+after every batch (:func:`order_is_valid`).
+
+Graphs only, like the original.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.core.traversal import TraversalMaintainer
+from repro.structures.bucket_queue import BucketQueue
+
+__all__ = ["OrderMaintainer", "order_is_valid"]
+
+Vertex = Hashable
+
+
+def order_is_valid(sub, kappa: Dict[Vertex, int], order: List[Vertex]) -> bool:
+    """Check that ``order`` is a valid decomposition (peel) order.
+
+    Processing vertices in sequence, each vertex's *remaining* degree
+    (neighbours not yet processed) must not exceed its core value -- the
+    defining property of an order peeling could have produced.
+    """
+    if set(order) != set(kappa):
+        return False
+    processed = set()
+    for v in order:
+        remaining = sum(1 for w in sub.neighbors(v) if w not in processed)
+        if remaining > kappa[v]:
+            return False
+        processed.add(v)
+    return True
+
+
+class OrderMaintainer(TraversalMaintainer):
+    """Traversal-correct maintenance that additionally maintains a valid
+    decomposition order, after the order algorithm's interface."""
+
+    algorithm = "order"
+
+    def __init__(self, sub, rt=None, *, tau=None) -> None:
+        self._level_order: Dict[int, List[Vertex]] = {}
+        self._dirty_levels: Set[int] = set()
+        super().__init__(sub, rt, tau=tau)
+        # seed with an actual peel order so the invariant holds from batch 0
+        queue = BucketQueue()
+        for v in sub.vertices():
+            queue.push(v, sub.degree(v))
+        removed = set()
+        while queue:
+            v, _ = queue.pop_min()
+            removed.add(v)
+            self._level_order.setdefault(self.tau[v], []).append(v)
+            for w in sub.neighbors(v):
+                if w not in removed:
+                    queue.decrease(w, queue.priority(w) - 1)
+
+    # -- order access -----------------------------------------------------------
+    def decomposition_order(self) -> List[Vertex]:
+        """The maintained order (levels ascending, stored sequence within)."""
+        out: List[Vertex] = []
+        for k in sorted(self._level_order):
+            out.extend(self._level_order[k])
+        return out
+
+    def position(self, v: Vertex) -> Tuple[int, int]:
+        """(level, index-within-level) of ``v`` in the maintained order."""
+        k = self.tau[v]
+        return (k, self._level_order[k].index(v))
+
+    # -- order bookkeeping hooks ---------------------------------------------------
+    def _remove_from_level(self, v: Vertex, k: int) -> None:
+        seq = self._level_order.get(k)
+        if seq is None:
+            return
+        try:
+            seq.remove(v)
+        except ValueError:
+            return
+        if not seq:
+            del self._level_order[k]
+
+    def _set_tau(self, v: Vertex, new: int) -> None:
+        old = self.tau.get(v)
+        super()._set_tau(v, new)
+        if old == new:
+            return
+        if old is not None:
+            self._remove_from_level(v, old)
+            self._dirty_levels.add(old)
+        # promotions enter at the head of the next core, demotions and new
+        # vertices at positions the level repair will settle
+        self._level_order.setdefault(new, []).insert(0, v)
+        self._dirty_levels.add(new)
+
+    def _drop_vertex(self, v: Vertex) -> None:
+        k = self.tau.get(v)
+        super()._drop_vertex(v)
+        if k is not None:
+            self._remove_from_level(v, k)
+            self._dirty_levels.add(k)
+
+    def _repair_level_order(self, k: int) -> None:
+        """Re-derive a valid within-level sequence for level ``k``.
+
+        Level k's segment is valid iff processing it in sequence (with all
+        lower levels gone and all higher levels still present) leaves each
+        vertex at most ``k`` remaining neighbours.  A bucket-queue peel
+        over the level's members regenerates such a sequence; ties resolve
+        toward the prior sequence (stable), preserving [13]'s
+        "keep relative prior order" behaviour.
+        """
+        members = self._level_order.get(k)
+        if not members or len(members) == 1:
+            return
+        member_set = set(members)
+        tau = self.tau
+        queue = BucketQueue()
+        for v in members:  # prior sequence ==> stable tie-breaking below
+            rem = sum(1 for w in self.sub.neighbors(v) if tau.get(w, -1) >= k)
+            queue.push(v, rem)
+            self.rt.serial(1)
+        new_seq: List[Vertex] = []
+        placed: Set[Vertex] = set()
+        while queue:
+            v, _ = queue.pop_min()
+            new_seq.append(v)
+            placed.add(v)
+            for w in self.sub.neighbors(v):
+                if w in member_set and w not in placed and w in queue:
+                    queue.decrease(w, queue.priority(w) - 1)
+        self._level_order[k] = new_seq
+
+    # -- repairs extended with order maintenance -----------------------------------------
+    def _with_level_repair(self, fn, u: Vertex, v: Vertex) -> None:
+        self._dirty_levels = {
+            self.tau[w] for w in (u, v) if w in self.tau
+        }
+        fn(u, v)
+        for k in sorted(self._dirty_levels):
+            self._repair_level_order(k)
+        self._dirty_levels = set()
+
+    def _insert_repair(self, u: Vertex, v: Vertex) -> None:
+        self._with_level_repair(super()._insert_repair, u, v)
+
+    def _delete_repair(self, u: Vertex, v: Vertex) -> None:
+        self._with_level_repair(super()._delete_repair, u, v)

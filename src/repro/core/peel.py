@@ -1,0 +1,77 @@
+"""Peeling: the classic O(n + m) k-core decomposition (Section II-B).
+
+Peeling iteratively removes a vertex of minimum current degree; the running
+maximum of removal degrees is the removed vertex's core value (Matula &
+Beck [2]).  In hypergraphs the removal of a vertex peels every hyperedge it
+pins -- an induced subhypergraph cannot split hyperedges (Section II-A) --
+so the other pins each lose one degree, which is Shun's [25] hypergraph
+peeling.
+
+One generic implementation covers both cases through the substrate
+protocol (a graph edge is a two-pin hyperedge).  This module shares no code
+with the h-index path, which is why the test-suite uses it as the
+independent correctness oracle for every maintenance algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Set
+
+from repro.structures.bucket_queue import BucketQueue
+
+__all__ = ["peel", "core_numbers", "k_core_vertices", "degeneracy"]
+
+Vertex = Hashable
+
+
+def peel(sub) -> Dict[Vertex, int]:
+    """Core value of every vertex of ``sub`` by peeling.
+
+    Returns ``{vertex: kappa}``; vertices absent from the substrate
+    (degree 0) do not appear.
+
+    >>> from repro.graph import DynamicGraph
+    >>> g = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    >>> peel(g)[0], peel(g)[3]
+    (2, 1)
+    """
+    queue = BucketQueue()
+    for v in sub.vertices():
+        queue.push(v, sub.degree(v))
+
+    kappa: Dict[Vertex, int] = {}
+    removed_v: Set[Vertex] = set()
+    removed_e: Set = set()
+    k = 0
+    while queue:
+        v, d = queue.pop_min()
+        k = max(k, d)
+        kappa[v] = k
+        removed_v.add(v)
+        for e in sub.incident(v):
+            if e in removed_e:
+                continue
+            removed_e.add(e)
+            for w in sub.pins(e):
+                if w is not v and w != v and w not in removed_v:
+                    queue.decrease(w, queue.priority(w) - 1)
+    return kappa
+
+
+def core_numbers(sub) -> Dict[Vertex, int]:
+    """Alias of :func:`peel` matching networkx's ``core_number`` naming."""
+    return peel(sub)
+
+
+def k_core_vertices(sub, k: int, kappa: Optional[Dict[Vertex, int]] = None) -> Set[Vertex]:
+    """Vertices belonging to some k-core (i.e. with core value >= k)."""
+    if kappa is None:
+        kappa = peel(sub)
+    return {v for v, c in kappa.items() if c >= k}
+
+
+def degeneracy(sub, kappa: Optional[Dict[Vertex, int]] = None) -> int:
+    """The largest k with a non-empty k-core (0 for the empty substrate)."""
+    if kappa is None:
+        kappa = peel(sub)
+    return max(kappa.values(), default=0)

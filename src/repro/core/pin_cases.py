@@ -1,0 +1,157 @@
+"""Pin-change case analysis (Section IV-B, Figs. 4 and 5).
+
+A stream of *pin* changes is strictly harder than hyperedge changes: a
+single pin deletion can simultaneously *decrease* the core value of the
+vertex losing the pin and *increase* the core values of the remaining pins
+(if the deleted pin was exactly the hyperedge's binding minimum); pin
+insertions mirror this.  The ``mod`` maintainer classifies every pin change
+into the paper's four cases and emits per-level insertion/deletion records
+(the ``I``/``D`` maps of Algorithm 4) plus the vertices to activate.
+
+The classification below is expressed against the tau values current when
+the change is processed (== kappa at batch start, since ``mod`` defers all
+tau updates until after ``MaintainH``), with ``m_others`` the minimum tau
+over the hyperedge's *other* pins:
+
+Deletion of pin ``(e, v)`` (cases as named in the paper):
+
+* **Case 1** -- ``e`` no longer exists (last pin removed): the losing
+  vertex records a deletion at its level; nobody can gain.
+* **Case 2** -- ``tau[v] < m_others``: ``v`` was the unique binding
+  minimum.  ``v`` records a deletion at ``tau[v]``; the remaining pins may
+  gain, recorded as an insertion at ``m_others`` (the new binding level --
+  only pins sitting exactly at that level can rise, see DESIGN.md).
+* **Case 3** -- ``tau[v] > m_others``: the edge's contribution to ``v``
+  was below ``tau[v]`` and is unchanged for everyone else; no records.
+* **Case 4** -- ``tau[v] == m_others`` (min range overlap): ``v`` loses a
+  counting element, recorded as a deletion; the remaining tied pins may
+  gain *mutually* (a rise invisible to stale values -- the Lemma 1 trap),
+  so the gain at ``m_others`` is always recorded.
+
+Insertions swap the roles (the paper: "For insertions, the deletions and
+insertion changes are swapped"):
+
+* new-edge pin insertion (the edge was created by this batch): the pin
+  gains iff no other pin sits strictly below it -- exactly Algorithm 4's
+  ``f-mod`` guard;
+* pin insertion into a pre-existing edge with ``tau[v] < m_others``
+  additionally lowers the edge's binding minimum, so the other pins may
+  *drop*: recorded as a deletion at ``m_others``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, List, Sequence, Tuple
+
+from repro.graph.substrate import Change
+
+__all__ = ["PinCaseResult", "classify_insert", "classify_delete", "CASE_NAMES"]
+
+Vertex = Hashable
+
+CASE_NAMES = {
+    1: "edge-removed",
+    2: "min-below-rest",
+    3: "above-min",
+    4: "min-overlap",
+}
+
+
+@dataclass
+class PinCaseResult:
+    """Records emitted for one pin change.
+
+    ``inserts`` / ``deletes`` are (level, count) pairs destined for the
+    ``I`` / ``D`` accumulators; ``case`` is the paper's case number (for
+    insertions, the number of the mirrored deletion case).
+    """
+
+    case: int
+    inserts: List[Tuple[int, int]] = field(default_factory=list)
+    deletes: List[Tuple[int, int]] = field(default_factory=list)
+
+
+def _min_over(tau, pins: Sequence[Vertex], excluding: Vertex) -> float:
+    m: float = math.inf
+    for w in pins:
+        if w != excluding:
+            t = tau.get(w, 0)
+            if t < m:
+                m = t
+    return m
+
+
+def classify_delete(tau, change: Change, pins_before: Sequence[Vertex],
+                    *, conservative: bool = True) -> PinCaseResult:
+    """Classify pin deletion ``(change.edge, change.vertex)``.
+
+    ``pins_before`` is the pin tuple before removal (including the pin).
+    """
+    v = change.vertex
+    tv = tau.get(v, 0)
+    m_others = _min_over(tau, pins_before, v)
+
+    if m_others == math.inf:
+        # Case 1: v was the last pin; the hyperedge disappears with it.
+        return PinCaseResult(1, deletes=[(tv, 1)])
+
+    if tv < m_others:
+        # Case 2: v was the unique binding minimum.
+        res = PinCaseResult(2, deletes=[(tv, 1)])
+        res.inserts.append((int(m_others), 1))
+        return res
+
+    if tv > m_others:
+        # Case 3: the edge never counted for v and its minimum is intact.
+        return PinCaseResult(3)
+
+    # Case 4: tie -- v counted and loses the element.  The remaining tied
+    # pins may *gain*: the rise is mutual (each supports the other at the
+    # next level), so it is invisible to an h-index step over the current
+    # values -- without the gain record the fixpoint is Lemma-1-stuck
+    # below the new kappa.  Found by the property suite
+    # (tests/test_property_maintenance.py); the record is therefore
+    # unconditional, not merely conservative.
+    res = PinCaseResult(4, deletes=[(tv, 1)])
+    res.inserts.append((int(m_others), 1))
+    return res
+
+
+def classify_insert(tau, change: Change, pins_now: Sequence[Vertex],
+                    *, edge_is_new: bool, conservative: bool = True) -> PinCaseResult:
+    """Classify pin insertion ``(change.edge, change.vertex)``.
+
+    ``pins_now`` is the pin tuple after insertion.  ``edge_is_new`` says
+    whether the hyperedge itself was created within the current batch
+    (then every pin's list grows and nobody can drop).
+    """
+    v = change.vertex
+    tv = tau.get(v, 0)
+    m_others = _min_over(tau, pins_now, v)
+
+    if m_others == math.inf:
+        # singleton new hyperedge: v gains an unconditional element
+        return PinCaseResult(1, inserts=[(tv, 1)])
+
+    if tv < m_others:
+        # mirrored Case 2: v gains a counting element; if the edge already
+        # existed, its binding minimum just dropped to tau[v], so the other
+        # pins may lose a counting element.
+        res = PinCaseResult(2, inserts=[(tv, 1)])
+        if not edge_is_new:
+            res.deletes.append((int(m_others), 1))
+        return res
+
+    if tv > m_others:
+        # mirrored Case 3: the new element sits below tau[v] (no gain for
+        # v) and above the minimum (no change for others).
+        return PinCaseResult(3)
+
+    # mirrored Case 4: tie.  v gains a counting element (the f-mod guard
+    # admits non-strict minima); others keep their minimum.
+    res = PinCaseResult(4, inserts=[(tv, 1)])
+    if conservative and not edge_is_new:
+        res.deletes.append((int(m_others), 1))
+    return res

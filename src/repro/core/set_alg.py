@@ -1,0 +1,432 @@
+"""The ``set`` maintainer (Algorithm 5): mixed initialisation + convergence.
+
+Where ``mod`` raises tau levels up front and then converges, ``set``
+interleaves the two: every batch change gets an id, each affected vertex
+remembers which ids it has not yet *processed* (``U``) and which it has
+(``P``), and the h-index step reads each neighbour's tau **boosted by the
+number of changes the neighbour has not yet incorporated**::
+
+    t = tau[n] + |U[n]  u  (U_x \\ P[n])|          (Algorithm 5 line 12)
+
+A change's influence therefore spreads exactly as far as it can still
+raise somebody's h-index; once the frontier of an update stops changing
+tau values it stops propagating, which is the paper's correctness
+argument.  Vertices stay active for one extra quiet iteration
+(time-to-live 2, line 2) to absorb updates that land while they are being
+processed.
+
+Implementation notes
+--------------------
+* The engine is generic over the id-set representation.  ``set`` uses
+  Python sets with unbounded ids; ``setmb`` (:mod:`repro.core.setmb`)
+  reuses this engine with single-word
+  :class:`~repro.structures.bitset64.Bitset64` sets over <= 64 ids per
+  mini-batch.
+* **Level-tagged ids.**  Line 12 as printed boosts *every* neighbour by
+  the full pending-set size, which would let a single insertion's id flood
+  the entire structure through unrelated core levels (each optimistic rise
+  propagating further) -- incompatible with the paper's own "allows for a
+  small part of the graph to be visited" and its orders-of-magnitude
+  single-change latency wins.  We therefore tag each id with the minimum
+  tau level of its hyperedge at record time: a pending id contributes +1
+  to neighbour ``n`` only if ``tau[n]`` lies within the id's *reach*
+  ``[level - batch_deletions, level + batch_insertions]``.  This is the
+  sharpest sound window -- an insertion raises only vertices at its
+  effective minimum level, which batch interactions can shift by at most
+  one per other change (Section IV-A makes the same argument for ``mod``'s
+  increments) -- and restores the locality the paper measures while
+  remaining conservative for multi-change batches.
+* Deletions carry no ids in the paper's Algorithm 5 because on graphs a
+  deletion can only lower core values, which plain convergence-from-above
+  handles.  On *pin* streams a deletion can raise the remaining pins of
+  the hyperedge (Section IV-B), so this implementation assigns ids to
+  binding-minimum pin deletions as well, boosting the remaining pins --
+  without this the Lemma 1 trap bites (see
+  ``tests/test_set_family.py::test_pin_deletion_gain_requires_boost``).
+* We also activate every pin of a changed hyperedge, not only the changed
+  pin: a pin insertion into an existing hyperedge can lower the other
+  pins, and they must re-evaluate.  (On graphs both endpoints receive
+  callbacks anyway, so this only matters for hypergraphs.)
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.base import MaintainerBase
+from repro.graph.substrate import Change
+from repro.structures.hindex import h_index_counting
+
+__all__ = ["SetMaintainer", "SetEngine", "PySetOps"]
+
+Vertex = Hashable
+
+
+class PySetOps:
+    """Unbounded id-sets backed by Python ``set``."""
+
+    @staticmethod
+    def empty() -> set:
+        return set()
+
+    @staticmethod
+    def add(s: set, i: int) -> None:
+        s.add(i)
+
+    @staticmethod
+    def union_update(s: set, other: set) -> None:
+        s.update(other)
+
+    @staticmethod
+    def difference(a: set, b: set) -> set:
+        return a - b
+
+    @staticmethod
+    def union(a: set, b: set) -> set:
+        return a | b
+
+    @staticmethod
+    def size(s: set) -> int:
+        return len(s)
+
+    @staticmethod
+    def is_empty(s: set) -> bool:
+        return not s
+
+    @staticmethod
+    def copy(s: set) -> set:
+        return set(s)
+
+    @staticmethod
+    def clear(s: set) -> None:
+        s.clear()
+
+
+class SetEngine:
+    """The Algorithm 5 iteration, generic over the id-set representation.
+
+    One engine instance handles one batch (or one mini-batch for
+    ``setmb``); ids are dense integers assigned per distinct changed
+    hyperedge, resetting per batch as the paper's ``id`` function does.
+    """
+
+    def __init__(self, maintainer: MaintainerBase, ops=PySetOps) -> None:
+        self.m = maintainer
+        self.ops = ops
+        self.U: Dict[Vertex, object] = {}
+        self.P: Dict[Vertex, object] = {}
+        self.A: Dict[Vertex, int] = {}
+        #: vertices whose tau changed during this engine's run
+        self.changed: set = set()
+        self._edge_ids: Dict[object, int] = {}
+        #: tau level of each id's hyperedge minimum at record time
+        self.id_level: List[int] = []
+        #: reach of an id above its level (grows with recorded insertions)
+        self.slack_up = 0
+        #: reach below (grows with batch deletions)
+        self.slack_down = 0
+        #: per-id count of U sets currently holding it -- an id is *live*
+        #: while any vertex has yet to process it, and tau decreases into a
+        #: range a live id could still lift are deferred (see run())
+        self.live_ids: Dict[int, int] = {}
+        self.iterations = 0
+
+    # -- id management -----------------------------------------------------------
+    def edge_id(self, edge, level: int) -> int:
+        """Dense id per distinct hyperedge ("resets each batch and
+        increments on distinct e_a inputs"), tagged with its record level."""
+        eid = self._edge_ids.get(edge)
+        if eid is None:
+            eid = len(self._edge_ids)
+            self._edge_ids[edge] = eid
+            self.id_level.append(level)
+            self.slack_up += 1
+        else:
+            # the same hyperedge changed again at a (possibly) lower level:
+            # widen its reach downward, never upward
+            if level < self.id_level[eid]:
+                self.id_level[eid] = level
+        return eid
+
+    @property
+    def distinct_edges(self) -> int:
+        return len(self._edge_ids)
+
+    # -- callback bookkeeping ------------------------------------------------------
+    def _u_of(self, v: Vertex):
+        s = self.U.get(v)
+        if s is None:
+            s = self.ops.empty()
+            self.U[v] = s
+        return s
+
+    def _p_of(self, v: Vertex):
+        s = self.P.get(v)
+        if s is None:
+            s = self.ops.empty()
+            self.P[v] = s
+        return s
+
+    def activate(self, v: Vertex, ttl: int = 2) -> None:
+        self.A[v] = max(self.A.get(v, 0), ttl)
+
+    def _add_id(self, v: Vertex, eid: int) -> None:
+        u = self._u_of(v)
+        if eid not in u:
+            self.ops.add(u, eid)
+            self.live_ids[eid] = self.live_ids.get(eid, 0) + 1
+
+    def record_insert(self, v: Vertex, edge, level: int) -> None:
+        """f-set for an insertion: maximum TTL, remember the change id.
+
+        ``level`` is the minimum tau over the hyperedge's pins at record
+        time -- the level the insertion can actually lift.
+        """
+        self.activate(v)
+        self._add_id(v, self.edge_id(edge, level))
+
+    def record_delete(self, v: Vertex) -> None:
+        self.activate(v)
+        self.slack_down += 1
+
+    def record_gain_from_delete(self, gainers: Iterable[Vertex], edge, level: int) -> None:
+        """Binding-minimum pin deletion: remaining pins may rise (see
+        module docstring).  ``level`` is the new binding minimum."""
+        eid = self.edge_id(edge, level)
+        for w in gainers:
+            self.activate(w)
+            self._add_id(w, eid)
+
+    # -- id reach ---------------------------------------------------------------------
+    def _finalize_reaches(self) -> List[int]:
+        """Upper reach of every id by the level cascade bound.
+
+        An id recorded at level ``k`` lifts vertices at its *effective*
+        level, which other batch insertions can push upward -- but only
+        stepwise: the effective level reaches ``r`` only if enough other
+        ids sit in ``[k, r)``.  The fixpoint ``r = k + #{ids with level in
+        [k, r]}`` is therefore a sound per-id ceiling, far tighter than
+        ``k + |batch|`` when the batch's levels are spread out.
+        """
+        levels = sorted(self.id_level)
+        n = len(levels)
+        reach: List[int] = []
+        for k in self.id_level:
+            r = k
+            while True:
+                lo = bisect.bisect_left(levels, k)
+                hi = bisect.bisect_right(levels, r)
+                r2 = k + (hi - lo)
+                if r2 == r:
+                    break
+                r = r2
+            reach.append(r)
+        self.m.rt.serial(n)
+        return reach
+
+    # -- the mixed convergence loop ----------------------------------------------------
+    def run(self) -> int:
+        """Iterate to quiescence; returns the iteration count."""
+        m = self.m
+        sub, rt, tau = m.sub, m.rt, m.tau
+        ops = self.ops
+        empty = ops.empty()
+        id_reach = self._finalize_reaches()
+
+        def retire_id_copies(x):
+            ux = self.U.get(x)
+            if ux is None:
+                return
+            for i in list(ux):
+                c = self.live_ids.get(i, 0) - 1
+                if c > 0:
+                    self.live_ids[i] = c
+                else:
+                    self.live_ids.pop(i, None)
+            ops.clear(ux)
+
+        def live_id_could_lift(lo: int, hi: int) -> bool:
+            # is any still-undrained id able to lift a value in (lo, hi]?
+            for i, count in self.live_ids.items():
+                if count > 0 and self.id_level[i] - self.slack_down <= hi \
+                        and id_reach[i] >= lo + 1:
+                    return True
+            return False
+
+        while True:
+            worklist = [x for x, ttl in self.A.items() if ttl > 0 and sub.has_vertex(x)]
+            # drop stale entries for vertices that left the substrate --
+            # including their undrained ids, which must not pin the live set
+            for x in list(self.A):
+                if not sub.has_vertex(x):
+                    retire_id_copies(x)
+                    del self.A[x]
+            if not worklist:
+                break
+            ttl_snapshot = {x: self.A[x] for x in worklist}
+            self.iterations += 1
+
+            id_level = self.id_level
+            lo_slack = self.slack_down
+
+            def boost(tn: int, pending) -> int:
+                # count pending ids whose reach covers tau[n]; each id can
+                # lift a vertex by at most one
+                b = 0
+                for i in pending:
+                    if id_level[i] - lo_slack <= tn <= id_reach[i]:
+                        b += 1
+                return b
+
+            def step(x):
+                Ux = ops.copy(self.U.get(x, empty))
+                ux_empty = ops.is_empty(Ux)
+                L: List[float] = []
+                work = 0
+                saw_boost = False
+                for e in sub.incident(x):
+                    mval: float = math.inf
+                    for n in sub.pins(e):
+                        if n == x:
+                            continue
+                        work += 1
+                        Un = self.U.get(n)
+                        tn = tau.get(n, 0)
+                        if (Un is None or ops.is_empty(Un)) and ux_empty:
+                            t = tn  # hot path: nothing pending anywhere
+                        else:
+                            pending = ops.union(
+                                Un if Un is not None else empty,
+                                ops.difference(Ux, self.P.get(n, empty)),
+                            )
+                            b = boost(tn, pending) if pending else 0
+                            if b:
+                                saw_boost = True
+                            t = tn + b
+                        if t < mval:
+                            mval = t
+                    L.append(mval)
+                rt.charge(work + len(L))
+                return (x, h_index_counting(L), Ux, saw_boost)
+
+            results = rt.parallel_for(worklist, step, region="set_iterate")
+
+            for x, new_tau, Ux, saw_boost in results:
+                rt.serial(1)
+                cur = tau.get(x, 0)
+                if new_tau < cur and live_id_could_lift(new_tau, cur):
+                    # defer the decrease: an undrained insertion id could
+                    # still lift this range, and committing the dip first
+                    # would let a mixed batch's deletion cascade undercut
+                    # the very values the insertion wave needs (a descent
+                    # below the *final* kappa can never recover, Lemma 1).
+                    # The id count is strictly draining, so deferral ends.
+                    self.activate(x, 1)
+                elif new_tau != cur:
+                    # propagate the unprocessed ids outwards (lines 17-19)
+                    for e in sub.incident(x):
+                        for n in sub.pins(e):
+                            if n == x:
+                                continue
+                            if not ops.is_empty(Ux):
+                                delta = ops.difference(
+                                    ops.difference(Ux, self._p_of(n)),
+                                    self._u_of(n),
+                                )
+                                if not ops.is_empty(delta):
+                                    ops.union_update(self._u_of(n), delta)
+                                    for i in delta:
+                                        self.live_ids[i] = \
+                                            self.live_ids.get(i, 0) + 1
+                            self.activate(n)
+                            rt.serial(1)
+                    m._set_tau(x, new_tau)
+                    self.changed.add(x)
+                    self.activate(x)
+                else:
+                    if saw_boost or not ops.is_empty(Ux):
+                        # tau held steady, but this pass either consumed new
+                        # change ids or computed with a neighbour's pending
+                        # boost still inflating the h-index -- in both
+                        # cases the value is provisional; stay active until
+                        # the pending sets drain and the result is grounded
+                        # in settled values (found by hypothesis twice: the
+                        # serialised merge otherwise retires vertices whose
+                        # quiet answer rested on optimism)
+                        self.A[x] = max(self.A.get(x, 1), 1)
+                    else:
+                        # decrement relative to the pre-iteration snapshot,
+                        # but a mid-merge reactivation (A raised above the
+                        # snapshot by a neighbour's change) must survive
+                        cur = self.A.get(x, 0)
+                        self.A[x] = cur if cur > ttl_snapshot[x] else ttl_snapshot[x] - 1
+                # lines 24-25: the snapshot is now processed; drained
+                # copies leave the live-id census
+                uxcur = self.U.get(x, empty)
+                for i in Ux:
+                    if i in uxcur:
+                        c = self.live_ids.get(i, 0) - 1
+                        if c > 0:
+                            self.live_ids[i] = c
+                        else:
+                            self.live_ids.pop(i, None)
+                ops.union_update(self._p_of(x), Ux)
+                self.U[x] = ops.difference(uxcur, Ux)
+        return self.iterations
+
+
+class SetMaintainer(MaintainerBase):
+    """Batch maintenance via Algorithm 5 with unbounded id-sets."""
+
+    algorithm = "set"
+
+    def __init__(self, sub, rt=None, *, tau=None, use_min_cache: bool = False) -> None:
+        # Algorithm 5 reads pin values through the change bookkeeping, so
+        # the hyperedge min cache does not apply (Section V: setmb "will
+        # require caching values on hyperedges to be competitive").
+        super().__init__(sub, rt, tau=tau, use_min_cache=use_min_cache)
+        self.last_iterations = 0
+
+    def _run_batch(self, batch, ops=PySetOps) -> SetEngine:
+        engine = SetEngine(self, ops)
+        tau = self.tau
+
+        def f_set(change: Change, context_pins: Tuple[Vertex, ...]) -> None:
+            self.rt.charge(len(context_pins))
+            v = change.vertex
+            if change.insert:
+                level = min(tau.get(w, 0) for w in context_pins)
+                engine.record_insert(v, change.edge, level)
+                # an insertion into an existing edge may lower the others
+                for w in context_pins:
+                    if w != v:
+                        engine.activate(w)
+            else:
+                engine.record_delete(v)
+                if getattr(self.sub, "is_hypergraph", False):
+                    tv = tau.get(v, 0)
+                    others = [w for w in context_pins if w != v]
+                    m_others = min((tau.get(w, 0) for w in others), default=math.inf)
+                    if others and tv <= m_others:
+                        engine.record_gain_from_delete(others, change.edge, int(m_others))
+                    else:
+                        for w in others:
+                            engine.activate(w)
+                else:
+                    for w in context_pins:
+                        if w != v:
+                            engine.activate(w)
+
+        touched = self.maintain_h(batch, f_set)
+        for v in touched:
+            if self.sub.has_vertex(v):
+                engine.activate(v)
+        engine.run()
+        self.last_iterations = engine.iterations
+        return engine
+
+    def apply_batch(self, batch) -> None:
+        self._run_batch(batch)
+        self.batches_processed += 1

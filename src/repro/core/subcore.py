@@ -1,0 +1,104 @@
+"""Cores and subcores materialised from core values.
+
+Core *values* are what the maintenance algorithms keep current; actual
+cores (Definition 1's maximal connected subgraphs) are derived on demand
+with disjoint-set forests, following paper reference [10] ("Using
+disjoint-set forests, cores can be maintained from k-core values
+quickly").
+
+* :func:`k_core_components` -- the connected k-cores for a given k.
+* :func:`subcores` -- the paper's *subcores* (Section II-D): connected
+  regions of equal core value, the unit the traversal algorithm walks.
+* :func:`core_hierarchy` -- every (k, component) pair, k ascending; the
+  containment structure used to gauge a dataset's "complexity of core
+  hierarchy" (Section V-A).
+
+For hypergraphs, connectivity follows shared hyperedges *among surviving
+vertices*: inside a k-core, two vertices are connected if some hyperedge
+contains both (any hyperedge with a sub-k pin is peeled, see Section
+II-A, and therefore never links survivors).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.core.peel import peel
+from repro.structures.disjoint_set import DisjointSet
+
+__all__ = ["k_core_components", "subcores", "core_hierarchy", "core_sizes"]
+
+Vertex = Hashable
+
+
+def _union_within(sub, members: Set[Vertex], dsu: DisjointSet, *,
+                  require_all_pins: bool) -> None:
+    """Union vertices of ``members`` that share a hyperedge.
+
+    ``require_all_pins``: in an induced subhypergraph a hyperedge survives
+    only if *every* pin survives; edges with outside pins do not connect.
+    """
+    seen_edges = set()
+    for v in members:
+        for e in sub.incident(v):
+            if e in seen_edges:
+                continue
+            seen_edges.add(e)
+            pins = [w for w in sub.pins(e)]
+            if require_all_pins and not all(w in members for w in pins):
+                continue
+            inside = [w for w in pins if w in members]
+            for a, b in zip(inside, inside[1:]):
+                dsu.union(a, b)
+
+
+def k_core_components(sub, k: int, kappa: Optional[Dict[Vertex, int]] = None
+                      ) -> List[Set[Vertex]]:
+    """The connected k-cores of ``sub`` (Definition 1), as vertex sets."""
+    if kappa is None:
+        kappa = peel(sub)
+    members = {v for v, c in kappa.items() if c >= k}
+    if not members:
+        return []
+    dsu = DisjointSet(members)
+    _union_within(sub, members, dsu, require_all_pins=getattr(sub, "is_hypergraph", False))
+    return sorted((set(g) for g in dsu.groups().values()), key=lambda s: (-len(s), repr(min(s, key=repr))))
+
+
+def subcores(sub, kappa: Optional[Dict[Vertex, int]] = None) -> List[Tuple[int, Set[Vertex]]]:
+    """Connected regions of equal core value (Section II-D's subcores)."""
+    if kappa is None:
+        kappa = peel(sub)
+    out: List[Tuple[int, Set[Vertex]]] = []
+    by_level: Dict[int, Set[Vertex]] = {}
+    for v, c in kappa.items():
+        by_level.setdefault(c, set()).add(v)
+    for k, members in sorted(by_level.items()):
+        dsu = DisjointSet(members)
+        # subcores connect through same-value vertices (shared edge among
+        # members); hyperedge survival is not required here -- the walk is
+        # over the full structure restricted to the level
+        _union_within(sub, members, dsu, require_all_pins=False)
+        for group in dsu.groups().values():
+            out.append((k, set(group)))
+    return out
+
+
+def core_hierarchy(sub, kappa: Optional[Dict[Vertex, int]] = None
+                   ) -> Dict[int, List[Set[Vertex]]]:
+    """All connected k-cores for every k from 1 to the degeneracy."""
+    if kappa is None:
+        kappa = peel(sub)
+    top = max(kappa.values(), default=0)
+    return {k: k_core_components(sub, k, kappa) for k in range(1, top + 1)}
+
+
+def core_sizes(sub, kappa: Optional[Dict[Vertex, int]] = None) -> Dict[int, int]:
+    """``{k: number of vertices with core value >= k}`` -- the shell profile."""
+    if kappa is None:
+        kappa = peel(sub)
+    top = max(kappa.values(), default=0)
+    out = {}
+    for k in range(1, top + 1):
+        out[k] = sum(1 for c in kappa.values() if c >= k)
+    return out

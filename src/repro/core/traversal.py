@@ -1,0 +1,154 @@
+"""The sequential traversal maintenance baseline (Sariyuce et al. [11]).
+
+This is the classic single-edge streaming algorithm the paper's related
+work opens with (Section II-D): on an edge change, traverse the *subcore*
+-- the connected region of vertices sharing the smaller endpoint's core
+value -- and repair core values locally.
+
+* **Insertion** of ``{u, v}`` with ``k = min(kappa[u], kappa[v])``: only
+  vertices with ``kappa == k`` connected to the root(s) through
+  ``kappa == k`` vertices can rise, and by exactly one.  Collect that
+  candidate set, then iteratively evict candidates whose *core degree*
+  (neighbours with ``kappa > k`` plus surviving candidates) is at most
+  ``k``; survivors rise to ``k + 1``.
+* **Deletion** with ``k = min`` over the endpoints: only the subcore can
+  fall, by exactly one.  Iteratively evict subcore vertices whose support
+  (neighbours with ``kappa >= k``) falls below ``k``.
+
+Graphs only -- the traversal argument relies on single-edge subcore
+locality, which is the property the paper's batch algorithms are built to
+escape.  For batches, changes are processed one at a time; that throughput
+cliff versus ``mod``/``setmb`` on large batches is the motivating gap.
+
+Besides its baseline role, this maintainer is the test-suite's *second*
+independent oracle for dynamic streams (peeling being the first).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Optional, Set
+
+from repro.core.base import MaintainerBase
+from repro.graph.substrate import Change
+
+__all__ = ["TraversalMaintainer"]
+
+Vertex = Hashable
+
+
+class TraversalMaintainer(MaintainerBase):
+    """Sequential subcore-traversal maintenance for dynamic graphs."""
+
+    algorithm = "traversal"
+
+    def __init__(self, sub, rt=None, *, tau=None) -> None:
+        if getattr(sub, "is_hypergraph", False):
+            raise TypeError("the traversal baseline is defined for graphs only")
+        super().__init__(sub, rt, tau=tau, use_min_cache=False)
+
+    # -- subcore collection ---------------------------------------------------------
+    def _subcore(self, roots, k: int) -> Set[Vertex]:
+        """Vertices with kappa == k reachable from roots through kappa == k."""
+        sub, tau, rt = self.sub, self.tau, self.rt
+        seen: Set[Vertex] = set()
+        stack = [r for r in roots if tau.get(r) == k]
+        seen.update(stack)
+        while stack:
+            v = stack.pop()
+            rt.serial(sub.degree(v))
+            for w in sub.neighbors(v):
+                if w not in seen and tau.get(w) == k:
+                    seen.add(w)
+                    stack.append(w)
+        return seen
+
+    # -- single-change repairs ----------------------------------------------------------
+    def _insert_repair(self, u: Vertex, v: Vertex) -> None:
+        tau, sub, rt = self.tau, self.sub, self.rt
+        k = min(tau.get(u, 0), tau.get(v, 0))
+        roots = [w for w in (u, v) if tau.get(w, 0) == k]
+        candidates = self._subcore(roots, k)
+        if not candidates:
+            return
+        # core degree: neighbours that could support a rise to k + 1
+        cd: Dict[Vertex, int] = {}
+        for s in candidates:
+            rt.serial(sub.degree(s))
+            cd[s] = sum(
+                1 for w in sub.neighbors(s) if tau.get(w, 0) > k or w in candidates
+            )
+        # evict until every survivor could sit in a (k+1)-core
+        queue = deque(s for s in candidates if cd[s] <= k)
+        evicted: Set[Vertex] = set(queue)
+        while queue:
+            s = queue.popleft()
+            rt.serial(sub.degree(s))
+            for w in sub.neighbors(s):
+                if w in candidates and w not in evicted:
+                    cd[w] -= 1
+                    if cd[w] <= k:
+                        evicted.add(w)
+                        queue.append(w)
+        for s in candidates - evicted:
+            self._set_tau(s, k + 1)
+
+    def _delete_repair(self, u: Vertex, v: Vertex) -> None:
+        """Called after the edge is structurally gone; endpoints may be too."""
+        tau, sub, rt = self.tau, self.sub, self.rt
+        levels = sorted({tau[w] for w in (u, v) if w in tau})
+        for k in levels:
+            roots = [w for w in (u, v) if tau.get(w) == k]
+            if not roots:
+                continue
+            region = self._subcore(roots, k)
+            if not region:
+                continue
+            support: Dict[Vertex, int] = {}
+            for s in region:
+                rt.serial(sub.degree(s))
+                support[s] = sum(1 for w in sub.neighbors(s) if tau.get(w, 0) >= k)
+            queue = deque(s for s in region if support[s] < k)
+            dropped: Set[Vertex] = set(queue)
+            while queue:
+                s = queue.popleft()
+                rt.serial(sub.degree(s))
+                for w in sub.neighbors(s):
+                    if w in region and w not in dropped:
+                        support[w] -= 1
+                        if support[w] < k:
+                            dropped.add(w)
+                            queue.append(w)
+            for s in dropped:
+                self._set_tau(s, k - 1)
+
+    # -- batch interface ------------------------------------------------------------------
+    def apply_batch(self, batch) -> None:
+        """Process changes one at a time (this baseline has no batching)."""
+        sub = self.sub
+        seen_edges: Set = set()
+        for change in batch:
+            self.rt.serial(1)
+            u, v = change.edge
+            if change.insert:
+                if not sub.add_edge(u, v):
+                    continue
+                for p in (u, v):
+                    if p not in self.tau:
+                        self._set_tau(p, 0)
+                # a fresh endpoint with one edge sits at kappa >= 1 iff it
+                # has any neighbour; lift 0-valued endpoints first so the
+                # min-level logic sees consistent values
+                for p in (u, v):
+                    if self.tau[p] == 0:
+                        self._set_tau(p, 1)
+                self._insert_repair(u, v)
+            else:
+                if not sub.remove_edge(u, v):
+                    continue
+                self._delete_repair(u, v)
+                for p in (u, v):
+                    if not sub.has_vertex(p):
+                        self._drop_vertex(p)
+            seen_edges.add(change.edge)
+        self.batches_processed += 1

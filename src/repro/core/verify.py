@@ -1,0 +1,60 @@
+"""Result verification helpers (the paper checked against Ligra; we check
+against peeling).
+
+:func:`verify_kappa` recomputes core values from scratch with the
+independent peeling oracle and reports any divergence -- the test-suite's
+workhorse and a debugging aid for users running their own change streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.core.peel import peel
+
+__all__ = ["VerificationError", "verify_kappa", "diff_kappa"]
+
+Vertex = Hashable
+
+
+class VerificationError(AssertionError):
+    """Maintained core values diverged from the from-scratch oracle."""
+
+    def __init__(self, mismatches: List[Tuple[Vertex, int, int]]) -> None:
+        self.mismatches = mismatches
+        preview = ", ".join(
+            f"{v!r}: maintained={got} oracle={want}"
+            for v, got, want in mismatches[:8]
+        )
+        more = f" (+{len(mismatches) - 8} more)" if len(mismatches) > 8 else ""
+        super().__init__(f"{len(mismatches)} core value mismatches: {preview}{more}")
+
+
+def diff_kappa(maintained: Dict[Vertex, int], oracle: Dict[Vertex, int]
+               ) -> List[Tuple[Vertex, int, int]]:
+    """(vertex, maintained, oracle) triples where the two disagree.
+
+    A vertex missing on either side is compared as 0 (degree-0 vertices
+    are implicitly absent).
+    """
+    out: List[Tuple[Vertex, int, int]] = []
+    for v in maintained.keys() | oracle.keys():
+        got = maintained.get(v, 0)
+        want = oracle.get(v, 0)
+        if got != want:
+            out.append((v, got, want))
+    out.sort(key=lambda t: repr(t[0]))
+    return out
+
+
+def verify_kappa(maintainer, *, raise_on_mismatch: bool = True
+                 ) -> List[Tuple[Vertex, int, int]]:
+    """Compare a maintainer's values against fresh peeling.
+
+    Returns the mismatch list (empty when correct); raises
+    :class:`VerificationError` by default when non-empty.
+    """
+    mismatches = diff_kappa(maintainer.kappa(), peel(maintainer.sub))
+    if mismatches and raise_on_mismatch:
+        raise VerificationError(mismatches)
+    return mismatches

@@ -1,0 +1,42 @@
+"""Distributed k-core computation and maintenance (§VI exploration).
+
+The paper closes with: "implementing these algorithms in distributed
+systems to further explore scalability."  The h-index/coreness connection
+the paper builds on was in fact *born* distributed (Montresor et al. [23]):
+each vertex only ever needs its neighbours' current values, so the
+algorithm maps directly onto value-update message passing.
+
+This subpackage provides that exploration on a simulated cluster:
+
+* :mod:`repro.distributed.cluster` -- a deterministic BSP (Pregel-style)
+  cluster: vertices are partitioned across nodes, supersteps alternate
+  local compute and value-update message exchange, and a declarative
+  :class:`ClusterSpec` prices compute, per-message overhead and network
+  latency so elapsed time, message volume and load balance can be studied
+  as the node count grows.
+* :mod:`repro.distributed.partition` -- hash and degree-balanced
+  partitioners.
+* :mod:`repro.distributed.core` -- the distributed static h-index
+  computation (the [23] algorithm, hypergraph-extended like Algorithm 2)
+  and a distributed ``mod`` maintainer: batch changes are applied
+  everywhere, per-level insertion/deletion records are combined with one
+  all-reduce, increments are applied to owned vertices, and convergence
+  proceeds by supersteps.
+
+Structure is replicated, values are partitioned -- the standard setting
+for analysing this algorithm family, where all traffic is value updates.
+"""
+
+from repro.distributed.cluster import ClusterMetrics, ClusterSpec, SimulatedCluster
+from repro.distributed.core import DistributedHIndex, DistributedModMaintainer
+from repro.distributed.partition import degree_balanced_partition, hash_partition
+
+__all__ = [
+    "ClusterMetrics",
+    "ClusterSpec",
+    "DistributedHIndex",
+    "DistributedModMaintainer",
+    "SimulatedCluster",
+    "degree_balanced_partition",
+    "hash_partition",
+]

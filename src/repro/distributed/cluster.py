@@ -1,0 +1,177 @@
+"""A deterministic BSP cluster simulation.
+
+The execution model is Pregel/BSP: computation proceeds in *supersteps*.
+Within a superstep every node processes work on the vertices it owns
+(compute charged per node), then sends value-update messages that are
+delivered at the start of the next superstep.  Superstep wall time is
+
+    max over nodes (compute + message serialisation)  +  network latency
+
+so elapsed time reflects the slowest node (load imbalance is visible) and
+the per-round synchronisation cost (latency dominates when work per
+superstep is small -- the distributed analogue of the shared-memory
+barrier costs in :mod:`repro.parallel`).
+
+The cluster is transport only: algorithms own semantics.  Messages to the
+node that sent them are free local delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+__all__ = ["ClusterSpec", "ClusterMetrics", "SimulatedCluster"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Cost parameters of the simulated cluster."""
+
+    nodes: int = 4
+    work_unit_ns: float = 6.0           # same unit as the shared-memory model
+    msg_ns: float = 250.0               # serialise + deserialise one message
+    item_ns: float = 25.0               # per payload item inside a combined message
+    network_latency_ns: float = 50_000.0  # per-superstep synchronisation
+    allreduce_ns_per_item: float = 400.0
+    #: combine all updates from one node to another into a single message
+    #: per superstep (the classic Pregel combiner optimisation)
+    combine_messages: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError("need at least one node")
+
+
+@dataclass
+class ClusterMetrics:
+    """Accumulated execution metrics."""
+
+    supersteps: int = 0
+    messages: int = 0
+    local_deliveries: int = 0
+    elapsed_ns: float = 0.0
+    work_units_per_node: List[float] = field(default_factory=list)
+
+    def elapsed_seconds(self) -> float:
+        return self.elapsed_ns / 1e9
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.work_units_per_node)
+
+    def load_imbalance(self) -> float:
+        """max/mean per-node work (1.0 = perfect balance)."""
+        if not self.work_units_per_node or self.total_work == 0:
+            return 1.0
+        mean = self.total_work / len(self.work_units_per_node)
+        return max(self.work_units_per_node) / mean if mean else 1.0
+
+
+class SimulatedCluster:
+    """Message transport + cost accounting for BSP algorithms.
+
+    Usage pattern (one superstep)::
+
+        cluster.begin_superstep()
+        for node in range(cluster.nodes):
+            inbox = cluster.inbox(node)
+            ... compute ...
+            cluster.charge(node, units)
+            cluster.send(node, dest_node, payload)
+        cluster.end_superstep()
+
+    Messages sent during superstep *t* appear in inboxes during *t + 1*.
+    """
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.nodes = spec.nodes
+        self.metrics = ClusterMetrics(
+            work_units_per_node=[0.0] * spec.nodes)
+        self._inboxes: List[List[object]] = [[] for _ in range(spec.nodes)]
+        self._outboxes: List[List[object]] = [[] for _ in range(spec.nodes)]
+        self._step_work = [0.0] * spec.nodes
+        self._step_msgs = [0] * spec.nodes
+        self._step_items = [0] * spec.nodes
+        self._combiner: Dict[Tuple[int, int], List[object]] = {}
+        self._in_step = False
+
+    # -- superstep lifecycle ------------------------------------------------------
+    def begin_superstep(self) -> None:
+        if self._in_step:
+            raise RuntimeError("superstep already in progress")
+        self._in_step = True
+        self._step_work = [0.0] * self.nodes
+        self._step_msgs = [0] * self.nodes
+        self._step_items = [0] * self.nodes
+        self._combiner = {}
+
+    def end_superstep(self) -> None:
+        if not self._in_step:
+            raise RuntimeError("no superstep in progress")
+        self._in_step = False
+        spec = self.spec
+        # flush combined messages: one wire message per (src, dst) pair,
+        # payload items priced separately on both endpoints
+        for (src, dst), payloads in sorted(self._combiner.items()):
+            self._outboxes[dst].extend(payloads)
+            self.metrics.messages += 1
+            self._step_msgs[src] += 1
+            self._step_msgs[dst] += 1
+            self._step_items[src] += len(payloads)
+            self._step_items[dst] += len(payloads)
+        self._combiner = {}
+        per_node_ns = [
+            w * spec.work_unit_ns + m * spec.msg_ns + i * spec.item_ns
+            for w, m, i in zip(self._step_work, self._step_msgs, self._step_items)
+        ]
+        self.metrics.elapsed_ns += max(per_node_ns, default=0.0)
+        if self.nodes > 1:
+            self.metrics.elapsed_ns += spec.network_latency_ns
+        self.metrics.supersteps += 1
+        # deliver
+        self._inboxes = self._outboxes
+        self._outboxes = [[] for _ in range(self.nodes)]
+
+    def inbox(self, node: int) -> List[object]:
+        return self._inboxes[node]
+
+    def any_pending(self) -> bool:
+        return any(self._outboxes) or any(self._inboxes) or bool(self._combiner)
+
+    # -- node-side operations --------------------------------------------------------
+    def charge(self, node: int, units: float) -> None:
+        if not self._in_step:
+            raise RuntimeError("charge outside a superstep")
+        self._step_work[node] += units
+        self.metrics.work_units_per_node[node] += units
+
+    def send(self, src: int, dst: int, payload: object) -> None:
+        if not self._in_step:
+            raise RuntimeError("send outside a superstep")
+        if src == dst:
+            self._outboxes[dst].append(payload)
+            self.metrics.local_deliveries += 1
+        elif self.spec.combine_messages:
+            self._combiner.setdefault((src, dst), []).append(payload)
+        else:
+            self._outboxes[dst].append(payload)
+            self.metrics.messages += 1
+            self._step_msgs[src] += 1
+            self._step_msgs[dst] += 1
+
+    # -- collectives ------------------------------------------------------------------
+    def allreduce_merge(self, per_node_items: List[int]) -> None:
+        """Charge an all-reduce combining ``sum(per_node_items)`` items
+        (e.g. the I/D level records of the distributed mod maintainer)."""
+        total = sum(per_node_items)
+        self.metrics.elapsed_ns += self.spec.allreduce_ns_per_item * max(1, total)
+        if self.nodes > 1:
+            self.metrics.elapsed_ns += self.spec.network_latency_ns
+        self.metrics.messages += max(0, self.nodes - 1) * 2  # reduce + bcast
+
+    def __repr__(self) -> str:
+        return f"SimulatedCluster(nodes={self.nodes}, steps={self.metrics.supersteps})"

@@ -1,0 +1,315 @@
+"""Distributed h-index computation and mod-style maintenance.
+
+Faithful BSP renditions of the paper's algorithm family:
+
+* :class:`DistributedHIndex` -- the [23]-style distributed coreness
+  computation, extended to hypergraphs exactly like Algorithm 2: every
+  node owns a vertex partition, keeps *replicas* of remote values it has
+  heard about (initially degrees), recomputes its active owned vertices
+  each superstep, and broadcasts changed values to the owner nodes of the
+  affected neighbours.  Replicas are stale by at most one superstep --
+  precisely the asynchronous-read model Algorithm 1 permits, so
+  convergence to kappa carries over.
+
+* :class:`DistributedModMaintainer` -- the ``mod`` batch pipeline on the
+  cluster.  Structure is replicated, so every node applies the batch; each
+  *pin change* is classified once, by the owner of its changed vertex;
+  the per-level I/D records are combined with one all-reduce; and because
+  the resolved increments are a deterministic function of the combined
+  records, every node applies them redundantly to owned values *and*
+  replicas with no further traffic -- the communication-free increment
+  phase is the distributed payoff of mod's order-free design.  Convergence
+  then runs as h-index supersteps.
+
+Both classes expose the cluster's :class:`ClusterMetrics`, which the §VI
+exploration benchmark sweeps over node counts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional, Set
+
+from repro.core.mod import resolve_paper, resolve_safe
+from repro.core.pin_cases import classify_delete, classify_insert
+from repro.distributed.cluster import ClusterSpec, SimulatedCluster
+from repro.distributed.partition import hash_partition
+from repro.structures.hindex import h_index_counting
+from repro.structures.level_accumulator import LevelAccumulator
+
+__all__ = ["DistributedHIndex", "DistributedModMaintainer"]
+
+Vertex = Hashable
+
+
+class DistributedHIndex:
+    """Distributed static/continued h-index convergence over a substrate.
+
+    Parameters
+    ----------
+    sub:
+        Graph or hypergraph (structure treated as replicated).
+    spec:
+        Cluster cost parameters.
+    partition:
+        Vertex -> node map; defaults to hash partitioning.
+    """
+
+    def __init__(self, sub, spec: ClusterSpec,
+                 partition: Optional[Dict[Vertex, int]] = None) -> None:
+        self.sub = sub
+        self.cluster = SimulatedCluster(spec)
+        self.partition = partition if partition is not None else hash_partition(sub, spec.nodes)
+        n = spec.nodes
+        # node-local views: owned values and replicas of remote values
+        self.local: List[Dict[Vertex, int]] = [{} for _ in range(n)]
+        self.known: List[Dict[Vertex, int]] = [{} for _ in range(n)]
+        self.active: List[Set[Vertex]] = [set() for _ in range(n)]
+        for v in sub.vertices():
+            owner = self.partition[v]
+            self.local[owner][v] = sub.degree(v)
+        # structure is replicated: degrees are known everywhere at start
+        for node in range(n):
+            for v in sub.vertices():
+                if self.partition[v] != node:
+                    self.known[node][v] = sub.degree(v)
+
+    # -- value views -------------------------------------------------------------
+    def owner(self, v: Vertex) -> int:
+        node = self.partition.get(v)
+        if node is None:
+            node = self.partition.setdefault(
+                v, hash_partition_single(v, self.cluster.nodes))
+        return node
+
+    def value_at(self, node: int, v: Vertex) -> int:
+        own = self.local[node].get(v)
+        if own is not None:
+            return own
+        return self.known[node].get(v, self.sub.degree(v))
+
+    def tau(self) -> Dict[Vertex, int]:
+        """The authoritative (owner-side) values."""
+        out: Dict[Vertex, int] = {}
+        for node_vals in self.local:
+            out.update(node_vals)
+        return out
+
+    # -- activation --------------------------------------------------------------
+    def activate(self, v: Vertex) -> None:
+        if self.sub.has_vertex(v):
+            self.active[self.owner(v)].add(v)
+
+    def activate_all(self) -> None:
+        for v in self.sub.vertices():
+            self.activate(v)
+
+    # -- the superstep loop ----------------------------------------------------------
+    def _recompute(self, node: int, v: Vertex) -> int:
+        sub = self.sub
+        L: List[float] = []
+        work = 0
+        for e in sub.incident(v):
+            m: float = math.inf
+            for w in sub.pins(e):
+                if w != v:
+                    work += 1
+                    t = self.value_at(node, w)
+                    if t < m:
+                        m = t
+            L.append(m)
+        self.cluster.charge(node, work + len(L))
+        return h_index_counting(L)
+
+    def run(self, max_supersteps: Optional[int] = None) -> Dict[Vertex, int]:
+        """Supersteps until quiescence; returns the converged values."""
+        cluster = self.cluster
+        sub = self.sub
+        steps = 0
+        while any(self.active) or cluster.any_pending():
+            steps += 1
+            if max_supersteps is not None and steps > max_supersteps:
+                break
+            cluster.begin_superstep()
+            for node in range(cluster.nodes):
+                # 1. absorb incoming value updates, activating neighbours
+                for payload in cluster.inbox(node):
+                    v, new = payload
+                    self.known[node][v] = new
+                    cluster.charge(node, 1)
+                    for w in sub.neighbors(v):
+                        if self.partition.get(w) == node:
+                            self.active[node].add(w)
+                # 2. recompute active owned vertices
+                worklist = [v for v in self.active[node] if sub.has_vertex(v)]
+                self.active[node] = set()
+                for v in worklist:
+                    new = self._recompute(node, v)
+                    if new != self.local[node].get(v):
+                        self.local[node][v] = new
+                        # self-reactivation plus notify remote owners once
+                        self.active[node].add(v)
+                        dests = set()
+                        for w in sub.neighbors(v):
+                            dest = self.owner(w)
+                            if dest == node:
+                                self.active[node].add(w)
+                            else:
+                                dests.add(dest)
+                        for dest in dests:
+                            cluster.send(node, dest, (v, new))
+            cluster.end_superstep()
+        return self.tau()
+
+
+def hash_partition_single(v: Vertex, nodes: int) -> int:
+    from repro.distributed.partition import _stable_hash
+
+    return _stable_hash(v) % nodes
+
+
+class DistributedModMaintainer:
+    """Batch k-core maintenance on the simulated cluster (mod pipeline)."""
+
+    def __init__(self, sub, spec: ClusterSpec,
+                 partition: Optional[Dict[Vertex, int]] = None,
+                 increment_policy: str = "paper") -> None:
+        self.engine = DistributedHIndex(sub, spec, partition)
+        # initial convergence from degrees (the static computation)
+        self.engine.activate_all()
+        self.engine.run()
+        self.increment_policy = increment_policy
+        self.batches_processed = 0
+
+    @property
+    def sub(self):
+        return self.engine.sub
+
+    @property
+    def cluster(self) -> SimulatedCluster:
+        return self.engine.cluster
+
+    def kappa(self) -> Dict[Vertex, int]:
+        return self.engine.tau()
+
+    def kappa_of(self, v: Vertex) -> int:
+        return self.engine.tau().get(v, 0)
+
+    def _value_of(self, v: Vertex) -> int:
+        owner = self.engine.owner(v)
+        return self.engine.local[owner].get(v, 0)
+
+    def apply_batch(self, batch) -> None:
+        engine = self.engine
+        sub = engine.sub
+        cluster = engine.cluster
+
+        # classify with pre-batch values, per the mod pipeline; owner of
+        # the changed vertex records (each change classified exactly once)
+        tau_view = engine.tau()
+        per_node_records = [0] * cluster.nodes
+        I = LevelAccumulator()
+        D = LevelAccumulator()
+        touched: Set[Vertex] = set()
+
+        new_edges = set()
+        if getattr(sub, "is_hypergraph", False):
+            for change in batch:
+                if change.insert and not sub.has_edge(change.edge):
+                    new_edges.add(change.edge)
+
+        cluster.begin_superstep()
+        for change in batch:
+            # structure replicated: every node applies every change
+            for node in range(cluster.nodes):
+                cluster.charge(node, 1)
+            if change.insert:
+                applied = sub.apply(change)
+                if not applied:
+                    continue
+                pins_ctx = tuple(sub.pins(change.edge))
+                pin_changes = [change]
+                if not getattr(sub, "is_hypergraph", False):
+                    from repro.graph.substrate import Change as _Change
+
+                    u, w = change.edge
+                    pin_changes = [_Change(change.edge, u, True),
+                                   _Change(change.edge, w, True)]
+                for pc in pin_changes:
+                    res = classify_insert(
+                        tau_view, pc, pins_ctx,
+                        edge_is_new=(not getattr(sub, "is_hypergraph", False))
+                        or pc.edge in new_edges,
+                    )
+                    owner = engine.owner(pc.vertex)
+                    cluster.charge(owner, len(pins_ctx))
+                    per_node_records[owner] += len(res.inserts) + len(res.deletes)
+                    for lvl, cnt in res.inserts:
+                        I.add(lvl, cnt)
+                    for lvl, cnt in res.deletes:
+                        D.add(lvl, cnt)
+                touched.update(pins_ctx)
+                for p in pins_ctx:
+                    node = engine.owner(p)
+                    if p not in engine.local[node]:
+                        engine.local[node][p] = 0
+                        tau_view[p] = 0
+            else:
+                if not sub.has_pin(change.edge, change.vertex):
+                    continue
+                pins_ctx = tuple(sub.pins(change.edge))
+                sub.apply(change)
+                pin_changes = [change]
+                if not getattr(sub, "is_hypergraph", False):
+                    from repro.graph.substrate import Change as _Change
+
+                    u, w = change.edge
+                    pin_changes = [_Change(change.edge, u, False),
+                                   _Change(change.edge, w, False)]
+                for pc in pin_changes:
+                    res = classify_delete(tau_view, pc, pins_ctx)
+                    owner = engine.owner(pc.vertex)
+                    cluster.charge(owner, len(pins_ctx))
+                    per_node_records[owner] += len(res.inserts) + len(res.deletes)
+                    for lvl, cnt in res.inserts:
+                        I.add(lvl, cnt)
+                    for lvl, cnt in res.deletes:
+                        D.add(lvl, cnt)
+                touched.update(pins_ctx)
+                for p in pins_ctx:
+                    if not sub.has_vertex(p):
+                        engine.local[engine.owner(p)].pop(p, None)
+                        for node in range(cluster.nodes):
+                            engine.known[node].pop(p, None)
+                        touched.discard(p)
+        cluster.end_superstep()
+
+        # one all-reduce combines every node's records; the resolution is
+        # then a deterministic pure function every node evaluates locally
+        cluster.allreduce_merge(per_node_records)
+        resolve = resolve_paper if self.increment_policy == "paper" else resolve_safe
+        resolution = resolve(I, D)
+
+        # communication-free increment phase: owned values and replicas
+        # move by the same deterministic rule on every node
+        cluster.begin_superstep()
+        for node in range(cluster.nodes):
+            for v, val in list(engine.local[node].items()):
+                inc = resolution.increment(val)
+                cluster.charge(node, 1)
+                if inc > 0:
+                    engine.local[node][v] = val + inc
+                    engine.active[node].add(v)
+                elif resolution.should_activate(val):
+                    engine.active[node].add(v)
+            for v, val in list(engine.known[node].items()):
+                inc = resolution.increment(val)
+                cluster.charge(node, 1)
+                if inc > 0:
+                    engine.known[node][v] = val + inc
+        cluster.end_superstep()
+
+        for v in touched:
+            engine.activate(v)
+        engine.run()
+        self.batches_processed += 1

@@ -1,0 +1,27 @@
+"""Evaluation harness: datasets, experiment runners, statistics, reports.
+
+This subpackage regenerates the paper's evaluation section:
+
+* :mod:`repro.eval.datasets` -- the Table I / Table II dataset registry
+  with synthetic analogues (the offline substitution, see DESIGN.md).
+* :mod:`repro.eval.harness` -- the remove/reinsert experiment driver
+  producing runtime-vs-threads series for every figure.
+* :mod:`repro.eval.stats` -- sample statistics (the figures' error bars
+  are one standard deviation, Section V-A).
+* :mod:`repro.eval.tables` -- text rendering of the tables and figure
+  series in the same shape the paper reports.
+"""
+
+from repro.eval.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.eval.harness import ExperimentResult, run_scalability, run_latency_vs_static
+from repro.eval.stats import Stats
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "ExperimentResult",
+    "Stats",
+    "load_dataset",
+    "run_latency_vs_static",
+    "run_scalability",
+]

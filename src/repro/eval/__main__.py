@@ -1,0 +1,134 @@
+"""Command-line experiment runner: ``python -m repro.eval``.
+
+Regenerates the paper's tables and figures without pytest:
+
+    python -m repro.eval tables
+    python -m repro.eval figure 6 --datasets LiveJ Google --scale 0.5
+    python -m repro.eval figure 8 --rounds 5
+    python -m repro.eval latency --algorithm setmb --datasets Google
+    python -m repro.eval all
+
+Figure numbers follow the paper: 6/7 insertion edges (mod/setmb), 8
+insertion pins (mod), 9/10 deletion edges (mod/setmb), 11 deletion pins
+(mod), 12 mixed (mod).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.eval.datasets import GRAPH_DATASETS, HYPERGRAPH_DATASETS
+from repro.eval.harness import run_latency_vs_static, run_scalability
+from repro.eval.tables import (
+    format_latency_vs_static,
+    format_scalability,
+    format_speedups,
+    format_table1,
+    format_table2,
+)
+
+FIGURES = {
+    6: ("mod", "insert", GRAPH_DATASETS, (100, 400, 1600)),
+    7: ("setmb", "insert", GRAPH_DATASETS, (1, 8, 64)),
+    8: ("mod", "insert", HYPERGRAPH_DATASETS, (100, 400, 1600)),
+    9: ("mod", "delete", GRAPH_DATASETS, (100, 400, 1600)),
+    10: ("setmb", "delete", GRAPH_DATASETS, (8, 64, 256)),
+    11: ("mod", "delete", HYPERGRAPH_DATASETS, (50, 200, 800)),
+    12: ("mod", "mixed", GRAPH_DATASETS, (100, 400, 1600)),
+}
+
+
+def _figure(number: int, datasets: Optional[Sequence[str]], scale: float,
+            rounds: int) -> None:
+    algorithm, direction, default_datasets, batch_sizes = FIGURES[number]
+    for ds in datasets or default_datasets:
+        result = run_scalability(
+            ds, algorithm, direction=direction, batch_sizes=batch_sizes,
+            rounds=rounds, scale=scale,
+        )
+        print(format_scalability(result))
+        print(format_speedups(result))
+        print()
+
+
+def _latency(datasets: Optional[Sequence[str]], algorithm: str, scale: float,
+             rounds: int) -> None:
+    batch_sizes = (1, 4, 16) if algorithm in ("set", "setmb") else (64, 256, 1024)
+    for ds in datasets or GRAPH_DATASETS[:2]:
+        result = run_latency_vs_static(ds, algorithm, batch_sizes=batch_sizes,
+                                       rounds=rounds, scale=scale)
+        print(format_latency_vs_static(result, 1))
+        print()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scale", type=float, default=0.5,
+                        help="dataset scale factor (default 0.5)")
+    common.add_argument("--rounds", type=int, default=3,
+                        help="repetitions per point (paper: 50; default 3)")
+    common.add_argument("--datasets", nargs="*", default=None,
+                        help="dataset names (default: the figure's own)")
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", parents=[common], help="Tables I and II")
+
+    fig = sub.add_parser("figure", parents=[common],
+                         help="one scalability figure (6-12)")
+    fig.add_argument("number", type=int, choices=sorted(FIGURES))
+
+    lat = sub.add_parser("latency", parents=[common],
+                         help="maintenance vs static recompute")
+    lat.add_argument("--algorithm", default="setmb",
+                     choices=["mod", "set", "setmb", "hybrid"])
+
+    sub.add_parser("all", parents=[common],
+                   help="tables plus every figure (slow)")
+
+    rep = sub.add_parser("report",
+                         help="assemble benchmarks/results/ into markdown")
+    rep.add_argument("--results-dir", default=None)
+    rep.add_argument("--output", default=None,
+                     help="write to a file instead of stdout")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "tables":
+        print(format_table1(scale=args.scale))
+        print()
+        print(format_table2(scale=args.scale))
+    elif args.command == "figure":
+        _figure(args.number, args.datasets, args.scale, args.rounds)
+    elif args.command == "latency":
+        _latency(args.datasets, args.algorithm, args.scale, args.rounds)
+    elif args.command == "report":
+        from repro.eval.report import build_report
+
+        text = build_report(args.results_dir)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(text, encoding="utf-8")
+            print(f"wrote {args.output}")
+        else:
+            print(text)
+    elif args.command == "all":
+        print(format_table1(scale=args.scale))
+        print()
+        print(format_table2(scale=args.scale))
+        print()
+        for number in sorted(FIGURES):
+            print(f"==== Figure {number} ====")
+            _figure(number, args.datasets, args.scale, args.rounds)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

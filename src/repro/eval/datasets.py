@@ -1,0 +1,154 @@
+"""The Table I / Table II dataset registry with synthetic analogues.
+
+The paper's datasets come from SNAP [34] (graphs) and KONECT [35]
+(hypergraphs); neither is reachable offline, so each entry pairs the
+paper's reported sizes with a generator configuration of matching *skew
+class* (DESIGN.md section 1).  The generators control exactly the factors
+the paper names as runtime drivers -- "The number of edges or pins in the
+graph is a major factor in runtime, and the maximum coreness and
+complexity of core hierarchy additionally impact runtime" (Section V-A) --
+so the scalability shapes carry over while absolute sizes scale the axes.
+
+Each dataset also carries the :class:`~repro.parallel.machine.WorkloadProfile`
+the simulated machine uses: the WebTrackers analogue is memory-bound
+(Section V-B observes it degrading beyond 8 threads), everything else is
+the standard partially-memory-bound graph workload.
+
+``scale`` multiplies the analogue's size; the default targets
+seconds-scale benchmark runs in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.graph.generators import (
+    affiliation_hypergraph,
+    powerlaw_social,
+    rmat,
+    star_tracker_hypergraph,
+)
+from repro.parallel.machine import COMPUTE_BOUND, MEMORY_BOUND, WorkloadProfile
+
+__all__ = ["DatasetSpec", "DATASETS", "GRAPH_DATASETS", "HYPERGRAPH_DATASETS", "load_dataset"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One paper dataset and its synthetic analogue."""
+
+    name: str
+    kind: str  # "graph" | "hypergraph"
+    paper_vertices: float
+    paper_edges: float
+    paper_pins: Optional[float]  # hypergraphs only
+    skew_class: str
+    profile: WorkloadProfile
+    _builder: Callable[[float, int], object]
+
+    def load(self, scale: float = 1.0, seed: int = 0):
+        """Build the synthetic analogue at the given scale factor."""
+        return self._builder(scale, seed)
+
+    def paper_row(self) -> Tuple:
+        if self.kind == "graph":
+            return (self.name, self.paper_vertices, self.paper_edges)
+        return (self.name, self.paper_vertices, self.paper_edges, self.paper_pins)
+
+
+def _s(base: int, scale: float, lo: int = 8) -> int:
+    return max(lo, int(base * scale))
+
+
+DATASETS: Dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    DATASETS[spec.name] = spec
+
+
+# --- Table I: graphs (sizes in the paper's units: millions) -----------------------
+
+_register(DatasetSpec(
+    "OrkutLinks", "graph", 3.07e6, 240e6, None, "dense social (power law)",
+    COMPUTE_BOUND,
+    lambda scale, seed: powerlaw_social(_s(2400, scale), 14, seed=seed),
+))
+_register(DatasetSpec(
+    "LiveJ", "graph", 3.99e6, 37.4e6, None, "social (power law)",
+    COMPUTE_BOUND,
+    lambda scale, seed: powerlaw_social(_s(3200, scale), 10, seed=seed + 1),
+))
+_register(DatasetSpec(
+    "Pokec", "graph", 1.63e6, 22.3e6, None, "social (power law)",
+    COMPUTE_BOUND,
+    lambda scale, seed: powerlaw_social(_s(1600, scale), 12, seed=seed + 2),
+))
+_register(DatasetSpec(
+    "Patents", "graph", 3.77e6, 16.5e6, None, "citation (moderate skew)",
+    COMPUTE_BOUND,
+    lambda scale, seed: rmat(max(8, int(11 + scale - 1)), 4, seed=seed + 3,
+                             a=0.45, b=0.25, c=0.2),
+))
+_register(DatasetSpec(
+    "DBLP", "graph", 1.82e6, 8.34e6, None, "co-authorship (clustered)",
+    COMPUTE_BOUND,
+    lambda scale, seed: powerlaw_social(_s(1800, scale), 8, seed=seed + 4, alpha=1.2),
+))
+_register(DatasetSpec(
+    "WikiTalk", "graph", 2.39e6, 4.66e6, None, "communication (star heavy)",
+    COMPUTE_BOUND,
+    lambda scale, seed: rmat(max(8, int(11 + scale - 1)), 2, seed=seed + 5,
+                             a=0.65, b=0.15, c=0.15),
+))
+_register(DatasetSpec(
+    "Google", "graph", 0.88e6, 4.32e6, None, "web (kronecker skew)",
+    COMPUTE_BOUND,
+    lambda scale, seed: rmat(max(8, int(10 + scale - 1)), 4, seed=seed + 6),
+))
+_register(DatasetSpec(
+    "YouTube", "graph", 3.22e6, 9.38e6, None, "social (sparse power law)",
+    COMPUTE_BOUND,
+    lambda scale, seed: powerlaw_social(_s(3000, scale), 6, seed=seed + 7),
+))
+
+# --- Table II: hypergraphs --------------------------------------------------------
+# LiveJGroup's pin count prints as "11.M" in the paper; KONECT's
+# livejournal-groupmemberships has 112M pins, which we take as intended.
+
+_register(DatasetSpec(
+    "OrkutGroup", "hypergraph", 2.8e6, 8.7e6, 327e6, "affiliation (huge groups)",
+    COMPUTE_BOUND,
+    lambda scale, seed: affiliation_hypergraph(
+        _s(800, scale), _s(2200, scale), 5.0, seed=seed + 8),
+))
+_register(DatasetSpec(
+    "WebTrackers", "hypergraph", 27e6, 13e6, 141e6, "hypersparse (memory bound)",
+    MEMORY_BOUND,
+    lambda scale, seed: star_tracker_hypergraph(
+        _s(1800, scale), _s(2400, scale), seed=seed + 9),
+))
+_register(DatasetSpec(
+    "LiveJGroup", "hypergraph", 3.2e6, 7.5e6, 112e6, "affiliation (moderate groups)",
+    COMPUTE_BOUND,
+    lambda scale, seed: affiliation_hypergraph(
+        _s(1000, scale), _s(2400, scale), 4.0, seed=seed + 10),
+))
+
+GRAPH_DATASETS = tuple(n for n, s in DATASETS.items() if s.kind == "graph")
+HYPERGRAPH_DATASETS = tuple(n for n, s in DATASETS.items() if s.kind == "hypergraph")
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 0):
+    """Build the synthetic analogue of a paper dataset.
+
+    >>> g = load_dataset("DBLP", scale=0.1)
+    >>> g.num_vertices() > 0
+    True
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; choose from {sorted(DATASETS)}") from None
+    return spec.load(scale, seed)

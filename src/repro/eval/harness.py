@@ -1,0 +1,166 @@
+"""Experiment drivers regenerating the paper's figures.
+
+:func:`run_scalability` reproduces one panel of Figs. 6-12: a dataset, an
+algorithm, a change direction (insert / delete / mixed) and a sweep of
+batch sizes, measured across the full thread sweep on the simulated
+machine.  The protocol is the paper's (Section V-A): random units are
+removed then re-inserted for ``rounds`` repetitions; deletion-only panels
+time the removals, insertion-only panels the re-insertions, mixed panels
+the interleaved batch.
+
+Crucially, the maintainer is *reused* across rounds -- this is maintenance,
+not recomputation -- and the simulated runtime's clock is reset around the
+timed batch only, so untimed protocol bookkeeping is free, mirroring how
+the paper times batch processing alone.
+
+:func:`run_latency_vs_static` measures the maintenance-vs-recompute ratio
+backing Section IV's "reaching over 10^4 x static computation" claim for
+small batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.maintainer import make_maintainer
+from repro.core.static import hhc_local
+from repro.eval.datasets import DATASETS
+from repro.eval.stats import Stats
+from repro.graph.batch import BatchProtocol
+from repro.parallel.simulated import DEFAULT_THREAD_COUNTS, SimulatedRuntime
+
+__all__ = ["ExperimentResult", "run_scalability", "run_latency_vs_static"]
+
+
+@dataclass
+class ExperimentResult:
+    """Series for one figure panel.
+
+    ``times[batch_size][threads]`` holds the :class:`Stats` of the timed
+    batch runtimes (simulated seconds).
+    """
+
+    dataset: str
+    algorithm: str
+    direction: str
+    thread_counts: Tuple[int, ...]
+    batch_sizes: Tuple[int, ...]
+    times: Dict[int, Dict[int, Stats]] = field(default_factory=dict)
+    #: simulated seconds of a from-scratch recompute, per thread count
+    static_time: Optional[Dict[int, float]] = None
+
+    def speedup(self, batch_size: int, threads: int) -> float:
+        series = self.times[batch_size]
+        return series[self.thread_counts[0]].mean / series[threads].mean
+
+    def best_threads(self, batch_size: int) -> int:
+        series = self.times[batch_size]
+        return min(series, key=lambda t: series[t].mean)
+
+
+def _spec(dataset: str):
+    try:
+        return DATASETS[dataset]
+    except KeyError:
+        raise ValueError(f"unknown dataset {dataset!r}") from None
+
+
+def _timed_apply(maintainer, rt: SimulatedRuntime, batch) -> Dict[int, float]:
+    rt.reset_clock()
+    maintainer.apply_batch(batch)
+    metrics = rt.take_metrics()
+    return {t: metrics.elapsed_seconds(t) for t in rt.thread_counts}
+
+
+def run_scalability(
+    dataset: str,
+    algorithm: str,
+    *,
+    direction: str = "insert",
+    batch_sizes: Sequence[int] = (100, 1000),
+    rounds: int = 5,
+    scale: float = 1.0,
+    seed: int = 0,
+    thread_counts: Sequence[int] = DEFAULT_THREAD_COUNTS,
+    maintainer_kwargs: Optional[dict] = None,
+) -> ExperimentResult:
+    """One figure panel: runtime vs threads, one series per batch size.
+
+    ``direction`` is ``"insert"``, ``"delete"`` or ``"mixed"``.
+    """
+    if direction not in ("insert", "delete", "mixed"):
+        raise ValueError(f"unknown direction {direction!r}")
+    spec = _spec(dataset)
+    sub = spec.load(scale, seed)
+    rt = SimulatedRuntime(profile=spec.profile, thread_counts=thread_counts)
+    maintainer = make_maintainer(sub, algorithm, rt, **(maintainer_kwargs or {}))
+    proto = BatchProtocol(sub, seed=seed + 1)
+
+    result = ExperimentResult(
+        dataset, algorithm, direction, tuple(thread_counts), tuple(batch_sizes)
+    )
+    for b in batch_sizes:
+        samples: Dict[int, List[float]] = {t: [] for t in thread_counts}
+        for _ in range(rounds):
+            if direction == "mixed":
+                prep, mixed, restore = proto.mixed(b)
+                rt.reset_clock()
+                maintainer.apply_batch(prep)  # untimed staging
+                timed = _timed_apply(maintainer, rt, mixed)
+                rt.reset_clock()
+                maintainer.apply_batch(restore)  # untimed restore
+            else:
+                deletion, insertion = proto.remove_reinsert(b)
+                if direction == "delete":
+                    timed = _timed_apply(maintainer, rt, deletion)
+                    rt.reset_clock()
+                    maintainer.apply_batch(insertion)  # untimed restore
+                else:
+                    rt.reset_clock()
+                    maintainer.apply_batch(deletion)  # untimed staging
+                    timed = _timed_apply(maintainer, rt, insertion)
+            for t, secs in timed.items():
+                samples[t].append(secs)
+        result.times[b] = {t: Stats.of(xs) for t, xs in samples.items()}
+    rt.reset_clock()
+    return result
+
+
+def run_latency_vs_static(
+    dataset: str,
+    algorithm: str,
+    *,
+    batch_sizes: Sequence[int] = (1, 10, 100, 1000),
+    rounds: int = 3,
+    scale: float = 1.0,
+    seed: int = 0,
+    threads: int = 1,
+) -> ExperimentResult:
+    """Maintenance latency against from-scratch recomputation.
+
+    The returned result carries ``static_time`` -- the simulated cost of
+    one full :func:`~repro.core.static.hhc_local` recompute on the same
+    machine -- so callers can report the improvement factors of Section
+    IV ("reaching over 10^4 x static computation ... on real-world graph
+    instances" for the set family on small batches).
+    """
+    spec = _spec(dataset)
+    thread_counts = tuple(sorted({1, threads}))
+    result = run_scalability(
+        dataset,
+        algorithm,
+        direction="insert",
+        batch_sizes=batch_sizes,
+        rounds=rounds,
+        scale=scale,
+        seed=seed,
+        thread_counts=thread_counts,
+    )
+    sub = spec.load(scale, seed)
+    rt = SimulatedRuntime(profile=spec.profile, thread_counts=thread_counts)
+    rt.reset_clock()
+    hhc_local(sub, rt)
+    metrics = rt.take_metrics()
+    result.static_time = {t: metrics.elapsed_seconds(t) for t in thread_counts}
+    return result

@@ -1,0 +1,99 @@
+"""Aggregate benchmark results into one report.
+
+``pytest benchmarks/ --benchmark-only`` writes every regenerated table and
+figure series under ``benchmarks/results/``; this module stitches them
+into a single markdown document (``python -m repro.eval report``), in the
+order of the paper's evaluation section, with an environment preamble --
+the artefact to attach to a reproduction claim.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["build_report", "DEFAULT_RESULTS_DIR", "SECTION_ORDER"]
+
+DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+#: result-file stems in the paper's presentation order
+SECTION_ORDER = [
+    ("table1", "Table I — graphs"),
+    ("table1_profiles", "Table I — analogue core profiles"),
+    ("table2", "Table II — hypergraphs"),
+    ("table2_profiles", "Table II — analogue core profiles"),
+    ("fig06_mod_insert_edges", "Figure 6 — mod, insertion-only edge batches"),
+    ("fig07_setmb_insert_edges", "Figure 7 — setmb, insertion-only edge batches"),
+    ("fig08_mod_insert_pins", "Figure 8 — mod, insertion-only pin batches"),
+    ("fig09_mod_delete_edges", "Figure 9 — mod, deletion-only edge batches"),
+    ("fig10_setmb_delete_edges", "Figure 10 — setmb, deletion-only edge batches"),
+    ("fig11_mod_delete_pins", "Figure 11 — mod, deletion-only pin batches"),
+    ("fig12_mod_mixed", "Figure 12 — mod, mixed batches"),
+    ("latency_vs_static", "Maintenance vs. static recompute (§IV)"),
+    ("scale_trend", "Improvement factor vs. dataset scale"),
+    ("sustained_rate", "Sustained change rates (abstract claim)"),
+    ("tradeoff_latency_throughput", "Latency/throughput plane (§I)"),
+    ("characterization", "Graph & batch characterisation (§V-A future work)"),
+    ("ablation_hybrid", "Ablation — hybrid routing (§VI)"),
+    ("ablation_min_cache", "Ablation — cached hyperedge minimum (§IV-A)"),
+    ("ablation_increment_policy", "Ablation — increment policy"),
+    ("ablation_approx", "Ablation — approximate maintenance (§VI)"),
+    ("distributed_exploration", "Distributed exploration (§VI)"),
+    ("static_algorithms", "Static algorithm agreement"),
+]
+
+
+def _environment() -> str:
+    import repro
+
+    return "\n".join([
+        f"- generated: {datetime.now(timezone.utc).isoformat(timespec='seconds')}",
+        f"- repro version: {repro.__version__}",
+        f"- python: {sys.version.split()[0]} ({platform.platform()})",
+        "- times are *simulated* shared-memory seconds (see DESIGN.md §1)",
+    ])
+
+
+def build_report(results_dir: Optional[Path] = None) -> str:
+    """Assemble the markdown report from recorded result files."""
+    results_dir = Path(results_dir) if results_dir else DEFAULT_RESULTS_DIR
+    parts: List[str] = [
+        "# Reproduced evaluation — benchmark report",
+        "",
+        _environment(),
+        "",
+    ]
+    seen = set()
+    missing: List[str] = []
+    for stem, title in SECTION_ORDER:
+        path = results_dir / f"{stem}.txt"
+        if not path.exists():
+            missing.append(stem)
+            continue
+        seen.add(path.name)
+        parts.append(f"## {title}")
+        parts.append("")
+        parts.append("```")
+        parts.append(path.read_text(encoding="utf-8").rstrip())
+        parts.append("```")
+        parts.append("")
+    # anything recorded that the ordering does not know about yet
+    extras = sorted(
+        p for p in results_dir.glob("*.txt") if p.name not in seen
+    ) if results_dir.exists() else []
+    for path in extras:
+        parts.append(f"## {path.stem}")
+        parts.append("")
+        parts.append("```")
+        parts.append(path.read_text(encoding="utf-8").rstrip())
+        parts.append("```")
+        parts.append("")
+    if missing:
+        parts.append(
+            "*(not yet recorded: " + ", ".join(missing)
+            + " — run `pytest benchmarks/ --benchmark-only`)*"
+        )
+    return "\n".join(parts)

@@ -1,0 +1,57 @@
+"""Sample statistics for the experiment harness.
+
+The paper reports means with one-standard-deviation error bars over 50
+remove/reinsert repetitions (Section V-A); :class:`Stats` carries exactly
+those plus the spread diagnostics used for the variance observations
+(setmb's "high outliers that significantly increase the average",
+Section V-B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+__all__ = ["Stats"]
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Summary of a sample of runtimes (seconds)."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "Stats":
+        xs: List[float] = sorted(samples)
+        n = len(xs)
+        if n == 0:
+            raise ValueError("no samples")
+        mean = sum(xs) / n
+        var = sum((x - mean) ** 2 for x in xs) / n if n > 1 else 0.0
+        mid = n // 2
+        median = xs[mid] if n % 2 else 0.5 * (xs[mid - 1] + xs[mid])
+        return cls(n, mean, math.sqrt(var), xs[0], xs[-1], median)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation: the harness's variance metric."""
+        return self.std / self.mean if self.mean else 0.0
+
+    @property
+    def tail_ratio(self) -> float:
+        """max / median: how heavy the latency tail is."""
+        return self.maximum / self.median if self.median else 0.0
+
+    def format(self, unit: float = 1e3, digits: int = 3) -> str:
+        """``mean±std`` in the given unit (default milliseconds)."""
+        return f"{self.mean * unit:.{digits}f}±{self.std * unit:.{digits}f}"
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,136 @@
+"""Text rendering of the reproduced tables and figure series.
+
+The benchmark harness prints these alongside the pytest-benchmark wall
+times so a run of ``pytest benchmarks/ --benchmark-only`` regenerates the
+same rows and series the paper reports (DESIGN.md section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.eval.datasets import DATASETS, DatasetSpec
+from repro.eval.harness import ExperimentResult
+
+__all__ = [
+    "format_table1",
+    "format_table2",
+    "format_scalability",
+    "format_speedups",
+    "format_latency_vs_static",
+]
+
+
+def _fmt_count(x: float) -> str:
+    if x >= 1e6:
+        return f"{x / 1e6:.2f} M"
+    if x >= 1e3:
+        return f"{x / 1e3:.1f} k"
+    return f"{x:.0f}"
+
+
+def _render(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+    sep = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), sep] + [line(r) for r in rows])
+
+
+def format_table1(*, scale: float = 1.0, with_synthetic: bool = True) -> str:
+    """Table I: graphs used for the experiments (paper vs. analogue)."""
+    headers = ["Name", "Vertices (paper)", "Edges (paper)"]
+    if with_synthetic:
+        headers += ["Vertices (synthetic)", "Edges (synthetic)"]
+    rows: List[List[str]] = []
+    for name, spec in DATASETS.items():
+        if spec.kind != "graph":
+            continue
+        row = [name, _fmt_count(spec.paper_vertices), _fmt_count(spec.paper_edges)]
+        if with_synthetic:
+            g = spec.load(scale)
+            row += [_fmt_count(g.num_vertices()), _fmt_count(g.num_edges())]
+        rows.append(row)
+    return _render(headers, rows)
+
+
+def format_table2(*, scale: float = 1.0, with_synthetic: bool = True) -> str:
+    """Table II: hypergraphs used for the experiments."""
+    headers = ["Name", "Vertices", "Hyperedges", "Pins"]
+    if with_synthetic:
+        headers += ["V (synth)", "E (synth)", "Pins (synth)"]
+    rows: List[List[str]] = []
+    for name, spec in DATASETS.items():
+        if spec.kind != "hypergraph":
+            continue
+        row = [
+            name,
+            _fmt_count(spec.paper_vertices),
+            _fmt_count(spec.paper_edges),
+            _fmt_count(spec.paper_pins or 0),
+        ]
+        if with_synthetic:
+            h = spec.load(scale)
+            row += [
+                _fmt_count(h.num_vertices()),
+                _fmt_count(h.num_edges()),
+                _fmt_count(h.num_pins()),
+            ]
+        rows.append(row)
+    return _render(headers, rows)
+
+
+def format_scalability(result: ExperimentResult, unit: float = 1e3) -> str:
+    """One figure panel: rows = thread counts, columns = batch sizes.
+
+    Cells are ``mean±std`` in milliseconds of simulated time, exactly the
+    quantity plotted (log-log) in Figs. 6-12.
+    """
+    headers = ["threads"] + [f"batch={b}" for b in result.batch_sizes]
+    rows = []
+    for t in result.thread_counts:
+        row = [str(t)]
+        for b in result.batch_sizes:
+            row.append(result.times[b][t].format(unit))
+        rows.append(row)
+    title = (
+        f"[{result.dataset}] {result.algorithm} / {result.direction} "
+        f"(simulated ms, mean±std)"
+    )
+    return title + "\n" + _render(headers, rows)
+
+
+def format_speedups(result: ExperimentResult) -> str:
+    """Self-relative speedups (vs. 1 thread) for each batch size."""
+    headers = ["threads"] + [f"batch={b}" for b in result.batch_sizes]
+    rows = []
+    for t in result.thread_counts:
+        row = [str(t)]
+        for b in result.batch_sizes:
+            row.append(f"{result.speedup(b, t):.2f}x")
+        rows.append(row)
+    title = f"[{result.dataset}] {result.algorithm} / {result.direction} speedup"
+    return title + "\n" + _render(headers, rows)
+
+
+def format_latency_vs_static(result: ExperimentResult, threads: int) -> str:
+    """Maintenance latency and its improvement factor over recompute."""
+    if result.static_time is None:
+        raise ValueError("result has no static_time; use run_latency_vs_static")
+    static = result.static_time[threads]
+    headers = ["batch", "maintain (ms)", "static (ms)", "improvement"]
+    rows = []
+    for b in result.batch_sizes:
+        m = result.times[b][threads].mean
+        rows.append([
+            str(b),
+            f"{m * 1e3:.4f}",
+            f"{static * 1e3:.3f}",
+            f"{static / m:.1f}x" if m else "inf",
+        ])
+    title = f"[{result.dataset}] {result.algorithm} latency vs static @ {threads} threads"
+    return title + "\n" + _render(headers, rows)

@@ -1,0 +1,131 @@
+"""Latency/throughput accounting (paper §I).
+
+The introduction frames the design space with two metrics:
+
+    "The goal of maintenance algorithms is to drive down the *latency* of
+    a query, or the algorithm runtime for processing a single edge change.
+    This typically comes at a cost of throughput, or the number of edge
+    changes processed by the total runtime.  A sequential, single-edge
+    maintenance algorithm typically has both a low latency and throughput,
+    whereas re-computing from scratch will have both a high latency and
+    throughput.  [Batch algorithms] provide a middle ground."
+
+:func:`profile_algorithm` measures both coordinates for one algorithm and
+batch size; :func:`tradeoff_report` lays several algorithms out on the
+latency/throughput plane, reproducing the paper's qualitative 2x2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.core.maintainer import make_maintainer
+from repro.core.static import hhc_local
+from repro.eval.datasets import DATASETS
+from repro.eval.stats import Stats
+from repro.graph.batch import BatchProtocol
+from repro.parallel.simulated import SimulatedRuntime
+
+__all__ = ["AlgorithmProfile", "profile_algorithm", "profile_static", "tradeoff_report"]
+
+
+@dataclass(frozen=True)
+class AlgorithmProfile:
+    """One point on the latency/throughput plane.
+
+    latency:
+        Seconds until a batch's changes are reflected in query answers
+        (the batch's processing time).
+    throughput:
+        Changes applied per second of processing time.
+    """
+
+    label: str
+    batch_size: int
+    latency: Stats
+    throughput: float
+
+    def row(self) -> str:
+        return (
+            f"{self.label:>22} batch={self.batch_size:<6} "
+            f"latency={self.latency.mean * 1e3:9.4f}ms "
+            f"throughput={self.throughput:12.0f} changes/s"
+        )
+
+
+def profile_algorithm(
+    dataset: str,
+    algorithm: str,
+    batch_size: int,
+    *,
+    rounds: int = 3,
+    scale: float = 0.5,
+    threads: int = 16,
+    seed: int = 0,
+    label: Optional[str] = None,
+    maintainer_kwargs: Optional[dict] = None,
+) -> AlgorithmProfile:
+    """Measure one algorithm's latency and throughput at a batch size."""
+    spec = DATASETS[dataset]
+    sub = spec.load(scale, seed)
+    rt = SimulatedRuntime(profile=spec.profile)
+    maintainer = make_maintainer(sub, algorithm, rt, **(maintainer_kwargs or {}))
+    proto = BatchProtocol(sub, seed=seed + 1)
+
+    latencies = []
+    changes_done = 0
+    total_time = 0.0
+    for _ in range(rounds):
+        deletion, insertion = proto.remove_reinsert(batch_size)
+        rt.reset_clock()
+        maintainer.apply_batch(deletion)
+        maintainer.apply_batch(insertion)
+        secs = rt.take_metrics().elapsed_seconds(threads)
+        latencies.append(secs)
+        changes_done += len(deletion) + len(insertion)
+        total_time += secs
+    return AlgorithmProfile(
+        label or f"{algorithm}", batch_size, Stats.of(latencies),
+        changes_done / total_time if total_time else float("inf"),
+    )
+
+
+def profile_static(
+    dataset: str,
+    batch_size: int,
+    *,
+    rounds: int = 3,
+    scale: float = 0.5,
+    threads: int = 16,
+    seed: int = 0,
+) -> AlgorithmProfile:
+    """The recompute-from-scratch point: every batch costs one full static
+    decomposition (high latency *and* high throughput, per §I)."""
+    spec = DATASETS[dataset]
+    sub = spec.load(scale, seed)
+    proto = BatchProtocol(sub, seed=seed + 1)
+    latencies = []
+    changes_done = 0
+    total_time = 0.0
+    for _ in range(rounds):
+        deletion, insertion = proto.remove_reinsert(batch_size)
+        for c in deletion:
+            sub.apply(c)
+        for c in insertion:
+            sub.apply(c)
+        rt = SimulatedRuntime(profile=spec.profile)
+        hhc_local(sub, rt)
+        secs = rt.take_metrics().elapsed_seconds(threads)
+        latencies.append(secs)
+        changes_done += len(deletion) + len(insertion)
+        total_time += secs
+    return AlgorithmProfile("static recompute", batch_size, Stats.of(latencies),
+                            changes_done / total_time if total_time else 0.0)
+
+
+def tradeoff_report(profiles: Sequence[AlgorithmProfile]) -> str:
+    """Render the latency/throughput plane as text rows, best-latency
+    first."""
+    rows = sorted(profiles, key=lambda p: p.latency.mean)
+    return "\n".join(p.row() for p in rows)

@@ -1,0 +1,49 @@
+"""Dynamic graph and hypergraph substrate.
+
+The paper treats graphs as the 2-pin special case of hypergraphs (Section
+III-C), and so do we: every maintenance algorithm is written against the
+:class:`~repro.graph.substrate.Substrate` protocol, which both
+:class:`~repro.graph.dynamic_graph.DynamicGraph` and
+:class:`~repro.graph.dynamic_hypergraph.DynamicHypergraph` implement.
+
+Modules
+-------
+``substrate``
+    The structural protocol plus the :class:`Change` batch-update types.
+``dynamic_graph``
+    Fully dynamic simple undirected graph (adjacency sets, hypersparse ids).
+``dynamic_hypergraph``
+    Fully dynamic hypergraph under the pin-change model, with the paper's
+    cached-hyperedge-minimum optimisation.
+``csr``
+    Frozen CSR snapshots backing the vectorised static algorithms.
+``batch``
+    Batches, the remove/reinsert experiment protocol, stream generators.
+``generators``
+    Synthetic graph and hypergraph generators (RMAT, BA, ER, affiliation...).
+``io``
+    Edge-list / pin-list readers and writers.
+``validate``
+    Structural consistency checks used by tests and after mutations.
+"""
+
+from repro.graph.substrate import Change, Substrate
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+from repro.graph.batch import Batch, BatchProtocol
+from repro.graph.window import SlidingWindowStream, TimedEvent
+from repro.graph.trace import read_trace, replay_trace, write_trace
+
+__all__ = [
+    "Batch",
+    "BatchProtocol",
+    "Change",
+    "DynamicGraph",
+    "DynamicHypergraph",
+    "SlidingWindowStream",
+    "Substrate",
+    "TimedEvent",
+    "read_trace",
+    "replay_trace",
+    "write_trace",
+]

@@ -1,0 +1,137 @@
+"""Frozen CSR snapshots for the vectorised static algorithms.
+
+The dynamic structures are hash-based for O(1) updates; the *static*
+baselines (peeling and h-index from scratch, which the figures compare
+maintenance against) want cache-friendly arrays.  ``CSRGraph`` freezes a
+graph into the classic ``indptr``/``indices`` pair; ``CSRHypergraph``
+freezes a hypergraph into both directions of the incidence (vertex->edges
+and edge->pins).  Vertex/edge labels are densified; the mapping back is
+kept.
+
+These snapshots are read-only by design -- rebuilding after mutation is the
+"recompute from scratch" cost the maintenance algorithms are beating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+__all__ = ["CSRGraph", "CSRHypergraph"]
+
+
+class CSRGraph:
+    """Compressed sparse row snapshot of a :class:`DynamicGraph`.
+
+    Attributes
+    ----------
+    n : number of vertices
+    indptr : int64[n + 1]
+    indices : int64[total directed arcs] -- both directions stored
+    labels : list mapping dense index -> original vertex label
+    index : dict mapping original label -> dense index
+    """
+
+    def __init__(self, n: int, indptr: np.ndarray, indices: np.ndarray,
+                 labels: List[Hashable]) -> None:
+        self.n = n
+        self.indptr = indptr
+        self.indices = indices
+        self.labels = labels
+        self.index: Dict[Hashable, int] = {lbl: i for i, lbl in enumerate(labels)}
+
+    @classmethod
+    def from_graph(cls, g) -> "CSRGraph":
+        labels = sorted(g.vertices())
+        index = {lbl: i for i, lbl in enumerate(labels)}
+        n = len(labels)
+        degrees = np.zeros(n, dtype=np.int64)
+        for lbl in labels:
+            degrees[index[lbl]] = g.degree(lbl)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        cursor = indptr[:-1].copy()
+        for lbl in labels:
+            u = index[lbl]
+            for w in g.neighbors(lbl):
+                indices[cursor[u]] = index[w]
+                cursor[u] += 1
+        return cls(n, indptr, indices, labels)
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighbors(self, i: int) -> np.ndarray:
+        return self.indices[self.indptr[i]:self.indptr[i + 1]]
+
+    def values_by_label(self, dense: np.ndarray) -> Dict[Hashable, int]:
+        """Re-key a dense per-vertex array by original labels."""
+        return {lbl: int(dense[i]) for i, lbl in enumerate(self.labels)}
+
+
+class CSRHypergraph:
+    """Two-directional incidence snapshot of a :class:`DynamicHypergraph`.
+
+    ``v_indptr``/``v_edges`` list the incident edge indices of each vertex;
+    ``e_indptr``/``e_pins`` list the pin vertex indices of each edge.
+    """
+
+    def __init__(self, n: int, m: int,
+                 v_indptr: np.ndarray, v_edges: np.ndarray,
+                 e_indptr: np.ndarray, e_pins: np.ndarray,
+                 vlabels: List[Hashable], elabels: List[Hashable]) -> None:
+        self.n = n
+        self.m = m
+        self.v_indptr = v_indptr
+        self.v_edges = v_edges
+        self.e_indptr = e_indptr
+        self.e_pins = e_pins
+        self.vlabels = vlabels
+        self.elabels = elabels
+        self.vindex: Dict[Hashable, int] = {l: i for i, l in enumerate(vlabels)}
+        self.eindex: Dict[Hashable, int] = {l: i for i, l in enumerate(elabels)}
+
+    @classmethod
+    def from_hypergraph(cls, h) -> "CSRHypergraph":
+        vlabels = sorted(h.vertices(), key=repr)
+        elabels = sorted(h.edge_ids(), key=repr)
+        vindex = {l: i for i, l in enumerate(vlabels)}
+        eindex = {l: i for i, l in enumerate(elabels)}
+        n, m = len(vlabels), len(elabels)
+
+        vdeg = np.zeros(n, dtype=np.int64)
+        esz = np.zeros(m, dtype=np.int64)
+        for lbl in vlabels:
+            vdeg[vindex[lbl]] = h.degree(lbl)
+        for lbl in elabels:
+            esz[eindex[lbl]] = h.pin_count(lbl)
+
+        v_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(vdeg, out=v_indptr[1:])
+        e_indptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(esz, out=e_indptr[1:])
+
+        v_edges = np.empty(int(v_indptr[-1]), dtype=np.int64)
+        e_pins = np.empty(int(e_indptr[-1]), dtype=np.int64)
+        vcur = v_indptr[:-1].copy()
+        ecur = e_indptr[:-1].copy()
+        for elbl in elabels:
+            e = eindex[elbl]
+            for plbl in h.pins(elbl):
+                v = vindex[plbl]
+                v_edges[vcur[v]] = e
+                vcur[v] += 1
+                e_pins[ecur[e]] = v
+                ecur[e] += 1
+        return cls(n, m, v_indptr, v_edges, e_indptr, e_pins, vlabels, elabels)
+
+    def vertex_degrees(self) -> np.ndarray:
+        return np.diff(self.v_indptr)
+
+    def edge_sizes(self) -> np.ndarray:
+        return np.diff(self.e_indptr)
+
+    def values_by_label(self, dense: np.ndarray) -> Dict[Hashable, int]:
+        return {lbl: int(dense[i]) for i, lbl in enumerate(self.vlabels)}

@@ -1,0 +1,172 @@
+"""Fully dynamic simple undirected graph.
+
+Storage is a single adjacency map ``vertex -> set(neighbours)``.  The graph
+presents the hypergraph :class:`~repro.graph.substrate.Substrate` protocol
+with each edge a two-pin hyperedge whose id is the canonical sorted endpoint
+pair, so no separate edge->pins table is needed.
+
+Matching the paper's implementation notes (Section V):
+
+* vertex ids are arbitrary (hypersparse) -- labels need not be contiguous
+  and the paper's 64-bit unsigned ids are just Python ints here;
+* vertices are implicitly *deleted when their degree drops to zero and
+  created when their degree increases from zero*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set, Tuple
+
+from repro.graph.substrate import Change, EdgeId, Vertex, edge_id, graph_edge_changes
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """Simple undirected dynamic graph implementing ``Substrate``.
+
+    >>> g = DynamicGraph.from_edges([(1, 2), (2, 3)])
+    >>> g.degree(2)
+    2
+    >>> sorted(g.neighbors(2))
+    [1, 3]
+    >>> removed = g.remove_edge(1, 2)
+    >>> g.has_vertex(1)
+    False
+    """
+
+    is_hypergraph = False
+
+    def __init__(self) -> None:
+        self._adj: Dict[Vertex, Set[Vertex]] = {}
+        self._num_edges = 0
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[Vertex, Vertex]]) -> "DynamicGraph":
+        g = cls()
+        for u, v in edges:
+            g.add_edge(u, v)
+        return g
+
+    def copy(self) -> "DynamicGraph":
+        g = DynamicGraph()
+        g._adj = {v: set(nbrs) for v, nbrs in self._adj.items()}
+        g._num_edges = self._num_edges
+        return g
+
+    # -- graph-level mutation --------------------------------------------------
+    def add_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Insert edge {u, v}.  Returns False if already present."""
+        if u == v:
+            raise ValueError(f"self-loop {u!r} not allowed")
+        nbrs = self._adj.setdefault(u, set())
+        if v in nbrs:
+            return False
+        nbrs.add(v)
+        self._adj.setdefault(v, set()).add(u)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> bool:
+        """Delete edge {u, v}.  Returns False if absent."""
+        nbrs = self._adj.get(u)
+        if nbrs is None or v not in nbrs:
+            return False
+        nbrs.discard(v)
+        vnbrs = self._adj[v]
+        vnbrs.discard(u)
+        # implicit vertex deletion at degree zero (hypersparse model)
+        if not nbrs:
+            del self._adj[u]
+        if not vnbrs:
+            del self._adj[v]
+        self._num_edges -= 1
+        return True
+
+    def has_graph_edge(self, u: Vertex, v: Vertex) -> bool:
+        return v in self._adj.get(u, ())
+
+    def edges(self) -> Iterator[Tuple[Vertex, Vertex]]:
+        """Each edge once, as its canonical id."""
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if edge_id(u, v)[0] == u:
+                    yield (u, v)
+
+    # -- Substrate protocol ----------------------------------------------------
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def num_pins(self) -> int:
+        return 2 * self._num_edges
+
+    def has_vertex(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def has_edge(self, e: EdgeId) -> bool:
+        u, v = e
+        return self.has_graph_edge(u, v)
+
+    def has_pin(self, e: EdgeId, v: Vertex) -> bool:
+        return v in e and self.has_edge(e)
+
+    def degree(self, v: Vertex) -> int:
+        nbrs = self._adj.get(v)
+        return len(nbrs) if nbrs else 0
+
+    def incident(self, v: Vertex) -> Iterator[EdgeId]:
+        for w in self._adj.get(v, ()):
+            yield edge_id(v, w)
+
+    def pins(self, e: EdgeId) -> Tuple[Vertex, Vertex]:
+        return e
+
+    def pin_count(self, e: EdgeId) -> int:
+        return 2
+
+    def neighbors(self, v: Vertex) -> Iterable[Vertex]:
+        return self._adj.get(v, ())
+
+    def apply(self, change: Change) -> bool:
+        """Apply a pin change.
+
+        A graph edge is a two-pin hyperedge; applying either pin change of
+        the pair inserts/deletes the whole edge, and the second one is then
+        a structural no-op (returns False).  This lets the unified
+        :func:`~repro.graph.substrate.graph_edge_changes` pairs flow through
+        the same ``MaintainH`` loop as hypergraph pin changes.
+        """
+        u, v = change.edge
+        if change.vertex not in (u, v):
+            raise ValueError(f"pin {change.vertex!r} not an endpoint of {change.edge!r}")
+        if change.insert:
+            return self.add_edge(u, v)
+        return self.remove_edge(u, v)
+
+    # -- conveniences ----------------------------------------------------------
+    def degree_histogram(self) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for nbrs in self._adj.values():
+            d = len(nbrs)
+            hist[d] = hist.get(d, 0) + 1
+        return hist
+
+    def max_degree(self) -> int:
+        """Delta(G); 0 for the empty graph."""
+        return max((len(n) for n in self._adj.values()), default=0)
+
+    def edge_list(self) -> List[Tuple[Vertex, Vertex]]:
+        return sorted(self.edges())
+
+    def __contains__(self, v: Vertex) -> bool:
+        return v in self._adj
+
+    def __repr__(self) -> str:
+        return f"DynamicGraph(|V|={self.num_vertices()}, |E|={self._num_edges})"

@@ -1,0 +1,313 @@
+"""Synthetic graph and hypergraph generators.
+
+These are the dataset substitutes (see DESIGN.md section 1): the paper's
+SNAP / KONECT datasets are unavailable offline, so each is replaced by a
+generator with a matching skew class.  All generators are deterministic
+given a seed and return our dynamic structures.
+
+Graph generators
+----------------
+* :func:`erdos_renyi` -- G(n, m) uniform random simple graphs.
+* :func:`barabasi_albert` -- preferential attachment (power-law degrees,
+  social-network analogue).
+* :func:`rmat` -- Kronecker-style RMAT (web / citation skew).
+* :func:`small_world` -- ring lattice + rewiring (high clustering).
+* :func:`path_graph` / :func:`cycle_graph` / :func:`clique` /
+  :func:`core_ladder` -- deterministic shapes used by correctness tests
+  (e.g. the Lemma 1 path construction and Fig. 4's star augmentation).
+
+Hypergraph generators
+---------------------
+* :func:`affiliation_hypergraph` -- users x groups with preferential group
+  sizes (OrkutGroup / LiveJGroup analogue).
+* :func:`cooccurrence_hypergraph` -- random small co-occurrence events
+  (Fig. 3's pandemic contact model).
+* :func:`star_tracker_hypergraph` -- very many small-degree vertices with a
+  few giant hyperedges (WebTrackers analogue: extreme vertex sparsity).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "powerlaw_social",
+    "rmat",
+    "small_world",
+    "path_graph",
+    "cycle_graph",
+    "clique",
+    "core_ladder",
+    "affiliation_hypergraph",
+    "cooccurrence_hypergraph",
+    "star_tracker_hypergraph",
+]
+
+
+# ---------------------------------------------------------------------------
+# deterministic shapes
+# ---------------------------------------------------------------------------
+
+def path_graph(n: int) -> DynamicGraph:
+    """P_n: every vertex has coreness 1 (the Lemma 1 construction)."""
+    return DynamicGraph.from_edges((i, i + 1) for i in range(n - 1))
+
+
+def cycle_graph(n: int) -> DynamicGraph:
+    if n < 3:
+        raise ValueError("cycles need >= 3 vertices")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def clique(n: int, offset: int = 0) -> DynamicGraph:
+    """K_n: every vertex has coreness n - 1."""
+    return DynamicGraph.from_edges(
+        (offset + i, offset + j) for i in range(n) for j in range(i + 1, n)
+    )
+
+
+def core_ladder(levels: int, width: int = 4) -> DynamicGraph:
+    """Chained cliques of growing size: a graph whose core decomposition has
+    one subcore per level (coreness ``width-1+i`` at level ``i``).  Useful
+    for exercising multi-level batches in the ``mod`` resolution logic."""
+    g = DynamicGraph()
+    offset = 0
+    prev_last = None
+    for lvl in range(levels):
+        size = width + lvl
+        for i in range(size):
+            for j in range(i + 1, size):
+                g.add_edge(offset + i, offset + j)
+        if prev_last is not None:
+            g.add_edge(prev_last, offset)
+        prev_last = offset + size - 1
+        offset += size
+    return g
+
+
+# ---------------------------------------------------------------------------
+# random graphs
+# ---------------------------------------------------------------------------
+
+def erdos_renyi(n: int, m: int, seed: int = 0) -> DynamicGraph:
+    """G(n, m): m distinct uniform random edges over vertices 0..n-1."""
+    if m > n * (n - 1) // 2:
+        raise ValueError("more edges requested than pairs exist")
+    rng = random.Random(seed)
+    g = DynamicGraph()
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def barabasi_albert(n: int, m_per_vertex: int, seed: int = 0) -> DynamicGraph:
+    """Preferential attachment: each new vertex attaches to ``m_per_vertex``
+    existing vertices sampled proportionally to degree."""
+    if n <= m_per_vertex:
+        raise ValueError("need n > m_per_vertex")
+    rng = random.Random(seed)
+    g = clique(m_per_vertex + 1)
+    # repeated-endpoint list gives degree-proportional sampling
+    targets: List[int] = []
+    for u, v in g.edge_list():
+        targets.extend((u, v))
+    for new in range(m_per_vertex + 1, n):
+        chosen: Set[int] = set()
+        while len(chosen) < m_per_vertex:
+            chosen.add(targets[rng.randrange(len(targets))])
+        for t in chosen:
+            g.add_edge(new, t)
+            targets.extend((new, t))
+    return g
+
+
+def powerlaw_social(n: int, m_max: int, seed: int = 0, alpha: float = 1.6) -> DynamicGraph:
+    """Preferential attachment with heterogeneous attachment counts.
+
+    Each arriving vertex attaches to ``m_i`` existing vertices where
+    ``m_i`` follows a truncated power law on ``[1, m_max]`` with exponent
+    ``alpha``.  Unlike plain Barabasi-Albert (whose core values collapse
+    to the single value ``m``), the heterogeneous counts produce the
+    spread-out, power-law *coreness* distributions measured on real social
+    networks -- the property that keeps subcores local and makes
+    maintenance workloads realistic (Section V-A: "the maximum coreness
+    and complexity of core hierarchy additionally impact runtime").
+    """
+    if n <= m_max:
+        raise ValueError("need n > m_max")
+    rng = random.Random(seed)
+    g = clique(m_max + 1)
+    targets: List[int] = []
+    for u, v in g.edge_list():
+        targets.extend((u, v))
+    # discrete truncated power law via inverse transform on the CDF
+    weights = [k ** -alpha for k in range(1, m_max + 1)]
+    total = sum(weights)
+    cdf = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+
+    def draw_m() -> int:
+        r = rng.random()
+        for k, c in enumerate(cdf, start=1):
+            if r <= c:
+                return k
+        return m_max
+
+    for new in range(m_max + 1, n):
+        m_i = draw_m()
+        chosen: Set[int] = set()
+        while len(chosen) < m_i:
+            chosen.add(targets[rng.randrange(len(targets))])
+        for t in chosen:
+            g.add_edge(new, t)
+            targets.extend((new, t))
+    return g
+
+
+def rmat(scale: int, edge_factor: int, seed: int = 0,
+         a: float = 0.57, b: float = 0.19, c: float = 0.19) -> DynamicGraph:
+    """RMAT/Kronecker generator: 2**scale vertices, ~edge_factor * n edges.
+
+    Duplicate and self-loop samples are rejected, so the realised edge count
+    can fall slightly short on tiny scales.
+    """
+    rng = random.Random(seed)
+    n = 1 << scale
+    target = edge_factor * n
+    g = DynamicGraph()
+    attempts = 0
+    max_attempts = target * 20
+    while g.num_edges() < target and attempts < max_attempts:
+        attempts += 1
+        u = v = 0
+        for _ in range(scale):
+            r = rng.random()
+            u <<= 1
+            v <<= 1
+            if r < a:
+                pass
+            elif r < a + b:
+                v |= 1
+            elif r < a + b + c:
+                u |= 1
+            else:
+                u |= 1
+                v |= 1
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+def small_world(n: int, k: int, p: float, seed: int = 0) -> DynamicGraph:
+    """Watts-Strogatz-style: ring lattice with k nearest neighbours per side,
+    each edge rewired with probability p."""
+    if k < 1 or n <= 2 * k:
+        raise ValueError("need n > 2k >= 2")
+    rng = random.Random(seed)
+    g = DynamicGraph()
+    for i in range(n):
+        for j in range(1, k + 1):
+            g.add_edge(i, (i + j) % n)
+    for u, v in list(g.edge_list()):
+        if rng.random() < p:
+            w = rng.randrange(n)
+            if w != u and not g.has_graph_edge(u, w):
+                g.remove_edge(u, v)
+                g.add_edge(u, w)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# hypergraphs
+# ---------------------------------------------------------------------------
+
+def affiliation_hypergraph(
+    n_vertices: int,
+    n_edges: int,
+    mean_pins: float,
+    seed: int = 0,
+    skew: float = 1.5,
+) -> DynamicHypergraph:
+    """Users-join-groups affiliation model.
+
+    Hyperedge (group) sizes follow a discrete power law with exponent
+    ``skew`` scaled to ``mean_pins``; members are sampled preferentially by
+    current vertex degree (rich-get-richer), matching the heavy-tailed
+    group-membership distributions of the OrkutGroup / LiveJGroup datasets.
+    """
+    rng = random.Random(seed)
+    h = DynamicHypergraph()
+    # degree-proportional sampling pool, seeded uniformly
+    pool: List[int] = list(range(n_vertices))
+    for e in range(n_edges):
+        # heavy-tailed size >= 1
+        size = max(1, int(mean_pins * (rng.paretovariate(skew) / (skew / (skew - 1)))))
+        size = min(size, n_vertices)
+        members: Set[int] = set()
+        while len(members) < size:
+            if rng.random() < 0.5:
+                members.add(pool[rng.randrange(len(pool))])
+            else:
+                members.add(rng.randrange(n_vertices))
+        for v in members:
+            h.add_pin(e, v)
+            pool.append(v)
+    return h
+
+
+def cooccurrence_hypergraph(
+    n_vertices: int, n_events: int, mean_size: int, seed: int = 0
+) -> DynamicHypergraph:
+    """Fig. 3 style contact events: small hyperedges over a community-biased
+    population (each event draws most members from one random community)."""
+    rng = random.Random(seed)
+    n_comms = max(1, n_vertices // 20)
+    h = DynamicHypergraph()
+    for e in range(n_events):
+        comm = rng.randrange(n_comms)
+        size = max(2, int(rng.gauss(mean_size, mean_size / 3)))
+        members: Set[int] = set()
+        while len(members) < size:
+            if rng.random() < 0.8:
+                members.add((comm * 20 + rng.randrange(20)) % n_vertices)
+            else:
+                members.add(rng.randrange(n_vertices))
+        for v in members:
+            h.add_pin(e, v)
+    return h
+
+
+def star_tracker_hypergraph(
+    n_vertices: int, n_edges: int, seed: int = 0
+) -> DynamicHypergraph:
+    """WebTrackers analogue: most vertices touch 1-2 hyperedges, while a few
+    giant hyperedges (trackers present on huge numbers of sites) hold a
+    large fraction of all pins.  Extreme hypersparsity makes this workload
+    memory-bound, which is how the harness models its early NUMA knee."""
+    rng = random.Random(seed)
+    h = DynamicHypergraph()
+    n_giants = max(1, n_edges // 50)
+    for e in range(n_edges):
+        if e < n_giants:
+            size = max(3, n_vertices // (10 * (e + 1)))
+        else:
+            size = rng.choice((1, 2, 2, 3))
+        members = {rng.randrange(n_vertices) for _ in range(size)}
+        for v in members:
+            h.add_pin(e, v)
+    return h

@@ -1,0 +1,116 @@
+"""Edge-list and pin-list readers/writers.
+
+Formats:
+
+* SNAP-style edge lists (what Table I datasets ship as): one ``u v`` pair
+  per line, ``#`` comments, undirected, duplicates and self-loops dropped.
+* KONECT-style pin lists (Table II): one ``edge vertex`` pair per line --
+  i.e. the bipartite incidence representation KONECT uses for affiliation
+  networks, ``%`` or ``#`` comments.
+
+Both writers emit files the matching reader round-trips.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_pin_list",
+    "write_pin_list",
+]
+
+PathLike = Union[str, Path, TextIO]
+
+
+def _open_read(src: PathLike):
+    if hasattr(src, "read"):
+        return src, False
+    return open(src, "r", encoding="utf-8"), True
+
+
+def _open_write(dst: PathLike):
+    if hasattr(dst, "write"):
+        return dst, False
+    return open(dst, "w", encoding="utf-8"), True
+
+
+def read_edge_list(src: PathLike) -> DynamicGraph:
+    """Parse a SNAP-style undirected edge list into a :class:`DynamicGraph`.
+
+    Self-loops and duplicate edges are silently dropped, matching the
+    paper's "simple, undirected graphs" preprocessing.
+    """
+    f, close = _open_read(src)
+    try:
+        g = DynamicGraph()
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"line {lineno}: expected 'u v', got {line!r}")
+            u, v = int(parts[0]), int(parts[1])
+            if u != v:
+                g.add_edge(u, v)
+        return g
+    finally:
+        if close:
+            f.close()
+
+
+def write_edge_list(g: DynamicGraph, dst: PathLike, *, header: str = "") -> None:
+    f, close = _open_write(dst)
+    try:
+        if header:
+            for line in header.splitlines():
+                f.write(f"# {line}\n")
+        for u, v in g.edge_list():
+            f.write(f"{u} {v}\n")
+    finally:
+        if close:
+            f.close()
+
+
+def read_pin_list(src: PathLike) -> DynamicHypergraph:
+    """Parse a KONECT-style incidence list into a :class:`DynamicHypergraph`.
+
+    Each line is ``edge_id vertex_id``; duplicate pins are dropped.
+    """
+    f, close = _open_read(src)
+    try:
+        h = DynamicHypergraph()
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("%"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"line {lineno}: expected 'edge vertex', got {line!r}")
+            h.add_pin(int(parts[0]), int(parts[1]))
+        return h
+    finally:
+        if close:
+            f.close()
+
+
+def write_pin_list(h: DynamicHypergraph, dst: PathLike, *, header: str = "") -> None:
+    f, close = _open_write(dst)
+    try:
+        if header:
+            for line in header.splitlines():
+                f.write(f"% {line}\n")
+        for e, pins in sorted(h.hyperedges(), key=lambda kv: repr(kv[0])):
+            for v in sorted(pins, key=repr):
+                f.write(f"{e} {v}\n")
+    finally:
+        if close:
+            f.close()

@@ -1,0 +1,134 @@
+"""The structural protocol shared by graphs and hypergraphs.
+
+Section III-C of the paper: *"Graphs can be viewed as a special case of
+hypergraphs, where each hyperedge has exactly two endpoints. This is easy to
+handle in an implementation."*  Every maintenance algorithm in
+:mod:`repro.core` is written once, against this protocol.
+
+Terminology (Section II-A):
+
+* a *pin* is the membership of a vertex in a hyperedge;
+* ``degree(v)`` is the number of hyperedges incident to ``v`` (see DESIGN.md
+  for the reconciliation of the paper's two degree definitions);
+* ``neighbors(v)`` is the set of vertices sharing at least one hyperedge
+  with ``v``.
+
+Changes
+-------
+A :class:`Change` is a single *pin* change ``(edge, vertex, insert?)`` --
+the paper's more general dynamic-hypergraph model (Section II-C).  Graph
+edge changes are the two-pin hyperedge change with
+``edge = edge_id(u, v)``; helpers below build them.  Hyperedge-level
+changes are simulated by grouping the pin changes of one hyperedge, exactly
+as the paper prescribes ("*It is straightforward to simulate hyperedge
+changes by setting batch boundaries at full hyperedges*").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, List, Protocol, Tuple, runtime_checkable
+
+__all__ = [
+    "Change",
+    "Substrate",
+    "edge_id",
+    "graph_edge_changes",
+    "hyperedge_changes",
+]
+
+Vertex = Hashable
+EdgeId = Hashable
+
+
+def edge_id(u: Vertex, v: Vertex) -> Tuple[Vertex, Vertex]:
+    """Canonical graph edge identifier: the sorted endpoint pair.
+
+    Vertex labels within one graph must be mutually orderable (the usual
+    case: 64-bit ints, or strings).
+    """
+    if u == v:
+        raise ValueError(f"self-loop {u!r} not allowed in a simple graph")
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class Change:
+    """A single pin change: vertex ``vertex`` enters/leaves hyperedge ``edge``.
+
+    ``insert`` is the paper's change direction ``c``: ``True`` for ``+``,
+    ``False`` for ``-``.
+    """
+
+    edge: EdgeId
+    vertex: Vertex
+    insert: bool
+
+    @property
+    def c(self) -> str:
+        return "+" if self.insert else "-"
+
+    def inverse(self) -> "Change":
+        return Change(self.edge, self.vertex, not self.insert)
+
+    def __repr__(self) -> str:
+        return f"Change({self.edge!r}, {self.vertex!r}, {self.c})"
+
+
+def graph_edge_changes(u: Vertex, v: Vertex, insert: bool) -> List[Change]:
+    """The two pin changes realising a graph edge insertion/deletion."""
+    e = edge_id(u, v)
+    return [Change(e, e[0], insert), Change(e, e[1], insert)]
+
+
+def hyperedge_changes(edge: EdgeId, pins: Iterable[Vertex], insert: bool) -> List[Change]:
+    """Pin changes realising a whole-hyperedge insertion/deletion."""
+    return [Change(edge, p, insert) for p in pins]
+
+
+@runtime_checkable
+class Substrate(Protocol):
+    """Structural interface the core algorithms require.
+
+    Mutation happens exclusively through :meth:`apply`, so maintenance
+    algorithms can interpose their callbacks (the paper's ``MaintainH``).
+    """
+
+    def vertices(self) -> Iterator[Vertex]:
+        """All vertices with degree >= 1 (hypersparse: degree-0 implicit)."""
+        ...
+
+    def num_vertices(self) -> int: ...
+
+    def num_edges(self) -> int: ...
+
+    def num_pins(self) -> int: ...
+
+    def has_vertex(self, v: Vertex) -> bool: ...
+
+    def has_edge(self, e: EdgeId) -> bool: ...
+
+    def has_pin(self, e: EdgeId, v: Vertex) -> bool: ...
+
+    def degree(self, v: Vertex) -> int:
+        """Number of hyperedges incident to ``v`` (0 if absent)."""
+        ...
+
+    def incident(self, v: Vertex) -> Iterable[EdgeId]:
+        """Hyperedges containing ``v``."""
+        ...
+
+    def pins(self, e: EdgeId) -> Iterable[Vertex]:
+        """Vertices of hyperedge ``e``."""
+        ...
+
+    def pin_count(self, e: EdgeId) -> int: ...
+
+    def neighbors(self, v: Vertex) -> Iterable[Vertex]:
+        """Distinct vertices co-occurring with ``v`` in some hyperedge."""
+        ...
+
+    def apply(self, change: Change) -> bool:
+        """Apply one pin change.  Returns False if it was a no-op
+        (inserting an existing pin / deleting a missing one)."""
+        ...

@@ -1,0 +1,135 @@
+"""Change-trace recording and replay.
+
+Dynamic graphs are "an infinite sequence of changes" (§II-C); this module
+gives that sequence a durable form.  A *trace file* is line-oriented
+UTF-8 text:
+
+    # comments and blank lines ignored
+    B                       <- batch boundary
+    + <edge> <vertex>       <- pin insertion
+    - <edge> <vertex>       <- pin deletion
+
+Edge and vertex tokens are JSON scalars (so int and str labels round-trip
+with types intact); graph edges are their canonical pin pairs like any
+other hyperedge.  Traces make workloads reproducible across runs and
+implementations -- record one from the experiment protocol, replay it into
+any maintainer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from repro.graph.batch import Batch
+from repro.graph.substrate import Change
+
+__all__ = ["write_trace", "read_trace", "record_protocol", "replay_trace"]
+
+PathLike = Union[str, Path, TextIO]
+
+
+def _token(value) -> str:
+    return json.dumps(value, separators=(",", ":"), sort_keys=True)
+
+
+def _untoken(token: str):
+    value = json.loads(token)
+    # canonical graph-edge ids are [u, v] pairs in JSON; restore tuples
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def _open(target: PathLike, mode: str):
+    if hasattr(target, "read") or hasattr(target, "write"):
+        return target, False
+    return open(target, mode, encoding="utf-8"), True
+
+
+def write_trace(batches: Iterable[Batch], dst: PathLike, *, header: str = "") -> int:
+    """Serialise batches to a trace file; returns the change count."""
+    f, close = _open(dst, "w")
+    n = 0
+    try:
+        if header:
+            for line in header.splitlines():
+                f.write(f"# {line}\n")
+        for batch in batches:
+            f.write("B\n")
+            for c in batch:
+                f.write(f"{'+' if c.insert else '-'} {_token(c.edge)} "
+                        f"{_token(c.vertex)}\n")
+                n += 1
+        return n
+    finally:
+        if close:
+            f.close()
+
+
+def read_trace(src: PathLike) -> List[Batch]:
+    """Parse a trace file back into its batches."""
+    f, close = _open(src, "r")
+    try:
+        batches: List[Batch] = []
+        current: List[Change] = []
+        started = False
+        for lineno, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if line == "B":
+                if started:
+                    batches.append(Batch(current))
+                    current = []
+                started = True
+                continue
+            parts = line.split(" ", 2)
+            if len(parts) != 3 or parts[0] not in "+-":
+                raise ValueError(f"line {lineno}: malformed change {line!r}")
+            if not started:
+                raise ValueError(f"line {lineno}: change before first batch marker")
+            current.append(
+                Change(_untoken(parts[1]), _untoken(parts[2]), parts[0] == "+")
+            )
+        if started:
+            batches.append(Batch(current))
+        return batches
+    finally:
+        if close:
+            f.close()
+
+
+def record_protocol(proto, batch_size: int, rounds: int, dst: PathLike,
+                    *, kind: str = "reinsert") -> int:
+    """Record ``rounds`` protocol rounds to a trace file.
+
+    Note: the protocol samples from the *live* substrate, so recording
+    applies the emitted batches to it (and the remove/reinsert pairing
+    leaves it unchanged at the end of every round).
+    """
+    batches: List[Batch] = []
+    for round_batches in proto.rounds(batch_size, rounds, kind):
+        for b in round_batches:
+            for c in b:
+                proto.sub.apply(c)
+            batches.append(b)
+    return write_trace(batches, dst, header=f"{kind} batch_size={batch_size}")
+
+
+def replay_trace(src: PathLike, maintainer, *, verify_every: int = 0) -> int:
+    """Feed a trace through a maintainer; returns batches applied.
+
+    ``verify_every=n`` re-checks against the peeling oracle every n-th
+    batch (0 disables).
+    """
+    from repro.core.verify import verify_kappa
+
+    applied = 0
+    for batch in read_trace(src):
+        maintainer.apply_batch(batch)
+        applied += 1
+        if verify_every and applied % verify_every == 0:
+            verify_kappa(maintainer)
+    return applied

@@ -1,0 +1,74 @@
+"""Structural consistency checks.
+
+Used by the test-suite after randomized mutation sequences, and available to
+users debugging their own change streams.  Each check raises
+:class:`InvariantError` with a precise description on failure and returns
+silently on success.
+"""
+
+from __future__ import annotations
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+
+__all__ = ["InvariantError", "check_graph", "check_hypergraph", "check"]
+
+
+class InvariantError(AssertionError):
+    """A structural invariant was violated."""
+
+
+def check_graph(g: DynamicGraph) -> None:
+    """Adjacency symmetry, no self-loops, edge count, no degree-0 vertices."""
+    count = 0
+    for v in g.vertices():
+        nbrs = set(g.neighbors(v))
+        if not nbrs:
+            raise InvariantError(f"vertex {v!r} present with degree 0")
+        if v in nbrs:
+            raise InvariantError(f"self-loop at {v!r}")
+        for w in nbrs:
+            if v not in set(g.neighbors(w)):
+                raise InvariantError(f"asymmetric edge {v!r}->{w!r}")
+        count += len(nbrs)
+    if count != 2 * g.num_edges():
+        raise InvariantError(
+            f"edge count mismatch: adjacency holds {count} arcs, "
+            f"num_edges says {g.num_edges()}"
+        )
+
+
+def check_hypergraph(h: DynamicHypergraph) -> None:
+    """Incidence/pin symmetry, no empty edges, no degree-0 vertices, counts."""
+    pin_total = 0
+    for e, pins in h.hyperedges():
+        if not pins:
+            raise InvariantError(f"hyperedge {e!r} present with 0 pins")
+        for v in pins:
+            if e not in set(h.incident(v)):
+                raise InvariantError(f"pin ({e!r}, {v!r}) missing from incidence")
+        pin_total += len(pins)
+    inc_total = 0
+    for v in h.vertices():
+        es = set(h.incident(v))
+        if not es:
+            raise InvariantError(f"vertex {v!r} present with degree 0")
+        for e in es:
+            if not h.has_pin(e, v):
+                raise InvariantError(f"incidence ({v!r}, {e!r}) missing from pins")
+        inc_total += len(es)
+    if pin_total != inc_total or pin_total != h.num_pins():
+        raise InvariantError(
+            f"pin count mismatch: edges hold {pin_total}, incidence holds "
+            f"{inc_total}, num_pins says {h.num_pins()}"
+        )
+
+
+def check(sub) -> None:
+    """Dispatch on substrate kind."""
+    if isinstance(sub, DynamicHypergraph):
+        check_hypergraph(sub)
+    elif isinstance(sub, DynamicGraph):
+        check_graph(sub)
+    else:
+        raise TypeError(f"unknown substrate {type(sub).__name__}")

@@ -1,0 +1,46 @@
+"""Simulated and real shared-memory parallel execution.
+
+The paper's contribution is *scalability*: its algorithms expose enough
+independent per-vertex work that adding threads keeps helping (Figs. 6-12).
+A faithful Python reproduction cannot demonstrate that with real threads --
+CPython's GIL serialises shared-memory compute -- so this subpackage
+provides three interchangeable backends behind a single
+:class:`~repro.parallel.runtime.ParallelRuntime` interface:
+
+:class:`~repro.parallel.runtime.SerialRuntime`
+    Plain loops; the reference semantics.
+:class:`~repro.parallel.threads.ThreadRuntime`
+    Real ``ThreadPoolExecutor`` threads.  Provided for API completeness and
+    result cross-checking; it does not (and cannot) scale under the GIL.
+:class:`~repro.parallel.simulated.SimulatedRuntime`
+    The substitution used for the figures.  It executes the algorithm's
+    *actual* parallel decomposition -- the same chunks of vertex tasks the
+    C++ system would hand to TBB -- deterministically in one thread, meters
+    every task through an explicit work model, and replays the chunk stream
+    through a greedy list scheduler for every requested thread count at
+    once.  Simulated elapsed time adds machine effects (per-region fork/
+    barrier overhead, NUMA remote-memory penalties past one socket,
+    bandwidth saturation, atomic contention) from a declarative
+    :class:`~repro.parallel.machine.MachineSpec`.
+
+Because all three backends run the identical algorithm code, correctness
+tests assert that results are backend-independent, and the simulator's
+clock is the only modeled quantity.
+"""
+
+from repro.parallel.machine import MachineSpec, WorkloadProfile
+from repro.parallel.metrics import RegionMetrics, RunMetrics
+from repro.parallel.runtime import ParallelRuntime, SerialRuntime
+from repro.parallel.simulated import SimulatedRuntime
+from repro.parallel.threads import ThreadRuntime
+
+__all__ = [
+    "MachineSpec",
+    "ParallelRuntime",
+    "RegionMetrics",
+    "RunMetrics",
+    "SerialRuntime",
+    "SimulatedRuntime",
+    "ThreadRuntime",
+    "WorkloadProfile",
+]

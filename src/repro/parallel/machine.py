@@ -1,0 +1,110 @@
+"""Declarative machine and workload models for the simulated runtime.
+
+:class:`MachineSpec` describes the paper's testbed shape -- a dual-socket
+Intel Xeon E5-2683 v4 (2 x 16 cores) -- as a handful of cost parameters.
+:class:`WorkloadProfile` describes how memory-bound a particular dataset's
+traversal is; the harness attaches one per dataset so that, e.g., the
+WebTrackers analogue reproduces the paper's "performance decreases in all
+cases after 8 threads" (Fig. 8) while OrkutGroup/LiveJGroup keep improving
+past the NUMA boundary.
+
+The model is a roofline-flavoured multiplier on simulated makespan:
+
+    elapsed(t) = makespan(t) * numa(t) * mem(t) + barriers(t)
+
+* ``numa(t) = 1 + numa_remote_penalty * max(0, 1 - cores_per_socket/t)``:
+  once threads spill to the second socket, a growing fraction of memory
+  traffic is remote.
+* ``mem(t) = (1 - mu) + mu * (t / min(t, B)) * (1 + contention * max(0, t - B)/B)``:
+  a fraction ``mu`` of the work is bandwidth-bound and stops scaling past
+  ``B`` saturation threads, with a mild contention surcharge beyond that --
+  this is what produces genuine slowdowns (not just plateaus) at high
+  thread counts for memory-bound datasets.
+* barriers: each parallel region pays a fork/join cost that grows with
+  ``t``, the Amdahl floor that keeps tiny batches from scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "WorkloadProfile", "DEFAULT_MACHINE", "COMPUTE_BOUND", "MEMORY_BOUND"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """How a workload stresses the memory system.
+
+    Parameters
+    ----------
+    memory_bound_fraction:
+        ``mu`` -- fraction of charged work that is DRAM-bandwidth-bound.
+    bandwidth_threads:
+        ``B`` -- thread count that saturates the memory system for this
+        workload's access pattern.
+    contention:
+        Surcharge slope once past ``B`` (cache-line ping-pong, queueing).
+    """
+
+    memory_bound_fraction: float = 0.3
+    bandwidth_threads: int = 16
+    contention: float = 0.12
+
+    def mem_multiplier(self, threads: int) -> float:
+        mu = self.memory_bound_fraction
+        b = self.bandwidth_threads
+        over = max(0, threads - b) / b
+        scale = (threads / min(threads, b)) * (1.0 + self.contention * over)
+        return (1.0 - mu) + mu * scale
+
+
+#: Typical pointer-chasing graph workload: partially memory bound, scales to
+#: the full socket pair with a visible but mild NUMA knee.
+COMPUTE_BOUND = WorkloadProfile(memory_bound_fraction=0.25, bandwidth_threads=24, contention=0.08)
+
+#: Hypersparse, giant-working-set workload (the WebTrackers analogue):
+#: saturates bandwidth early and then actively degrades.
+MEMORY_BOUND = WorkloadProfile(memory_bound_fraction=0.75, bandwidth_threads=8, contention=0.35)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Cost parameters of the simulated shared-memory machine.
+
+    All "units" are abstract work units charged by the algorithms (one unit
+    is roughly one adjacency access); ``work_unit_ns`` converts to time.
+    """
+
+    sockets: int = 2
+    cores_per_socket: int = 16
+    work_unit_ns: float = 6.0
+    task_overhead_units: float = 1.0
+    chunk_overhead_units: float = 6.0
+    region_fork_ns: float = 1200.0
+    barrier_ns_per_thread: float = 120.0
+    numa_remote_penalty: float = 0.30
+    atomic_ns: float = 15.0
+    atomic_contention: float = 0.04
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def numa_multiplier(self, threads: int) -> float:
+        if threads <= self.cores_per_socket:
+            return 1.0
+        remote_fraction = 1.0 - self.cores_per_socket / threads
+        return 1.0 + self.numa_remote_penalty * remote_fraction
+
+    def region_overhead_ns(self, threads: int) -> float:
+        """Fork + barrier cost of one parallel region at ``t`` threads."""
+        if threads <= 1:
+            return 0.0
+        return self.region_fork_ns + self.barrier_ns_per_thread * threads
+
+    def atomic_cost_ns(self, threads: int, n_ops: float) -> float:
+        """Total time of ``n_ops`` atomic RMW operations at ``t`` threads."""
+        return n_ops * self.atomic_ns * (1.0 + self.atomic_contention * (threads - 1))
+
+
+DEFAULT_MACHINE = MachineSpec()

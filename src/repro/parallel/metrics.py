@@ -1,0 +1,105 @@
+"""Work/span/time accounting for simulated parallel execution.
+
+A *region* is one ``parallel_for``; a *run* is everything between two clock
+resets (typically: one maintenance batch).  The simulator aggregates region
+metrics into run metrics; the evaluation harness reads
+:meth:`RunMetrics.elapsed_seconds` per thread count to draw the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+__all__ = ["RegionMetrics", "RunMetrics"]
+
+
+@dataclass
+class RegionMetrics:
+    """One parallel region's accounting.
+
+    ``makespan_units[t]`` is the greedy-list-schedule completion time of the
+    region's chunk stream on ``t`` virtual threads, in work units, before
+    machine multipliers.
+    """
+
+    name: str
+    tasks: int = 0
+    chunks: int = 0
+    work_units: float = 0.0
+    span_units: float = 0.0  # longest single chunk: a lower bound on any schedule
+    atomic_ops: float = 0.0
+    makespan_units: Dict[int, float] = field(default_factory=dict)
+
+    def parallelism(self, t: int) -> float:
+        """Achieved speedup of this region at ``t`` threads (units only)."""
+        ms = self.makespan_units.get(t, self.work_units)
+        return self.work_units / ms if ms else 1.0
+
+
+@dataclass
+class RunMetrics:
+    """Accumulated totals for a run, per thread count."""
+
+    thread_counts: Tuple[int, ...]
+    regions: int = 0
+    tasks: int = 0
+    work_units: float = 0.0
+    serial_units: float = 0.0
+    atomic_ops: float = 0.0
+    elapsed_ns: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for t in self.thread_counts:
+            self.elapsed_ns.setdefault(t, 0.0)
+
+    def add_region(self, region: RegionMetrics, machine, profile) -> None:
+        self.regions += 1
+        self.tasks += region.tasks
+        self.work_units += region.work_units
+        self.atomic_ops += region.atomic_ops
+        for t in self.thread_counts:
+            ms = region.makespan_units.get(t, region.work_units)
+            ns = ms * machine.work_unit_ns
+            ns *= machine.numa_multiplier(t) * profile.mem_multiplier(t)
+            ns += machine.region_overhead_ns(t)
+            ns += machine.atomic_cost_ns(t, region.atomic_ops)
+            self.elapsed_ns[t] += ns
+
+    def add_serial(self, units: float, machine) -> None:
+        """Sequential section: costs every thread count identically."""
+        self.serial_units += units
+        self.work_units += units
+        ns = units * machine.work_unit_ns
+        for t in self.thread_counts:
+            self.elapsed_ns[t] += ns
+
+    def elapsed_seconds(self, t: int) -> float:
+        return self.elapsed_ns[t] / 1e9
+
+    def speedup(self, t: int, base: int = 1) -> float:
+        e = self.elapsed_ns[t]
+        return self.elapsed_ns[base] / e if e else float("inf")
+
+    def merged_with(self, other: "RunMetrics") -> "RunMetrics":
+        if self.thread_counts != other.thread_counts:
+            raise ValueError("cannot merge metrics with different thread sweeps")
+        out = RunMetrics(self.thread_counts)
+        out.regions = self.regions + other.regions
+        out.tasks = self.tasks + other.tasks
+        out.work_units = self.work_units + other.work_units
+        out.serial_units = self.serial_units + other.serial_units
+        out.atomic_ops = self.atomic_ops + other.atomic_ops
+        for t in self.thread_counts:
+            out.elapsed_ns[t] = self.elapsed_ns[t] + other.elapsed_ns[t]
+        return out
+
+    def summary(self) -> str:
+        parts = [
+            f"regions={self.regions}",
+            f"tasks={self.tasks}",
+            f"work={self.work_units:.0f}u",
+        ]
+        for t in self.thread_counts:
+            parts.append(f"T{t}={self.elapsed_seconds(t) * 1e3:.3f}ms")
+        return " ".join(parts)

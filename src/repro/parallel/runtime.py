@@ -1,0 +1,91 @@
+"""The runtime interface the algorithms are written against, plus the
+serial reference backend.
+
+Algorithms interact with a runtime through four calls:
+
+``parallel_for(items, fn, region=...)``
+    Apply ``fn`` to every item; results are returned in item order.  This
+    is the paper's ``for v in A do in parallel``.
+``charge(units)``
+    Account ``units`` of work to the current task (inside ``parallel_for``)
+    or to the serial timeline (outside).  One unit is roughly one adjacency
+    access.  Backends that measure wall time ignore charges.
+``charge_atomic(ops)``
+    Account atomic read-modify-write operations (the accumulating updates
+    into shared maps such as Algorithm 4's ``I``/``D``/``R``).
+``serial(units)``
+    Account sequential, non-parallelisable work.
+
+Keeping the accounting explicit in the algorithm code is what lets the
+simulated backend replay the *actual* work distribution on any number of
+virtual threads; the serial and thread backends simply ignore it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+__all__ = ["ParallelRuntime", "SerialRuntime"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ParallelRuntime:
+    """Base class: serial semantics, wall-clock timing, no-op accounting.
+
+    Subclasses override :meth:`parallel_for` and the accounting hooks.
+    ``threads`` is advisory for real backends and ignored by this one.
+    """
+
+    #: thread counts this runtime can report elapsed times for
+    thread_counts: Tuple[int, ...] = (1,)
+
+    def __init__(self) -> None:
+        self._wall_start = time.perf_counter()
+
+    # -- execution -------------------------------------------------------------
+    def parallel_for(
+        self,
+        items: Iterable[T],
+        fn: Callable[[T], R],
+        *,
+        region: str = "loop",
+        grain: int = 1,
+    ) -> List[R]:
+        """Apply ``fn`` to each item, returning results in order."""
+        return [fn(x) for x in items]
+
+    # -- accounting --------------------------------------------------------------
+    def charge(self, units: float) -> None:
+        """Account abstract work units (no-op outside the simulator)."""
+
+    def charge_atomic(self, ops: float = 1.0) -> None:
+        """Account atomic RMW operations."""
+
+    def serial(self, units: float) -> None:
+        """Account explicitly sequential work."""
+
+    # -- timing ------------------------------------------------------------------
+    def reset_clock(self) -> None:
+        self._wall_start = time.perf_counter()
+
+    def elapsed_seconds(self, threads: int = 1) -> float:
+        """Elapsed time attributable to ``threads`` workers.
+
+        Wall-clock backends return the same measured time for any requested
+        ``threads``; the simulator returns modeled times.
+        """
+        return time.perf_counter() - self._wall_start
+
+    def metrics(self):
+        """Backend-specific metrics object, or None."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialRuntime(ParallelRuntime):
+    """Plain sequential execution; the semantics reference for tests."""

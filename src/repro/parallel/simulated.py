@@ -1,0 +1,196 @@
+"""The simulated shared-memory backend.
+
+This is the DESIGN.md substitution for the paper's 2 x 16-core Xeon: the
+algorithm's real parallel decomposition is executed deterministically in one
+OS thread while an explicit work model meters every task; the resulting
+chunk-cost stream is replayed through a greedy list scheduler for *all*
+requested thread counts simultaneously.  One run of an algorithm therefore
+yields its entire scalability curve -- with the identical convergence
+behaviour at every point, which physical experiments can never guarantee.
+
+Execution semantics: tasks run sequentially in item order, which is one
+valid linearisation of the asynchronous parallel execution the paper's
+algorithms permit (each vertex reads the *latest available* neighbour
+values, Section III-A), so results are exactly what a real async run could
+produce.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.parallel.machine import COMPUTE_BOUND, DEFAULT_MACHINE, MachineSpec, WorkloadProfile
+from repro.parallel.metrics import RegionMetrics, RunMetrics
+from repro.parallel.runtime import ParallelRuntime
+from repro.parallel.scheduler import chunk_sizes, list_schedule_makespan
+
+__all__ = ["SimulatedRuntime", "DEFAULT_THREAD_COUNTS"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: The paper's sweep: Figs. 6-12 report 1..32 threads on the 2x16-core box.
+DEFAULT_THREAD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+
+class SimulatedRuntime(ParallelRuntime):
+    """Deterministic work-model backend; see module docstring.
+
+    Parameters
+    ----------
+    machine:
+        Hardware cost parameters (defaults to the paper's testbed shape).
+    profile:
+        Workload memory-boundedness (the harness sets this per dataset).
+    thread_counts:
+        Thread counts to report; makespans are computed for each.
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec = DEFAULT_MACHINE,
+        profile: WorkloadProfile = COMPUTE_BOUND,
+        thread_counts: Sequence[int] = DEFAULT_THREAD_COUNTS,
+        keep_regions: bool = False,
+    ) -> None:
+        super().__init__()
+        self.machine = machine
+        self.profile = profile
+        self.thread_counts = tuple(thread_counts)
+        if any(t < 1 for t in self.thread_counts):
+            raise ValueError("thread counts must be >= 1")
+        #: keep per-region metrics for profiling (memory grows per region)
+        self.keep_regions = keep_regions
+        self.region_log: List[RegionMetrics] = []
+        self._run = RunMetrics(self.thread_counts)
+        # accounting state for the currently executing task (None = serial)
+        self._task_units: Optional[float] = None
+        self._task_atomics = 0.0
+        self._pending_serial = 0.0
+
+    # -- execution ------------------------------------------------------------
+    def parallel_for(
+        self,
+        items: Iterable[T],
+        fn: Callable[[T], R],
+        *,
+        region: str = "loop",
+        grain: int = 1,
+    ) -> List[R]:
+        if self._task_units is not None:
+            # nested parallelism collapses into the enclosing task, the same
+            # flattening TBB applies when inner loops find no idle workers
+            out: List[R] = []
+            for x in items:
+                out.append(fn(x))
+            return out
+
+        item_list = list(items)
+        self._flush_serial()
+        mach = self.machine
+        reg = RegionMetrics(region, tasks=len(item_list))
+        sizes = chunk_sizes(len(item_list), max(self.thread_counts), grain)
+        chunk_costs: List[float] = []
+        out = []
+        pos = 0
+        for size in sizes:
+            cost = mach.chunk_overhead_units
+            for i in range(pos, pos + size):
+                self._task_units = mach.task_overhead_units
+                self._task_atomics = 0.0
+                out.append(fn(item_list[i]))
+                cost += self._task_units
+                reg.atomic_ops += self._task_atomics
+            pos += size
+            chunk_costs.append(cost)
+        self._task_units = None
+        self._task_atomics = 0.0
+
+        reg.chunks = len(chunk_costs)
+        reg.work_units = sum(chunk_costs)
+        reg.span_units = max(chunk_costs, default=0.0)
+        for t in self.thread_counts:
+            reg.makespan_units[t] = list_schedule_makespan(chunk_costs, t)
+        self._run.add_region(reg, mach, self.profile)
+        if self.keep_regions:
+            self.region_log.append(reg)
+        return out
+
+    def region_breakdown(self, threads: int) -> str:
+        """Where simulated time goes: per-region-name totals at ``threads``.
+
+        Requires ``keep_regions=True``.  Reports work, achieved
+        parallelism and region counts aggregated by region name -- the
+        profiling view for tuning batch algorithms against the machine
+        model ("no optimization without measuring").
+        """
+        if not self.keep_regions:
+            raise RuntimeError("construct with keep_regions=True to profile")
+        agg: dict = {}
+        for reg in self.region_log:
+            entry = agg.setdefault(reg.name, [0, 0.0, 0.0, 0])
+            entry[0] += 1
+            entry[1] += reg.work_units
+            entry[2] += reg.makespan_units.get(threads, reg.work_units)
+            entry[3] += reg.tasks
+        lines = [f"{'region':>24} {'count':>6} {'tasks':>8} {'work(u)':>10} "
+                 f"{'makespan(u)':>12} {'parallelism':>12}"]
+        for name, (count, work, ms, tasks) in sorted(
+                agg.items(), key=lambda kv: -kv[1][1]):
+            par = work / ms if ms else 1.0
+            lines.append(f"{name:>24} {count:>6} {tasks:>8} {work:>10.0f} "
+                         f"{ms:>12.0f} {par:>11.2f}x")
+        return "\n".join(lines)
+
+    # -- accounting --------------------------------------------------------------
+    def charge(self, units: float) -> None:
+        if self._task_units is not None:
+            self._task_units += units
+        else:
+            self._pending_serial += units
+
+    def charge_atomic(self, ops: float = 1.0) -> None:
+        if self._task_units is not None:
+            self._task_atomics += ops
+            self._task_units += ops  # the op itself is also work
+        else:
+            self._pending_serial += ops
+
+    def serial(self, units: float) -> None:
+        self._pending_serial += units
+
+    def _flush_serial(self) -> None:
+        if self._pending_serial:
+            self._run.add_serial(self._pending_serial, self.machine)
+            self._pending_serial = 0.0
+
+    # -- timing ------------------------------------------------------------------
+    def reset_clock(self) -> None:
+        super().reset_clock()
+        self._pending_serial = 0.0
+        self._run = RunMetrics(self.thread_counts)
+        self.region_log = []
+
+    def elapsed_seconds(self, threads: int = 1) -> float:
+        self._flush_serial()
+        if threads not in self._run.elapsed_ns:
+            raise KeyError(
+                f"thread count {threads} not simulated; have {self.thread_counts}"
+            )
+        return self._run.elapsed_seconds(threads)
+
+    def metrics(self) -> RunMetrics:
+        self._flush_serial()
+        return self._run
+
+    def take_metrics(self) -> RunMetrics:
+        """Return current metrics and reset the clock (one timed sample)."""
+        m = self.metrics()
+        self.reset_clock()
+        return m
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedRuntime(threads={self.thread_counts}, "
+            f"mu={self.profile.memory_bound_fraction})"
+        )

@@ -1,0 +1,76 @@
+"""Real-thread backend (``concurrent.futures.ThreadPoolExecutor``).
+
+Provided for API completeness and cross-checking: the oracle tests run the
+maintenance algorithms under this backend to demonstrate that their results
+are execution-interleaving independent.  Under CPython's GIL this backend
+does **not** provide compute speedups -- which is precisely the limitation
+the :class:`~repro.parallel.simulated.SimulatedRuntime` substitutes for
+(see DESIGN.md).
+
+Tasks are submitted in contiguous chunks to bound executor overhead.
+Algorithms in this repository are written so that concurrent task bodies
+are safe under the GIL's per-bytecode atomicity for the dict/set operations
+they perform; results are returned in item order regardless of completion
+order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, List, TypeVar
+
+from repro.parallel.runtime import ParallelRuntime
+
+__all__ = ["ThreadRuntime"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ThreadRuntime(ParallelRuntime):
+    """Execute ``parallel_for`` bodies on a real thread pool."""
+
+    def __init__(self, threads: int = 4) -> None:
+        super().__init__()
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.threads = threads
+        self.thread_counts = (threads,)
+        self._pool = ThreadPoolExecutor(max_workers=threads)
+
+    def parallel_for(
+        self,
+        items: Iterable[T],
+        fn: Callable[[T], R],
+        *,
+        region: str = "loop",
+        grain: int = 1,
+    ) -> List[R]:
+        item_list = list(items)
+        n = len(item_list)
+        if n == 0:
+            return []
+        if n <= grain or self.threads == 1:
+            return [fn(x) for x in item_list]
+        chunk = max(grain, -(-n // (self.threads * 4)))
+
+        def run_chunk(lo: int) -> List[R]:
+            return [fn(x) for x in item_list[lo:lo + chunk]]
+
+        futures = [self._pool.submit(run_chunk, lo) for lo in range(0, n, chunk)]
+        out: List[R] = []
+        for f in futures:
+            out.extend(f.result())
+        return out
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ThreadRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ThreadRuntime(threads={self.threads})"

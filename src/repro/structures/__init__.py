@@ -1,0 +1,38 @@
+"""Core data structures shared by the k-core maintenance algorithms.
+
+This subpackage is substrate code: none of it knows about graphs or
+hypergraphs.  It provides
+
+* :mod:`repro.structures.hindex` -- h-index kernels (Definition 3 of the
+  paper), including incremental variants used by the frontier algorithms.
+* :mod:`repro.structures.disjoint_set` -- union-find, used to materialise
+  connected cores from core values (paper reference [10]).
+* :mod:`repro.structures.bucket_queue` -- the monotone bucket priority queue
+  behind O(n + m) peeling.
+* :mod:`repro.structures.bitset64` -- fixed-width 64-bit sets, the ``setmb``
+  mini-batch representation of the ``U`` / ``P`` sets of Algorithm 5.
+* :mod:`repro.structures.level_accumulator` -- the sparse ``I``/``D``/``R``
+  maps from tau-level to counts used by Algorithms 3 and 4.
+"""
+
+from repro.structures.bitset64 import Bitset64
+from repro.structures.bucket_queue import BucketQueue
+from repro.structures.disjoint_set import DisjointSet
+from repro.structures.hindex import (
+    h_index,
+    h_index_counting,
+    h_index_of_counts,
+    h_index_sorted,
+)
+from repro.structures.level_accumulator import LevelAccumulator
+
+__all__ = [
+    "Bitset64",
+    "BucketQueue",
+    "DisjointSet",
+    "LevelAccumulator",
+    "h_index",
+    "h_index_counting",
+    "h_index_of_counts",
+    "h_index_sorted",
+]

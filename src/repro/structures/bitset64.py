@@ -1,0 +1,119 @@
+"""Fixed-width 64-bit set, the ``setmb`` mini-batch change-set representation.
+
+The paper (Section IV-C) evaluates ``setmb`` with mini-batches of 64 changes
+so that the per-vertex "unprocessed" (``U``) and "processed" (``P``) change
+sets of Algorithm 5 fit in a single machine word; set union, difference and
+cardinality become single bitwise instructions.  This class wraps that word
+with a small-set API so the algorithm code reads like the pseudocode while
+keeping the O(1) word-ops cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["Bitset64", "WIDTH"]
+
+WIDTH = 64
+_MASK = (1 << WIDTH) - 1
+
+
+class Bitset64:
+    """A set of integers in ``[0, 64)`` stored as one word.
+
+    Instances are mutable; bulk operators return new sets, ``*_update``
+    variants mutate in place.  ``popcount`` is ``int.bit_count``.
+
+    >>> a = Bitset64([1, 5]); b = Bitset64([5, 9])
+    >>> sorted(a | b)
+    [1, 5, 9]
+    >>> len(a - b)
+    1
+    """
+
+    __slots__ = ("bits",)
+
+    def __init__(self, items: Iterable[int] | int = 0) -> None:
+        if isinstance(items, int):
+            if items & ~_MASK:
+                raise ValueError("raw word exceeds 64 bits")
+            self.bits = items
+        else:
+            bits = 0
+            for i in items:
+                if not 0 <= i < WIDTH:
+                    raise ValueError(f"element {i} out of [0, {WIDTH})")
+                bits |= 1 << i
+            self.bits = bits
+
+    # -- membership ---------------------------------------------------------
+    def add(self, i: int) -> None:
+        if not 0 <= i < WIDTH:
+            raise ValueError(f"element {i} out of [0, {WIDTH})")
+        self.bits |= 1 << i
+
+    def discard(self, i: int) -> None:
+        if 0 <= i < WIDTH:
+            self.bits &= ~(1 << i)
+
+    def __contains__(self, i: int) -> bool:
+        return 0 <= i < WIDTH and bool(self.bits >> i & 1)
+
+    def __len__(self) -> int:
+        return self.bits.bit_count()
+
+    def __bool__(self) -> bool:
+        return self.bits != 0
+
+    def __iter__(self) -> Iterator[int]:
+        bits = self.bits
+        while bits:
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
+
+    # -- bulk operators ------------------------------------------------------
+    def __or__(self, other: "Bitset64") -> "Bitset64":
+        return Bitset64(self.bits | other.bits)
+
+    def __and__(self, other: "Bitset64") -> "Bitset64":
+        return Bitset64(self.bits & other.bits)
+
+    def __sub__(self, other: "Bitset64") -> "Bitset64":
+        return Bitset64(self.bits & ~other.bits & _MASK)
+
+    def __xor__(self, other: "Bitset64") -> "Bitset64":
+        return Bitset64(self.bits ^ other.bits)
+
+    def union_update(self, other: "Bitset64") -> None:
+        self.bits |= other.bits
+
+    def difference_update(self, other: "Bitset64") -> None:
+        self.bits &= ~other.bits & _MASK
+
+    def intersection_update(self, other: "Bitset64") -> None:
+        self.bits &= other.bits
+
+    def clear(self) -> None:
+        self.bits = 0
+
+    def copy(self) -> "Bitset64":
+        return Bitset64(self.bits)
+
+    def isdisjoint(self, other: "Bitset64") -> bool:
+        return not self.bits & other.bits
+
+    def issubset(self, other: "Bitset64") -> bool:
+        return not self.bits & ~other.bits
+
+    # -- comparisons ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Bitset64):
+            return self.bits == other.bits
+        return NotImplemented
+
+    def __hash__(self) -> int:  # frozen enough for dict keys in tests
+        return hash(("Bitset64", self.bits))
+
+    def __repr__(self) -> str:
+        return f"Bitset64({sorted(self)})"

@@ -1,0 +1,113 @@
+"""Monotone bucket priority queue for linear-time peeling.
+
+Peeling (Matula & Beck [2]) repeatedly extracts a vertex of minimum current
+degree.  Because extracted priorities never decrease below the running
+minimum minus the decrements applied, a bucket array indexed by degree gives
+``O(n + m)`` total time.  This queue supports the two operations peeling
+needs -- ``pop_min`` and ``decrease`` -- plus lazy membership bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["BucketQueue"]
+
+
+class BucketQueue:
+    """Priority queue over hashable items with small non-negative int keys.
+
+    Items live in ``buckets[priority]`` lists with a positional index so
+    removal is O(1) swap-pop.  ``pop_min`` advances a monotone cursor; after
+    a ``decrease`` below the cursor the cursor is moved back, so the
+    structure also works for the mildly non-monotone use in dynamic
+    baselines.
+
+    >>> q = BucketQueue()
+    >>> q.push('a', 3); q.push('b', 1); q.push('c', 1)
+    >>> q.pop_min()[1]
+    1
+    >>> q.decrease('a', 0)
+    >>> q.pop_min()
+    ('a', 0)
+    """
+
+    __slots__ = ("_buckets", "_pos", "_prio", "_cursor", "_count")
+
+    def __init__(self, max_priority: int = 0) -> None:
+        self._buckets: List[List[Hashable]] = [[] for _ in range(max_priority + 1)]
+        self._pos: Dict[Hashable, int] = {}
+        self._prio: Dict[Hashable, int] = {}
+        self._cursor = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._prio
+
+    def priority(self, item: Hashable) -> int:
+        return self._prio[item]
+
+    def _ensure(self, priority: int) -> None:
+        while len(self._buckets) <= priority:
+            self._buckets.append([])
+
+    def push(self, item: Hashable, priority: int) -> None:
+        if priority < 0:
+            raise ValueError("priorities must be non-negative")
+        if item in self._prio:
+            raise KeyError(f"{item!r} already queued; use update/decrease")
+        self._ensure(priority)
+        bucket = self._buckets[priority]
+        self._pos[item] = len(bucket)
+        bucket.append(item)
+        self._prio[item] = priority
+        self._count += 1
+        if priority < self._cursor:
+            self._cursor = priority
+
+    def _remove_from_bucket(self, item: Hashable) -> int:
+        p = self._prio.pop(item)
+        bucket = self._buckets[p]
+        i = self._pos.pop(item)
+        last = bucket.pop()
+        if i < len(bucket):  # item was not the tail: swap the tail in
+            bucket[i] = last
+            self._pos[last] = i
+        self._count -= 1
+        return p
+
+    def remove(self, item: Hashable) -> int:
+        """Remove ``item``; returns its priority."""
+        return self._remove_from_bucket(item)
+
+    def update(self, item: Hashable, priority: int) -> None:
+        """Set ``item`` to ``priority`` regardless of direction."""
+        self._remove_from_bucket(item)
+        self.push(item, priority)
+
+    def decrease(self, item: Hashable, priority: int) -> None:
+        """Lower ``item``'s priority (no-op if not actually lower)."""
+        if priority >= self._prio[item]:
+            return
+        self.update(item, priority)
+
+    def peek_min(self) -> Optional[Tuple[Hashable, int]]:
+        if self._count == 0:
+            return None
+        c = self._cursor
+        while not self._buckets[c]:
+            c += 1
+        self._cursor = c
+        return self._buckets[c][-1], c
+
+    def pop_min(self) -> Tuple[Hashable, int]:
+        """Extract an item of minimum priority."""
+        top = self.peek_min()
+        if top is None:
+            raise IndexError("pop from empty BucketQueue")
+        item, p = top
+        self._remove_from_bucket(item)
+        return item, p

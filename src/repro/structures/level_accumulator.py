@@ -1,0 +1,95 @@
+"""Sparse tau-level accumulators: the ``I`` / ``D`` / ``R`` maps of Alg. 3/4.
+
+The ``mod`` algorithm buckets batch changes by the tau value (level) of the
+minimum vertex involved, then resolves those per-level insertion/deletion
+counts into per-level increments ``R``.  Only a handful of levels are
+touched per batch, so the maps are sparse dictionaries with a thin API that
+mirrors the pseudocode (``I[k] += 1``, ``R[t] += I[k]``...), plus helpers for
+the "apply R to every vertex at its level" sweep.
+
+Updates are plain ``+=`` here; under the simulated parallel runtime each
+update is *charged* as an atomic operation by the caller, matching the
+TBB ``concurrent_hash_map`` accumulation in the paper's C++ system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+__all__ = ["LevelAccumulator"]
+
+
+class LevelAccumulator:
+    """A default-zero sparse map from level (int >= 0) to count.
+
+    >>> acc = LevelAccumulator()
+    >>> acc.add(3); acc.add(3); acc.add(7, 2)
+    >>> acc[3], acc[7], acc[0]
+    (2, 2, 0)
+    >>> sorted(acc.levels())
+    [3, 7]
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    def __getitem__(self, level: int) -> int:
+        return self._counts.get(level, 0)
+
+    def __setitem__(self, level: int, count: int) -> None:
+        if level < 0:
+            raise ValueError("levels are non-negative tau values")
+        if count:
+            self._counts[level] = count
+        else:
+            self._counts.pop(level, None)
+
+    def add(self, level: int, count: int = 1) -> None:
+        """``self[level] += count`` (the atomic-add of the parallel code)."""
+        if level < 0:
+            raise ValueError("levels are non-negative tau values")
+        new = self._counts.get(level, 0) + count
+        if new:
+            self._counts[level] = new
+        else:
+            self._counts.pop(level, None)
+
+    def levels(self) -> Iterator[int]:
+        """Levels with non-zero counts (``keys(I)`` in the pseudocode)."""
+        return iter(self._counts.keys())
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._counts.items())
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def max_level(self) -> int:
+        """Largest touched level, or -1 when empty."""
+        return max(self._counts, default=-1)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    def __contains__(self, level: int) -> bool:
+        return level in self._counts
+
+    def clear(self) -> None:
+        self._counts.clear()
+
+    def copy(self) -> "LevelAccumulator":
+        out = LevelAccumulator()
+        out._counts = dict(self._counts)
+        return out
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self._counts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}: {v}" for k, v in sorted(self._counts.items()))
+        return f"LevelAccumulator({{{inner}}})"

@@ -1,0 +1,153 @@
+"""Tests for the approximate maintainer (§VI future work realisation).
+
+The contract under test: served values are always a pointwise *upper
+bound* on the true core values, staleness() bounds the gap, and flush()
+restores exactness.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx import ApproximateModMaintainer
+from repro.core.maintainer import make_maintainer
+from repro.core.peel import peel
+from repro.core.verify import verify_kappa
+from repro.graph.batch import Batch, BatchProtocol
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import erdos_renyi, powerlaw_social
+from repro.graph.substrate import graph_edge_changes
+from repro.parallel.simulated import SimulatedRuntime
+
+
+def assert_upper_bound(m: ApproximateModMaintainer) -> int:
+    """tau >= kappa pointwise, gap <= staleness(); returns the max gap."""
+    oracle = peel(m.sub)
+    served = m.kappa_upper_bound()
+    assert set(served) == set(oracle)
+    worst = 0
+    for v, k in oracle.items():
+        assert served[v] >= k, f"served {served[v]} < kappa {k} at {v!r}"
+        worst = max(worst, served[v] - k)
+    assert worst <= m.staleness()
+    return worst
+
+
+class TestApproximateBasics:
+    def test_budget_validation(self, fig1_graph):
+        with pytest.raises(ValueError):
+            ApproximateModMaintainer(fig1_graph, iteration_budget=0)
+
+    def test_exact_when_idle(self, fig1_graph):
+        m = ApproximateModMaintainer(fig1_graph)
+        assert m.is_exact
+        assert m.staleness() == 0
+        assert m.kappa_upper_bound() == peel(fig1_graph)
+
+    def test_registered_in_facade(self, fig1_graph):
+        m = make_maintainer(fig1_graph, "mod-approx", iteration_budget=2)
+        assert m.algorithm == "mod-approx"
+
+    def test_upper_bound_through_stream(self):
+        g = powerlaw_social(150, 7, seed=30)
+        m = ApproximateModMaintainer(g, iteration_budget=1)
+        proto = BatchProtocol(g, seed=31)
+        for _ in range(4):
+            deletion, insertion = proto.remove_reinsert(20)
+            m.apply_batch(deletion)
+            assert_upper_bound(m)
+            m.apply_batch(insertion)
+            assert_upper_bound(m)
+
+    def test_flush_restores_exactness(self):
+        g = powerlaw_social(150, 7, seed=32)
+        m = ApproximateModMaintainer(g, iteration_budget=1)
+        proto = BatchProtocol(g, seed=33)
+        for _ in range(3):
+            deletion, insertion = proto.remove_reinsert(25)
+            m.apply_batch(deletion)
+            m.apply_batch(insertion)
+        m.flush()
+        assert m.is_exact
+        verify_kappa(m)
+
+    def test_auto_flush_bounds_staleness(self):
+        g = powerlaw_social(150, 7, seed=34)
+        cap = 60
+        m = ApproximateModMaintainer(g, iteration_budget=1,
+                                     auto_flush_inflation=cap)
+        proto = BatchProtocol(g, seed=35)
+        for _ in range(6):
+            deletion, insertion = proto.remove_reinsert(15)
+            m.apply_batch(deletion)
+            m.apply_batch(insertion)
+            # staleness may exceed the cap only by the latest batch's volume
+            assert m.staleness() <= cap + 2 * (2 * 15 + 15)
+
+    def test_generous_budget_is_exact_per_batch(self):
+        g = erdos_renyi(100, 300, seed=36)
+        m = ApproximateModMaintainer(g, iteration_budget=10_000)
+        proto = BatchProtocol(g, seed=37)
+        for _ in range(3):
+            deletion, insertion = proto.remove_reinsert(10)
+            m.apply_batch(deletion)
+            m.apply_batch(insertion)
+            assert m.is_exact
+            verify_kappa(m)
+
+    def test_less_work_than_exact(self):
+        """The point of approximating: the budgeted run must do less
+        simulated work per batch than exact mod on the same stream."""
+        def total_work(make):
+            g = powerlaw_social(250, 8, seed=38)
+            rt = SimulatedRuntime(thread_counts=(1,))
+            m = make(g, rt)
+            proto = BatchProtocol(g, seed=39)
+            for _ in range(3):
+                deletion, insertion = proto.remove_reinsert(40)
+                m.apply_batch(deletion)
+                m.apply_batch(insertion)
+            return rt.metrics().work_units
+
+        approx = total_work(lambda g, rt: ApproximateModMaintainer(
+            g, rt, iteration_budget=1))
+        exact = total_work(lambda g, rt: make_maintainer(g, "mod", rt))
+        assert approx < exact
+
+    def test_hypergraph_upper_bound(self, fig2_hypergraph):
+        from repro.graph.substrate import Change
+
+        m = ApproximateModMaintainer(fig2_hypergraph, iteration_budget=1)
+        m.apply_batch(Batch([Change("a", 1, False), Change("e", 6, True)]))
+        assert_upper_bound(m)
+        m.flush()
+        verify_kappa(m)
+
+
+@st.composite
+def small_streams(draw):
+    pairs = st.tuples(st.integers(0, 11), st.integers(0, 11))
+    base = [(u, v) for u, v in draw(st.sets(pairs, max_size=25)) if u != v]
+    ops = draw(st.lists(st.tuples(st.booleans(), pairs), max_size=20))
+    return base, ops
+
+
+class TestApproximateProperties:
+    @given(data=small_streams(), budget=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_upper_bound_invariant(self, data, budget):
+        base, ops = data
+        g = DynamicGraph.from_edges(base)
+        m = ApproximateModMaintainer(g, iteration_budget=budget)
+        batch = Batch()
+        for insert, (u, v) in ops:
+            if u != v:
+                batch.extend(graph_edge_changes(u, v, insert))
+        m.apply_batch(batch)
+        assert_upper_bound(m)
+        m.flush()
+        verify_kappa(m)

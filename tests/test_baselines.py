@@ -1,0 +1,172 @@
+"""Tests for the sequential baselines (traversal, order) and the hybrid."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.hybrid import HybridMaintainer
+from repro.core.order import OrderMaintainer, order_is_valid
+from repro.core.peel import peel
+from repro.core.traversal import TraversalMaintainer
+from repro.core.verify import verify_kappa
+from repro.graph.batch import Batch, BatchProtocol
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+from repro.graph.generators import erdos_renyi, path_graph, powerlaw_social
+from repro.graph.substrate import graph_edge_changes
+
+
+class TestTraversal:
+    def test_rejects_hypergraphs(self):
+        h = DynamicHypergraph.from_hyperedges({"e": [1, 2, 3]})
+        with pytest.raises(TypeError):
+            TraversalMaintainer(h)
+
+    def test_insert_promotes_subcore(self, triangle_tail):
+        m = TraversalMaintainer(triangle_tail)
+        m.apply_batch(Batch(graph_edge_changes(3, 0, True)))
+        # diamond (K4 minus one edge): everyone sits in the 2-core
+        assert m.kappa() == {0: 2, 1: 2, 2: 2, 3: 2}
+        m.apply_batch(Batch(graph_edge_changes(3, 1, True)))
+        assert m.kappa() == {0: 3, 1: 3, 2: 3, 3: 3}  # now K4
+        verify_kappa(m)
+
+    def test_insert_no_promotion_when_capped(self, fig1_graph):
+        m = TraversalMaintainer(fig1_graph)
+        # an edge between two tendril vertices: both stay kappa 1? no --
+        # 7 and 9 get a cycle through the graph; oracle decides
+        m.apply_batch(Batch(graph_edge_changes(8, 9, True)))
+        verify_kappa(m)
+
+    def test_delete_demotes_exactly_one_level(self, fig1_graph):
+        m = TraversalMaintainer(fig1_graph)
+        m.apply_batch(Batch(graph_edge_changes(0, 1, False)))
+        verify_kappa(m)
+        assert m.kappa_of(0) == 2
+
+    def test_cross_level_edge_ops(self, fig1_graph):
+        m = TraversalMaintainer(fig1_graph)
+        m.apply_batch(Batch(graph_edge_changes(9, 4, True)))  # level 1 -> 2
+        verify_kappa(m)
+        m.apply_batch(Batch(graph_edge_changes(9, 4, False)))
+        verify_kappa(m)
+
+    def test_new_vertices(self, triangle_tail):
+        m = TraversalMaintainer(triangle_tail)
+        m.apply_batch(Batch(graph_edge_changes(10, 11, True)))
+        assert m.kappa_of(10) == 1
+        verify_kappa(m)
+
+    def test_disconnection(self):
+        g = path_graph(5)
+        m = TraversalMaintainer(g)
+        m.apply_batch(Batch(graph_edge_changes(2, 3, False)))
+        verify_kappa(m)
+
+    def test_long_random_stream(self):
+        g = erdos_renyi(60, 150, seed=1)
+        m = TraversalMaintainer(g)
+        rng = random.Random(2)
+        verts = sorted(g.vertices())
+        for _ in range(40):
+            u, v = rng.sample(verts, 2)
+            if g.has_graph_edge(u, v):
+                m.apply_batch(Batch(graph_edge_changes(u, v, False)))
+            else:
+                m.apply_batch(Batch(graph_edge_changes(u, v, True)))
+            verify_kappa(m)
+
+
+class TestOrder:
+    def test_initial_order_valid(self, fig1_graph):
+        m = OrderMaintainer(fig1_graph)
+        assert order_is_valid(fig1_graph, m.kappa(), m.decomposition_order())
+
+    def test_order_tracks_insertions(self, fig1_graph):
+        m = OrderMaintainer(fig1_graph)
+        m.apply_batch(Batch(graph_edge_changes(4, 6, True)))
+        verify_kappa(m)
+        assert order_is_valid(fig1_graph, m.kappa(), m.decomposition_order())
+
+    def test_order_tracks_deletions(self, fig1_graph):
+        m = OrderMaintainer(fig1_graph)
+        m.apply_batch(Batch(graph_edge_changes(0, 1, False)))
+        verify_kappa(m)
+        assert order_is_valid(fig1_graph, m.kappa(), m.decomposition_order())
+
+    def test_promotions_go_to_head_of_next_core(self, triangle_tail):
+        m = OrderMaintainer(triangle_tail)
+        m.apply_batch(Batch(graph_edge_changes(3, 0, True)))
+        order = m.decomposition_order()
+        # everyone is now kappa 2... the promoted vertex 3 sits at the head
+        level, idx = m.position(3)
+        assert level == m.kappa_of(3)
+        assert order_is_valid(triangle_tail, m.kappa(), order)
+
+    def test_position_api(self, fig1_graph):
+        m = OrderMaintainer(fig1_graph)
+        level, idx = m.position(0)
+        assert level == 3 and idx >= 0
+
+    def test_order_valid_through_random_stream(self):
+        g = erdos_renyi(40, 90, seed=3)
+        m = OrderMaintainer(g)
+        rng = random.Random(4)
+        verts = sorted(g.vertices())
+        for _ in range(30):
+            u, v = rng.sample(verts, 2)
+            insert = not g.has_graph_edge(u, v)
+            m.apply_batch(Batch(graph_edge_changes(u, v, insert)))
+            verify_kappa(m)
+            assert order_is_valid(g, m.kappa(), m.decomposition_order())
+
+    def test_order_is_valid_rejects_bad_orders(self, triangle_tail):
+        kappa = peel(triangle_tail)
+        # putting the pendant vertex first makes 2's remaining degree 3 > 2
+        bad = [2, 0, 1, 3]
+        assert not order_is_valid(triangle_tail, kappa, bad)
+        assert not order_is_valid(triangle_tail, kappa, [0, 1])  # wrong set
+
+
+class TestHybrid:
+    def test_routes_by_batch_size(self):
+        g = powerlaw_social(150, 6, seed=5)
+        m = HybridMaintainer(g, threshold=4)
+        m.apply_batch(Batch(graph_edge_changes(0, 149, True)))  # tiny -> setmb
+        assert m.routed_to_setmb == 1
+        edges = sorted(g.edges())[:6]
+        b = Batch()
+        for u, v in edges:
+            b.extend(graph_edge_changes(u, v, False))
+        m.apply_batch(b)  # 12 changes > 4 -> mod
+        assert m.routed_to_mod == 1
+        verify_kappa(m)
+
+    def test_shared_state_consistency(self):
+        g = powerlaw_social(120, 6, seed=6)
+        m = HybridMaintainer(g, threshold=6)
+        proto = BatchProtocol(g, seed=7)
+        for _ in range(4):
+            deletion, insertion = proto.remove_reinsert(5)
+            m.apply_batch(deletion)
+            m.apply_batch(insertion)
+            verify_kappa(m)
+
+    def test_split_hot_levels_path(self):
+        g = powerlaw_social(200, 6, seed=8)
+        m = HybridMaintainer(g, threshold=2, split_hot_levels=True,
+                             hot_level_fraction=0.2)
+        proto = BatchProtocol(g, seed=9)
+        deletion, insertion = proto.remove_reinsert(8)
+        m.apply_batch(deletion)
+        m.apply_batch(insertion)
+        verify_kappa(m)
+
+    def test_hypergraph_routing(self, fig2_hypergraph):
+        m = HybridMaintainer(fig2_hypergraph, threshold=1)
+        from repro.graph.substrate import Change
+
+        m.apply_batch(Batch([Change("a", 1, False), Change("e", 6, True)]))
+        verify_kappa(m)

@@ -1,0 +1,169 @@
+"""Tests for the graph/batch characterisation (§V-A future work)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.peel import peel
+from repro.eval.characterize import (
+    characterize_batch,
+    characterize_structure,
+    predict_mod_cost,
+    rank_correlation,
+    validate_predictor,
+)
+from repro.graph.batch import Batch, BatchProtocol
+from repro.graph.generators import clique, erdos_renyi, powerlaw_social
+from repro.graph.substrate import graph_edge_changes
+
+
+class TestStructureProfile:
+    def test_clique_profile(self):
+        g = clique(6)
+        p = characterize_structure(g)
+        assert p.vertices == 6 and p.units == 15
+        assert p.max_coreness == 5 and p.levels == 1
+        assert p.degree_skew == pytest.approx(1.0)
+        assert p.level_populations == {5: 6}
+
+    def test_powerlaw_profile_is_skewed(self):
+        g = powerlaw_social(300, 10, seed=1)
+        p = characterize_structure(g)
+        assert p.degree_skew > 3.0
+        assert p.levels >= 5
+        assert sum(p.level_populations.values()) == p.vertices
+        assert "kmax" in p.describe()
+
+    def test_hypergraph_units_are_pins(self, fig2_hypergraph):
+        p = characterize_structure(fig2_hypergraph)
+        assert p.units == fig2_hypergraph.num_pins()
+
+
+class TestBatchProfile:
+    def test_blast_radius_counts_touched_levels(self):
+        g = powerlaw_social(200, 8, seed=2)
+        kappa = peel(g)
+        pops = {}
+        for k in kappa.values():
+            pops[k] = pops.get(k, 0) + 1
+        # a deletion batch touching one level activates that level only
+        u, v = next(iter(g.edges()))
+        level = min(kappa[u], kappa[v])
+        batch = Batch(graph_edge_changes(u, v, False))
+        profile = characterize_batch(g, batch, kappa, pops)
+        assert profile.deletions == 2  # two pin changes
+        assert profile.blast_radius >= pops[level] or profile.blast_radius >= 0
+        assert profile.size == 2
+        assert "blast" in profile.describe()
+
+    def test_insert_batch_has_positive_blast(self):
+        g = powerlaw_social(200, 8, seed=3)
+        kappa = peel(g)
+        pops = {}
+        for k in kappa.values():
+            pops[k] = pops.get(k, 0) + 1
+        batch = Batch(graph_edge_changes(0, 199, True))
+        profile = characterize_batch(g, batch, kappa, pops)
+        assert profile.insertions == 2
+        assert profile.blast_radius > 0
+
+    def test_empty_batch(self):
+        g = clique(4)
+        profile = characterize_batch(g, Batch(), peel(g), {3: 4})
+        assert profile.size == 0 and profile.blast_radius == 0
+
+
+class TestPredictor:
+    def test_cost_positive_and_monotone_in_blast(self):
+        g = powerlaw_social(150, 6, seed=4)
+        s = characterize_structure(g)
+        from repro.eval.characterize import BatchProfile
+
+        small = BatchProfile(4, 4, 0, 1, 1, 1, 10, 4)
+        big = BatchProfile(4, 4, 0, 1, 1, 1, 100, 4)
+        assert predict_mod_cost(s, big) > predict_mod_cost(s, small) > 0
+
+    def test_rank_correlation_basics(self):
+        assert rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+        assert rank_correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+        assert abs(rank_correlation([1, 2, 3, 4], [1, 1, 1, 1])) == 0.0
+        with pytest.raises(ValueError):
+            rank_correlation([1], [2])
+
+    def test_predictor_ranks_mixed_workload(self):
+        rng = random.Random(5)
+
+        def sub_factory():
+            return powerlaw_social(250, 8, seed=5)
+
+        def batches_factory(sub):
+            proto = BatchProtocol(sub, seed=6)
+            out = []
+            for _ in range(10):
+                b = rng.choice((1, 2, 4, 8, 16, 32))
+                deletion, insertion = proto.remove_reinsert(b)
+                # apply-able in sequence: deletion then its reinsertion
+                out.append(deletion)
+                out.append(insertion)
+            return out
+
+        rho_pred, rho_size, samples = validate_predictor(
+            sub_factory, batches_factory)
+        assert len(samples) == 20
+        assert rho_pred > 0.5
+
+    def test_predictor_explains_equal_size_batches(self):
+        """The decisive case (§V-B: size alone is nearly uninformative
+        for mod): among *equal-size* batches on a graph with separated
+        core levels, size cannot rank anything, while the blast radius
+        ranks the cost variance caused by which level the changes hit."""
+        from repro.graph.generators import core_ladder
+
+        def sub_factory():
+            return core_ladder(6, width=4)
+
+        def batches_factory(sub):
+            kappa = peel(sub)
+            by_level = {}
+            for (u, v) in sub.edges():
+                by_level.setdefault(min(kappa[u], kappa[v]), []).append((u, v))
+            out = []
+            for level in sorted(by_level):
+                u, v = by_level[level][0]
+                deletion = Batch(graph_edge_changes(u, v, False))
+                out.append(deletion)
+                out.append(Batch([c.inverse() for c in reversed(deletion.changes)]))
+            return out
+
+        rho_pred, rho_size, samples = validate_predictor(
+            sub_factory, batches_factory)
+        assert len(samples) >= 8
+        assert abs(rho_size) < 0.01  # all batches the same size: no signal
+        assert rho_pred > 0.8
+
+    def test_equal_size_costs_vary_widely(self):
+        """The motivating observation for the whole characterisation:
+        batches of identical size differ in cost by over an order of
+        magnitude depending on which core levels they hit -- batch size
+        alone cannot predict runtime (§V-A's future-work premise)."""
+        from repro.core.mod import ModMaintainer
+        from repro.parallel.simulated import SimulatedRuntime
+
+        sub = powerlaw_social(300, 10, seed=7)
+        rt = SimulatedRuntime(thread_counts=(1,))
+        m = ModMaintainer(sub, rt)
+        kappa0 = peel(sub)
+        by_level = {}
+        for (u, v) in sub.edges():
+            by_level.setdefault(min(kappa0[u], kappa0[v]), []).append((u, v))
+        costs = []
+        for level in sorted(by_level):
+            u, v = by_level[level][0]
+            for batch in (Batch(graph_edge_changes(u, v, False)),
+                          Batch(graph_edge_changes(u, v, True))):
+                rt.reset_clock()
+                m.apply_batch(batch)
+                costs.append(rt.take_metrics().work_units)
+        assert max(costs) > 5 * max(1.0, min(costs))

@@ -1,0 +1,172 @@
+"""Deeper coverage: distributed continuations, pipeline edge cases,
+machine-model properties, trace protocol recording, and long-stream soaks."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maintainer import make_maintainer
+from repro.core.peel import peel
+from repro.core.verify import verify_kappa
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.core import DistributedHIndex
+from repro.eval.pipeline import PipelineResult, StreamPipeline
+from repro.graph.batch import Batch, BatchProtocol
+from repro.graph.generators import erdos_renyi, powerlaw_social
+from repro.graph.trace import read_trace, record_protocol
+from repro.parallel.machine import MachineSpec, WorkloadProfile
+from repro.parallel.simulated import SimulatedRuntime
+
+
+class TestDistributedDepth:
+    def test_bounded_supersteps_leave_upper_bound(self):
+        g = powerlaw_social(100, 6, seed=1)
+        d = DistributedHIndex(g, ClusterSpec(nodes=3))
+        d.activate_all()
+        partial = d.run(max_supersteps=1)
+        oracle = peel(g)
+        assert all(partial[v] >= oracle[v] for v in oracle)
+        # resuming completes (activity persisted in the active sets)
+        full = d.run()
+        assert full == oracle
+
+    def test_value_at_prefers_owned(self):
+        g = erdos_renyi(30, 60, seed=2)
+        d = DistributedHIndex(g, ClusterSpec(nodes=2))
+        v = next(iter(g.vertices()))
+        owner = d.owner(v)
+        other = 1 - owner
+        d.local[owner][v] = 7
+        assert d.value_at(owner, v) == 7
+        d.known[other][v] = 5
+        assert d.value_at(other, v) == 5
+
+    def test_allreduce_accounting(self):
+        from repro.distributed.cluster import SimulatedCluster
+
+        c = SimulatedCluster(ClusterSpec(nodes=4, allreduce_ns_per_item=100.0,
+                                         network_latency_ns=0.0))
+        c.allreduce_merge([3, 2, 0, 5])
+        assert c.metrics.elapsed_ns == pytest.approx(1000.0)
+        assert c.metrics.messages == 6  # (nodes-1) * 2
+
+    def test_static_init_excluded_from_batch_timing(self):
+        from repro.distributed.core import DistributedModMaintainer
+
+        g = erdos_renyi(50, 120, seed=3)
+        m = DistributedModMaintainer(g, ClusterSpec(nodes=2))
+        init_steps = m.cluster.metrics.supersteps
+        assert init_steps > 0  # the static convergence ran
+        proto = BatchProtocol(g, seed=4)
+        deletion, insertion = proto.remove_reinsert(5)
+        m.apply_batch(deletion)
+        m.apply_batch(insertion)
+        assert m.cluster.metrics.supersteps > init_steps
+
+
+class TestPipelineDepth:
+    def test_idle_gaps_fast_forward_the_clock(self):
+        sub = erdos_renyi(40, 90, seed=5)
+        rt = SimulatedRuntime()
+        m = make_maintainer(sub, "mod", rt)
+        pipe = StreamPipeline(m, rt, threads=4)
+        proto = BatchProtocol(sub, seed=6)
+        deletion, insertion = proto.remove_reinsert(2)
+        changes = deletion.changes + insertion.changes
+        # two bursts separated by a long idle gap
+        arrivals = [(0.0, changes[0]), (0.0, changes[1]),
+                    (100.0, changes[2]), (100.0, changes[3]),
+                    (200.0, changes[4]), (200.0, changes[5]),
+                    (300.0, changes[6]), (300.0, changes[7])]
+        res = pipe.run(arrivals)
+        assert res.sim_duration >= 300.0
+        assert res.utilisation < 0.01
+        verify_kappa(m)
+
+    def test_empty_stream(self):
+        sub = erdos_renyi(20, 40, seed=7)
+        rt = SimulatedRuntime()
+        m = make_maintainer(sub, "mod", rt)
+        res = StreamPipeline(m, rt, threads=4).run([])
+        assert res.batches == 0 and res.changes_processed == 0
+
+    def test_stable_property_small_runs(self):
+        tiny = PipelineResult(4, 4, 2, 1.0, 0.1, batch_sizes=[2, 2])
+        assert tiny.stable
+        backlog = PipelineResult(40, 40, 2, 1.0, 1.0, batch_sizes=[2, 38],
+                                 final_queue=5)
+        assert not backlog.stable
+
+
+class TestMachineProperties:
+    @given(st.floats(0.0, 1.0), st.integers(1, 32), st.integers(1, 32))
+    @settings(max_examples=60, deadline=None)
+    def test_mem_multiplier_at_least_one_fraction(self, mu, b, t):
+        p = WorkloadProfile(memory_bound_fraction=mu, bandwidth_threads=b)
+        assert p.mem_multiplier(t) >= 1.0 - 1e-9
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_numa_multiplier_bounds(self, t):
+        m = MachineSpec()
+        mult = m.numa_multiplier(t)
+        assert 1.0 <= mult <= 1.0 + m.numa_remote_penalty
+
+    @given(st.floats(0.0, 0.9), st.floats(0.0, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_more_memory_bound_never_faster_past_knee(self, mu1, mu2):
+        lo, hi = sorted((mu1, mu2))
+        t = 32
+        p_lo = WorkloadProfile(memory_bound_fraction=lo, bandwidth_threads=8)
+        p_hi = WorkloadProfile(memory_bound_fraction=hi, bandwidth_threads=8)
+        assert p_hi.mem_multiplier(t) >= p_lo.mem_multiplier(t) - 1e-9
+
+
+class TestTraceProtocolDepth:
+    def test_record_mixed_rounds(self, tmp_path):
+        g = erdos_renyi(50, 120, seed=8)
+        proto = BatchProtocol(g, seed=9)
+        path = tmp_path / "mixed.trace"
+        record_protocol(proto, batch_size=6, rounds=2, dst=path, kind="mixed")
+        batches = read_trace(path)
+        assert len(batches) == 6  # (prep, mixed, restore) x 2
+        # replaying restores the original structure
+        g2 = erdos_renyi(50, 120, seed=8)
+        for b in batches:
+            for c in b:
+                g2.apply(c)
+        assert sorted(g2.edges()) == sorted(erdos_renyi(50, 120, seed=8).edges())
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("# nothing here\n")
+        assert read_trace(path) == []
+
+
+class TestLongStreamSoak:
+    """Longer-horizon soak: many small batches, periodic verification."""
+
+    @pytest.mark.parametrize("algorithm", ["mod", "setmb", "hybrid"])
+    def test_fifty_round_soak(self, algorithm):
+        g = powerlaw_social(120, 6, seed=10)
+        m = make_maintainer(g, algorithm)
+        proto = BatchProtocol(g, seed=11)
+        rng = random.Random(12)
+        for i in range(50):
+            kind = rng.choice(("reinsert", "mixed"))
+            if kind == "reinsert":
+                deletion, insertion = proto.remove_reinsert(rng.randint(1, 12))
+                m.apply_batch(deletion)
+                m.apply_batch(insertion)
+            else:
+                prep, mixed, restore = proto.mixed(rng.randint(2, 10))
+                m.apply_batch(prep)
+                m.apply_batch(mixed)
+                m.apply_batch(restore)
+            if i % 10 == 9:
+                verify_kappa(m)
+        verify_kappa(m)

@@ -1,0 +1,241 @@
+"""Tests for the distributed (§VI) exploration: cluster simulation,
+partitioners, distributed static computation and maintenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.peel import peel
+from repro.core.verify import diff_kappa
+from repro.distributed.cluster import ClusterMetrics, ClusterSpec, SimulatedCluster
+from repro.distributed.core import DistributedHIndex, DistributedModMaintainer
+from repro.distributed.partition import (
+    degree_balanced_partition,
+    hash_partition,
+    partition_counts,
+)
+from repro.graph.batch import BatchProtocol
+from repro.graph.generators import (
+    affiliation_hypergraph,
+    erdos_renyi,
+    powerlaw_social,
+)
+
+
+class TestPartitioners:
+    def test_hash_partition_covers_all(self, fig1_graph):
+        p = hash_partition(fig1_graph, 3)
+        assert set(p) == set(fig1_graph.vertices())
+        assert all(0 <= n < 3 for n in p.values())
+
+    def test_hash_partition_deterministic(self, fig1_graph):
+        assert hash_partition(fig1_graph, 4) == hash_partition(fig1_graph, 4)
+
+    def test_degree_balanced_partition_balances_work(self):
+        g = powerlaw_social(300, 10, seed=1)
+        nodes = 4
+        for strategy in (hash_partition, degree_balanced_partition):
+            p = strategy(g, nodes)
+            loads = [0] * nodes
+            for v, n in p.items():
+                loads[n] += g.degree(v)
+            if strategy is degree_balanced_partition:
+                balanced = max(loads) / (sum(loads) / nodes)
+                assert balanced < 1.05  # LPT is near-perfect here
+
+    def test_single_node_allowed(self, fig1_graph):
+        p = hash_partition(fig1_graph, 1)
+        assert set(p.values()) == {0}
+
+    def test_zero_nodes_rejected(self, fig1_graph):
+        with pytest.raises(ValueError):
+            hash_partition(fig1_graph, 0)
+        with pytest.raises(ValueError):
+            degree_balanced_partition(fig1_graph, 0)
+
+    def test_partition_counts(self, fig1_graph):
+        p = hash_partition(fig1_graph, 2)
+        counts = partition_counts(p, 2)
+        assert sum(counts) == fig1_graph.num_vertices()
+
+
+class TestCluster:
+    def test_superstep_message_delivery(self):
+        c = SimulatedCluster(ClusterSpec(nodes=2))
+        c.begin_superstep()
+        c.send(0, 1, "hello")
+        assert c.inbox(1) == []  # not yet delivered
+        c.end_superstep()
+        c.begin_superstep()
+        assert c.inbox(1) == ["hello"]
+        c.end_superstep()
+        assert c.metrics.messages == 1
+
+    def test_local_delivery_free(self):
+        c = SimulatedCluster(ClusterSpec(nodes=2))
+        c.begin_superstep()
+        c.send(0, 0, "self")
+        c.end_superstep()
+        assert c.metrics.messages == 0
+        assert c.metrics.local_deliveries == 1
+
+    def test_elapsed_is_max_over_nodes(self):
+        spec = ClusterSpec(nodes=2, network_latency_ns=0.0, msg_ns=0.0)
+        c = SimulatedCluster(spec)
+        c.begin_superstep()
+        c.charge(0, 100)
+        c.charge(1, 10)
+        c.end_superstep()
+        assert c.metrics.elapsed_ns == pytest.approx(100 * spec.work_unit_ns)
+
+    def test_latency_charged_per_superstep(self):
+        spec = ClusterSpec(nodes=2, network_latency_ns=1000.0)
+        c = SimulatedCluster(spec)
+        for _ in range(3):
+            c.begin_superstep()
+            c.end_superstep()
+        assert c.metrics.elapsed_ns == pytest.approx(3000.0)
+
+    def test_single_node_pays_no_latency(self):
+        c = SimulatedCluster(ClusterSpec(nodes=1, network_latency_ns=1000.0))
+        c.begin_superstep()
+        c.end_superstep()
+        assert c.metrics.elapsed_ns == 0.0
+
+    def test_lifecycle_guards(self):
+        c = SimulatedCluster(ClusterSpec(nodes=1))
+        with pytest.raises(RuntimeError):
+            c.end_superstep()
+        c.begin_superstep()
+        with pytest.raises(RuntimeError):
+            c.begin_superstep()
+        c.end_superstep()
+        with pytest.raises(RuntimeError):
+            c.charge(0, 1)
+
+    def test_load_imbalance_metric(self):
+        m = ClusterMetrics(work_units_per_node=[10.0, 30.0])
+        assert m.load_imbalance() == pytest.approx(1.5)
+        assert ClusterMetrics().load_imbalance() == 1.0
+
+    def test_bad_spec(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=0)
+
+
+class TestDistributedStatic:
+    @pytest.mark.parametrize("nodes", [1, 2, 5])
+    def test_matches_peel_on_graphs(self, nodes):
+        g = powerlaw_social(150, 7, seed=3)
+        d = DistributedHIndex(g, ClusterSpec(nodes=nodes))
+        d.activate_all()
+        assert d.run() == peel(g)
+
+    @pytest.mark.parametrize("nodes", [1, 3])
+    def test_matches_peel_on_hypergraphs(self, nodes):
+        h = affiliation_hypergraph(60, 90, 4.0, seed=4)
+        d = DistributedHIndex(h, ClusterSpec(nodes=nodes))
+        d.activate_all()
+        assert d.run() == peel(h)
+
+    def test_partition_choice_does_not_change_result(self):
+        g = erdos_renyi(80, 200, seed=5)
+        for strategy in (hash_partition, degree_balanced_partition):
+            d = DistributedHIndex(g, ClusterSpec(nodes=4),
+                                  partition=strategy(g, 4))
+            d.activate_all()
+            assert d.run() == peel(g)
+
+    def test_message_volume_zero_on_single_node(self):
+        g = erdos_renyi(60, 150, seed=6)
+        d = DistributedHIndex(g, ClusterSpec(nodes=1))
+        d.activate_all()
+        d.run()
+        assert d.cluster.metrics.messages == 0
+
+    def test_message_combining_reduces_wire_messages(self):
+        """The Pregel combiner ablation: one wire message per node pair
+        per superstep instead of one per value update -- identical
+        results, far fewer messages."""
+        g = powerlaw_social(150, 7, seed=21)
+        results = {}
+        messages = {}
+        for combine in (False, True):
+            d = DistributedHIndex(
+                g, ClusterSpec(nodes=4, combine_messages=combine))
+            d.activate_all()
+            results[combine] = d.run()
+            messages[combine] = d.cluster.metrics.messages
+        assert results[False] == results[True] == peel(g)
+        assert messages[True] < messages[False] / 2
+
+    def test_combined_payloads_delivered(self):
+        from repro.distributed.cluster import SimulatedCluster
+
+        c = SimulatedCluster(ClusterSpec(nodes=2, combine_messages=True))
+        c.begin_superstep()
+        c.send(0, 1, "a")
+        c.send(0, 1, "b")
+        c.send(0, 1, "c")
+        c.end_superstep()
+        c.begin_superstep()
+        assert sorted(c.inbox(1)) == ["a", "b", "c"]
+        c.end_superstep()
+        assert c.metrics.messages == 1  # one combined wire message
+
+    def test_messages_grow_with_nodes(self):
+        g = powerlaw_social(200, 7, seed=7)
+        volumes = []
+        for nodes in (2, 8):
+            d = DistributedHIndex(g, ClusterSpec(nodes=nodes))
+            d.activate_all()
+            d.run()
+            volumes.append(d.cluster.metrics.messages)
+        assert volumes[1] > volumes[0]
+
+
+class TestDistributedMaintenance:
+    @pytest.mark.parametrize("nodes", [1, 2, 4])
+    def test_graph_stream_matches_oracle(self, nodes):
+        g = powerlaw_social(120, 6, seed=8)
+        m = DistributedModMaintainer(g, ClusterSpec(nodes=nodes))
+        proto = BatchProtocol(g, seed=9)
+        for _ in range(3):
+            deletion, insertion = proto.remove_reinsert(10)
+            m.apply_batch(deletion)
+            assert diff_kappa(m.kappa(), peel(g)) == []
+            m.apply_batch(insertion)
+            assert diff_kappa(m.kappa(), peel(g)) == []
+
+    def test_hypergraph_pin_stream_matches_oracle(self):
+        h = affiliation_hypergraph(50, 80, 4.0, seed=10)
+        m = DistributedModMaintainer(h, ClusterSpec(nodes=3))
+        proto = BatchProtocol(h, seed=11)
+        for _ in range(3):
+            deletion, insertion = proto.remove_reinsert(8)
+            m.apply_batch(deletion)
+            assert diff_kappa(m.kappa(), peel(h)) == []
+            m.apply_batch(insertion)
+            assert diff_kappa(m.kappa(), peel(h)) == []
+
+    def test_safe_policy_variant(self):
+        g = erdos_renyi(80, 200, seed=12)
+        m = DistributedModMaintainer(g, ClusterSpec(nodes=2),
+                                     increment_policy="safe")
+        proto = BatchProtocol(g, seed=13)
+        deletion, insertion = proto.remove_reinsert(12)
+        m.apply_batch(deletion)
+        m.apply_batch(insertion)
+        assert diff_kappa(m.kappa(), peel(g)) == []
+
+    def test_metrics_exposed(self):
+        g = erdos_renyi(60, 150, seed=14)
+        m = DistributedModMaintainer(g, ClusterSpec(nodes=2))
+        proto = BatchProtocol(g, seed=15)
+        deletion, insertion = proto.remove_reinsert(5)
+        m.apply_batch(deletion)
+        m.apply_batch(insertion)
+        metrics = m.cluster.metrics
+        assert metrics.supersteps > 0
+        assert metrics.elapsed_seconds() > 0
+        assert m.batches_processed == 2

@@ -1,0 +1,61 @@
+"""Property-based tests for the distributed engine: any graph, any
+partition, any message-combining mode -- same core values."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.peel import peel
+from repro.distributed.cluster import ClusterSpec
+from repro.distributed.core import DistributedHIndex, DistributedModMaintainer
+from repro.graph.batch import Batch
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.substrate import graph_edge_changes
+
+N = 12
+
+
+@st.composite
+def graph_partition_cases(draw):
+    pairs = st.tuples(st.integers(0, N - 1), st.integers(0, N - 1))
+    edges = [(u, v) for u, v in draw(st.sets(pairs, max_size=30)) if u != v]
+    nodes = draw(st.integers(1, 4))
+    g = DynamicGraph.from_edges(edges)
+    partition = {v: draw(st.integers(0, nodes - 1)) for v in g.vertices()}
+    combine = draw(st.booleans())
+    return g, nodes, partition, combine
+
+
+class TestDistributedProperties:
+    @given(case=graph_partition_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_static_matches_peel_for_any_partition(self, case):
+        g, nodes, partition, combine = case
+        if g.num_vertices() == 0:
+            return
+        d = DistributedHIndex(
+            g, ClusterSpec(nodes=nodes, combine_messages=combine),
+            partition=dict(partition))
+        d.activate_all()
+        assert d.run() == peel(g)
+
+    @given(case=graph_partition_cases(),
+           ops=st.lists(st.tuples(st.booleans(),
+                                  st.tuples(st.integers(0, N - 1),
+                                            st.integers(0, N - 1))),
+                        max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_maintenance_matches_peel_for_any_partition(self, case, ops):
+        g, nodes, partition, combine = case
+        if g.num_vertices() == 0:
+            return
+        m = DistributedModMaintainer(
+            g, ClusterSpec(nodes=nodes, combine_messages=combine),
+            partition=dict(partition))
+        batch = Batch()
+        for insert, (u, v) in ops:
+            if u != v:
+                batch.extend(graph_edge_changes(u, v, insert))
+        m.apply_batch(batch)
+        assert m.kappa() == peel(g)

@@ -1,0 +1,39 @@
+"""Run the doctests embedded in module and API docstrings.
+
+Keeps every ``>>>`` example in the documentation executable and correct.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+
+import pytest
+
+# importlib avoids attribute shadowing: e.g. ``repro.core.peel`` the
+# *function* is re-exported from the package and hides the submodule
+MODULE_NAMES = [
+    "repro",
+    "repro.core.peel",
+    "repro.core.queries",
+    "repro.eval.datasets",
+    "repro.graph.dynamic_graph",
+    "repro.graph.dynamic_hypergraph",
+    "repro.graph.streams",
+    "repro.graph.substrate",
+    "repro.structures.bitset64",
+    "repro.structures.bucket_queue",
+    "repro.structures.disjoint_set",
+    "repro.structures.hindex",
+    "repro.structures.level_accumulator",
+]
+
+
+@pytest.mark.parametrize("name", MODULE_NAMES)
+def test_doctests(name):
+    module = importlib.import_module(name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {name}"
+    # at least the package front page must carry runnable examples
+    if name == "repro":
+        assert results.attempted >= 3

@@ -1,0 +1,143 @@
+"""Unit tests for DynamicGraph and the substrate change protocol."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.substrate import Change, edge_id, graph_edge_changes, hyperedge_changes
+from repro.graph.validate import InvariantError, check_graph
+
+
+class TestEdgeId:
+    def test_canonical_order(self):
+        assert edge_id(2, 1) == (1, 2)
+        assert edge_id(1, 2) == (1, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            edge_id(3, 3)
+
+    def test_string_labels(self):
+        assert edge_id("b", "a") == ("a", "b")
+
+
+class TestChange:
+    def test_direction_symbol(self):
+        assert Change((1, 2), 1, True).c == "+"
+        assert Change((1, 2), 1, False).c == "-"
+
+    def test_inverse(self):
+        c = Change((1, 2), 1, True)
+        assert c.inverse() == Change((1, 2), 1, False)
+        assert c.inverse().inverse() == c
+
+    def test_graph_edge_changes_pair(self):
+        changes = graph_edge_changes(5, 2, True)
+        assert len(changes) == 2
+        assert {c.vertex for c in changes} == {2, 5}
+        assert all(c.edge == (2, 5) and c.insert for c in changes)
+
+    def test_hyperedge_changes(self):
+        changes = hyperedge_changes("e", [1, 2, 3], False)
+        assert [c.vertex for c in changes] == [1, 2, 3]
+        assert all(not c.insert for c in changes)
+
+
+class TestDynamicGraph:
+    def test_add_remove_roundtrip(self):
+        g = DynamicGraph()
+        assert g.add_edge(1, 2)
+        assert not g.add_edge(2, 1)  # duplicate (either orientation)
+        assert g.num_edges() == 1
+        assert g.remove_edge(1, 2)
+        assert not g.remove_edge(1, 2)
+        assert g.num_edges() == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicGraph().add_edge(1, 1)
+
+    def test_implicit_vertex_lifecycle(self):
+        g = DynamicGraph()
+        g.add_edge(1, 2)
+        assert g.has_vertex(1) and g.num_vertices() == 2
+        g.remove_edge(1, 2)
+        assert not g.has_vertex(1) and g.num_vertices() == 0
+
+    def test_hypersparse_labels(self):
+        g = DynamicGraph()
+        g.add_edge(10**15, 7)
+        assert g.degree(10**15) == 1
+
+    def test_degree_and_neighbors(self, triangle_tail):
+        assert triangle_tail.degree(2) == 3
+        assert set(triangle_tail.neighbors(2)) == {0, 1, 3}
+        assert triangle_tail.degree(99) == 0
+
+    def test_edges_each_once(self, triangle_tail):
+        assert sorted(triangle_tail.edges()) == [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+    def test_substrate_view(self, triangle_tail):
+        g = triangle_tail
+        assert g.num_pins() == 2 * g.num_edges()
+        assert set(g.incident(3)) == {(2, 3)}
+        assert g.pins((2, 3)) == (2, 3)
+        assert g.pin_count((2, 3)) == 2
+        assert g.has_pin((2, 3), 3)
+        assert not g.has_pin((0, 3), 3)  # edge absent
+
+    def test_apply_insert_pair_second_noop(self):
+        g = DynamicGraph()
+        c1, c2 = graph_edge_changes(1, 2, True)
+        assert g.apply(c1)
+        assert not g.apply(c2)
+        assert g.num_edges() == 1
+
+    def test_apply_foreign_pin_rejected(self):
+        g = DynamicGraph()
+        with pytest.raises(ValueError):
+            g.apply(Change((1, 2), 3, True))
+
+    def test_copy_independent(self, triangle_tail):
+        c = triangle_tail.copy()
+        c.remove_edge(0, 1)
+        assert triangle_tail.has_graph_edge(0, 1)
+
+    def test_max_degree_histogram(self, triangle_tail):
+        assert triangle_tail.max_degree() == 3
+        assert triangle_tail.degree_histogram() == {1: 1, 2: 2, 3: 1}
+
+    def test_from_edges_dedups(self):
+        g = DynamicGraph.from_edges([(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges() == 1
+
+    def test_validate_passes(self, triangle_tail):
+        check_graph(triangle_tail)
+
+    def test_validate_catches_corruption(self, triangle_tail):
+        # reach into internals to break symmetry
+        triangle_tail._adj[0].add(3)
+        with pytest.raises(InvariantError):
+            check_graph(triangle_tail)
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 8), st.integers(0, 8)),
+                    max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_random_ops_keep_invariants(self, ops):
+        g = DynamicGraph()
+        model = set()
+        for insert, u, v in ops:
+            if u == v:
+                continue
+            e = edge_id(u, v)
+            if insert:
+                assert g.add_edge(u, v) == (e not in model)
+                model.add(e)
+            else:
+                assert g.remove_edge(u, v) == (e in model)
+                model.discard(e)
+        assert sorted(g.edges()) == sorted(model)
+        check_graph(g)

@@ -1,0 +1,176 @@
+"""Unit tests for DynamicHypergraph and the MinCache optimisation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.dynamic_hypergraph import DynamicHypergraph, MinCache
+from repro.graph.substrate import Change
+from repro.graph.validate import InvariantError, check_hypergraph
+
+
+class TestDynamicHypergraph:
+    def test_add_remove_pin(self):
+        h = DynamicHypergraph()
+        assert h.add_pin("e", 1)
+        assert not h.add_pin("e", 1)
+        assert h.remove_pin("e", 1)
+        assert not h.remove_pin("e", 1)
+
+    def test_implicit_edge_lifecycle(self):
+        h = DynamicHypergraph()
+        h.add_pin("e", 1)
+        assert h.has_edge("e")
+        h.remove_pin("e", 1)
+        assert not h.has_edge("e") and h.num_edges() == 0
+
+    def test_implicit_vertex_lifecycle(self):
+        h = DynamicHypergraph()
+        h.add_pin("e", 1)
+        h.add_pin("f", 1)
+        h.remove_pin("e", 1)
+        assert h.has_vertex(1)
+        h.remove_pin("f", 1)
+        assert not h.has_vertex(1)
+
+    def test_degree_is_incident_edge_count(self, fig2_hypergraph):
+        # vertex 4 pins hyperedges b, c, d, e
+        assert fig2_hypergraph.degree(4) == 4
+
+    def test_neighbors_across_edges(self, fig2_hypergraph):
+        assert fig2_hypergraph.neighbors(5) == {4, 6, 7}
+
+    def test_counts(self, fig2_hypergraph):
+        assert fig2_hypergraph.num_edges() == 6
+        assert fig2_hypergraph.num_pins() == 3 + 3 + 3 + 3 + 2 + 3
+
+    def test_from_iterable_gets_integer_ids(self):
+        h = DynamicHypergraph.from_hyperedges([[1, 2], [2, 3, 4]])
+        assert set(h.edge_ids()) == {0, 1}
+
+    def test_apply_changes(self):
+        h = DynamicHypergraph()
+        assert h.apply(Change("e", 1, True))
+        assert h.apply(Change("e", 2, True))
+        assert not h.apply(Change("e", 2, True))
+        assert h.apply(Change("e", 1, False))
+        assert h.pin_count("e") == 1
+
+    def test_remove_hyperedge(self, fig2_hypergraph):
+        fig2_hypergraph.remove_hyperedge("a")
+        assert not fig2_hypergraph.has_edge("a")
+        check_hypergraph(fig2_hypergraph)
+
+    def test_copy_independent(self, fig2_hypergraph):
+        c = fig2_hypergraph.copy()
+        c.remove_pin("a", 1)
+        assert fig2_hypergraph.has_pin("a", 1)
+
+    def test_max_stats(self, fig2_hypergraph):
+        assert fig2_hypergraph.max_degree() == 4
+        assert fig2_hypergraph.max_pin_count() == 3
+
+    def test_validate_catches_corruption(self, fig2_hypergraph):
+        fig2_hypergraph._pins["a"].add(99)  # missing incidence
+        with pytest.raises(InvariantError):
+            check_hypergraph(fig2_hypergraph)
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 5), st.integers(0, 6)),
+                    max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_random_pin_ops_keep_invariants(self, ops):
+        h = DynamicHypergraph()
+        model = set()
+        for insert, e, v in ops:
+            if insert:
+                assert h.add_pin(e, v) == ((e, v) not in model)
+                model.add((e, v))
+            else:
+                assert h.remove_pin(e, v) == ((e, v) in model)
+                model.discard((e, v))
+        assert h.num_pins() == len(model)
+        check_hypergraph(h)
+
+
+class TestMinCache:
+    def make(self, enabled=True):
+        h = DynamicHypergraph.from_hyperedges({"e": [1, 2, 3], "f": [3, 4]})
+        tau = {1: 5, 2: 3, 3: 7, 4: 2}
+        return h, tau, MinCache(h, tau, enabled=enabled)
+
+    def test_edge_min(self):
+        _, _, cache = self.make()
+        assert cache.edge_min("e") == 3
+        assert cache.edge_min("f") == 2
+
+    def test_min_excluding_non_witness(self):
+        _, _, cache = self.make()
+        assert cache.min_excluding("e", 1) == 3  # min stays at vertex 2
+
+    def test_min_excluding_witness_rescans(self):
+        _, _, cache = self.make()
+        assert cache.min_excluding("e", 2) == 5  # excluding the witness
+
+    def test_min_excluding_singleton_is_inf(self):
+        h = DynamicHypergraph.from_hyperedges({"g": [9]})
+        cache = MinCache(h, {9: 4})
+        assert cache.min_excluding("g", 9) == math.inf
+
+    def test_value_drop_updates_cache(self):
+        _, tau, cache = self.make()
+        cache.edge_min("e")
+        tau[1] = 0
+        cache.on_value_change(1)
+        assert cache.edge_min("e") == 0
+
+    def test_witness_rise_rescans(self):
+        _, tau, cache = self.make()
+        cache.edge_min("e")  # witness is 2 at value 3
+        tau[2] = 10
+        cache.on_value_change(2)
+        assert cache.edge_min("e") == 5  # now vertex 1
+
+    def test_invalidate_on_pin_change(self):
+        h, tau, cache = self.make()
+        cache.edge_min("f")
+        h.add_pin("f", 5)
+        tau[5] = 1
+        cache.invalidate("f")
+        assert cache.edge_min("f") == 1
+
+    def test_disabled_always_scans(self):
+        h, tau, cache = self.make(enabled=False)
+        assert cache.min_excluding("e", 2) == 5
+        tau[3] = 0
+        # no notification needed when disabled
+        assert cache.min_excluding("e", 2) == 0
+
+    def test_charge_hook_counts_reads(self):
+        h = DynamicHypergraph.from_hyperedges({"e": [1, 2, 3]})
+        reads = []
+        cache = MinCache(h, {1: 1, 2: 2, 3: 3}, charge=reads.append)
+        cache.edge_min("e")
+        assert sum(reads) >= 3
+
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 9)), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_cache_matches_rescan_under_value_churn(self, updates):
+        h = DynamicHypergraph.from_hyperedges(
+            {"e": [0, 1, 2], "f": [2, 3, 4], "g": [0, 4]}
+        )
+        tau = {v: 5 for v in range(5)}
+        cache = MinCache(h, tau)
+        for v, new in updates:
+            tau[v] = new
+            cache.on_value_change(v)
+            for e in ("e", "f", "g"):
+                pins = list(h.pins(e))
+                assert cache.edge_min(e) == min(tau[w] for w in pins)
+                for x in pins:
+                    others = [tau[w] for w in pins if w != x]
+                    expect = min(others) if others else math.inf
+                    assert cache.min_excluding(e, x) == expect

@@ -1,0 +1,45 @@
+"""Smoke tests for the ``python -m repro.eval`` CLI runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.__main__ import FIGURES, main
+
+
+class TestCLI:
+    def test_tables(self, capsys):
+        assert main(["tables", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "OrkutLinks" in out and "WebTrackers" in out
+
+    def test_figure_runs(self, capsys):
+        assert main(["figure", "7", "--datasets", "Google",
+                     "--scale", "0.2", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "setmb / insert" in out
+        assert "speedup" in out
+
+    def test_figure_hypergraph(self, capsys):
+        assert main(["figure", "11", "--datasets", "LiveJGroup",
+                     "--scale", "0.2", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mod / delete" in out
+
+    def test_latency(self, capsys):
+        assert main(["latency", "--algorithm", "setmb",
+                     "--datasets", "Google", "--scale", "0.2",
+                     "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+
+    def test_figure_registry_covers_paper(self):
+        assert sorted(FIGURES) == [6, 7, 8, 9, 10, 11, 12]
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "13"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

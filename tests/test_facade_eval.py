@@ -1,0 +1,198 @@
+"""Tests for the CoreMaintainer facade, dataset registry, experiment
+harness and table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.maintainer import CoreMaintainer, make_maintainer
+from repro.core.peel import peel
+from repro.core.verify import verify_kappa
+from repro.eval.datasets import DATASETS, GRAPH_DATASETS, HYPERGRAPH_DATASETS, load_dataset
+from repro.eval.harness import run_latency_vs_static, run_scalability
+from repro.eval.stats import Stats
+from repro.eval.tables import (
+    format_latency_vs_static,
+    format_scalability,
+    format_speedups,
+    format_table1,
+    format_table2,
+)
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+
+
+class TestFacade:
+    def test_graph_lifecycle(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        m = CoreMaintainer(g, algorithm="mod")
+        assert m.kappa_of(0) == 2
+        m.insert_edge(2, 3)
+        assert m.kappa_of(3) == 1
+        m.remove_edge(2, 3)
+        assert m.kappa_of(3) == 0
+        verify_kappa(m.impl)
+
+    def test_bulk_edges(self):
+        g = DynamicGraph()
+        m = CoreMaintainer(g, algorithm="setmb")
+        m.insert_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert m.kappa() == peel(g)
+        m.remove_edges([(0, 1), (2, 3)])
+        assert m.kappa() == peel(g)
+
+    def test_hyperedge_api(self):
+        h = DynamicHypergraph()
+        m = CoreMaintainer(h, algorithm="mod")
+        m.insert_hyperedge("e1", [1, 2, 3])
+        m.insert_hyperedge("e2", [2, 3])
+        m.insert_pin("e1", 4)
+        assert m.kappa() == peel(h)
+        m.remove_pin("e1", 4)
+        m.remove_hyperedge("e2")
+        assert m.kappa() == peel(h)
+
+    def test_k_core_query(self, fig1_graph):
+        m = CoreMaintainer(fig1_graph)
+        assert m.k_core(3) == [{0, 1, 2, 3}]
+
+    def test_query_conveniences(self, fig1_graph):
+        m = CoreMaintainer(fig1_graph)
+        assert m.spectrum() == {1: 3, 2: 3, 3: 4}
+        k, comps = m.densest()
+        assert k == 3 and comps == [{0, 1, 2, 3}]
+        assert m.shell_of(4) == {4, 5, 6}
+
+    def test_queries_track_updates(self, fig1_graph):
+        m = CoreMaintainer(fig1_graph)
+        m.remove_edge(0, 1)
+        assert m.densest()[0] == 2  # the K4 broke
+
+    def test_unknown_algorithm(self, fig1_graph):
+        with pytest.raises(ValueError):
+            make_maintainer(fig1_graph, "quantum")
+
+    def test_algorithm_property(self, fig1_graph):
+        assert CoreMaintainer(fig1_graph, algorithm="order").algorithm == "order"
+
+    def test_repr(self, fig1_graph):
+        assert "mod" in repr(CoreMaintainer(fig1_graph, algorithm="mod"))
+
+
+class TestStats:
+    def test_of_samples(self):
+        s = Stats.of([1.0, 2.0, 3.0])
+        assert s.mean == 2.0 and s.median == 2.0
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.n == 3
+
+    def test_even_median(self):
+        assert Stats.of([1.0, 2.0, 3.0, 4.0]).median == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Stats.of([])
+
+    def test_cv_and_tail(self):
+        s = Stats.of([1.0, 1.0, 1.0, 9.0])
+        assert s.cv > 1.0
+        assert s.tail_ratio == 9.0
+
+    def test_format(self):
+        assert "±" in Stats.of([0.001, 0.002]).format()
+
+
+class TestDatasets:
+    def test_registry_covers_tables(self):
+        assert len(GRAPH_DATASETS) == 8  # Table I rows
+        assert len(HYPERGRAPH_DATASETS) == 3  # Table II rows
+
+    def test_load_by_name(self):
+        g = load_dataset("DBLP", scale=0.2)
+        assert g.num_edges() > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            load_dataset("Friendster")
+
+    def test_paper_rows(self):
+        spec = DATASETS["OrkutLinks"]
+        assert spec.paper_row() == ("OrkutLinks", 3.07e6, 240e6)
+        assert len(DATASETS["WebTrackers"].paper_row()) == 4
+
+    def test_hypergraph_datasets_are_hypergraphs(self):
+        for name in HYPERGRAPH_DATASETS:
+            assert load_dataset(name, scale=0.1).is_hypergraph
+
+    def test_deterministic_loads(self):
+        a = load_dataset("Google", scale=0.5)
+        b = load_dataset("Google", scale=0.5)
+        assert a.num_edges() == b.num_edges()
+
+    def test_webtrackers_memory_bound(self):
+        assert DATASETS["WebTrackers"].profile.memory_bound_fraction > 0.5
+
+
+class TestHarness:
+    def test_scalability_result_shape(self):
+        r = run_scalability("DBLP", "mod", direction="insert",
+                            batch_sizes=(10,), rounds=2, scale=0.25,
+                            thread_counts=(1, 2, 4))
+        assert r.batch_sizes == (10,)
+        assert set(r.times[10]) == {1, 2, 4}
+        assert all(s.n == 2 for s in r.times[10].values())
+        assert r.speedup(10, 1) == 1.0
+        assert r.best_threads(10) in (1, 2, 4)
+
+    def test_directions_validated(self):
+        with pytest.raises(ValueError):
+            run_scalability("DBLP", "mod", direction="sideways")
+
+    def test_delete_direction_runs(self):
+        r = run_scalability("Google", "setmb", direction="delete",
+                            batch_sizes=(5,), rounds=1, scale=0.25,
+                            thread_counts=(1, 2))
+        assert r.times[5][1].mean > 0
+
+    def test_mixed_direction_runs(self):
+        r = run_scalability("YouTube", "mod", direction="mixed",
+                            batch_sizes=(6,), rounds=1, scale=0.2,
+                            thread_counts=(1, 2))
+        assert r.times[6][2].mean > 0
+
+    def test_latency_vs_static(self):
+        r = run_latency_vs_static("Google", "setmb", batch_sizes=(1, 5),
+                                  rounds=1, scale=0.25)
+        assert r.static_time is not None and r.static_time[1] > 0
+        text = format_latency_vs_static(r, 1)
+        assert "improvement" in text
+
+    def test_latency_table_needs_static(self):
+        r = run_scalability("Google", "mod", batch_sizes=(2,), rounds=1,
+                            scale=0.2, thread_counts=(1,))
+        with pytest.raises(ValueError):
+            format_latency_vs_static(r, 1)
+
+
+class TestTables:
+    def test_table1_contains_all_graphs(self):
+        text = format_table1(with_synthetic=False)
+        for name in GRAPH_DATASETS:
+            assert name in text
+
+    def test_table2_contains_all_hypergraphs(self):
+        text = format_table2(with_synthetic=False)
+        for name in HYPERGRAPH_DATASETS:
+            assert name in text
+
+    def test_table1_synthetic_columns(self):
+        text = format_table1(scale=0.2)
+        assert "synthetic" in text
+
+    def test_scalability_rendering(self):
+        r = run_scalability("DBLP", "mod", batch_sizes=(5,), rounds=1,
+                            scale=0.2, thread_counts=(1, 2))
+        text = format_scalability(r)
+        assert "batch=5" in text and "threads" in text
+        sp = format_speedups(r)
+        assert "1.00x" in sp

@@ -1,0 +1,148 @@
+"""Failure-injection tests: misuse, corruption, and drift detection.
+
+A production library's error paths deserve the same coverage as its happy
+paths.  These tests corrupt state, bypass interfaces, and misuse APIs, and
+assert the failure is *detected* (never silent wrong answers).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.maintainer import CoreMaintainer
+from repro.core.mod import ModMaintainer
+from repro.core.verify import VerificationError, verify_kappa
+from repro.graph.batch import Batch
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+from repro.graph.substrate import Change, graph_edge_changes
+from repro.graph.validate import InvariantError, check
+from repro.parallel.simulated import SimulatedRuntime
+
+
+class TestBehindTheBackMutation:
+    """Mutating the substrate directly (not through the maintainer) makes
+    maintained values stale -- verify_kappa must catch it."""
+
+    def test_direct_edge_add_detected(self, fig1_graph):
+        m = CoreMaintainer(fig1_graph, algorithm="mod")
+        fig1_graph.add_edge(7, 9)  # behind the maintainer's back
+        fig1_graph.add_edge(8, 9)
+        fig1_graph.add_edge(8, 4)
+        with pytest.raises(VerificationError):
+            verify_kappa(m.impl)
+
+    def test_direct_removal_detected(self, fig1_graph):
+        m = CoreMaintainer(fig1_graph, algorithm="setmb")
+        fig1_graph.remove_edge(0, 1)
+        fig1_graph.remove_edge(2, 3)
+        with pytest.raises(VerificationError):
+            verify_kappa(m.impl)
+
+    def test_recovery_by_reconverging(self, fig1_graph):
+        """After drift, re-seeding from a fresh static computation heals
+        the maintainer (the documented recovery path)."""
+        m = ModMaintainer(fig1_graph)
+        fig1_graph.add_edge(7, 9)
+        fig1_graph.add_edge(8, 9)
+        from repro.core.static import static_hindex
+
+        fresh = ModMaintainer(fig1_graph, tau=static_hindex(fig1_graph))
+        assert verify_kappa(fresh) == []
+
+
+class TestStateCorruption:
+    def test_tau_corruption_detected(self, fig1_graph):
+        m = ModMaintainer(fig1_graph)
+        m.tau[4] = 99
+        errors = verify_kappa(m, raise_on_mismatch=False)
+        assert errors == [(4, 99, 2)]
+
+    def test_structure_corruption_detected(self, fig2_hypergraph):
+        fig2_hypergraph._incidence[1].add("ghost-edge")
+        with pytest.raises(InvariantError):
+            check(fig2_hypergraph)
+
+    def test_mismatch_report_is_informative(self, fig1_graph):
+        m = ModMaintainer(fig1_graph)
+        for v in range(5):
+            m.tau[v] = 77
+        with pytest.raises(VerificationError) as exc:
+            verify_kappa(m)
+        assert "maintained=77" in str(exc.value)
+        assert len(exc.value.mismatches) == 5
+
+
+class TestAPIMisuse:
+    def test_foreign_pin_on_graph_edge(self, fig1_graph):
+        m = CoreMaintainer(fig1_graph)
+        with pytest.raises(ValueError):
+            m.apply_batch(Batch([Change((0, 1), 5, True)]))
+
+    def test_self_loop_rejected_everywhere(self, fig1_graph):
+        m = CoreMaintainer(fig1_graph)
+        with pytest.raises(ValueError):
+            m.insert_edge(3, 3)
+
+    def test_runtime_thread_count_typo(self):
+        rt = SimulatedRuntime(thread_counts=(1, 4))
+        rt.parallel_for([1], lambda x: None)
+        with pytest.raises(KeyError):
+            rt.elapsed_seconds(16)
+
+    def test_idempotent_noop_batches_are_safe(self, fig1_graph):
+        """Applying a batch twice must not corrupt anything: the second
+        application is all no-ops."""
+        m = CoreMaintainer(fig1_graph, algorithm="mod")
+        batch = Batch(graph_edge_changes(7, 9, True))
+        m.apply_batch(batch)
+        k1 = m.kappa()
+        m.apply_batch(Batch(list(batch.changes)))
+        assert m.kappa() == k1
+        verify_kappa(m.impl)
+
+    def test_empty_batch_is_a_noop(self, fig1_graph):
+        for algo in ("mod", "set", "setmb", "hybrid", "traversal", "order"):
+            m = CoreMaintainer(fig1_graph.copy(), algorithm=algo)
+            before = m.kappa()
+            m.apply_batch(Batch())
+            assert m.kappa() == before
+
+    def test_batch_deleting_everything(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        m = CoreMaintainer(g, algorithm="mod")
+        b = Batch()
+        for u, v in list(g.edges()):
+            b.extend(graph_edge_changes(u, v, False))
+        m.apply_batch(b)
+        assert m.kappa() == {}
+        assert g.num_vertices() == 0
+
+    def test_rebuilding_from_empty(self):
+        h = DynamicHypergraph()
+        m = CoreMaintainer(h, algorithm="setmb")
+        assert m.kappa() == {}
+        m.insert_hyperedge("e", [1, 2, 3])
+        verify_kappa(m.impl)
+
+
+class TestNumericEdges:
+    def test_huge_vertex_labels(self):
+        g = DynamicGraph()
+        m = CoreMaintainer(g, algorithm="mod")
+        big = 2**63 - 1
+        m.insert_edge(big, big - 1)
+        m.insert_edge(big, big - 2)
+        m.insert_edge(big - 1, big - 2)
+        assert m.kappa_of(big) == 2
+        verify_kappa(m.impl)
+
+    def test_inf_never_leaks_into_kappa(self):
+        h = DynamicHypergraph()
+        m = CoreMaintainer(h, algorithm="mod")
+        m.insert_hyperedge("solo", [42])  # singleton: min-excl is inf
+        assert m.kappa_of(42) == 1
+        assert all(isinstance(v, int) and not math.isinf(v)
+                   for v in m.kappa().values())

@@ -1,0 +1,294 @@
+"""Tests for the synthetic generators, I/O round-trips, CSR snapshots and
+batch protocol."""
+
+from __future__ import annotations
+
+import io
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.peel import peel
+from repro.graph.batch import Batch, BatchProtocol, invert_batch
+from repro.graph.csr import CSRGraph, CSRHypergraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import (
+    affiliation_hypergraph,
+    barabasi_albert,
+    clique,
+    cooccurrence_hypergraph,
+    core_ladder,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    powerlaw_social,
+    rmat,
+    small_world,
+    star_tracker_hypergraph,
+)
+from repro.graph.io import read_edge_list, read_pin_list, write_edge_list, write_pin_list
+from repro.graph.streams import BurstySchedule, BurstyStream
+from repro.graph.substrate import graph_edge_changes
+from repro.graph.validate import check
+
+
+class TestShapes:
+    def test_path_cores(self):
+        assert set(peel(path_graph(10)).values()) == {1}
+
+    def test_cycle_cores(self):
+        assert set(peel(cycle_graph(7)).values()) == {2}
+
+    def test_clique_cores(self):
+        assert set(peel(clique(6)).values()) == {5}
+
+    def test_clique_offset(self):
+        g = clique(4, offset=100)
+        assert sorted(g.vertices()) == [100, 101, 102, 103]
+
+    def test_core_ladder_levels(self):
+        g = core_ladder(3, width=4)
+        kappa = peel(g)
+        # one clique per level of sizes 4, 5, 6 -> cores 3, 4, 5
+        assert set(kappa.values()) == {3, 4, 5}
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+
+class TestRandomGraphs:
+    def test_er_counts(self):
+        g = erdos_renyi(100, 250, seed=1)
+        assert g.num_edges() == 250
+        check(g)
+
+    def test_er_determinism(self):
+        a = erdos_renyi(50, 100, seed=3)
+        b = erdos_renyi(50, 100, seed=3)
+        assert a.edge_list() == b.edge_list()
+
+    def test_er_too_dense_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(4, 10)
+
+    def test_ba_flat_coreness(self):
+        g = barabasi_albert(300, 4, seed=1)
+        kappa = peel(g)
+        assert max(kappa.values()) == 4
+
+    def test_powerlaw_social_spread_coreness(self):
+        g = powerlaw_social(800, 10, seed=1)
+        levels = Counter(peel(g).values())
+        # the whole point: many distinct core levels, heavy at the bottom
+        assert len(levels) >= 5
+        assert levels[1] > levels[max(levels)]
+
+    def test_rmat_within_bounds(self):
+        g = rmat(9, 4, seed=2)
+        assert g.num_vertices() <= 512
+        check(g)
+
+    def test_small_world(self):
+        g = small_world(60, 3, 0.2, seed=1)
+        check(g)
+        assert g.num_vertices() == 60
+
+    def test_small_world_bad_params(self):
+        with pytest.raises(ValueError):
+            small_world(5, 3, 0.1)
+
+
+class TestHypergraphGenerators:
+    def test_affiliation_counts(self):
+        h = affiliation_hypergraph(100, 80, 4.0, seed=1)
+        assert h.num_edges() <= 80
+        check(h)
+
+    def test_affiliation_determinism(self):
+        a = affiliation_hypergraph(60, 40, 3.0, seed=5)
+        b = affiliation_hypergraph(60, 40, 3.0, seed=5)
+        assert sorted((e, tuple(sorted(p))) for e, p in a.hyperedges()) == \
+            sorted((e, tuple(sorted(p))) for e, p in b.hyperedges())
+
+    def test_cooccurrence_small_events(self):
+        h = cooccurrence_hypergraph(100, 50, 4, seed=1)
+        check(h)
+        assert h.max_pin_count() <= 100
+
+    def test_star_tracker_has_giants(self):
+        h = star_tracker_hypergraph(500, 300, seed=1)
+        sizes = sorted((len(p) for _, p in h.hyperedges()), reverse=True)
+        assert sizes[0] >= 10 * sizes[len(sizes) // 2]
+
+
+class TestIO:
+    def test_edge_list_roundtrip(self, fig1_graph):
+        buf = io.StringIO()
+        write_edge_list(fig1_graph, buf, header="fig1\nexample")
+        buf.seek(0)
+        g2 = read_edge_list(buf)
+        assert g2.edge_list() == fig1_graph.edge_list()
+
+    def test_edge_list_skips_comments_and_loops(self):
+        text = "# comment\n% other\n1 2\n3 3\n1 2\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.edge_list() == [(1, 2)]
+
+    def test_edge_list_bad_line(self):
+        with pytest.raises(ValueError):
+            read_edge_list(io.StringIO("1\n"))
+
+    def test_pin_list_roundtrip(self):
+        h = affiliation_hypergraph(30, 20, 3.0, seed=2)
+        buf = io.StringIO()
+        write_pin_list(h, buf, header="hyper")
+        buf.seek(0)
+        h2 = read_pin_list(buf)
+        assert h2.num_pins() == h.num_pins()
+        assert {e: set(p) for e, p in h2.hyperedges()} == \
+            {e: set(p) for e, p in h.hyperedges()}
+
+    def test_pin_list_file_roundtrip(self, tmp_path):
+        h = cooccurrence_hypergraph(30, 10, 3, seed=1)
+        path = tmp_path / "pins.tsv"
+        write_pin_list(h, path)
+        assert read_pin_list(path).num_pins() == h.num_pins()
+
+
+class TestCSR:
+    def test_graph_snapshot(self, fig1_graph):
+        csr = CSRGraph.from_graph(fig1_graph)
+        assert csr.n == fig1_graph.num_vertices()
+        assert int(csr.indptr[-1]) == 2 * fig1_graph.num_edges()
+        for lbl in fig1_graph.vertices():
+            i = csr.index[lbl]
+            nbrs = {csr.labels[j] for j in csr.neighbors(i)}
+            assert nbrs == set(fig1_graph.neighbors(lbl))
+
+    def test_graph_degrees(self, fig1_graph):
+        csr = CSRGraph.from_graph(fig1_graph)
+        for lbl in fig1_graph.vertices():
+            assert csr.degrees()[csr.index[lbl]] == fig1_graph.degree(lbl)
+
+    def test_hypergraph_snapshot(self, fig2_hypergraph):
+        csr = CSRHypergraph.from_hypergraph(fig2_hypergraph)
+        assert csr.n == fig2_hypergraph.num_vertices()
+        assert csr.m == fig2_hypergraph.num_edges()
+        assert int(csr.v_indptr[-1]) == fig2_hypergraph.num_pins()
+        assert int(csr.e_indptr[-1]) == fig2_hypergraph.num_pins()
+        sizes = {csr.elabels[e]: csr.edge_sizes()[e] for e in range(csr.m)}
+        assert sizes == {e: len(p) for e, p in fig2_hypergraph.hyperedges()}
+
+    def test_values_by_label(self, fig1_graph):
+        csr = CSRGraph.from_graph(fig1_graph)
+        dense = np.arange(csr.n)
+        by_label = csr.values_by_label(dense)
+        assert by_label[csr.labels[0]] == 0
+
+
+class TestBatchProtocol:
+    def test_remove_reinsert_restores(self, fig1_graph):
+        before = fig1_graph.edge_list()
+        proto = BatchProtocol(fig1_graph, seed=1)
+        deletion, insertion = proto.remove_reinsert(3)
+        for c in deletion:
+            fig1_graph.apply(c)
+        assert fig1_graph.num_edges() == len(before) - 3
+        for c in insertion:
+            fig1_graph.apply(c)
+        assert fig1_graph.edge_list() == before
+
+    def test_invert_batch(self):
+        b = Batch(graph_edge_changes(1, 2, True))
+        inv = invert_batch(b)
+        assert all(not c.insert for c in inv)
+        assert invert_batch(inv).changes[::-1] == b.changes[::-1]
+
+    def test_pin_level_sampling(self, fig2_hypergraph):
+        proto = BatchProtocol(fig2_hypergraph, seed=1)
+        deletion, insertion = proto.remove_reinsert(4)
+        assert len(deletion) == 4
+        before = fig2_hypergraph.num_pins()
+        for c in deletion:
+            fig2_hypergraph.apply(c)
+        assert fig2_hypergraph.num_pins() == before - 4
+        for c in insertion:
+            fig2_hypergraph.apply(c)
+        assert fig2_hypergraph.num_pins() == before
+
+    def test_mixed_round_restores(self, fig1_graph):
+        before = fig1_graph.edge_list()
+        proto = BatchProtocol(fig1_graph, seed=2)
+        prep, mixed, restore = proto.mixed(4)
+        for batch in (prep, mixed, restore):
+            for c in batch:
+                fig1_graph.apply(c)
+        assert fig1_graph.edge_list() == before
+
+    def test_mixed_sizing(self):
+        g = erdos_renyi(60, 150, seed=4)
+        proto = BatchProtocol(g, seed=4)
+        prep, mixed, restore = proto.mixed(10)
+        # 10 deletions + 5 insertions, 2 pin changes per edge unit
+        assert len(mixed) == (10 + 5) * 2
+        assert len(prep) == 5 * 2
+
+    def test_rounds_generator(self, fig1_graph):
+        proto = BatchProtocol(fig1_graph, seed=1)
+        rounds = list(proto.rounds(2, 3))
+        assert len(rounds) == 3
+        with pytest.raises(ValueError):
+            next(proto.rounds(2, 1, kind="bogus"))
+
+    def test_hyperedge_level_units(self, fig2_hypergraph):
+        """The paper's other hypergraph stream model (§II-C): units are
+        whole hyperedges, realised as batch boundaries at full edges."""
+        proto = BatchProtocol(fig2_hypergraph, seed=3, hyperedge_level=True)
+        deletion, insertion = proto.remove_reinsert(2)
+        # every sampled hyperedge is removed completely
+        edges = {c.edge for c in deletion}
+        assert len(edges) == 2
+        before = {e: set(fig2_hypergraph.pins(e)) for e in edges}
+        for c in deletion:
+            fig2_hypergraph.apply(c)
+        for e in edges:
+            assert not fig2_hypergraph.has_edge(e)
+        for c in insertion:
+            fig2_hypergraph.apply(c)
+        for e in edges:
+            assert set(fig2_hypergraph.pins(e)) == before[e]
+
+    def test_hyperedge_level_requires_hypergraph(self, fig1_graph):
+        with pytest.raises(ValueError):
+            BatchProtocol(fig1_graph, hyperedge_level=True)
+
+    def test_hyperedge_level_mixed_restores(self, fig2_hypergraph):
+        snapshot = {e: set(p) for e, p in fig2_hypergraph.hyperedges()}
+        proto = BatchProtocol(fig2_hypergraph, seed=4, hyperedge_level=True)
+        prep, mixed, restore = proto.mixed(2)
+        for batch in (prep, mixed, restore):
+            for c in batch:
+                fig2_hypergraph.apply(c)
+        assert {e: set(p) for e, p in fig2_hypergraph.hyperedges()} == snapshot
+
+
+class TestBurstyStreams:
+    def test_schedule_sizes(self):
+        sizes = list(BurstySchedule(calm_size=4, burst_factor=10, p_burst=0.5,
+                                    seed=1).sizes(40))
+        assert len(sizes) == 40
+        assert min(sizes) >= 1
+        assert max(sizes) > 4  # at least one burst fired at p=0.5 over 40
+
+    def test_stream_rounds_restore(self):
+        g = erdos_renyi(80, 200, seed=5)
+        before = g.edge_list()
+        stream = BurstyStream(g, BurstySchedule(calm_size=2, seed=2), seed=3)
+        for _, deletion, insertion in stream.rounds(5):
+            for c in deletion:
+                g.apply(c)
+            for c in insertion:
+                g.apply(c)
+        assert g.edge_list() == before

@@ -1,0 +1,168 @@
+"""Unit and property tests for the h-index kernels (Definition 3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.hindex import (
+    StreamingHIndex,
+    h_index,
+    h_index_counting,
+    h_index_numpy,
+    h_index_of_counts,
+    h_index_sorted,
+)
+
+KERNELS = [h_index_sorted, h_index_counting, h_index_numpy]
+
+
+class TestKnownValues:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_empty(self, kernel):
+        assert kernel([]) == 0
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_single_zero(self, kernel):
+        assert kernel([0]) == 0
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_single_positive(self, kernel):
+        assert kernel([5]) == 1
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_classic_example(self, kernel):
+        # Hirsch's canonical example: citations [3,0,6,1,5] -> h = 3
+        assert kernel([3, 0, 6, 1, 5]) == 3
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_all_equal(self, kernel):
+        assert kernel([4, 4, 4, 4]) == 4
+        assert kernel([4, 4, 4, 4, 4, 4]) == 4
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_ladder(self, kernel):
+        assert kernel([1, 2, 3, 4, 5]) == 3
+
+    @pytest.mark.parametrize("kernel", [h_index_sorted, h_index_counting])
+    def test_inf_counts_toward_everything(self, kernel):
+        assert kernel([math.inf, math.inf]) == 2
+        assert kernel([math.inf, 1]) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            h_index_counting([-1])
+
+    def test_h_index_alias(self):
+        assert h_index is h_index_counting
+
+
+class TestCounts:
+    def test_of_counts_basic(self):
+        # values [3,0,6,1,5] clamped at n=5: counts[0..5]
+        counts = [1, 1, 0, 1, 0, 2]
+        assert h_index_of_counts(counts) == 3
+
+    def test_of_counts_empty(self):
+        assert h_index_of_counts([]) == 0
+        assert h_index_of_counts([0]) == 0
+
+    def test_of_counts_all_at_top(self):
+        assert h_index_of_counts([0, 0, 0, 3]) == 3
+
+
+@st.composite
+def value_lists(draw):
+    return draw(st.lists(st.integers(min_value=0, max_value=50), max_size=40))
+
+
+class TestProperties:
+    @given(value_lists())
+    @settings(max_examples=100, deadline=None)
+    def test_kernels_agree(self, values):
+        expect = h_index_sorted(values)
+        assert h_index_counting(values) == expect
+        assert h_index_numpy(values) == expect
+
+    @given(value_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_length_and_max(self, values):
+        h = h_index_counting(values)
+        assert 0 <= h <= len(values)
+        if values:
+            assert h <= max(values)
+
+    @given(value_lists(), st.integers(min_value=0, max_value=50))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_appends(self, values, extra):
+        # adding a value can never lower the h-index
+        assert h_index_counting(values + [extra]) >= h_index_counting(values)
+
+    @given(value_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_defining_property(self, values):
+        h = h_index_counting(values)
+        assert sum(1 for v in values if v >= h) >= h
+        # maximality: h+1 would not fit
+        assert sum(1 for v in values if v >= h + 1) < h + 1
+
+    @given(value_lists())
+    @settings(max_examples=60, deadline=None)
+    def test_permutation_invariant(self, values):
+        assert h_index_counting(values) == h_index_counting(sorted(values))
+
+
+class TestStreaming:
+    def test_matches_batch_on_inserts(self):
+        s = StreamingHIndex()
+        seen = []
+        for v in [3, 0, 6, 1, 5, 5, 9, 2]:
+            seen.append(v)
+            assert s.insert(v) == h_index_sorted(seen)
+
+    def test_remove_roundtrip(self):
+        s = StreamingHIndex()
+        for v in [3, 0, 6, 1, 5]:
+            s.insert(v)
+        s.remove(0)
+        s.insert(9)
+        assert s.value == h_index_sorted([3, 6, 1, 5, 9])
+
+    def test_remove_missing_raises(self):
+        s = StreamingHIndex()
+        s.insert(2)
+        with pytest.raises(KeyError):
+            s.remove(7)
+
+    def test_inf_handled(self):
+        s = StreamingHIndex()
+        s.insert(math.inf)
+        s.insert(math.inf)
+        assert s.value == 2
+        s.remove(math.inf)
+        assert s.value == 1
+
+    def test_len_and_clear(self):
+        s = StreamingHIndex()
+        for v in (1, 2, 3):
+            s.insert(v)
+        assert len(s) == 3
+        s.clear()
+        assert len(s) == 0 and s.value == 0
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 20)), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_streaming_matches_model(self, ops):
+        s = StreamingHIndex()
+        model = []
+        for is_insert, v in ops:
+            if is_insert or v not in model:
+                s.insert(v)
+                model.append(v)
+            else:
+                s.remove(v)
+                model.remove(v)
+            assert s.value == h_index_sorted(model)

@@ -1,0 +1,254 @@
+"""Tests for the mod maintainer (Algorithms 3/4): resolution rules, the
+Fig. 4 increment-sufficiency example, policies, and single-change parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mod import ModMaintainer, resolve_paper, resolve_safe
+from repro.core.peel import peel
+from repro.core.verify import verify_kappa
+from repro.graph.batch import Batch
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+from repro.graph.generators import core_ladder, path_graph, powerlaw_social
+from repro.graph.substrate import Change, graph_edge_changes
+from repro.structures.level_accumulator import LevelAccumulator
+
+
+def acc(d):
+    a = LevelAccumulator()
+    for k, v in d.items():
+        a.add(k, v)
+    return a
+
+
+class TestResolvePaper:
+    def test_empty(self):
+        r = resolve_paper(acc({}), acc({}))
+        assert r.increment(0) == 0
+        assert not r.should_activate(3)
+
+    def test_single_level(self):
+        # line 9: the level itself receives its own insertions
+        r = resolve_paper(acc({5: 2}), acc({}))
+        assert r.increment(5) == 2
+        # lines 10-11: levels (5, 7] get k + I[k] - t
+        assert r.increment(6) == 1
+        assert r.increment(7) == 0
+
+    def test_fig4_increments(self):
+        """Fig. 4: two edges added to a kappa=1 vertex next to a kappa=2
+        pair; everyone must be able to reach kappa=3."""
+        r = resolve_paper(acc({1: 2}), acc({}))
+        assert 1 + r.increment(1) >= 3  # level-1 vertices reach 3
+        assert 2 + r.increment(2) >= 3  # level-2 vertices reach 3
+
+    def test_cross_level_coupling(self):
+        # I[k] and I[k+1]: level-k vertices may be lifted by both
+        r = resolve_paper(acc({4: 1, 5: 1}), acc({}))
+        assert r.increment(4) >= 2
+
+    def test_chain_coverage(self):
+        # I[k]=2 makes level k's reach cover I[k+1] and I[k+2]
+        r = resolve_paper(acc({3: 2, 4: 1, 5: 1}), acc({}))
+        assert r.increment(3) >= 2 + 1 + 1
+
+    def test_deletion_widens_downward(self):
+        # lines 6-8: D[k] deletions at level k let the subcore have moved
+        # down; lower levels receive the insertions
+        r = resolve_paper(acc({5: 3}), acc({5: 2}))
+        assert r.increment(4) == 3
+        assert r.increment(3) == 3
+        assert r.increment(2) == 0
+
+    def test_activation_includes_deletion_levels(self):
+        r = resolve_paper(acc({}), acc({7: 1}))
+        assert r.should_activate(7)
+        assert not r.should_activate(6)
+
+    def test_no_negative_levels(self):
+        r = resolve_paper(acc({0: 2}), acc({0: 5}))
+        assert r.increment(0) >= 2  # clamped at zero, no exception
+
+
+class TestResolveSafe:
+    def test_band_covers_reach(self):
+        r = resolve_safe(acc({3: 2, 6: 1}), acc({4: 1}))
+        total = 3
+        # band: [min - D - I, max + I] with uniform total increment
+        assert r.increment(3) == total
+        assert r.increment(6 + total) == total
+        assert r.increment(6 + total + 1) == 0
+        assert r.increment(max(0, 3 - 1 - total) - 1 if 3 - 1 - total > 0 else 0) in (0, total)
+
+    def test_empty_insertions(self):
+        r = resolve_safe(acc({}), acc({2: 1}))
+        assert r.increment(2) == 0
+        assert r.should_activate(2)
+
+    def test_dominates_single_insertion(self):
+        rp = resolve_paper(acc({5: 1}), acc({}))
+        rs = resolve_safe(acc({5: 1}), acc({}))
+        assert rs.increment(5) >= rp.increment(5)
+
+
+class TestModGraph:
+    def test_fig4_scenario_end_to_end(self):
+        """The notional Fig. 4 case: new edges only touch the kappa=1
+        vertex, yet after the batch all vertices must reach kappa=3."""
+        # square with a tail: x (kappa 1) attached to a 4-cycle (kappa 2)
+        g = DynamicGraph.from_edges([(1, 2), (2, 3), (3, 4), (4, 1), (1, 0)])
+        m = ModMaintainer(g)
+        assert m.kappa_of(0) == 1
+        # connect x to the two far corners: the whole thing densifies
+        batch = Batch(graph_edge_changes(0, 2, True) + graph_edge_changes(0, 3, True)
+                      + graph_edge_changes(0, 4, True))
+        m.apply_batch(batch)
+        verify_kappa(m)
+
+    def test_single_insert_promotion(self, triangle_tail):
+        m = ModMaintainer(triangle_tail)
+        m.apply_batch(Batch(graph_edge_changes(3, 0, True)))
+        assert m.kappa_of(3) == 2
+        verify_kappa(m)
+
+    def test_single_delete_demotion(self, triangle_tail):
+        m = ModMaintainer(triangle_tail)
+        m.apply_batch(Batch(graph_edge_changes(0, 1, False)))
+        verify_kappa(m)
+        assert m.kappa_of(0) == 1
+
+    def test_lemma1_trap_avoided(self):
+        """Closing a path into a cycle: pure memoization would stay at 1
+        (Lemma 1); mod's increments let convergence reach 2."""
+        g = path_graph(8)
+        m = ModMaintainer(g)
+        m.apply_batch(Batch(graph_edge_changes(7, 0, True)))
+        assert set(m.kappa().values()) == {2}
+        verify_kappa(m)
+
+    def test_vertex_birth_and_death(self, triangle_tail):
+        m = ModMaintainer(triangle_tail)
+        m.apply_batch(Batch(graph_edge_changes(99, 0, True)))
+        assert m.kappa_of(99) == 1
+        m.apply_batch(Batch(graph_edge_changes(99, 0, False)))
+        assert m.kappa_of(99) == 0
+        assert 99 not in m.kappa()
+        verify_kappa(m)
+
+    def test_duplicate_changes_are_noops(self, triangle_tail):
+        m = ModMaintainer(triangle_tail)
+        before = m.kappa()
+        m.apply_batch(Batch(graph_edge_changes(0, 1, True)))  # already present
+        assert m.kappa() == before
+
+    def test_batch_counter(self, triangle_tail):
+        m = ModMaintainer(triangle_tail)
+        m.apply_batch(Batch())
+        m.apply_batch(Batch())
+        assert m.batches_processed == 2
+
+    @pytest.mark.parametrize("policy", ["paper", "safe"])
+    def test_policies_agree_with_oracle(self, policy):
+        g = powerlaw_social(120, 6, seed=3)
+        m = ModMaintainer(g, increment_policy=policy)
+        edges = [(1, 50), (2, 51), (3, 52), (0, 53)]
+        b = Batch()
+        for u, v in edges:
+            if not g.has_graph_edge(u, v):
+                b.extend(graph_edge_changes(u, v, True))
+        m.apply_batch(b)
+        verify_kappa(m)
+
+    def test_unknown_policy_rejected(self, triangle_tail):
+        with pytest.raises(ValueError):
+            ModMaintainer(triangle_tail, increment_policy="bogus")
+
+    def test_multi_level_batch(self):
+        g = core_ladder(3, width=4)
+        m = ModMaintainer(g)
+        # hit several levels at once
+        verts_by_level = {}
+        for v, k in m.kappa().items():
+            verts_by_level.setdefault(k, []).append(v)
+        b = Batch()
+        levels = sorted(verts_by_level)
+        for k in levels[:2]:
+            vs = sorted(verts_by_level[k])
+            u, w = vs[0], vs[-1]
+            if u != w and not g.has_graph_edge(u, w):
+                b.extend(graph_edge_changes(u, w, True))
+        m.apply_batch(b)
+        verify_kappa(m)
+
+    def test_resolution_exposed(self, triangle_tail):
+        m = ModMaintainer(triangle_tail)
+        m.apply_batch(Batch(graph_edge_changes(3, 0, True)))
+        assert m.last_resolution is not None
+        assert m.last_resolution.increments.total() >= 1
+
+
+class TestModHypergraph:
+    def test_pin_insert_into_existing_edge(self, fig2_hypergraph):
+        m = ModMaintainer(fig2_hypergraph)
+        m.apply_batch(Batch([Change("f", 4, True)]))
+        verify_kappa(m)
+
+    def test_pin_delete_binding_minimum_gain(self):
+        """Deleting the weak pin lifts the rest of the hyperedge -- the
+        Section IV-B increase-on-deletion case."""
+        h = DynamicHypergraph.from_hyperedges({
+            "e1": [0, 1, 2], "e2": [1, 2], "e3": [1, 2],
+        })
+        m = ModMaintainer(h)
+        assert m.kappa_of(1) == 2  # e1 bound by vertex 0 (kappa 1)
+        m.apply_batch(Batch([Change("e1", 0, False)]))
+        verify_kappa(m)
+        assert m.kappa_of(1) == 3
+
+    def test_whole_hyperedge_insert(self, fig2_hypergraph):
+        m = ModMaintainer(fig2_hypergraph)
+        m.apply_single("new", [5, 6, 7], True)
+        verify_kappa(m)
+
+    def test_whole_hyperedge_delete(self, fig2_hypergraph):
+        m = ModMaintainer(fig2_hypergraph)
+        m.apply_single("a", [1, 2, 3], False)
+        verify_kappa(m)
+        assert not fig2_hypergraph.has_edge("a")
+
+    def test_min_cache_toggle_same_result(self, fig3_hypergraph):
+        k1 = None
+        for use_cache in (True, False):
+            h = fig3_hypergraph.copy()
+            m = ModMaintainer(h, use_min_cache=use_cache)
+            m.apply_batch(Batch([Change("big_event", "F", False),
+                                 Change("meet4", "A", True)]))
+            verify_kappa(m)
+            if k1 is None:
+                k1 = m.kappa()
+            else:
+                assert m.kappa() == k1
+
+    def test_tie_deletion_mutual_gain_regression(self):
+        """Found by hypothesis: deleting a pin at a tau *tie* can raise
+        the remaining pins mutually -- with stale values the h-index step
+        sees no change, so the gain record must fire even on ties."""
+        h = DynamicHypergraph.from_hyperedges({1: [1, 2]})
+        for conservative in (True, False):
+            hh = h.copy()
+            m = ModMaintainer(hh, conservative_cases=conservative)
+            m.apply_batch(Batch([Change(0, 0, True), Change(0, 1, True),
+                                 Change(0, 2, True)]))
+            verify_kappa(m)
+            m.apply_batch(Batch([Change(0, 0, False)]))
+            verify_kappa(m)
+            assert m.kappa_of(1) == 2  # edges 0 and 1 now mutually support
+
+    def test_singleton_hyperedge(self):
+        h = DynamicHypergraph()
+        m = ModMaintainer(h)
+        m.apply_batch(Batch([Change("solo", 1, True)]))
+        verify_kappa(m)
+        assert m.kappa_of(1) == 1  # one incident edge, min-excl is inf

@@ -1,0 +1,162 @@
+"""The load-bearing integration suite: every maintenance algorithm must
+match the independent peeling oracle after every batch, across substrates,
+change directions, and execution backends.
+
+This mirrors the paper's own methodology ("We checked correctness against
+Ligra", Section V) with peeling as our Ligra stand-in.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.maintainer import ALGORITHMS, make_maintainer
+from repro.core.verify import verify_kappa
+from repro.graph.batch import BatchProtocol
+from repro.graph.generators import (
+    affiliation_hypergraph,
+    cooccurrence_hypergraph,
+    erdos_renyi,
+    powerlaw_social,
+    rmat,
+)
+from repro.parallel.runtime import SerialRuntime
+from repro.parallel.simulated import SimulatedRuntime
+from repro.parallel.threads import ThreadRuntime
+
+GRAPH_ALGOS = ["mod", "set", "setmb", "hybrid", "traversal", "order"]
+HYPER_ALGOS = ["mod", "set", "setmb", "hybrid"]
+ROUNDS = 3
+
+
+def graph_for(seed: int):
+    return [
+        erdos_renyi(100, 300, seed=seed),
+        powerlaw_social(150, 8, seed=seed),
+        rmat(7, 4, seed=seed),
+    ][seed % 3]
+
+
+def hypergraph_for(seed: int):
+    return [
+        affiliation_hypergraph(70, 110, 4.0, seed=seed),
+        cooccurrence_hypergraph(80, 60, 4, seed=seed),
+    ][seed % 2]
+
+
+@pytest.mark.parametrize("algorithm", GRAPH_ALGOS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_graph_remove_reinsert(algorithm, seed):
+    g = graph_for(seed)
+    m = make_maintainer(g, algorithm)
+    proto = BatchProtocol(g, seed=seed + 10)
+    for _ in range(ROUNDS):
+        deletion, insertion = proto.remove_reinsert(15)
+        m.apply_batch(deletion)
+        verify_kappa(m)
+        m.apply_batch(insertion)
+        verify_kappa(m)
+
+
+@pytest.mark.parametrize("algorithm", HYPER_ALGOS)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_hypergraph_pin_remove_reinsert(algorithm, seed):
+    h = hypergraph_for(seed)
+    m = make_maintainer(h, algorithm)
+    proto = BatchProtocol(h, seed=seed + 20)
+    for _ in range(ROUNDS):
+        deletion, insertion = proto.remove_reinsert(12)
+        m.apply_batch(deletion)
+        verify_kappa(m)
+        m.apply_batch(insertion)
+        verify_kappa(m)
+
+
+@pytest.mark.parametrize("algorithm", ["mod", "set", "setmb", "hybrid"])
+def test_graph_mixed_batches(algorithm):
+    g = powerlaw_social(140, 7, seed=4)
+    m = make_maintainer(g, algorithm)
+    proto = BatchProtocol(g, seed=5)
+    for _ in range(ROUNDS):
+        prep, mixed, restore = proto.mixed(10)
+        m.apply_batch(prep)
+        m.apply_batch(mixed)
+        verify_kappa(m)
+        m.apply_batch(restore)
+        verify_kappa(m)
+
+
+@pytest.mark.parametrize("algorithm", ["mod", "setmb"])
+def test_hypergraph_mixed_pin_batches(algorithm):
+    h = affiliation_hypergraph(60, 100, 4.0, seed=6)
+    m = make_maintainer(h, algorithm)
+    proto = BatchProtocol(h, seed=7)
+    for _ in range(ROUNDS):
+        prep, mixed, restore = proto.mixed(8)
+        m.apply_batch(prep)
+        m.apply_batch(mixed)
+        verify_kappa(m)
+        m.apply_batch(restore)
+        verify_kappa(m)
+
+
+@pytest.mark.parametrize("make_rt", [
+    pytest.param(lambda: SerialRuntime(), id="serial"),
+    pytest.param(lambda: SimulatedRuntime(thread_counts=(1, 2, 4)), id="simulated"),
+    pytest.param(lambda: ThreadRuntime(threads=4), id="threads"),
+])
+@pytest.mark.parametrize("algorithm", ["mod", "setmb"])
+def test_backend_independence(make_rt, algorithm):
+    """Results must be identical under serial, simulated and real-thread
+    execution -- the substitution argument of DESIGN.md rests on this."""
+    g = powerlaw_social(120, 7, seed=8)
+    rt = make_rt()
+    m = make_maintainer(g, algorithm, rt)
+    proto = BatchProtocol(g, seed=9)
+    for _ in range(2):
+        deletion, insertion = proto.remove_reinsert(20)
+        m.apply_batch(deletion)
+        verify_kappa(m)
+        m.apply_batch(insertion)
+        verify_kappa(m)
+    if hasattr(rt, "close"):
+        rt.close()
+
+
+@pytest.mark.parametrize("algorithm", ["mod", "setmb"])
+def test_hyperedge_level_streams(algorithm):
+    """The paper's whole-hyperedge stream model (simulated via batch
+    boundaries at full hyperedges, §II-C) must be oracle-exact too."""
+    h = affiliation_hypergraph(60, 90, 4.0, seed=9)
+    m = make_maintainer(h, algorithm)
+    proto = BatchProtocol(h, seed=10, hyperedge_level=True)
+    for _ in range(ROUNDS):
+        deletion, insertion = proto.remove_reinsert(5)
+        m.apply_batch(deletion)
+        verify_kappa(m)
+        m.apply_batch(insertion)
+        verify_kappa(m)
+
+
+def test_all_algorithms_registered():
+    assert set(ALGORITHMS) == {
+        "mod", "set", "setmb", "hybrid", "traversal", "order", "mod-approx",
+    }
+
+
+@pytest.mark.parametrize("algorithm", GRAPH_ALGOS)
+def test_algorithms_agree_with_each_other(algorithm):
+    """Beyond the oracle: all maintainers end at the same kappa for the
+    same stream."""
+    g0 = powerlaw_social(100, 6, seed=11)
+    reference = None
+    g = g0.copy()
+    m = make_maintainer(g, algorithm)
+    proto = BatchProtocol(g, seed=12)
+    deletion, insertion = proto.remove_reinsert(10)
+    m.apply_batch(deletion)
+    m.apply_batch(insertion)
+    kappa = m.kappa()
+    from repro.core.peel import peel
+
+    assert kappa == peel(g0)  # stream restored the graph exactly

@@ -1,0 +1,101 @@
+"""Fast in-suite witnesses of the paper's evaluation shapes.
+
+The benchmarks regenerate the figures at full fidelity; these tests pin
+the same qualitative claims at tiny scale so a plain ``pytest tests/``
+run already certifies the reproduction's shape checks (EXPERIMENTS.md's
+headline table).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import run_latency_vs_static, run_scalability
+
+SCALE = 0.3
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def mod_insert():
+    return run_scalability("LiveJ", "mod", direction="insert",
+                           batch_sizes=(25, 400), rounds=ROUNDS, scale=SCALE)
+
+
+class TestScalabilityShapes:
+    def test_runtime_decreases_with_threads(self, mod_insert):
+        """Fig. 6: more threads, less runtime (up to the NUMA knee)."""
+        series = mod_insert.times[400]
+        assert series[16].mean < series[4].mean < series[1].mean
+
+    def test_numa_knee_is_mild(self, mod_insert):
+        """Fig. 6: the 16->32 dip exists but stays small."""
+        series = mod_insert.times[400]
+        assert series[32].mean >= series[16].mean  # the knee
+        assert series[32].mean < 2.0 * series[16].mean  # but mild
+
+    def test_mod_flat_in_batch_size(self, mod_insert):
+        """§V-B: 16x more changes costs well under 2x more time."""
+        t1 = mod_insert.times[25][1].mean
+        t2 = mod_insert.times[400][1].mean
+        assert t2 < 2.0 * t1
+
+    def test_deletions_scale_too(self):
+        """Fig. 9: the approach similarly scales on deletions."""
+        r = run_scalability("Google", "mod", direction="delete",
+                            batch_sizes=(100,), rounds=ROUNDS, scale=SCALE)
+        assert r.speedup(100, 16) > 3.0
+
+    def test_mixed_tracks_insertions(self):
+        """Fig. 12: mixed batches scale like insertion-only ones."""
+        mixed = run_scalability("Google", "mod", direction="mixed",
+                                batch_sizes=(100,), rounds=ROUNDS, scale=SCALE)
+        assert mixed.speedup(100, 16) > 3.0
+
+
+class TestAlgorithmContrasts:
+    def test_setmb_wins_single_changes(self):
+        """Fig. 6 vs 7: setmb has the smallest runtimes on tiny batches."""
+        setmb = run_scalability("LiveJ", "setmb", direction="insert",
+                                batch_sizes=(1,), rounds=5, scale=SCALE)
+        mod = run_scalability("LiveJ", "mod", direction="insert",
+                              batch_sizes=(1,), rounds=5, scale=SCALE)
+        assert setmb.times[1][1].median < mod.times[1][1].median
+
+    def test_setmb_deletions_cheaper_than_its_insertions(self):
+        """Fig. 10: deletion latency stays low even for larger batches."""
+        dels = run_scalability("LiveJ", "setmb", direction="delete",
+                               batch_sizes=(64,), rounds=ROUNDS, scale=SCALE)
+        ins = run_scalability("LiveJ", "setmb", direction="insert",
+                              batch_sizes=(64,), rounds=ROUNDS, scale=SCALE)
+        assert dels.times[64][16].mean < ins.times[64][16].mean
+
+    def test_setmb_variance_exceeds_mod(self):
+        """§V-B: setmb's small-batch latencies are high-variance."""
+        setmb = run_scalability("LiveJ", "setmb", direction="insert",
+                                batch_sizes=(1,), rounds=6, scale=SCALE)
+        mod = run_scalability("LiveJ", "mod", direction="insert",
+                              batch_sizes=(400,), rounds=6, scale=SCALE)
+        assert setmb.times[1][1].cv > mod.times[400][1].cv
+
+
+class TestHypergraphShapes:
+    def test_webtrackers_knee_after_8(self):
+        """Fig. 8: the memory-bound hypergraph stops scaling at 8."""
+        r = run_scalability("WebTrackers", "mod", direction="insert",
+                            batch_sizes=(100,), rounds=ROUNDS, scale=SCALE)
+        assert r.times[100][32].mean > 0.95 * r.times[100][8].mean
+
+    def test_affiliation_scales_past_socket(self):
+        """Fig. 8: OrkutGroup keeps improving past the NUMA boundary."""
+        r = run_scalability("OrkutGroup", "mod", direction="insert",
+                            batch_sizes=(100,), rounds=ROUNDS, scale=SCALE)
+        assert r.times[100][16].mean <= r.times[100][8].mean * 1.05
+
+
+class TestStaticComparison:
+    def test_single_change_beats_recompute(self):
+        """§IV: maintenance beats recompute on small batches."""
+        r = run_latency_vs_static("Google", "setmb", batch_sizes=(1,),
+                                  rounds=5, scale=SCALE)
+        assert r.times[1][1].median < r.static_time[1]

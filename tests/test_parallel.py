@@ -1,0 +1,243 @@
+"""Tests for the parallel runtime substitution: scheduler, machine model,
+simulated metrics and the thread backend."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.machine import (
+    COMPUTE_BOUND,
+    MEMORY_BOUND,
+    DEFAULT_MACHINE,
+    MachineSpec,
+    WorkloadProfile,
+)
+from repro.parallel.runtime import SerialRuntime
+from repro.parallel.scheduler import chunk_sizes, list_schedule_makespan, schedule_all
+from repro.parallel.simulated import DEFAULT_THREAD_COUNTS, SimulatedRuntime
+from repro.parallel.threads import ThreadRuntime
+
+
+class TestScheduler:
+    def test_chunk_sizes_cover_all(self):
+        for n in (0, 1, 7, 100, 1001):
+            assert sum(chunk_sizes(n, 32)) == n
+
+    def test_chunk_grain_respected(self):
+        sizes = chunk_sizes(100, 32, grain=16)
+        assert all(s >= 16 or s == 100 % 16 for s in sizes)
+
+    def test_makespan_serial_is_sum(self):
+        assert list_schedule_makespan([3, 1, 2], 1) == 6
+
+    def test_makespan_unlimited_is_max(self):
+        assert list_schedule_makespan([3, 1, 2], 10) == 3
+
+    def test_makespan_two_threads(self):
+        # greedy: t0 gets 3, t1 gets 1 then 2 -> both finish at 3
+        assert list_schedule_makespan([3, 1, 2], 2) == 3
+
+    def test_makespan_empty(self):
+        assert list_schedule_makespan([], 4) == 0.0
+
+    def test_schedule_all(self):
+        out = schedule_all([4, 4, 4, 4], [1, 2, 4])
+        assert out == {1: 16, 2: 8, 4: 4}
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=50), min_size=1, max_size=40),
+           st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounds(self, costs, t):
+        ms = list_schedule_makespan(costs, t)
+        work, span = sum(costs), max(costs)
+        # classic Graham bounds
+        assert ms >= max(span, work / t) - 1e-9
+        assert ms <= work / t + span + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=50), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_monotone_in_threads(self, costs):
+        spans = [list_schedule_makespan(costs, t) for t in (1, 2, 4, 8)]
+        assert all(a >= b - 1e-9 for a, b in zip(spans, spans[1:]))
+
+
+class TestMachineModel:
+    def test_numa_free_within_socket(self):
+        m = MachineSpec()
+        assert m.numa_multiplier(1) == 1.0
+        assert m.numa_multiplier(16) == 1.0
+        assert m.numa_multiplier(32) > 1.0
+
+    def test_memory_bound_profile_degrades(self):
+        # the WebTrackers-style profile must actively worsen past its
+        # bandwidth knee: time(16) > time(8) per unit of work
+        t8 = MEMORY_BOUND.mem_multiplier(8) / 8
+        t16 = MEMORY_BOUND.mem_multiplier(16) / 16
+        t32 = MEMORY_BOUND.mem_multiplier(32) / 32
+        assert t16 > t8 * 0.99  # flat-to-worse right after the knee
+        assert t32 > t8  # clearly worse at full machine
+
+    def test_compute_bound_keeps_improving(self):
+        t8 = COMPUTE_BOUND.mem_multiplier(8) / 8
+        t32 = COMPUTE_BOUND.mem_multiplier(32) / 32
+        assert t32 < t8
+
+    def test_region_overhead_grows_with_threads(self):
+        m = MachineSpec()
+        assert m.region_overhead_ns(1) == 0.0
+        assert m.region_overhead_ns(32) > m.region_overhead_ns(2)
+
+    def test_atomic_contention(self):
+        m = MachineSpec()
+        assert m.atomic_cost_ns(32, 10) > m.atomic_cost_ns(1, 10)
+
+    def test_total_cores(self):
+        assert DEFAULT_MACHINE.total_cores == 32
+
+
+class TestSimulatedRuntime:
+    def test_results_in_order(self):
+        rt = SimulatedRuntime()
+        out = rt.parallel_for(range(10), lambda x: x * x)
+        assert out == [x * x for x in range(10)]
+
+    def test_invalid_thread_counts(self):
+        with pytest.raises(ValueError):
+            SimulatedRuntime(thread_counts=(0, 2))
+
+    def test_elapsed_requires_simulated_count(self):
+        rt = SimulatedRuntime(thread_counts=(1, 4))
+        rt.parallel_for(range(4), lambda x: rt.charge(10))
+        with pytest.raises(KeyError):
+            rt.elapsed_seconds(3)
+
+    def test_more_threads_never_slower_without_penalties(self):
+        machine = MachineSpec(numa_remote_penalty=0.0, region_fork_ns=0.0,
+                              barrier_ns_per_thread=0.0)
+        profile = WorkloadProfile(memory_bound_fraction=0.0)
+        rt = SimulatedRuntime(machine, profile)
+        rt.parallel_for(range(1000), lambda x: rt.charge(5))
+        times = [rt.elapsed_seconds(t) for t in rt.thread_counts]
+        assert all(a >= b - 1e-15 for a, b in zip(times, times[1:]))
+
+    def test_serial_section_costs_all_threads_equally(self):
+        rt = SimulatedRuntime()
+        rt.serial(1000)
+        assert rt.elapsed_seconds(1) == rt.elapsed_seconds(32)
+        assert rt.elapsed_seconds(1) > 0
+
+    def test_determinism(self):
+        def run():
+            rt = SimulatedRuntime()
+            rt.parallel_for(range(100), lambda x: rt.charge(x % 7))
+            return [rt.elapsed_seconds(t) for t in rt.thread_counts]
+
+        assert run() == run()
+
+    def test_work_conservation(self):
+        rt = SimulatedRuntime()
+        rt.parallel_for(range(50), lambda x: rt.charge(2))
+        m = rt.metrics()
+        mach = rt.machine
+        expected = 50 * (2 + mach.task_overhead_units)
+        # work = tasks + chunk overheads
+        assert m.work_units >= expected
+        assert m.tasks == 50
+
+    def test_reset_clock(self):
+        rt = SimulatedRuntime()
+        rt.parallel_for(range(10), lambda x: rt.charge(1))
+        rt.reset_clock()
+        assert rt.elapsed_seconds(1) == 0.0
+
+    def test_take_metrics_resets(self):
+        rt = SimulatedRuntime()
+        rt.parallel_for(range(10), lambda x: rt.charge(1))
+        m1 = rt.take_metrics()
+        assert m1.tasks == 10
+        assert rt.metrics().tasks == 0
+
+    def test_nested_parallel_for_flattens(self):
+        rt = SimulatedRuntime()
+
+        def outer(x):
+            return sum(rt.parallel_for(range(3), lambda y: y))
+
+        out = rt.parallel_for(range(4), outer)
+        assert out == [3, 3, 3, 3]
+        assert rt.metrics().tasks == 4  # inner loop collapsed
+
+    def test_atomic_charges_tracked(self):
+        rt = SimulatedRuntime()
+        rt.parallel_for(range(10), lambda x: rt.charge_atomic(2))
+        assert rt.metrics().atomic_ops == 20
+
+    def test_speedup_and_merge(self):
+        rt = SimulatedRuntime()
+        rt.parallel_for(range(2000), lambda x: rt.charge(3))
+        m = rt.take_metrics()
+        assert m.speedup(8) > 3.0
+        merged = m.merged_with(m)
+        assert merged.elapsed_ns[1] == pytest.approx(2 * m.elapsed_ns[1])
+        assert "T1=" in merged.summary()
+
+    def test_merge_rejects_mismatched_sweeps(self):
+        a = SimulatedRuntime(thread_counts=(1, 2)).take_metrics()
+        b = SimulatedRuntime(thread_counts=(1, 4)).take_metrics()
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_region_parallelism_metric(self):
+        from repro.parallel.metrics import RegionMetrics
+
+        reg = RegionMetrics("r", work_units=100.0, makespan_units={4: 25.0})
+        assert reg.parallelism(4) == 4.0
+
+    def test_region_breakdown_profiling(self):
+        rt = SimulatedRuntime(keep_regions=True)
+        rt.parallel_for(range(50), lambda x: rt.charge(3), region="alpha")
+        rt.parallel_for(range(10), lambda x: rt.charge(1), region="beta")
+        rt.parallel_for(range(50), lambda x: rt.charge(3), region="alpha")
+        report = rt.region_breakdown(8)
+        assert "alpha" in report and "beta" in report
+        # alpha aggregated over two invocations
+        alpha_line = next(l for l in report.splitlines() if "alpha" in l)
+        assert " 2 " in alpha_line
+        rt.reset_clock()
+        assert rt.region_log == []
+
+    def test_region_breakdown_requires_opt_in(self):
+        rt = SimulatedRuntime()
+        rt.parallel_for(range(5), lambda x: None)
+        with pytest.raises(RuntimeError):
+            rt.region_breakdown(1)
+
+
+class TestSerialAndThreadRuntimes:
+    def test_serial_runtime_basics(self):
+        rt = SerialRuntime()
+        assert rt.parallel_for([1, 2, 3], lambda x: -x) == [-1, -2, -3]
+        rt.charge(5)  # no-ops
+        rt.charge_atomic()
+        rt.serial(2)
+        assert rt.elapsed_seconds() >= 0
+        assert rt.metrics() is None
+
+    def test_thread_runtime_results_in_order(self):
+        with ThreadRuntime(threads=4) as rt:
+            out = rt.parallel_for(range(100), lambda x: x + 1)
+        assert out == list(range(1, 101))
+
+    def test_thread_runtime_single_thread(self):
+        with ThreadRuntime(threads=1) as rt:
+            assert rt.parallel_for(range(5), lambda x: x) == list(range(5))
+
+    def test_thread_runtime_validation(self):
+        with pytest.raises(ValueError):
+            ThreadRuntime(threads=0)
+
+    def test_thread_counts_advertised(self):
+        assert SimulatedRuntime().thread_counts == DEFAULT_THREAD_COUNTS
+        assert ThreadRuntime(threads=3).thread_counts == (3,)

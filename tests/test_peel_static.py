@@ -1,0 +1,243 @@
+"""Tests for peeling and the static h-index algorithms (Section III),
+including the paper's worked examples (Figs. 1-3) and Lemma 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.peel import core_numbers, degeneracy, k_core_vertices, peel
+from repro.core.static import (
+    hhc_local,
+    static_hindex,
+    static_hindex_csr,
+    static_hindex_csr_hypergraph,
+    static_hindex_sync,
+)
+from repro.graph.csr import CSRGraph, CSRHypergraph
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph, MinCache
+from repro.graph.generators import (
+    affiliation_hypergraph,
+    clique,
+    erdos_renyi,
+    path_graph,
+    powerlaw_social,
+    rmat,
+)
+from repro.parallel.runtime import SerialRuntime
+
+
+def nx_core_numbers(g: DynamicGraph):
+    import networkx as nx
+
+    return nx.core_number(nx.Graph(g.edge_list()))
+
+
+class TestPeelGraphs:
+    def test_fig1_example(self, fig1_graph):
+        kappa = peel(fig1_graph)
+        assert {v: kappa[v] for v in (0, 1, 2, 3)} == {0: 3, 1: 3, 2: 3, 3: 3}
+        assert {kappa[4], kappa[5], kappa[6]} == {2}
+        assert {kappa[7], kappa[8], kappa[9]} == {1}
+
+    def test_triangle_tail(self, triangle_tail):
+        assert peel(triangle_tail) == {0: 2, 1: 2, 2: 2, 3: 1}
+
+    def test_empty_graph(self):
+        assert peel(DynamicGraph()) == {}
+
+    def test_matches_networkx_on_random(self):
+        for seed in range(3):
+            g = erdos_renyi(150, 450, seed=seed)
+            assert peel(g) == nx_core_numbers(g)
+
+    def test_matches_networkx_on_skewed(self):
+        g = rmat(9, 6, seed=1)
+        assert peel(g) == nx_core_numbers(g)
+
+    def test_core_numbers_alias(self, triangle_tail):
+        assert core_numbers(triangle_tail) == peel(triangle_tail)
+
+    def test_k_core_vertices(self, fig1_graph):
+        assert k_core_vertices(fig1_graph, 3) == {0, 1, 2, 3}
+        assert k_core_vertices(fig1_graph, 4) == set()
+
+    def test_degeneracy(self, fig1_graph):
+        assert degeneracy(fig1_graph) == 3
+        assert degeneracy(DynamicGraph()) == 0
+
+
+class TestPeelHypergraphs:
+    def test_fig2_example(self, fig2_hypergraph):
+        kappa = peel(fig2_hypergraph)
+        assert {kappa[v] for v in (1, 2, 3, 4)} == {3}
+        assert {kappa[v] for v in (5, 6, 7)} == {1}
+
+    def test_fig3_pandemic_example(self, fig3_hypergraph):
+        """The paper's Fig. 3 narrative: B-E share deep interactions
+        (kappa 3); A has moderate contact (kappa 2); F attends one big
+        event and gets kappa 1 despite touching everyone there."""
+        kappa = peel(fig3_hypergraph)
+        assert kappa["F"] == 1
+        assert kappa["A"] == 2
+        assert {kappa[v] for v in "BCDE"} == {3}
+
+    def test_hyperedge_peels_whole(self):
+        # one big hyperedge with a weak member: everyone drops together
+        h = DynamicHypergraph.from_hyperedges({
+            "big": [1, 2, 3, 4],
+            "x": [1, 2], "y": [1, 3], "z": [2, 3],
+        })
+        kappa = peel(h)
+        assert kappa[4] == 1
+        assert {kappa[v] for v in (1, 2, 3)} == {2}
+
+    def test_graph_as_2pin_hypergraph_agrees(self, triangle_tail):
+        h = DynamicHypergraph.from_hyperedges(
+            {i: list(e) for i, e in enumerate(triangle_tail.edge_list())}
+        )
+        assert peel(h) == peel(triangle_tail)
+
+
+class TestStaticHIndex:
+    def test_matches_peel_on_graphs(self):
+        for seed in range(3):
+            g = powerlaw_social(300, 8, seed=seed)
+            assert static_hindex(g) == peel(g)
+
+    def test_matches_peel_on_hypergraphs(self):
+        for seed in range(3):
+            h = affiliation_hypergraph(80, 120, 4.0, seed=seed)
+            assert static_hindex(h) == peel(h)
+
+    def test_synchronous_variant_matches(self):
+        """Algorithm 1's synchronous (frozen-snapshot) form reaches the
+        same fixpoint as the asynchronous one."""
+        for seed in range(2):
+            g = powerlaw_social(200, 7, seed=seed)
+            assert static_hindex_sync(g) == peel(g)
+        h = affiliation_hypergraph(60, 90, 4.0, seed=5)
+        assert static_hindex_sync(h) == peel(h)
+
+    def test_residual_frontier_reported(self, fig1_graph):
+        """An iteration budget leaves a resumable frontier and an
+        upper-bound tau."""
+        residual = set()
+        tau = hhc_local(fig1_graph, max_iterations=1, residual=residual)
+        oracle = peel(fig1_graph)
+        assert all(tau[v] >= oracle[v] for v in oracle)
+        if tau != oracle:
+            assert residual  # something is left to do
+        # resuming from the residual completes the computation
+        out = hhc_local(fig1_graph, tau=tau, frontier=residual)
+        assert out == oracle
+
+    def test_with_min_cache(self, fig2_hypergraph):
+        rt = SerialRuntime()
+        tau = {v: fig2_hypergraph.degree(v) for v in fig2_hypergraph.vertices()}
+        cache = MinCache(fig2_hypergraph, tau)
+        out = hhc_local(fig2_hypergraph, rt, tau=tau, min_cache=cache)
+        assert out == peel(fig2_hypergraph)
+
+    def test_high_initialisation_converges(self, fig1_graph):
+        # tau may start at any upper bound of kappa (Section III-B)
+        tau = {v: 100 for v in fig1_graph.vertices()}
+        assert hhc_local(fig1_graph, tau=tau) == peel(fig1_graph)
+
+    def test_lemma1_low_init_fails(self):
+        """Lemma 1: tau initialised below kappa may never converge to it.
+        P_n with the closing chord makes a cycle (kappa 2 everywhere), but
+        seeding tau at 1 keeps the fixpoint at 1 -- the memoization trap."""
+        g = path_graph(6)
+        g.add_edge(5, 0)  # now a cycle: true kappa = 2 everywhere
+        tau = {v: 1 for v in g.vertices()}
+        out = hhc_local(g, tau=tau)
+        assert set(out.values()) == {1}  # stuck below kappa, as Lemma 1 says
+        assert set(peel(g).values()) == {2}
+
+    def test_frontier_none_converges_everything(self, fig1_graph):
+        out = hhc_local(fig1_graph, frontier=None)
+        assert out == peel(fig1_graph)
+
+    def test_partial_frontier_with_consistent_rest(self, fig1_graph):
+        # start from the true kappa, activate one vertex: nothing changes
+        kappa = peel(fig1_graph)
+        out = hhc_local(fig1_graph, tau=dict(kappa), frontier=[0])
+        assert out == kappa
+
+    def test_max_iterations_cutoff(self, fig1_graph):
+        out = hhc_local(fig1_graph, max_iterations=1)
+        # one sweep from degrees is generally not converged; just bounded
+        assert all(out[v] >= peel(fig1_graph)[v] for v in out)
+
+    def test_on_change_callback_sees_commits(self, fig1_graph):
+        events = []
+        hhc_local(fig1_graph, on_change=lambda v, old, new: events.append((v, old, new)))
+        assert events  # degrees != kappa somewhere
+        for _, old, new in events:
+            assert old != new
+
+
+class TestVectorisedCSR:
+    def test_graph_csr_matches_peel(self):
+        for seed in range(3):
+            g = powerlaw_social(250, 8, seed=seed)
+            csr = CSRGraph.from_graph(g)
+            dense = static_hindex_csr(csr)
+            assert csr.values_by_label(dense) == peel(g)
+
+    def test_hypergraph_csr_matches_peel(self):
+        for seed in range(3):
+            h = affiliation_hypergraph(60, 90, 4.0, seed=seed)
+            csr = CSRHypergraph.from_hypergraph(h)
+            dense = static_hindex_csr_hypergraph(csr)
+            assert csr.values_by_label(dense) == peel(h)
+
+    def test_clique_csr(self):
+        csr = CSRGraph.from_graph(clique(8))
+        assert list(static_hindex_csr(csr)) == [7] * 8
+
+    def test_fig2_csr(self, fig2_hypergraph):
+        csr = CSRHypergraph.from_hypergraph(fig2_hypergraph)
+        dense = static_hindex_csr_hypergraph(csr)
+        assert csr.values_by_label(dense) == peel(fig2_hypergraph)
+
+
+@st.composite
+def random_edge_sets(draw):
+    n = draw(st.integers(min_value=2, max_value=25))
+    pairs = st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))
+    edges = draw(st.sets(pairs, max_size=60))
+    return [(u, v) for u, v in edges if u != v]
+
+
+class TestPeelProperties:
+    @given(random_edge_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_peel_matches_networkx(self, edges):
+        g = DynamicGraph.from_edges(edges)
+        if g.num_edges() == 0:
+            assert peel(g) == {}
+            return
+        assert peel(g) == nx_core_numbers(g)
+
+    @given(random_edge_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_hindex_matches_peel(self, edges):
+        g = DynamicGraph.from_edges(edges)
+        assert static_hindex(g) == peel(g)
+
+    @given(random_edge_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_kcore_definition(self, edges):
+        """Every vertex of the k-core has >= k neighbours inside it."""
+        g = DynamicGraph.from_edges(edges)
+        kappa = peel(g)
+        for k in set(kappa.values()):
+            members = {v for v, c in kappa.items() if c >= k}
+            for v in members:
+                inside = sum(1 for w in g.neighbors(v) if w in members)
+                assert inside >= k

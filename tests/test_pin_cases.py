@@ -1,0 +1,89 @@
+"""Unit tests for the Section IV-B pin-change case analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pin_cases import CASE_NAMES, classify_delete, classify_insert
+from repro.graph.substrate import Change
+
+
+TAU = {"v": 2, "a": 5, "b": 7, "low": 1, "tie": 2}
+
+
+class TestDeleteCases:
+    def test_case1_last_pin(self):
+        res = classify_delete(TAU, Change("e", "v", False), ["v"])
+        assert res.case == 1
+        assert res.deletes == [(2, 1)]
+        assert res.inserts == []
+
+    def test_case2_unique_minimum(self):
+        res = classify_delete(TAU, Change("e", "v", False), ["v", "a", "b"])
+        assert res.case == 2
+        assert res.deletes == [(2, 1)]
+        assert res.inserts == [(5, 1)]  # remaining binding level
+
+    def test_case3_above_minimum(self):
+        res = classify_delete(TAU, Change("e", "a", False), ["v", "a", "b"])
+        assert res.case == 3
+        assert res.deletes == [] and res.inserts == []
+
+    def test_case4_tie_conservative(self):
+        res = classify_delete(TAU, Change("e", "v", False), ["v", "tie", "b"])
+        assert res.case == 4
+        assert res.deletes == [(2, 1)]
+        assert res.inserts == [(2, 1)]
+
+    def test_case4_tie_gain_is_unconditional(self):
+        """Even with conservative=False the tie gain is recorded: the
+        remaining tied pins can rise mutually, which no h-index step over
+        current values can discover (found by hypothesis)."""
+        res = classify_delete(TAU, Change("e", "v", False), ["v", "tie", "b"],
+                              conservative=False)
+        assert res.inserts == [(2, 1)]
+
+    def test_unknown_vertex_treated_as_level0(self):
+        res = classify_delete(TAU, Change("e", "ghost", False), ["ghost", "a"])
+        assert res.deletes == [(0, 1)]
+
+    def test_case_names_cover(self):
+        assert set(CASE_NAMES) == {1, 2, 3, 4}
+
+
+class TestInsertCases:
+    def test_singleton_new_edge(self):
+        res = classify_insert(TAU, Change("e", "v", True), ["v"], edge_is_new=True)
+        assert res.case == 1
+        assert res.inserts == [(2, 1)]
+
+    def test_new_edge_minimum_gains(self):
+        res = classify_insert(TAU, Change("e", "v", True), ["v", "a"], edge_is_new=True)
+        assert res.case == 2
+        assert res.inserts == [(2, 1)]
+        assert res.deletes == []  # new edges can't lower anyone
+
+    def test_join_existing_lowers_others(self):
+        res = classify_insert(TAU, Change("e", "v", True), ["v", "a", "b"],
+                              edge_is_new=False)
+        assert res.case == 2
+        assert res.inserts == [(2, 1)]
+        assert res.deletes == [(5, 1)]  # prior binding level may drop
+
+    def test_insert_above_minimum_no_records(self):
+        res = classify_insert(TAU, Change("e", "b", True), ["v", "a", "b"],
+                              edge_is_new=False)
+        assert res.case == 3
+        assert res.inserts == [] and res.deletes == []
+
+    def test_tie_gains_fmod_nonstrict(self):
+        # f-mod's guard admits ties: the joining pin still records
+        res = classify_insert(TAU, Change("e", "v", True), ["v", "tie"],
+                              edge_is_new=False)
+        assert res.case == 4
+        assert res.inserts == [(2, 1)]
+
+    def test_tie_new_edge_no_delete_record(self):
+        res = classify_insert(TAU, Change("e", "v", True), ["v", "tie"],
+                              edge_is_new=True)
+        assert res.deletes == []

@@ -1,0 +1,141 @@
+"""Property-based (hypothesis) maintenance tests: random structures plus
+random change streams must always match from-scratch peeling.
+
+These generate *adversarial* streams -- duplicate changes, immediate
+undo-redo, self-inverse pairs, churn on the same hyperedge -- that the
+protocol-driven integration tests never produce.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maintainer import make_maintainer
+from repro.core.peel import peel
+from repro.core.verify import verify_kappa
+from repro.graph.batch import Batch
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+from repro.graph.substrate import Change, graph_edge_changes
+
+N_VERTS = 12
+N_EDGE_IDS = 6
+
+
+@st.composite
+def graph_and_batches(draw):
+    pairs = st.tuples(st.integers(0, N_VERTS - 1), st.integers(0, N_VERTS - 1))
+    base = [(u, v) for u, v in draw(st.sets(pairs, max_size=30)) if u != v]
+    n_batches = draw(st.integers(1, 3))
+    batches = []
+    for _ in range(n_batches):
+        ops = draw(st.lists(st.tuples(st.booleans(), pairs), max_size=10))
+        batch = Batch()
+        for insert, (u, v) in ops:
+            if u != v:
+                batch.extend(graph_edge_changes(u, v, insert))
+        batches.append(batch)
+    return base, batches
+
+
+@st.composite
+def hypergraph_and_batches(draw):
+    pin = st.tuples(st.integers(0, N_EDGE_IDS - 1), st.integers(0, N_VERTS - 1))
+    base = draw(st.sets(pin, max_size=25))
+    n_batches = draw(st.integers(1, 3))
+    batches = []
+    for _ in range(n_batches):
+        ops = draw(st.lists(st.tuples(st.booleans(), pin), max_size=10))
+        batches.append(Batch([Change(e, v, ins) for ins, (e, v) in ops]))
+    return base, batches
+
+
+@pytest.mark.parametrize("algorithm", ["mod", "set", "setmb", "hybrid"])
+class TestGraphStreams:
+    @given(data=graph_and_batches())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_oracle(self, algorithm, data):
+        base, batches = data
+        g = DynamicGraph.from_edges(base)
+        m = make_maintainer(g, algorithm)
+        for batch in batches:
+            m.apply_batch(batch)
+            verify_kappa(m)
+
+
+@pytest.mark.parametrize("algorithm", ["traversal", "order"])
+class TestGraphStreamsSequential:
+    @given(data=graph_and_batches())
+    @settings(max_examples=20, deadline=None)
+    def test_matches_oracle(self, algorithm, data):
+        base, batches = data
+        g = DynamicGraph.from_edges(base)
+        m = make_maintainer(g, algorithm)
+        for batch in batches:
+            m.apply_batch(batch)
+            verify_kappa(m)
+        if algorithm == "order":
+            from repro.core.order import order_is_valid
+
+            assert order_is_valid(g, m.kappa(), m.decomposition_order())
+
+
+@pytest.mark.parametrize("algorithm", ["mod", "set", "setmb"])
+class TestHypergraphStreams:
+    @given(data=hypergraph_and_batches())
+    @settings(max_examples=30, deadline=None)
+    def test_matches_oracle(self, algorithm, data):
+        base, batches = data
+        h = DynamicHypergraph()
+        for e, v in base:
+            h.add_pin(e, v)
+        m = make_maintainer(h, algorithm)
+        for batch in batches:
+            m.apply_batch(batch)
+            verify_kappa(m)
+
+
+class TestModPolicies:
+    @given(data=graph_and_batches())
+    @settings(max_examples=25, deadline=None)
+    def test_safe_policy_matches_oracle(self, data):
+        base, batches = data
+        g = DynamicGraph.from_edges(base)
+        m = make_maintainer(g, "mod", increment_policy="safe")
+        for batch in batches:
+            m.apply_batch(batch)
+            verify_kappa(m)
+
+    @given(data=hypergraph_and_batches())
+    @settings(max_examples=25, deadline=None)
+    def test_lean_cases_match_oracle(self, data):
+        # even without the conservative tie records the oracle must hold
+        # (ties only matter under concurrent-batch interactions the safe
+        # activation still covers)
+        base, batches = data
+        h = DynamicHypergraph()
+        for e, v in base:
+            h.add_pin(e, v)
+        m = make_maintainer(h, "mod", conservative_cases=False,
+                            increment_policy="safe")
+        for batch in batches:
+            m.apply_batch(batch)
+            verify_kappa(m)
+
+    @given(data=hypergraph_and_batches())
+    @settings(max_examples=25, deadline=None)
+    def test_min_cache_equivalence(self, data):
+        """The cached-minimum optimisation must not change results."""
+        base, batches = data
+        h1 = DynamicHypergraph()
+        for e, v in base:
+            h1.add_pin(e, v)
+        h2 = h1.copy()
+        m1 = make_maintainer(h1, "mod", use_min_cache=True)
+        m2 = make_maintainer(h2, "mod", use_min_cache=False)
+        for batch in batches:
+            m1.apply_batch(Batch(list(batch.changes)))
+            m2.apply_batch(Batch(list(batch.changes)))
+            assert m1.kappa() == m2.kappa()

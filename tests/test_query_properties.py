@@ -1,0 +1,87 @@
+"""Property-based tests for the query layer invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.peel import peel
+from repro.core.queries import (
+    core_containment_tree,
+    core_spectrum,
+    degeneracy_ordering,
+    densest_core,
+    shell,
+)
+from repro.core.order import order_is_valid
+from repro.graph.dynamic_graph import DynamicGraph
+
+
+@st.composite
+def small_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=18))
+    pairs = st.tuples(st.integers(0, n - 1), st.integers(0, n - 1))
+    edges = [(u, v) for u, v in draw(st.sets(pairs, max_size=45)) if u != v]
+    return DynamicGraph.from_edges(edges)
+
+
+class TestQueryInvariants:
+    @given(small_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_spectrum_partitions_vertices(self, g):
+        kappa = peel(g)
+        spectrum = core_spectrum(g, kappa)
+        assert sum(spectrum.values()) == len(kappa)
+        assert all(k >= 1 for k in spectrum)
+
+    @given(small_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_shells_partition_each_level(self, g):
+        kappa = peel(g)
+        seen = set()
+        for v in kappa:
+            if v in seen:
+                continue
+            s = shell(g, v, kappa)
+            assert v in s
+            assert len({kappa[w] for w in s}) <= 1  # one level per shell
+            seen |= s
+        assert seen == set(kappa)
+
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_densest_core_min_degree(self, g):
+        kappa = peel(g)
+        k, comps = densest_core(g, kappa)
+        for comp in comps:
+            for v in comp:
+                inside = sum(1 for w in g.neighbors(v) if w in comp)
+                assert inside >= k
+
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_degeneracy_ordering_always_valid(self, g):
+        kappa = peel(g)
+        if not kappa:
+            return
+        order = degeneracy_ordering(g, kappa)
+        assert order_is_valid(g, kappa, order)
+
+    @given(small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_containment_tree_consistency(self, g):
+        kappa = peel(g)
+        roots = core_containment_tree(g, kappa)
+        # roots cover every vertex exactly once (1-core components)
+        covered = [v for r in roots for v in r.vertices]
+        assert sorted(covered, key=repr) == sorted(kappa, key=repr)
+        for root in roots:
+            for node in root.walk():
+                # node vertices all have core value >= node.k
+                assert all(kappa[v] >= node.k for v in node.vertices)
+                child_union = set().union(*(c.vertices for c in node.children)) \
+                    if node.children else set()
+                assert child_union <= node.vertices
+                # vertices with kappa exactly node.k appear in no child
+                exact = {v for v in node.vertices if kappa[v] == node.k}
+                assert exact.isdisjoint(child_union)

@@ -1,0 +1,60 @@
+"""Tests for the benchmark report assembler."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.eval.report import SECTION_ORDER, build_report
+
+
+class TestReport:
+    def test_empty_results_dir(self, tmp_path):
+        text = build_report(tmp_path)
+        assert "benchmark report" in text
+        assert "not yet recorded" in text
+
+    def test_sections_in_paper_order(self, tmp_path):
+        (tmp_path / "fig07_setmb_insert_edges.txt").write_text("SEVEN")
+        (tmp_path / "fig06_mod_insert_edges.txt").write_text("SIX")
+        text = build_report(tmp_path)
+        assert text.index("SIX") < text.index("SEVEN")
+        assert "Figure 6" in text and "Figure 7" in text
+
+    def test_unknown_files_appended(self, tmp_path):
+        (tmp_path / "my_custom_bench.txt").write_text("CUSTOM")
+        text = build_report(tmp_path)
+        assert "my_custom_bench" in text and "CUSTOM" in text
+
+    def test_environment_preamble(self, tmp_path):
+        text = build_report(tmp_path)
+        assert "repro version" in text
+        assert "simulated" in text
+
+    def test_section_order_covers_every_bench_module(self):
+        stems = {stem for stem, _ in SECTION_ORDER}
+        bench_dir = Path(__file__).parent.parent / "benchmarks"
+        # every figure/table module records under a stem the report knows
+        expected = {
+            "table1", "table2", "fig06_mod_insert_edges",
+            "fig07_setmb_insert_edges", "fig08_mod_insert_pins",
+            "fig09_mod_delete_edges", "fig10_setmb_delete_edges",
+            "fig11_mod_delete_pins", "fig12_mod_mixed",
+            "latency_vs_static", "scale_trend", "sustained_rate",
+            "ablation_hybrid", "ablation_min_cache",
+            "ablation_increment_policy", "ablation_approx",
+            "distributed_exploration", "characterization",
+            "tradeoff_latency_throughput",
+        }
+        assert expected <= stems
+        assert bench_dir.exists()
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.eval.__main__ import main
+
+        (tmp_path / "table1.txt").write_text("ROWS")
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--results-dir", str(tmp_path),
+                     "--output", str(out_file)]) == 0
+        assert "ROWS" in out_file.read_text()
+        assert main(["report", "--results-dir", str(tmp_path)]) == 0
+        assert "ROWS" in capsys.readouterr().out

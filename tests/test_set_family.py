@@ -1,0 +1,271 @@
+"""Tests for the set / setmb maintainers (Algorithm 5 and Section IV-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.set_alg import PySetOps, SetEngine, SetMaintainer
+from repro.core.setmb import BitsetOps, SetMBMaintainer, split_minibatches
+from repro.core.peel import peel
+from repro.core.verify import verify_kappa
+from repro.graph.batch import Batch
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+from repro.graph.generators import path_graph, powerlaw_social
+from repro.graph.substrate import Change, graph_edge_changes
+from repro.structures.bitset64 import Bitset64
+
+
+class TestSetEngineIds:
+    def test_dense_ids_per_distinct_edge(self, triangle_tail):
+        m = SetMaintainer(triangle_tail)
+        eng = SetEngine(m)
+        assert eng.edge_id("e1", 3) == 0
+        assert eng.edge_id("e2", 5) == 1
+        assert eng.edge_id("e1", 3) == 0  # stable
+        assert eng.distinct_edges == 2
+
+    def test_id_level_widens_downward(self, triangle_tail):
+        m = SetMaintainer(triangle_tail)
+        eng = SetEngine(m)
+        eng.edge_id("e", 5)
+        eng.edge_id("e", 3)
+        eng.edge_id("e", 9)
+        assert eng.id_level[0] == 3
+
+    def test_reach_cascade_isolated_levels(self, triangle_tail):
+        m = SetMaintainer(triangle_tail)
+        eng = SetEngine(m)
+        eng.edge_id("a", 1)
+        eng.edge_id("b", 5)
+        reach = eng._finalize_reaches()
+        assert reach[0] == 2  # level-1 id: only itself in range
+        assert reach[1] == 6
+
+    def test_reach_cascade_stacked_levels(self, triangle_tail):
+        m = SetMaintainer(triangle_tail)
+        eng = SetEngine(m)
+        for e in ("a", "b", "c"):
+            eng.edge_id(e, 2)
+        reach = eng._finalize_reaches()
+        assert all(r == 5 for r in reach)  # 2 + 3 stacked ids
+
+    def test_reach_cascade_chains_adjacent(self, triangle_tail):
+        m = SetMaintainer(triangle_tail)
+        eng = SetEngine(m)
+        eng.edge_id("a", 2)
+        eng.edge_id("b", 2)
+        eng.edge_id("c", 4)
+        # two ids at 2 reach 4, which pulls the level-4 id into range
+        reach = eng._finalize_reaches()
+        assert reach[0] == reach[1] == 5
+        assert reach[2] == 5
+
+
+class TestSetGraph:
+    def test_single_insert(self, triangle_tail):
+        m = SetMaintainer(triangle_tail)
+        m.apply_batch(Batch(graph_edge_changes(3, 0, True)))
+        assert m.kappa_of(3) == 2
+        verify_kappa(m)
+
+    def test_single_delete(self, triangle_tail):
+        m = SetMaintainer(triangle_tail)
+        m.apply_batch(Batch(graph_edge_changes(0, 1, False)))
+        verify_kappa(m)
+
+    def test_lemma1_trap_avoided(self):
+        g = path_graph(8)
+        m = SetMaintainer(g)
+        m.apply_batch(Batch(graph_edge_changes(7, 0, True)))
+        assert set(m.kappa().values()) == {2}
+        verify_kappa(m)
+
+    def test_iteration_count_reported(self, triangle_tail):
+        m = SetMaintainer(triangle_tail)
+        m.apply_batch(Batch(graph_edge_changes(3, 0, True)))
+        assert m.last_iterations >= 1
+
+    def test_mixed_batch(self):
+        g = powerlaw_social(100, 6, seed=1)
+        m = SetMaintainer(g)
+        edges = list(g.edges())[:3]
+        b = Batch()
+        for u, v in edges:
+            b.extend(graph_edge_changes(u, v, False))
+        b.extend(graph_edge_changes(0, 99, True))
+        m.apply_batch(b)
+        verify_kappa(m)
+
+    def test_vertex_birth_death(self, triangle_tail):
+        m = SetMaintainer(triangle_tail)
+        m.apply_batch(Batch(graph_edge_changes(42, 1, True)))
+        assert m.kappa_of(42) == 1
+        m.apply_batch(Batch(graph_edge_changes(42, 1, False)))
+        assert 42 not in m.kappa()
+        verify_kappa(m)
+
+
+class TestSetHypergraph:
+    def test_pin_deletion_gain_requires_boost(self):
+        """The regression that motivated deletion ids (module docstring):
+        removing the binding pin must lift the mutually-supporting rest,
+        which plain convergence can never do (Lemma 1)."""
+        h = DynamicHypergraph.from_hyperedges({
+            "e1": [0, 1, 2], "e2": [1, 2], "e3": [1, 2],
+        })
+        m = SetMaintainer(h)
+        assert m.kappa_of(1) == 2
+        m.apply_batch(Batch([Change("e1", 0, False)]))
+        assert m.kappa_of(1) == 3
+        assert m.kappa_of(2) == 3
+        verify_kappa(m)
+
+    def test_pin_insert_into_existing_edge_lowers_others(self):
+        h = DynamicHypergraph.from_hyperedges({
+            "e1": [1, 2], "e2": [1, 2], "e3": [1, 2],
+        })
+        m = SetMaintainer(h)
+        assert m.kappa_of(1) == 3
+        m.apply_batch(Batch([Change("e1", 9, True)]))  # weak pin joins
+        verify_kappa(m)
+        assert m.kappa_of(1) == 2  # e1 now bound by the newcomer
+
+    def test_ttl_survives_mid_merge_reactivation(self):
+        """Regression (found by hypothesis): a vertex whose tau holds
+        steady while it is still consuming freshly-propagated change ids
+        must stay active until its pending sets drain; the serialised
+        merge order used to retire it two quiet passes too early, leaving
+        a stale inflated value behind."""
+        h = DynamicHypergraph.from_hyperedges({0: [0, 2], 1: [0], 2: [0]})
+        for cls in (SetMaintainer, SetMBMaintainer):
+            m = cls(h.copy())
+            m.apply_batch(Batch([
+                Change(0, 1, True),   # pin joins existing edge 0
+                Change(1, 1, True),   # and edge 1 (lowering vertex 0)
+                Change(0, 1, False),  # then leaves edge 0 again
+            ]))
+            verify_kappa(m)
+            assert m.kappa_of(0) == 1
+
+    def test_boosted_quiet_vertex_stays_active(self):
+        """Regression (found by hypothesis): a vertex whose unchanged tau
+        was computed *with* a neighbour's pending boost must not retire --
+        once the boost drains its true h-index is lower and it must drop.
+        Here vertex 1's kappa falls 2 -> 1 when pins join its singleton
+        support edges."""
+        h = DynamicHypergraph.from_hyperedges({0: [1], 1: [1], 2: [2]})
+        for cls in (SetMaintainer, SetMBMaintainer):
+            m = cls(h.copy())
+            assert m.kappa_of(1) == 2
+            m.apply_batch(Batch([Change(0, 2, True), Change(2, 0, True)]))
+            verify_kappa(m)
+            assert m.kappa_of(1) == 1
+
+    def test_mixed_batch_drop_must_not_outrun_rise(self):
+        """Regression (found by randomized stress): in a mixed batch the
+        deletion cascade can undercut vertices the insertion wave still
+        needs -- a dip below the *final* kappa is unrecoverable (Lemma 1).
+        Here a triangle edge is deleted while an insertion closes a
+        6-cycle: every vertex must end at kappa 2.  tau decreases are
+        deferred while an undrained insertion id could lift the range."""
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        base = [(11, 2), (8, 4), (0, 11), (4, 0), (5, 2), (11, 5)]
+        for cls in (SetMaintainer, SetMBMaintainer):
+            g = DynamicGraph.from_edges(base)
+            m = cls(g)
+            m.apply_batch(Batch(graph_edge_changes(8, 5, True)
+                                + graph_edge_changes(5, 11, False)))
+            verify_kappa(m)
+            assert set(m.kappa().values()) == {2}
+
+    def test_fig3_stream(self, fig3_hypergraph):
+        m = SetMaintainer(fig3_hypergraph)
+        m.apply_batch(Batch([Change("big_event", "F", False)]))
+        verify_kappa(m)
+        m.apply_batch(Batch([Change("big_event", "F", True)]))
+        verify_kappa(m)
+        assert m.kappa() == peel(fig3_hypergraph)
+
+
+class TestMinibatchSplitting:
+    def test_few_edges_single_piece(self):
+        batch = Batch(graph_edge_changes(0, 1, True) + graph_edge_changes(1, 2, True))
+        assert len(split_minibatches(batch)) == 1
+
+    def test_splits_at_width(self):
+        changes = [Change(e, 0, True) for e in range(10)]
+        pieces = split_minibatches(Batch(changes), width=4)
+        assert [len(p) for p in pieces] == [4, 4, 2]
+
+    def test_same_edge_does_not_split(self):
+        changes = [Change("e", v, True) for v in range(10)]
+        assert len(split_minibatches(Batch(changes), width=2)) == 1
+
+    def test_order_preserved(self):
+        changes = [Change(e, 0, True) for e in range(6)]
+        pieces = split_minibatches(Batch(changes), width=3)
+        assert [c.edge for p in pieces for c in p] == list(range(6))
+
+
+class TestBitsetOps:
+    def test_ops_match_pyset_ops(self):
+        a, b = Bitset64([1, 5]), Bitset64([5, 9])
+        sa, sb = {1, 5}, {5, 9}
+        assert set(BitsetOps.union(a, b)) == PySetOps.union(sa, sb)
+        assert set(BitsetOps.difference(a, b)) == PySetOps.difference(sa, sb)
+        assert BitsetOps.size(a) == PySetOps.size(sa)
+        assert BitsetOps.is_empty(BitsetOps.empty())
+
+    def test_copy_isolated(self):
+        a = Bitset64([1])
+        c = BitsetOps.copy(a)
+        BitsetOps.add(c, 2)
+        assert 2 not in a
+
+
+class TestSetMB:
+    def test_width_validation(self, triangle_tail):
+        with pytest.raises(ValueError):
+            SetMBMaintainer(triangle_tail, minibatch_width=0)
+        with pytest.raises(ValueError):
+            SetMBMaintainer(triangle_tail, minibatch_width=65)
+
+    def test_large_batch_uses_multiple_minibatches(self):
+        g = powerlaw_social(300, 6, seed=2)
+        m = SetMBMaintainer(g, minibatch_width=8)
+        edges = list(g.edges())[:20]
+        b = Batch()
+        for u, v in edges:
+            b.extend(graph_edge_changes(u, v, False))
+        m.apply_batch(b)
+        assert m.last_minibatches >= 3
+        verify_kappa(m)
+
+    def test_matches_set_results(self):
+        for seed in range(3):
+            g1 = powerlaw_social(120, 6, seed=seed)
+            g2 = g1.copy()
+            m1 = SetMaintainer(g1)
+            m2 = SetMBMaintainer(g2, minibatch_width=4)
+            edges = sorted(g1.edges())[:10]
+            b1 = Batch()
+            for u, v in edges:
+                b1.extend(graph_edge_changes(u, v, False))
+            import copy
+
+            m1.apply_batch(Batch(list(b1.changes)))
+            m2.apply_batch(Batch(list(b1.changes)))
+            assert m1.kappa() == m2.kappa()
+            verify_kappa(m1)
+            verify_kappa(m2)
+
+    def test_hypergraph_pin_stream(self, fig2_hypergraph):
+        m = SetMBMaintainer(fig2_hypergraph)
+        m.apply_batch(Batch([Change("a", 1, False), Change("e", 6, True)]))
+        verify_kappa(m)
+
+    def test_algorithm_tag(self, triangle_tail):
+        assert SetMBMaintainer(triangle_tail).algorithm == "setmb"
+        assert SetMaintainer(triangle_tail).algorithm == "set"

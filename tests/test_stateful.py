@@ -1,0 +1,139 @@
+"""Stateful (model-based) hypothesis testing of the maintainers.
+
+A RuleBasedStateMachine drives a maintainer with an arbitrary interleaving
+of single-change and batched operations; after every step the maintained
+values must equal the independent peeling oracle, and the substrate must
+satisfy its structural invariants.  This explores operation *sequences*
+(not just single batches) the other suites cannot reach.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.maintainer import make_maintainer
+from repro.core.peel import peel
+from repro.core.verify import diff_kappa
+from repro.graph.batch import Batch
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+from repro.graph.substrate import Change, graph_edge_changes
+from repro.graph.validate import check
+
+N_VERTS = 10
+N_EDGES = 5
+
+
+class GraphMachine(RuleBasedStateMachine):
+    """Drives a graph maintainer with random edge operations."""
+
+    algorithm = "mod"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.g = DynamicGraph()
+        self.m = make_maintainer(self.g, self.algorithm)
+        self.pending: list = []
+
+    vertices = st.integers(0, N_VERTS - 1)
+
+    @rule(u=vertices, v=vertices)
+    def toggle_edge(self, u, v):
+        if u == v:
+            return
+        insert = not self.g.has_graph_edge(u, v)
+        self.m.apply_batch(Batch(graph_edge_changes(u, v, insert)))
+
+    @rule(u=vertices, v=vertices)
+    def queue_change(self, u, v):
+        if u == v:
+            return
+        insert = not self.g.has_graph_edge(u, v)
+        self.pending.extend(graph_edge_changes(u, v, insert))
+
+    @rule()
+    def flush_batch(self):
+        if self.pending:
+            self.m.apply_batch(Batch(self.pending))
+            self.pending = []
+
+    @invariant()
+    def matches_oracle(self):
+        # queued-but-unapplied changes don't touch the structure, so the
+        # oracle comparison is always well-defined
+        assert diff_kappa(self.m.kappa(), peel(self.g)) == []
+
+    @invariant()
+    def structure_sound(self):
+        check(self.g)
+
+
+class GraphMachineSetMB(GraphMachine):
+    algorithm = "setmb"
+
+
+class GraphMachineHybrid(GraphMachine):
+    algorithm = "hybrid"
+
+
+class HypergraphMachine(RuleBasedStateMachine):
+    """Drives a hypergraph maintainer with random pin operations."""
+
+    algorithm = "mod"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.h = DynamicHypergraph()
+        self.m = make_maintainer(self.h, self.algorithm)
+        self.pending: list = []
+
+    edges = st.integers(0, N_EDGES - 1)
+    vertices = st.integers(0, N_VERTS - 1)
+
+    @rule(e=edges, v=vertices)
+    def toggle_pin(self, e, v):
+        insert = not self.h.has_pin(e, v)
+        self.m.apply_batch(Batch([Change(e, v, insert)]))
+
+    @rule(e=edges, v=vertices)
+    def queue_pin(self, e, v):
+        insert = not self.h.has_pin(e, v)
+        self.pending.append(Change(e, v, insert))
+
+    @rule()
+    def flush_batch(self):
+        if self.pending:
+            self.m.apply_batch(Batch(self.pending))
+            self.pending = []
+
+    @rule(e=edges)
+    def drop_whole_hyperedge(self, e):
+        pins = list(self.h.pins(e))
+        if pins:
+            self.m.apply_batch(Batch([Change(e, v, False) for v in pins]))
+
+    @invariant()
+    def matches_oracle(self):
+        assert diff_kappa(self.m.kappa(), peel(self.h)) == []
+
+    @invariant()
+    def structure_sound(self):
+        check(self.h)
+
+
+class HypergraphMachineSet(HypergraphMachine):
+    algorithm = "set"
+
+
+_settings = settings(max_examples=15, stateful_step_count=25, deadline=None)
+for _machine in (GraphMachine, GraphMachineSetMB, GraphMachineHybrid,
+                 HypergraphMachine, HypergraphMachineSet):
+    _machine.TestCase.settings = _settings
+
+TestGraphMod = GraphMachine.TestCase
+TestGraphSetMB = GraphMachineSetMB.TestCase
+TestGraphHybrid = GraphMachineHybrid.TestCase
+TestHyperMod = HypergraphMachine.TestCase
+TestHyperSet = HypergraphMachineSet.TestCase

@@ -1,0 +1,299 @@
+"""Unit and property tests for DisjointSet, BucketQueue, Bitset64 and
+LevelAccumulator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.bitset64 import WIDTH, Bitset64
+from repro.structures.bucket_queue import BucketQueue
+from repro.structures.disjoint_set import DisjointSet
+from repro.structures.level_accumulator import LevelAccumulator
+
+
+class TestDisjointSet:
+    def test_singletons(self):
+        d = DisjointSet([1, 2, 3])
+        assert d.component_count == 3
+        assert not d.connected(1, 2)
+
+    def test_union_connects(self):
+        d = DisjointSet()
+        d.union(1, 2)
+        d.union(2, 3)
+        assert d.connected(1, 3)
+        assert d.component_count == 1
+
+    def test_union_idempotent(self):
+        d = DisjointSet()
+        d.union(1, 2)
+        before = d.component_count
+        d.union(1, 2)
+        assert d.component_count == before
+
+    def test_lazy_creation_via_find(self):
+        d = DisjointSet()
+        assert d.find("x") == "x"
+        assert "x" in d
+
+    def test_set_size(self):
+        d = DisjointSet()
+        for i in range(5):
+            d.union(0, i)
+        assert d.set_size(3) == 5
+
+    def test_groups(self):
+        d = DisjointSet()
+        d.union(1, 2)
+        d.union(3, 4)
+        groups = d.groups()
+        assert sorted(sorted(g) for g in groups.values()) == [[1, 2], [3, 4]]
+
+    def test_hashable_elements(self):
+        d = DisjointSet()
+        d.union(("a", 1), ("b", 2))
+        assert d.connected(("a", 1), ("b", 2))
+
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_model(self, pairs):
+        d = DisjointSet()
+        naive = {}  # vertex -> frozenset component, rebuilt greedily
+
+        def naive_comp(x):
+            return naive.setdefault(x, {x})
+
+        for a, b in pairs:
+            d.union(a, b)
+            ca, cb = naive_comp(a), naive_comp(b)
+            if ca is not cb:
+                merged = ca | cb
+                for x in merged:
+                    naive[x] = merged
+        for a, b in pairs:
+            assert d.connected(a, b) == (naive[a] is naive[b])
+
+
+class TestBucketQueue:
+    def test_fifo_like_pop_min(self):
+        q = BucketQueue()
+        q.push("a", 3)
+        q.push("b", 1)
+        q.push("c", 2)
+        assert q.pop_min() == ("b", 1)
+        assert q.pop_min() == ("c", 2)
+        assert q.pop_min() == ("a", 3)
+
+    def test_len_contains(self):
+        q = BucketQueue()
+        q.push(1, 0)
+        assert len(q) == 1 and 1 in q and 2 not in q
+
+    def test_decrease(self):
+        q = BucketQueue()
+        q.push("a", 5)
+        q.decrease("a", 2)
+        assert q.priority("a") == 2
+        q.decrease("a", 4)  # not lower: no-op
+        assert q.priority("a") == 2
+
+    def test_update_any_direction(self):
+        q = BucketQueue()
+        q.push("a", 1)
+        q.update("a", 7)
+        assert q.priority("a") == 7
+
+    def test_remove(self):
+        q = BucketQueue()
+        q.push("a", 1)
+        q.push("b", 1)
+        assert q.remove("a") == 1
+        assert q.pop_min() == ("b", 1)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BucketQueue().pop_min()
+
+    def test_duplicate_push_rejected(self):
+        q = BucketQueue()
+        q.push("a", 1)
+        with pytest.raises(KeyError):
+            q.push("a", 2)
+
+    def test_negative_priority_rejected(self):
+        with pytest.raises(ValueError):
+            BucketQueue().push("a", -1)
+
+    def test_cursor_moves_back_after_low_push(self):
+        q = BucketQueue()
+        q.push("a", 5)
+        assert q.peek_min() == ("a", 5)
+        q.push("b", 1)
+        assert q.pop_min() == ("b", 1)
+
+    def test_large_int_identity_regression(self):
+        # regression: removal relied on `is` identity, which fails for
+        # non-interned ints; mixing large labels must stay consistent
+        q = BucketQueue()
+        labels = [10**9 + i for i in range(50)]
+        for i, lbl in enumerate(labels):
+            q.push(lbl, i % 5)
+        random.Random(7).shuffle(labels)
+        for lbl in labels[:25]:
+            q.remove(lbl)
+        seen = set()
+        while q:
+            item, _ = q.pop_min()
+            seen.add(item)
+        assert seen == set(labels[25:])
+
+    @given(st.lists(st.tuples(st.integers(0, 40), st.integers(0, 10)), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_pop_order_matches_sort(self, items):
+        q = BucketQueue()
+        model = {}
+        for key, prio in items:
+            if key not in model:
+                q.push(key, prio)
+                model[key] = prio
+        popped = []
+        while q:
+            popped.append(q.pop_min()[1])
+        assert popped == sorted(model.values())
+
+
+class TestBitset64:
+    def test_empty(self):
+        b = Bitset64()
+        assert len(b) == 0 and not b
+
+    def test_add_contains(self):
+        b = Bitset64()
+        b.add(0)
+        b.add(63)
+        assert 0 in b and 63 in b and 31 not in b
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Bitset64().add(64)
+        with pytest.raises(ValueError):
+            Bitset64([-1])
+
+    def test_iteration_sorted(self):
+        assert list(Bitset64([9, 1, 40])) == [1, 9, 40]
+
+    def test_operators(self):
+        a, b = Bitset64([1, 5]), Bitset64([5, 9])
+        assert sorted(a | b) == [1, 5, 9]
+        assert sorted(a & b) == [5]
+        assert sorted(a - b) == [1]
+        assert sorted(a ^ b) == [1, 9]
+
+    def test_inplace(self):
+        a = Bitset64([1])
+        a.union_update(Bitset64([2]))
+        assert sorted(a) == [1, 2]
+        a.difference_update(Bitset64([1]))
+        assert sorted(a) == [2]
+        a.intersection_update(Bitset64([3]))
+        assert not a
+
+    def test_subset_disjoint(self):
+        assert Bitset64([1]).issubset(Bitset64([1, 2]))
+        assert Bitset64([1]).isdisjoint(Bitset64([2]))
+        assert not Bitset64([1, 3]).issubset(Bitset64([1, 2]))
+
+    def test_copy_independent(self):
+        a = Bitset64([1])
+        c = a.copy()
+        c.add(2)
+        assert 2 not in a
+
+    def test_discard(self):
+        a = Bitset64([1, 2])
+        a.discard(1)
+        a.discard(50)  # absent: no-op
+        assert sorted(a) == [2]
+
+    def test_eq_hash(self):
+        assert Bitset64([1, 2]) == Bitset64([2, 1])
+        assert hash(Bitset64([3])) == hash(Bitset64([3]))
+
+    def test_raw_word_constructor(self):
+        assert sorted(Bitset64(0b101)) == [0, 2]
+        with pytest.raises(ValueError):
+            Bitset64(1 << 64)
+
+    @given(
+        st.sets(st.integers(0, WIDTH - 1), max_size=WIDTH),
+        st.sets(st.integers(0, WIDTH - 1), max_size=WIDTH),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_python_set_semantics(self, xs, ys):
+        a, b = Bitset64(xs), Bitset64(ys)
+        assert set(a | b) == xs | ys
+        assert set(a & b) == xs & ys
+        assert set(a - b) == xs - ys
+        assert set(a ^ b) == xs ^ ys
+        assert len(a) == len(xs)
+        assert a.issubset(b) == xs.issubset(ys)
+        assert a.isdisjoint(b) == xs.isdisjoint(ys)
+
+
+class TestLevelAccumulator:
+    def test_default_zero(self):
+        acc = LevelAccumulator()
+        assert acc[17] == 0 and not acc
+
+    def test_add_and_get(self):
+        acc = LevelAccumulator()
+        acc.add(3)
+        acc.add(3, 2)
+        assert acc[3] == 3
+
+    def test_add_to_zero_removes_level(self):
+        acc = LevelAccumulator()
+        acc.add(3, 2)
+        acc.add(3, -2)
+        assert 3 not in acc and len(acc) == 0
+
+    def test_setitem(self):
+        acc = LevelAccumulator()
+        acc[4] = 7
+        assert acc[4] == 7
+        acc[4] = 0
+        assert 4 not in acc
+
+    def test_negative_level_rejected(self):
+        acc = LevelAccumulator()
+        with pytest.raises(ValueError):
+            acc.add(-1)
+        with pytest.raises(ValueError):
+            acc[-2] = 1
+
+    def test_total_max_levels(self):
+        acc = LevelAccumulator()
+        acc.add(1, 2)
+        acc.add(9, 5)
+        assert acc.total() == 7
+        assert acc.max_level() == 9
+        assert sorted(acc.levels()) == [1, 9]
+
+    def test_max_level_empty(self):
+        assert LevelAccumulator().max_level() == -1
+
+    def test_copy_independent(self):
+        acc = LevelAccumulator()
+        acc.add(1)
+        c = acc.copy()
+        c.add(1)
+        assert acc[1] == 1 and c[1] == 2
+
+    def test_as_dict(self):
+        acc = LevelAccumulator()
+        acc.add(2, 3)
+        assert acc.as_dict() == {2: 3}

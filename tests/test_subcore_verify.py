@@ -1,0 +1,108 @@
+"""Tests for core/subcore materialisation and the verification helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mod import ModMaintainer
+from repro.core.peel import peel
+from repro.core.subcore import core_hierarchy, core_sizes, k_core_components, subcores
+from repro.core.verify import VerificationError, diff_kappa, verify_kappa
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+from repro.graph.generators import clique, erdos_renyi
+
+
+class TestKCoreComponents:
+    def test_fig1_three_core(self, fig1_graph):
+        comps = k_core_components(fig1_graph, 3)
+        assert comps == [{0, 1, 2, 3}]
+
+    def test_two_separate_cores(self):
+        g = clique(4)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                g.add_edge(100 + i, 100 + j)
+        comps = k_core_components(g, 3)
+        assert sorted(sorted(c) for c in comps) == [[0, 1, 2, 3], [100, 101, 102, 103]]
+
+    def test_connectivity_through_bridge_vertex(self, fig1_graph):
+        # at k=1 everything is one component
+        comps = k_core_components(fig1_graph, 1)
+        assert len(comps) == 1
+
+    def test_empty_when_k_too_high(self, fig1_graph):
+        assert k_core_components(fig1_graph, 9) == []
+
+    def test_hypergraph_requires_full_edges(self):
+        """Two triangles of 2-pin edges joined only by a hyperedge with an
+        outside weak pin: the big hyperedge is peeled from the 2-core, so
+        the 2-core has two components."""
+        h = DynamicHypergraph.from_hyperedges({
+            "a1": [0, 1], "a2": [1, 2], "a3": [0, 2],
+            "b1": [10, 11], "b2": [11, 12], "b3": [10, 12],
+            "bridge": [0, 10, 99],
+        })
+        comps = k_core_components(h, 2)
+        assert sorted(sorted(c) for c in comps) == [[0, 1, 2], [10, 11, 12]]
+
+    def test_accepts_precomputed_kappa(self, fig1_graph):
+        kappa = peel(fig1_graph)
+        assert k_core_components(fig1_graph, 2, kappa) == \
+            k_core_components(fig1_graph, 2)
+
+
+class TestSubcores:
+    def test_fig1_subcores(self, fig1_graph):
+        sc = subcores(fig1_graph)
+        by_level = {}
+        for k, members in sc:
+            by_level.setdefault(k, []).append(members)
+        assert by_level[3] == [{0, 1, 2, 3}]
+        assert by_level[2] == [{4, 5, 6}]
+        # tendrils: {7, 8} connect; {9} is its own level-1 subcore
+        assert sorted(sorted(s) for s in by_level[1]) == [[7, 8], [9]]
+
+    def test_subcores_partition_vertices(self, fig1_graph):
+        sc = subcores(fig1_graph)
+        seen = [v for _, members in sc for v in members]
+        assert sorted(seen) == sorted(fig1_graph.vertices())
+
+
+class TestHierarchy:
+    def test_nesting(self, fig1_graph):
+        hier = core_hierarchy(fig1_graph)
+        assert set(hier) == {1, 2, 3}
+        v3 = set().union(*hier[3])
+        v2 = set().union(*hier[2])
+        assert v3 <= v2
+
+    def test_core_sizes_monotone(self):
+        g = erdos_renyi(80, 240, seed=1)
+        sizes = core_sizes(g)
+        ks = sorted(sizes)
+        assert all(sizes[a] >= sizes[b] for a, b in zip(ks, ks[1:]))
+
+
+class TestVerify:
+    def test_clean_pass(self, fig1_graph):
+        m = ModMaintainer(fig1_graph)
+        assert verify_kappa(m) == []
+
+    def test_detects_corruption(self, fig1_graph):
+        m = ModMaintainer(fig1_graph)
+        m.tau[0] = 99
+        with pytest.raises(VerificationError) as exc:
+            verify_kappa(m)
+        assert exc.value.mismatches == [(0, 99, 3)]
+
+    def test_no_raise_mode(self, fig1_graph):
+        m = ModMaintainer(fig1_graph)
+        m.tau[0] = 99
+        out = verify_kappa(m, raise_on_mismatch=False)
+        assert out == [(0, 99, 3)]
+
+    def test_diff_handles_missing_vertices(self):
+        assert diff_kappa({1: 2}, {}) == [(1, 2, 0)]
+        assert diff_kappa({}, {1: 2}) == [(1, 0, 2)]
+        assert diff_kappa({1: 2}, {1: 2}) == []

@@ -1,0 +1,47 @@
+"""Tests for the latency/throughput profiling module (§I framing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.throughput import (
+    AlgorithmProfile,
+    profile_algorithm,
+    profile_static,
+    tradeoff_report,
+)
+from repro.eval.stats import Stats
+
+
+class TestProfiles:
+    def test_profile_algorithm_fields(self):
+        p = profile_algorithm("Google", "mod", 8, rounds=2, scale=0.2)
+        assert p.batch_size == 8
+        assert p.latency.n == 2
+        assert p.throughput > 0
+
+    def test_profile_counts_both_directions(self):
+        # each round applies batch_size deletions + reinsertion; with
+        # graph units each edge is 2 pin changes, so throughput uses
+        # 2 * 2 * batch_size changes per round
+        p = profile_algorithm("Google", "mod", 4, rounds=1, scale=0.2)
+        total_changes = p.throughput * p.latency.mean  # 1 round
+        assert total_changes == pytest.approx(2 * 2 * 4, rel=1e-6)
+
+    def test_profile_static(self):
+        p = profile_static("Google", 8, rounds=2, scale=0.2)
+        assert p.label == "static recompute"
+        assert p.latency.mean > 0
+
+    def test_custom_label_and_kwargs(self):
+        p = profile_algorithm("Google", "mod", 4, rounds=1, scale=0.2,
+                              label="custom",
+                              maintainer_kwargs={"increment_policy": "safe"})
+        assert p.label == "custom"
+
+    def test_tradeoff_report_sorted_by_latency(self):
+        a = AlgorithmProfile("slow", 1, Stats.of([0.5]), 10.0)
+        b = AlgorithmProfile("fast", 1, Stats.of([0.1]), 5.0)
+        report = tradeoff_report([a, b])
+        assert report.index("fast") < report.index("slow")
+        assert "changes/s" in report

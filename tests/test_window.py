@@ -1,0 +1,102 @@
+"""Tests for the sliding-window temporal stream."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.maintainer import make_maintainer
+from repro.core.peel import peel
+from repro.core.verify import verify_kappa
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+from repro.graph.window import SlidingWindowStream, TimedEvent
+
+
+class TestSlidingWindow:
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowStream(0)
+
+    def test_insert_then_expire(self):
+        w = SlidingWindowStream(horizon=10)
+        b1 = w.advance(0, [TimedEvent.of(0, "e1", [1, 2, 3])])
+        assert all(c.insert for c in b1) and len(b1) == 3
+        assert w.live_events == 1
+        b2 = w.advance(5)
+        assert len(b2) == 0
+        b3 = w.advance(10)
+        assert all(not c.insert for c in b3) and len(b3) == 3
+        assert w.live_events == 0
+
+    def test_mixed_batch_on_advance(self):
+        w = SlidingWindowStream(horizon=10)
+        w.advance(0, [TimedEvent.of(0, "old", [1, 2])])
+        b = w.advance(10, [TimedEvent.of(10, "new", [3, 4])])
+        kinds = [(c.edge, c.insert) for c in b]
+        # expiries come first, then the fresh insertions
+        assert kinds[:2] == [("old", False), ("old", False)]
+        assert all(ins for _, ins in kinds[2:])
+
+    def test_clock_monotonicity(self):
+        w = SlidingWindowStream(horizon=5)
+        w.advance(10)
+        with pytest.raises(ValueError):
+            w.advance(9)
+
+    def test_event_beyond_clock_rejected(self):
+        w = SlidingWindowStream(horizon=5)
+        with pytest.raises(ValueError):
+            w.advance(1, [TimedEvent.of(2, "e", [1])])
+
+    def test_event_expiring_within_advance_is_skipped(self):
+        w = SlidingWindowStream(horizon=5)
+        b = w.advance(100, [TimedEvent.of(10, "e", [1, 2])])
+        assert len(b) == 0 and w.live_events == 0
+
+    def test_drain(self):
+        w = SlidingWindowStream(horizon=100)
+        w.advance(0, [TimedEvent.of(0, "a", [1, 2]), TimedEvent.of(0, "b", [3])])
+        b = w.drain()
+        assert len(b) == 3 and not any(c.insert for c in b)
+        assert w.live_events == 0
+
+    def test_window_decomposition_matches_window_recompute(self):
+        """The end-to-end contract: maintaining through window batches
+        equals recomputing on the events currently inside the window."""
+        rng = random.Random(6)
+        events = []
+        for i in range(60):
+            t = i * 1.0
+            pins = rng.sample(range(20), k=rng.randint(2, 4))
+            events.append(TimedEvent.of(t, f"ev{i}", pins))
+
+        h = DynamicHypergraph()
+        m = make_maintainer(h, "mod")
+        w = SlidingWindowStream(horizon=12.0)
+        for t, batch in w.replay(events, tick=4.0):
+            if batch:
+                m.apply_batch(batch)
+            live = {
+                ev.edge: ev.pins
+                for ev in events
+                if ev.time <= t and ev.time + 12.0 > t
+            }
+            expected = peel(DynamicHypergraph.from_hyperedges(live))
+            assert m.kappa() == expected
+        # after replay the horizon has passed everything
+        assert h.num_edges() == 0
+
+    def test_window_with_setmb(self):
+        rng = random.Random(7)
+        events = [
+            TimedEvent.of(i * 1.0, i, rng.sample(range(15), k=3))
+            for i in range(30)
+        ]
+        h = DynamicHypergraph()
+        m = make_maintainer(h, "setmb")
+        w = SlidingWindowStream(horizon=8.0)
+        for _, batch in w.replay(events, tick=2.0):
+            if batch:
+                m.apply_batch(batch)
+                verify_kappa(m)
