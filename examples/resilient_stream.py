@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A supervised bursty stream that survives everything thrown at it.
+
+The paper frames the goal as maintenance-as-a-service (Section I); a
+service meets failures a benchmark never sees.  This example replays a
+bursty remove/reinsert stream over a power-law social graph through a
+:class:`ResilientMaintainer` while a chaos harness injects, at exact
+reproducible positions:
+
+* a transient crash mid-batch  -- rolled back transactionally, retried,
+  and applied cleanly on the second attempt;
+* a poison batch that crashes every attempt -- quarantined with a
+  structured report while the stream keeps flowing;
+* silent tau corruption on the final batch -- caught by the closing
+  drift audit and healed by a static reseed.
+
+The run ends with a full verification against the independent peeling
+oracle: clean, despite every fault.
+
+Run:  python examples/resilient_stream.py
+"""
+
+from repro import peel
+from repro.graph.generators import powerlaw_social
+from repro.graph.streams import BurstySchedule, BurstyStream
+from repro.resilience import FaultInjector, FaultPlan, ResilientMaintainer
+
+
+def main(n_vertices: int = 400, rounds: int = 12, seed: int = 7) -> None:
+    print("building the social graph and its supervised maintainer...")
+    g = powerlaw_social(n_vertices, 6, seed=seed)
+    rm = ResilientMaintainer(
+        g, "mod", max_retries=2, audit_every=0, audit_sample=None, seed=seed
+    )
+
+    # rounds yield (size, deletion, insertion): 2 batches per round
+    last_batch = 2 * rounds - 1
+    plans = (
+        FaultPlan.raise_at(batch=3, change=2),                    # transient
+        FaultPlan.raise_at(batch=8, change=0, transient=False),   # poison
+        FaultPlan.corrupt_tau(batch=last_batch, delta=5),         # silent drift
+    )
+    injector = FaultInjector(rm, plans)
+    schedule = BurstySchedule(calm_size=4, burst_factor=40, p_burst=0.25, seed=3)
+    stream = BurstyStream(g, schedule, seed=seed + 1)
+
+    print(f"\nreplaying {rounds} bursty rounds with {len(plans)} armed faults...")
+    print(f"{'batch':>5} {'size':>5}  outcome")
+    for i, (_, deletion, insertion) in enumerate(stream.rounds(rounds)):
+        for batch in (deletion, insertion):
+            report = injector.apply_batch(batch)
+            note = report.status
+            if report.status == "retried":
+                note += f" (succeeded on attempt {report.attempts})"
+            elif report.status == "quarantined":
+                note += f" -- stream continues ({report.error})"
+            print(f"{injector._cursor - 1:>5} {len(batch):>5}  {note}")
+
+    print("\nquarantine ledger:")
+    for q in rm.quarantine:
+        print(f"  {q}")
+    assert len(rm.quarantine) == 1, "exactly the poison batch is quarantined"
+
+    print("\nclosing drift audit (full, unsampled):", end=" ")
+    outcome = rm.audit()
+    print(outcome)
+    assert outcome == "healed", "the injected corruption is caught and healed"
+
+    print("final verification against the peeling oracle:", end=" ")
+    assert rm.kappa() == peel(g), "diverged!"
+    s = rm.stats
+    print("clean")
+    print(
+        f"\nstats: applied={s['applied']} retries={s['retries']} "
+        f"quarantined={s['quarantined']} heals={s['heals']}"
+    )
+    fired = {id(p) for p in injector.fired}  # poison plans fire once per attempt
+    assert fired == {id(p) for p in plans}, "every armed fault fired"
+    print("all faults fired: True")
+    print("\nthe stream survived every injected fault with verified state.")
+
+
+if __name__ == "__main__":
+    main()

@@ -62,6 +62,17 @@ from repro.parallel import (
     ThreadRuntime,
     WorkloadProfile,
 )
+from repro.resilience import (
+    BatchValidationError,
+    Checkpoint,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    ResilientMaintainer,
+    restore_maintainer,
+    take_checkpoint,
+    validate_batch,
+)
 
 __version__ = "1.0.0"
 
@@ -69,14 +80,20 @@ __all__ = [
     "ApproximateModMaintainer",
     "Batch",
     "BatchProtocol",
+    "BatchValidationError",
     "Change",
+    "Checkpoint",
     "CoreMaintainer",
     "DynamicGraph",
     "DynamicHypergraph",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
     "HybridMaintainer",
     "MachineSpec",
     "ModMaintainer",
     "OrderMaintainer",
+    "ResilientMaintainer",
     "SerialRuntime",
     "SetMaintainer",
     "SetMBMaintainer",
@@ -94,7 +111,10 @@ __all__ = [
     "hhc_local",
     "make_maintainer",
     "peel",
+    "restore_maintainer",
     "shell",
     "static_hindex",
+    "take_checkpoint",
+    "validate_batch",
     "__version__",
 ]

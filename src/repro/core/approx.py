@@ -120,8 +120,17 @@ class ApproximateModMaintainer(ModMaintainer):
             self._residual = set()
         self._inflation = 0
 
+    # -- transactional hooks --------------------------------------------------------
+    def _txn_snapshot_extra(self) -> object:
+        return (set(self._residual), self._inflation)
+
+    def _txn_restore_extra(self, state: object) -> None:
+        residual, inflation = state
+        self._residual = set(residual)
+        self._inflation = inflation
+
     # -- batch processing ----------------------------------------------------------------
-    def apply_batch(self, batch) -> None:
+    def _apply_batch(self, batch) -> None:
         rt = self.rt
         if (
             self.auto_flush_inflation is not None

@@ -11,7 +11,10 @@
 * the per-hyperedge :class:`~repro.graph.dynamic_hypergraph.MinCache`
   (Section IV-A's cached-minimum optimisation, hypergraphs only);
 * ``maintain_h`` -- the paper's ``MaintainH``: apply a batch's structural
-  changes while invoking the algorithm's callback per pin change.
+  changes while invoking the algorithm's callback per pin change;
+* the **transactional template** ``apply_batch``: pre-flight validation,
+  then the algorithm's ``_apply_batch``, rolled back wholesale on any
+  exception (see :mod:`repro.resilience`).
 
 Graph edges need one care point in ``maintain_h``: a graph edge comes into
 existence atomically with both pins, and its two
@@ -20,21 +23,43 @@ insertion.  The callback must still observe *both* pin changes (Algorithm
 4's ``f-mod`` records the minimum endpoint, whichever of the two it is), so
 on a successful graph edge application the callback fires for both
 endpoints and the twin record is skipped when it arrives.
+
+Transactions
+------------
+``apply_batch`` is **all-or-nothing** for every algorithm: batches are
+validated against the substrate before the first mutation
+(:func:`~repro.resilience.validation.validate_batch`), every structural
+change that lands is journalled through the single mutation point
+``_apply_structural``, and any exception mid-batch -- a callback bug, an
+injected fault, a surprise in convergence -- triggers a rollback restoring
+substrate, ``tau``, level index and min-cache to the exact pre-batch state
+before the exception propagates.  Algorithms implement ``_apply_batch``;
+``apply_batch`` itself is the template.  Set ``transactional = False`` /
+``validate_batches = False`` to strip both layers (the benchmarks'
+hot-loop option).
+
+``fault_hook`` is the chaos-engineering seam: when set, it is called with
+``(change, index)`` before each pin-change record of a batch is processed,
+and may raise to simulate a mid-batch failure at a deterministic position
+(:class:`~repro.resilience.faults.FaultInjector` drives it).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, Optional, Set
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set
 
 from repro.core.static import hhc_local, static_hindex
 from repro.graph.dynamic_hypergraph import MinCache
 from repro.graph.substrate import Change
 from repro.parallel.runtime import ParallelRuntime, SerialRuntime
+from repro.resilience.transaction import Transaction
+from repro.resilience.validation import validate_batch
 
 __all__ = ["MaintainerBase"]
 
 Vertex = Hashable
 Callback = Callable[[Change, tuple], None]
+FaultHook = Callable[[Change, int], None]
 
 
 class MaintainerBase:
@@ -64,6 +89,14 @@ class MaintainerBase:
         for v, k in self.tau.items():
             self._level_index.setdefault(k, set()).add(v)
         self.batches_processed = 0
+        #: all-or-nothing batches (rollback on exception); see module docs
+        self.transactional = True
+        #: pre-flight structural validation of every batch
+        self.validate_batches = True
+        #: chaos seam: ``hook(change, index)`` before each pin-change record
+        self.fault_hook: Optional[FaultHook] = None
+        self._txn_journal: Optional[List[Change]] = None
+        self._fault_index = 0
 
     # -- kappa access ------------------------------------------------------------
     def kappa(self) -> Dict[Vertex, int]:
@@ -117,6 +150,30 @@ class MaintainerBase:
         self._level_index.setdefault(new, set()).add(v)
         # min cache refresh is handled inside hhc_local itself
 
+    # -- transactional plumbing ---------------------------------------------------
+    def _apply_structural(self, change: Change) -> bool:
+        """The single structural mutation point: apply one pin change and,
+        inside a transaction, journal it for rollback."""
+        applied = self.sub.apply(change)
+        if applied and self._txn_journal is not None:
+            self._txn_journal.append(change)
+        return applied
+
+    def _fault_point(self, change: Change) -> None:
+        """Chaos seam: give an armed fault hook its shot at this record."""
+        hook = self.fault_hook
+        if hook is not None:
+            hook(change, self._fault_index)
+        self._fault_index += 1
+
+    def _txn_snapshot_extra(self) -> object:
+        """Capture algorithm-specific cross-batch state for rollback
+        (subclasses with such state override both hooks)."""
+        return None
+
+    def _txn_restore_extra(self, state: object) -> None:
+        return None
+
     # -- structural application (MaintainH) ------------------------------------------
     def maintain_h(self, batch, callback: Optional[Callback]) -> Set[Vertex]:
         """Apply every structural change of ``batch``; fire ``callback`` per
@@ -140,9 +197,10 @@ class MaintainerBase:
 
         for change in batch:
             rt.serial(1)
+            self._fault_point(change)
             if change.insert:
                 # capture nothing; apply then observe
-                applied = sub.apply(change)
+                applied = self._apply_structural(change)
                 if not applied:
                     continue
                 if self.min_cache is not None:
@@ -164,7 +222,7 @@ class MaintainerBase:
                 if not sub.has_pin(change.edge, change.vertex):
                     continue
                 pins_before = tuple(sub.pins(change.edge))
-                applied = sub.apply(change)
+                applied = self._apply_structural(change)
                 if not applied:
                     continue
                 if self.min_cache is not None:
@@ -198,6 +256,35 @@ class MaintainerBase:
 
     # -- the public entry point ---------------------------------------------------------
     def apply_batch(self, batch) -> None:
+        """Validate, then apply ``batch`` all-or-nothing.
+
+        The template wrapping every algorithm's ``_apply_batch``: the
+        batch is structurally validated before the first mutation, and an
+        exception anywhere mid-batch (structural application, callbacks,
+        resolution, convergence) rolls substrate / ``tau`` / level index /
+        min-cache back to the exact pre-batch state before re-raising.
+        """
+        if self.validate_batches:
+            validate_batch(self.sub, batch)
+        self._fault_index = 0
+        if not self.transactional or self._txn_journal is not None:
+            # transactions off, or already inside an enclosing transaction
+            # (the hybrid maintainer's child engines share the journal)
+            self._apply_batch(batch)
+            return
+        txn = Transaction.begin(self)
+        self._txn_journal = txn.journal
+        try:
+            self._apply_batch(batch)
+        except BaseException:
+            self._txn_journal = None
+            txn.rollback(self)
+            raise
+        finally:
+            self._txn_journal = None
+
+    def _apply_batch(self, batch) -> None:
+        """The algorithm's batch processing (subclasses implement)."""
         raise NotImplementedError
 
     def apply_change(self, change: Change) -> None:

@@ -85,6 +85,13 @@ class HybridMaintainer(MaintainerBase):
         child.use_min_cache = self.use_min_cache
         child._level_index = self._level_index
         child.batches_processed = 0
+        # validation and transactions live at the hybrid level; children
+        # inherit the live journal/fault hook per batch (see _apply_batch)
+        child.transactional = False
+        child.validate_batches = False
+        child.fault_hook = None
+        child._txn_journal = None
+        child._fault_index = 0
 
     def _hot_levels(self) -> set:
         n = max(1, len(self.tau))
@@ -97,7 +104,12 @@ class HybridMaintainer(MaintainerBase):
         pins = list(self.sub.pins(change.edge)) or [change.vertex]
         return min(self.tau.get(p, 0) for p in pins + [change.vertex])
 
-    def apply_batch(self, batch) -> None:
+    def _apply_batch(self, batch) -> None:
+        # the child engines mutate shared state inside *this* maintainer's
+        # transaction: hand them the live journal and chaos hook
+        for child in (self._mod, self._setmb):
+            child._txn_journal = self._txn_journal
+            child.fault_hook = self.fault_hook
         n = len(batch)
         if n <= self.threshold:
             self._setmb.apply_batch(batch)

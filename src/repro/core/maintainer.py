@@ -43,14 +43,24 @@ ALGORITHMS: Dict[str, Type[MaintainerBase]] = {
 
 
 def make_maintainer(sub, algorithm: str = "mod", rt=None, **kwargs) -> MaintainerBase:
-    """Instantiate the named maintenance algorithm over ``sub``."""
+    """Instantiate the named maintenance algorithm over ``sub``.
+
+    ``transactional=`` / ``validate=`` (both default ``True``) control the
+    base class's all-or-nothing batch application and pre-flight batch
+    validation; the remaining kwargs go to the algorithm class.
+    """
+    transactional = kwargs.pop("transactional", True)
+    validate = kwargs.pop("validate", True)
     try:
         cls = ALGORITHMS[algorithm]
     except KeyError:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
         ) from None
-    return cls(sub, rt, **kwargs)
+    m = cls(sub, rt, **kwargs)
+    m.transactional = transactional
+    m.validate_batches = validate
+    return m
 
 
 class CoreMaintainer:
@@ -67,12 +77,46 @@ class CoreMaintainer:
         / ``order``.
     rt:
         Optional parallel runtime (serial by default).
+    resilient:
+        Wrap the algorithm in a
+        :class:`~repro.resilience.supervisor.ResilientMaintainer`:
+        failing batches are retried (``max_retries``) and then
+        quarantined instead of raising, and ``audit_every`` > 0 enables
+        periodic sampled drift audits with self-healing.  ``apply_batch``
+        then returns a :class:`~repro.resilience.supervisor.BatchReport`.
     kwargs:
-        Forwarded to the algorithm class.
+        Forwarded to the algorithm class (plus ``transactional=`` /
+        ``validate=``, see :func:`make_maintainer`).
     """
 
-    def __init__(self, sub, algorithm: str = "mod", rt=None, **kwargs) -> None:
-        self.impl = make_maintainer(sub, algorithm, rt, **kwargs)
+    def __init__(
+        self,
+        sub,
+        algorithm: str = "mod",
+        rt=None,
+        *,
+        resilient: bool = False,
+        max_retries: int = 1,
+        audit_every: int = 0,
+        audit_sample: Optional[int] = 32,
+        resilience_seed: int = 0,
+        **kwargs,
+    ) -> None:
+        if resilient:
+            from repro.resilience.supervisor import ResilientMaintainer
+
+            self.impl = ResilientMaintainer(
+                sub, algorithm, rt,
+                max_retries=max_retries,
+                audit_every=audit_every,
+                audit_sample=audit_sample,
+                seed=resilience_seed,
+                **kwargs,
+            )
+        else:
+            if audit_every:
+                raise ValueError("audit_every requires resilient=True")
+            self.impl = make_maintainer(sub, algorithm, rt, **kwargs)
 
     # -- queries -----------------------------------------------------------------
     @property
@@ -82,6 +126,20 @@ class CoreMaintainer:
     @property
     def algorithm(self) -> str:
         return self.impl.algorithm
+
+    @property
+    def resilient(self) -> bool:
+        return hasattr(self.impl, "quarantine")
+
+    @property
+    def resilience_stats(self) -> Optional[Dict[str, int]]:
+        """Retry/quarantine/audit counters (``None`` unless resilient)."""
+        return dict(self.impl.stats) if self.resilient else None
+
+    @property
+    def quarantined_batches(self):
+        """Structured reports of poisoned batches (``[]`` unless resilient)."""
+        return list(getattr(self.impl, "quarantine", ()))
 
     def kappa(self) -> Dict[Vertex, int]:
         """Current core values (vertices with degree 0 excluded)."""
@@ -114,12 +172,22 @@ class CoreMaintainer:
 
         return shell(self.sub, v, self.impl.tau)
 
-    # -- updates -----------------------------------------------------------------
-    def apply_batch(self, batch: Batch) -> None:
-        self.impl.apply_batch(batch)
+    def checkpoint(self):
+        """Snapshot ``(substrate, tau, stream position)``; see
+        :mod:`repro.resilience.checkpoint`."""
+        from repro.resilience.checkpoint import take_checkpoint
 
-    def apply_changes(self, changes: Iterable[Change]) -> None:
-        self.impl.apply_batch(Batch(list(changes)))
+        return take_checkpoint(self)
+
+    # -- updates -----------------------------------------------------------------
+    def apply_batch(self, batch: Batch):
+        """Apply one batch.  Returns the supervisor's
+        :class:`~repro.resilience.supervisor.BatchReport` when resilient,
+        else ``None``."""
+        return self.impl.apply_batch(batch)
+
+    def apply_changes(self, changes: Iterable[Change]):
+        return self.impl.apply_batch(Batch(list(changes)))
 
     def insert_edge(self, u: Vertex, v: Vertex) -> None:
         self.impl.apply_batch(Batch(graph_edge_changes(u, v, True)))

@@ -197,7 +197,7 @@ class ModMaintainer(MaintainerBase):
         return f_mod
 
     # -- batch processing ----------------------------------------------------------------
-    def apply_batch(self, batch) -> None:
+    def _apply_batch(self, batch) -> None:
         """Process one batch of pin changes (Algorithm 4)."""
         rt = self.rt
         I = LevelAccumulator()

@@ -95,6 +95,20 @@ class OrderMaintainer(TraversalMaintainer):
         k = self.tau[v]
         return (k, self._level_order[k].index(v))
 
+    # -- transactional hooks --------------------------------------------------------
+    def _txn_snapshot_extra(self) -> object:
+        return (
+            {k: list(seq) for k, seq in self._level_order.items()},
+            set(self._dirty_levels),
+        )
+
+    def _txn_restore_extra(self, state: object) -> None:
+        level_order, dirty = state
+        self._level_order.clear()
+        for k, seq in level_order.items():
+            self._level_order[k] = list(seq)
+        self._dirty_levels = set(dirty)
+
     # -- order bookkeeping hooks ---------------------------------------------------
     def _remove_from_level(self, v: Vertex, k: int) -> None:
         seq = self._level_order.get(k)

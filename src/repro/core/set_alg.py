@@ -427,6 +427,6 @@ class SetMaintainer(MaintainerBase):
         self.last_iterations = engine.iterations
         return engine
 
-    def apply_batch(self, batch) -> None:
+    def _apply_batch(self, batch) -> None:
         self._run_batch(batch)
         self.batches_processed += 1

@@ -97,7 +97,7 @@ class SetMBMaintainer(SetMaintainer):
         self.minibatch_width = minibatch_width
         self.last_minibatches = 0
 
-    def apply_batch(self, batch) -> None:
+    def _apply_batch(self, batch) -> None:
         from repro.graph.batch import Batch
 
         pieces = split_minibatches(batch, self.minibatch_width)

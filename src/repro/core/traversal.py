@@ -123,15 +123,16 @@ class TraversalMaintainer(MaintainerBase):
                 self._set_tau(s, k - 1)
 
     # -- batch interface ------------------------------------------------------------------
-    def apply_batch(self, batch) -> None:
+    def _apply_batch(self, batch) -> None:
         """Process changes one at a time (this baseline has no batching)."""
         sub = self.sub
         seen_edges: Set = set()
         for change in batch:
             self.rt.serial(1)
+            self._fault_point(change)
             u, v = change.edge
             if change.insert:
-                if not sub.add_edge(u, v):
+                if not self._apply_structural(change):
                     continue
                 for p in (u, v):
                     if p not in self.tau:
@@ -144,7 +145,7 @@ class TraversalMaintainer(MaintainerBase):
                         self._set_tau(p, 1)
                 self._insert_repair(u, v)
             else:
-                if not sub.remove_edge(u, v):
+                if not self._apply_structural(change):
                     continue
                 self._delete_repair(u, v)
                 for p in (u, v):

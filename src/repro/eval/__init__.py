@@ -13,15 +13,23 @@ This subpackage regenerates the paper's evaluation section:
 """
 
 from repro.eval.datasets import DATASETS, DatasetSpec, load_dataset
-from repro.eval.harness import ExperimentResult, run_scalability, run_latency_vs_static
+from repro.eval.harness import (
+    ExperimentResult,
+    ResilienceResult,
+    run_latency_vs_static,
+    run_resilient_stream,
+    run_scalability,
+)
 from repro.eval.stats import Stats
 
 __all__ = [
     "DATASETS",
     "DatasetSpec",
     "ExperimentResult",
+    "ResilienceResult",
     "Stats",
     "load_dataset",
     "run_latency_vs_static",
+    "run_resilient_stream",
     "run_scalability",
 ]

@@ -16,6 +16,14 @@ the paper times batch processing alone.
 :func:`run_latency_vs_static` measures the maintenance-vs-recompute ratio
 backing Section IV's "reaching over 10^4 x static computation" claim for
 small batches.
+
+:func:`run_resilient_stream` drives the resilience layer on the paper's
+bursty workload (Section I's motivation): a
+:class:`~repro.resilience.supervisor.ResilientMaintainer` plays a
+:class:`~repro.graph.streams.BurstyStream` with deterministic faults
+injected, and the result surfaces the supervisor's retry / quarantine /
+audit counters next to the usual latency statistics -- the service-facing
+half of the evaluation.
 """
 
 from __future__ import annotations
@@ -30,7 +38,13 @@ from repro.eval.stats import Stats
 from repro.graph.batch import BatchProtocol
 from repro.parallel.simulated import DEFAULT_THREAD_COUNTS, SimulatedRuntime
 
-__all__ = ["ExperimentResult", "run_scalability", "run_latency_vs_static"]
+__all__ = [
+    "ExperimentResult",
+    "ResilienceResult",
+    "run_scalability",
+    "run_latency_vs_static",
+    "run_resilient_stream",
+]
 
 
 @dataclass
@@ -164,3 +178,98 @@ def run_latency_vs_static(
     metrics = rt.take_metrics()
     result.static_time = {t: metrics.elapsed_seconds(t) for t in thread_counts}
     return result
+
+
+@dataclass
+class ResilienceResult:
+    """Outcome of one supervised bursty-stream run."""
+
+    dataset: str
+    algorithm: str
+    rounds: int
+    batch_latency: Stats          #: simulated seconds per applied batch
+    stats: Dict[str, int]         #: supervisor counters
+    quarantined: List[str]        #: stringified quarantine reports
+    final_verified: bool          #: post-stream full verify_kappa was clean
+
+    def format(self) -> str:
+        s = self.stats
+        lines = [
+            f"[{self.dataset}] {self.algorithm}: {self.rounds} bursty rounds "
+            f"({s['batches']} batches)",
+            f"  batch latency (simulated): {self.batch_latency}",
+            f"  applied={s['applied']} retries={s['retries']} "
+            f"quarantined={s['quarantined']}",
+            f"  audits={s['audits']} audit_failures={s['audit_failures']} "
+            f"heals={s['heals']}",
+            f"  final full verification: {'clean' if self.final_verified else 'DIVERGED'}",
+        ]
+        lines.extend(f"  quarantine: {q}" for q in self.quarantined)
+        return "\n".join(lines)
+
+
+def run_resilient_stream(
+    dataset: str,
+    algorithm: str = "mod",
+    *,
+    rounds: int = 50,
+    schedule=None,
+    fault_plans: Sequence = (),
+    max_retries: int = 1,
+    audit_every: int = 10,
+    audit_sample: Optional[int] = 32,
+    final_audit: bool = True,
+    scale: float = 0.5,
+    seed: int = 0,
+    threads: int = 16,
+) -> ResilienceResult:
+    """Play a bursty remove/reinsert stream through a supervised
+    maintainer, optionally with injected faults, and report the
+    resilience counters alongside batch latency.
+
+    ``final_audit`` closes the stream with one full (unsampled) drift
+    audit before the final verification -- the quiesce-then-serve
+    pattern: any corruption that ordinary maintenance did not already
+    incidentally repair is caught and healed here, so the run's last
+    word is a verified state.
+    """
+    from repro.core.verify import verify_kappa
+    from repro.graph.streams import BurstySchedule, BurstyStream
+    from repro.resilience.faults import FaultInjector
+    from repro.resilience.supervisor import ResilientMaintainer
+
+    spec = _spec(dataset)
+    sub = spec.load(scale, seed)
+    rt = SimulatedRuntime(profile=spec.profile)
+    rm = ResilientMaintainer(
+        sub, algorithm, rt,
+        max_retries=max_retries,
+        audit_every=audit_every,
+        audit_sample=audit_sample,
+        seed=seed,
+    )
+    injector = FaultInjector(rm, fault_plans)
+    stream = BurstyStream(sub, schedule or BurstySchedule(seed=seed), seed=seed + 1)
+
+    latencies: List[float] = []
+    for _, deletion, insertion in stream.rounds(rounds):
+        for batch in (deletion, insertion):
+            rt.reset_clock()
+            report = injector.apply_batch(batch)
+            if report.ok:
+                latencies.append(rt.take_metrics().elapsed_seconds(threads))
+    if final_audit:
+        sample = rm.audit_sample
+        rm.audit_sample = None
+        rm.audit()
+        rm.audit_sample = sample
+    final_clean = verify_kappa(rm, raise_on_mismatch=False) == []
+    return ResilienceResult(
+        dataset=dataset,
+        algorithm=algorithm,
+        rounds=rounds,
+        batch_latency=Stats.of(latencies),
+        stats=dict(rm.stats),
+        quarantined=[str(q) for q in rm.quarantine],
+        final_verified=final_clean,
+    )

@@ -43,6 +43,7 @@ SECTION_ORDER = [
     ("ablation_approx", "Ablation — approximate maintenance (§VI)"),
     ("distributed_exploration", "Distributed exploration (§VI)"),
     ("static_algorithms", "Static algorithm agreement"),
+    ("resilience", "Resilience — supervised bursty stream with injected faults"),
 ]
 
 

@@ -43,6 +43,19 @@ class BurstySchedule:
     jitter: float = 0.25
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        # nonsense parameters silently produce degenerate streams (empty
+        # batches, negative sizes, bursts *smaller* than calm) -- reject up
+        # front with the constraint that was violated
+        if self.calm_size < 1:
+            raise ValueError(f"calm_size must be >= 1, got {self.calm_size}")
+        if self.burst_factor < 1:
+            raise ValueError(f"burst_factor must be >= 1, got {self.burst_factor}")
+        if not 0.0 <= self.p_burst <= 1.0:
+            raise ValueError(f"p_burst must be in [0, 1], got {self.p_burst}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
     def sizes(self, n_batches: int) -> Iterator[int]:
         rng = random.Random(self.seed)
         for _ in range(n_batches):

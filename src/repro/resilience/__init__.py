@@ -1,0 +1,77 @@
+"""Resilience layer: keep answers correct when the stream is not.
+
+The maintenance algorithms in :mod:`repro.core` assume well-formed batches
+and exception-free callbacks; a production service gets neither.  This
+package adds the four defenses (see ``docs/RESILIENCE.md``):
+
+``validation``
+    Pre-flight structural checks -- a malformed batch is rejected before
+    the first mutation (:func:`validate_batch`,
+    :class:`BatchValidationError`).
+``transaction``
+    The undo machinery behind the all-or-nothing ``apply_batch`` every
+    maintainer now provides (:class:`Transaction`).
+``checkpoint``
+    Durable ``(substrate, tau, batches_processed)`` snapshots for
+    restarting long streams (:class:`Checkpoint`, :func:`take_checkpoint`,
+    :func:`restore_maintainer`).
+``supervisor``
+    :class:`ResilientMaintainer` -- bounded retry, poison-batch
+    quarantine, periodic sampled drift audits with static-reseed
+    self-healing.
+``faults``
+    The deterministic chaos harness (:class:`FaultPlan`,
+    :class:`FaultInjector`, :class:`FaultError`) used by the chaos test
+    suite.
+
+Modules that depend on :mod:`repro.core` (checkpoint, supervisor, faults)
+are loaded lazily so the core algorithms can import the validation and
+transaction primitives without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.transaction import Transaction
+from repro.resilience.validation import BatchValidationError, validate_batch
+
+__all__ = [
+    "BatchReport",
+    "BatchValidationError",
+    "Checkpoint",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "QuarantinedBatch",
+    "ResilientMaintainer",
+    "Transaction",
+    "restore_maintainer",
+    "take_checkpoint",
+    "validate_batch",
+]
+
+_LAZY = {
+    "Checkpoint": "repro.resilience.checkpoint",
+    "take_checkpoint": "repro.resilience.checkpoint",
+    "restore_maintainer": "repro.resilience.checkpoint",
+    "FaultError": "repro.resilience.faults",
+    "FaultPlan": "repro.resilience.faults",
+    "FaultInjector": "repro.resilience.faults",
+    "BatchReport": "repro.resilience.supervisor",
+    "QuarantinedBatch": "repro.resilience.supervisor",
+    "ResilientMaintainer": "repro.resilience.supervisor",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

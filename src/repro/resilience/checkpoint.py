@@ -1,0 +1,125 @@
+"""Checkpoint/restore: cheap durable snapshots of a maintainer.
+
+A checkpoint captures the three things that define a maintenance session
+-- the substrate's content, the maintained ``tau`` values, and the stream
+position (``batches_processed``) -- decoupled from any in-memory object,
+so a long-running stream can be restarted after a crash, or forked for
+what-if analysis:
+
+    >>> from repro import CoreMaintainer, DynamicGraph
+    >>> from repro.resilience import take_checkpoint, restore_maintainer
+    >>> g = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+    >>> m = CoreMaintainer(g, algorithm="mod")
+    >>> cp = take_checkpoint(m)
+    >>> m.insert_edge(2, 3)          # diverge...
+    >>> m2 = restore_maintainer(cp)  # ...and rewind
+    >>> m2.kappa() == {0: 2, 1: 2, 2: 2}
+    True
+
+Persistence uses :mod:`pickle` (vertex and edge labels are arbitrary
+hashables, which rules out JSON in general); treat checkpoint files like
+any other pickle -- load only your own.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+
+__all__ = ["Checkpoint", "take_checkpoint", "restore_maintainer"]
+
+Vertex = Hashable
+
+#: bump when the on-disk layout changes
+CHECKPOINT_VERSION = 1
+
+
+def _unwrap(maintainer):
+    """Peel facade layers (CoreMaintainer / ResilientMaintainer) down to
+    the algorithm instance."""
+    seen = 0
+    while hasattr(maintainer, "impl") and seen < 4:
+        maintainer = maintainer.impl
+        seen += 1
+    return maintainer
+
+
+@dataclass
+class Checkpoint:
+    """Portable snapshot of ``(substrate, tau, batches_processed)``."""
+
+    algorithm: str
+    is_hypergraph: bool
+    #: graph: ``[(u, v), ...]``; hypergraph: ``[(edge_id, [pins...]), ...]``
+    edges: List[Tuple]
+    tau: Dict[Vertex, int]
+    batches_processed: int
+    version: int = field(default=CHECKPOINT_VERSION)
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path) -> None:
+        with open(path, "wb") as fh:
+            pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "Checkpoint":
+        with open(path, "rb") as fh:
+            cp = pickle.load(fh)
+        if not isinstance(cp, cls):
+            raise TypeError(f"{path!r} does not hold a Checkpoint")
+        if cp.version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {cp.version} unsupported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        return cp
+
+    # -- reconstruction --------------------------------------------------------
+    def build_substrate(self):
+        """A fresh substrate holding exactly the checkpointed structure."""
+        if self.is_hypergraph:
+            h = DynamicHypergraph()
+            for e, pins in self.edges:
+                for v in pins:
+                    h.add_pin(e, v)
+            return h
+        return DynamicGraph.from_edges(self.edges)
+
+
+def take_checkpoint(maintainer) -> Checkpoint:
+    """Snapshot a maintainer (or a facade / supervisor wrapping one)."""
+    m = _unwrap(maintainer)
+    sub = m.sub
+    if getattr(sub, "is_hypergraph", False):
+        edges: List[Tuple] = [(e, sorted(pins, key=repr)) for e, pins in sub.hyperedges()]
+        edges.sort(key=lambda item: repr(item[0]))
+        is_hyper = True
+    else:
+        edges = sub.edge_list()
+        is_hyper = False
+    return Checkpoint(
+        algorithm=m.algorithm,
+        is_hypergraph=is_hyper,
+        edges=edges,
+        tau=dict(m.tau),
+        batches_processed=m.batches_processed,
+    )
+
+
+def restore_maintainer(cp: Checkpoint, rt=None, *, algorithm: str = None, **kwargs):
+    """Rebuild a ready-to-stream maintainer from a checkpoint.
+
+    ``algorithm`` overrides the checkpointed one (the snapshot is
+    algorithm-agnostic: any maintainer can adopt it).  Extra ``kwargs``
+    are forwarded to the algorithm class.
+    """
+    from repro.core.maintainer import make_maintainer
+
+    sub = cp.build_substrate()
+    m = make_maintainer(sub, algorithm or cp.algorithm, rt, tau=dict(cp.tau), **kwargs)
+    m.batches_processed = cp.batches_processed
+    return m

@@ -1,0 +1,74 @@
+"""All-or-nothing batch application: the undo machinery.
+
+``MaintainerBase.apply_batch`` wraps every algorithm's batch processing in
+a :class:`Transaction`:
+
+* a **journal** of the structural changes that actually landed (recorded
+  by ``MaintainH``'s single mutation point) -- on failure they are
+  re-applied *inverted, in reverse order*, which restores the substrate
+  exactly (a graph edge journals once even though it carries two pin
+  records; its single inverse removes/restores the whole edge);
+* a **tau snapshot** (one dict copy -- tau only holds vertices with
+  degree >= 1, so this is O(|V|) of cheap C-level copying) from which the
+  level index is rebuilt in place;
+* an **extra-state capsule** via the ``_txn_snapshot_extra`` /
+  ``_txn_restore_extra`` hooks, for algorithm-specific cross-batch state
+  (the order maintainer's level sequences, the approximate maintainer's
+  residual frontier and inflation bound).
+
+Restores happen *in place* (``dict.clear()`` + ``update``) because other
+objects alias the containers: the hybrid maintainer's child engines share
+``tau`` and the level index, and the :class:`MinCache` holds a reference
+to ``tau``.  The min-cache itself is simply cleared -- it is a cache, and
+it refills lazily against the restored values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.graph.substrate import Change
+
+__all__ = ["Transaction"]
+
+Vertex = Hashable
+
+
+class Transaction:
+    """Pre-batch state of one maintainer, sufficient to roll back."""
+
+    __slots__ = ("journal", "tau_snapshot", "batches_processed", "extra")
+
+    def __init__(self, journal: List[Change], tau_snapshot: Dict[Vertex, int],
+                 batches_processed: int, extra: object) -> None:
+        self.journal = journal
+        self.tau_snapshot = tau_snapshot
+        self.batches_processed = batches_processed
+        self.extra = extra
+
+    @classmethod
+    def begin(cls, maintainer) -> "Transaction":
+        """Capture everything a rollback needs; O(|V|) dict copies."""
+        return cls(
+            journal=[],
+            tau_snapshot=dict(maintainer.tau),
+            batches_processed=maintainer.batches_processed,
+            extra=maintainer._txn_snapshot_extra(),
+        )
+
+    def rollback(self, maintainer) -> None:
+        """Restore ``maintainer`` to the state captured by :meth:`begin`."""
+        sub = maintainer.sub
+        for change in reversed(self.journal):
+            sub.apply(change.inverse())
+        tau = maintainer.tau
+        tau.clear()
+        tau.update(self.tau_snapshot)
+        index = maintainer._level_index
+        index.clear()
+        for v, k in tau.items():
+            index.setdefault(k, set()).add(v)
+        if maintainer.min_cache is not None:
+            maintainer.min_cache.clear()
+        maintainer.batches_processed = self.batches_processed
+        maintainer._txn_restore_extra(self.extra)

@@ -56,6 +56,14 @@ class TestExamples:
         mod = runpy.run_path(str(EXAMPLES / "social_burst_monitoring.py"))
         assert callable(mod["main"])
 
+    def test_resilient_stream_run_small(self, capsys):
+        mod = runpy.run_path(str(EXAMPLES / "resilient_stream.py"))
+        mod["main"](n_vertices=80, rounds=6, seed=7)
+        out = capsys.readouterr().out
+        assert "quarantined -- stream continues" in out
+        assert "closing drift audit (full, unsampled): healed" in out
+        assert "survived every injected fault" in out
+
     def test_distributed_example_run_small(self, capsys):
         mod = runpy.run_path(str(EXAMPLES / "distributed_cores.py"))
         from repro.distributed import hash_partition

@@ -1,8 +1,12 @@
-"""Failure-injection tests: misuse, corruption, and drift detection.
+"""Failure-injection tests: misuse, corruption, drift detection, and chaos.
 
 A production library's error paths deserve the same coverage as its happy
 paths.  These tests corrupt state, bypass interfaces, and misuse APIs, and
-assert the failure is *detected* (never silent wrong answers).
+assert the failure is *detected* (never silent wrong answers).  The chaos
+classes at the bottom drive the :mod:`repro.resilience` harness: faults
+fire at programmed positions inside real batches and the transactional
+guarantee -- substrate and kappa byte-identical to the pre-batch state --
+is asserted for every algorithm at every injection point.
 """
 
 from __future__ import annotations
@@ -11,15 +15,24 @@ import math
 
 import pytest
 
-from repro.core.maintainer import CoreMaintainer
+from repro.core.maintainer import CoreMaintainer, make_maintainer
 from repro.core.mod import ModMaintainer
 from repro.core.verify import VerificationError, verify_kappa
 from repro.graph.batch import Batch
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.dynamic_hypergraph import DynamicHypergraph
-from repro.graph.substrate import Change, graph_edge_changes
+from repro.graph.generators import barabasi_albert
+from repro.graph.streams import BurstySchedule, BurstyStream
+from repro.graph.substrate import Change, graph_edge_changes, hyperedge_changes
 from repro.graph.validate import InvariantError, check
 from repro.parallel.simulated import SimulatedRuntime
+from repro.resilience import BatchValidationError
+from repro.resilience.faults import FaultError, FaultInjector, FaultPlan
+from repro.resilience.supervisor import ResilientMaintainer
+
+#: every algorithm on graphs; the set family + mod on hypergraphs
+GRAPH_ALGOS = ("mod", "set", "setmb", "hybrid", "traversal", "order")
+HYPER_ALGOS = ("mod", "set", "setmb")
 
 
 class TestBehindTheBackMutation:
@@ -126,6 +139,189 @@ class TestAPIMisuse:
         assert m.kappa() == {}
         m.insert_hyperedge("e", [1, 2, 3])
         verify_kappa(m.impl)
+
+
+def _graph_state(sub):
+    return (sorted(sub.edge_list()), sub.num_vertices())
+
+
+def _hyper_state(sub):
+    return sorted((repr(e), sorted(map(repr, pins))) for e, pins in sub.hyperedges())
+
+
+def _mixed_graph_batch() -> Batch:
+    """Inserts and deletes against fig1_graph: 8 pin-change records."""
+    b = Batch()
+    b.extend(graph_edge_changes(7, 9, True))
+    b.extend(graph_edge_changes(8, 9, True))
+    b.extend(graph_edge_changes(0, 1, False))
+    b.extend(graph_edge_changes(3, 4, False))
+    return b
+
+
+def _mixed_hyper_batch() -> Batch:
+    """Inserts, a whole-edge delete, and pin changes against fig2_hypergraph."""
+    b = Batch()
+    b.extend(hyperedge_changes("g", [2, 5, 6], True))
+    b.extend(hyperedge_changes("a", [1, 2, 3], False))
+    b.extend([Change("b", 5, True)])
+    b.extend([Change("f", 7, False)])
+    return b
+
+
+class TestTransactionalRollback:
+    """The tentpole guarantee: a fault at *any* pin-change position leaves
+    substrate and kappa byte-identical to the pre-batch state."""
+
+    @pytest.mark.parametrize("algo", GRAPH_ALGOS)
+    @pytest.mark.parametrize("at", range(8))
+    def test_graph_injection_sweep(self, fig1_graph, algo, at):
+        m = make_maintainer(fig1_graph, algo)
+        state0, kappa0 = _graph_state(fig1_graph), m.kappa()
+        inj = FaultInjector(m, [FaultPlan.raise_at(batch=0, change=at)])
+        with pytest.raises(FaultError):
+            inj.apply_batch(_mixed_graph_batch())
+        assert _graph_state(fig1_graph) == state0
+        assert m.kappa() == kappa0
+        assert verify_kappa(m) == []
+        # the rolled-back maintainer is fully serviceable: the same batch
+        # (without the fault) lands cleanly afterwards
+        m.apply_batch(_mixed_graph_batch())
+        assert verify_kappa(m) == []
+
+    @pytest.mark.parametrize("algo", HYPER_ALGOS)
+    @pytest.mark.parametrize("at", range(8))
+    def test_hypergraph_injection_sweep(self, fig2_hypergraph, algo, at):
+        m = make_maintainer(fig2_hypergraph, algo)
+        state0, kappa0 = _hyper_state(fig2_hypergraph), m.kappa()
+        inj = FaultInjector(m, [FaultPlan.raise_at(batch=0, change=at)])
+        with pytest.raises(FaultError):
+            inj.apply_batch(_mixed_hyper_batch())
+        assert _hyper_state(fig2_hypergraph) == state0
+        assert m.kappa() == kappa0
+        assert verify_kappa(m) == []
+        m.apply_batch(_mixed_hyper_batch())
+        assert verify_kappa(m) == []
+
+    def test_approx_rollback_restores_extra_state(self, fig1_graph):
+        """mod-approx carries cross-batch residual/inflation state; a
+        rollback must restore it, not just tau."""
+        m = make_maintainer(fig1_graph, "mod-approx")
+        residual0 = set(m._residual)
+        inflation0 = m._inflation
+        tau0 = dict(m.tau)
+        inj = FaultInjector(m, [FaultPlan.raise_at(batch=0, change=5)])
+        with pytest.raises(FaultError):
+            inj.apply_batch(_mixed_graph_batch())
+        assert m.tau == tau0
+        assert set(m._residual) == residual0
+        assert m._inflation == inflation0
+
+    def test_fault_fires_at_same_position_on_retry(self, fig1_graph):
+        """_fault_index resets per attempt: a persistent plan hits the
+        same record index every time (transient vs poison is meaningful)."""
+        m = make_maintainer(fig1_graph, "mod")
+        inj = FaultInjector(m, [FaultPlan.raise_at(batch=0, change=3, transient=False)])
+        b = _mixed_graph_batch()
+        for _ in range(3):
+            with pytest.raises(FaultError, match="pin change 3"):
+                inj.apply_batch(b, index=0)
+            assert verify_kappa(m) == []
+
+    def test_non_transactional_opt_out(self, fig1_graph):
+        """transactional=False strips the journal: a mid-batch fault then
+        leaves partially applied state (the documented hot-loop tradeoff)."""
+        m = make_maintainer(fig1_graph, "mod", transactional=False)
+        inj = FaultInjector(m, [FaultPlan.raise_at(batch=0, change=6)])
+        with pytest.raises(FaultError):
+            inj.apply_batch(_mixed_graph_batch())
+        # changes before the fault landed and stayed
+        assert fig1_graph.has_edge((7, 9))
+
+
+class TestPartialApplicationRegression:
+    """Satellite 1: a half-invalid batch must leave no trace (it used to
+    apply its valid prefix before raising on the bad record)."""
+
+    @pytest.mark.parametrize("algo", GRAPH_ALGOS)
+    def test_half_invalid_batch_leaves_state_clean(self, fig1_graph, algo):
+        m = make_maintainer(fig1_graph, algo)
+        state0, kappa0 = _graph_state(fig1_graph), m.kappa()
+        bad = Batch()
+        bad.extend(graph_edge_changes(7, 9, True))   # valid prefix
+        bad.extend(graph_edge_changes(8, 9, True))
+        bad.extend([Change((0, 1), 5, True)])        # foreign pin: invalid
+        with pytest.raises(BatchValidationError):
+            m.apply_batch(bad)
+        assert _graph_state(fig1_graph) == state0
+        assert m.kappa() == kappa0
+        assert verify_kappa(m) == []
+
+    def test_validation_error_is_a_value_error(self, fig1_graph):
+        m = CoreMaintainer(fig1_graph)
+        with pytest.raises(ValueError) as exc:
+            m.apply_batch(Batch([Change((0, 1), 5, True)]))
+        assert exc.value.index == 0
+        assert "not an endpoint" in exc.value.reason
+
+    def test_invalid_record_position_reported(self, fig1_graph):
+        m = CoreMaintainer(fig1_graph)
+        b = Batch()
+        b.extend(graph_edge_changes(7, 9, True))
+        b.extend([Change((3, 3), 3, True)])
+        with pytest.raises(BatchValidationError) as exc:
+            m.apply_batch(b)
+        assert exc.value.index == 2
+        assert "self-loop" in exc.value.reason
+
+
+class TestChaosStreams:
+    """Fault plans x algorithms x insert/delete/mixed bursts: replay
+    BurstyStream rounds through a supervised maintainer under fire and
+    demand a clean final verification."""
+
+    PLANS = (
+        FaultPlan.raise_at(batch=1, change=2),                    # transient
+        FaultPlan.raise_at(batch=4, change=0, transient=False),   # poison
+        FaultPlan.duplicate(batch=6, change=1),
+        FaultPlan.invert(batch=8, change=0),
+    )
+
+    @pytest.mark.parametrize("algo", GRAPH_ALGOS)
+    def test_bursty_rounds_under_fire(self, algo):
+        g = barabasi_albert(120, 3, seed=7)
+        rm = ResilientMaintainer(g, algo, max_retries=1, audit_every=0)
+        inj = FaultInjector(rm, self.PLANS)
+        stream = BurstyStream(
+            g, BurstySchedule(calm_size=3, burst_factor=8, p_burst=0.3, seed=2),
+            seed=3,
+        )
+        reports = inj.apply_rounds(list(stream.rounds(6)))
+        assert len(reports) == 12
+        assert rm.stats["retries"] >= 1
+        assert rm.stats["quarantined"] == 1
+        assert all(p in inj.fired for p in self.PLANS)
+        # an inverted deletion record re-inserts a just-removed edge (or
+        # vice versa): a safe no-op under the remove/reinsert protocol,
+        # and the duplicate is idempotent -- the stream must end clean
+        assert verify_kappa(rm) == []
+
+    @pytest.mark.parametrize("direction", ("insert", "delete"))
+    def test_direction_only_bursts(self, direction):
+        """Faults landing only in deletion (or only insertion) batches."""
+        g = barabasi_albert(80, 3, seed=1)
+        rm = ResilientMaintainer(g, "mod", max_retries=0)
+        # batch stream alternates deletion (even cursor), insertion (odd):
+        # target one parity only
+        offset = 0 if direction == "delete" else 1
+        inj = FaultInjector(rm, [
+            FaultPlan.raise_at(batch=2 + offset, change=1, transient=False),
+            FaultPlan.raise_at(batch=6 + offset, change=0),
+        ])
+        stream = BurstyStream(g, BurstySchedule(calm_size=4, seed=5), seed=6)
+        inj.apply_rounds(list(stream.rounds(5)))
+        assert rm.stats["quarantined"] >= 1
+        assert verify_kappa(rm) == []
 
 
 class TestNumericEdges:

@@ -1,0 +1,481 @@
+"""Tests for the resilience layer: validation, transactions, checkpoints,
+fault plans, sampled audits, and the supervising maintainer.
+
+The transactional injection-point sweeps live in
+``tests/test_failure_injection.py`` (chaos classes); this module covers
+the subsystem's own contracts, ending with the acceptance scenario: a
+200-round bursty stream under injected faults that must finish verified.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.maintainer import CoreMaintainer, make_maintainer
+from repro.core.verify import verify_kappa
+from repro.eval.harness import run_resilient_stream
+from repro.graph.batch import Batch
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.graph.generators import barabasi_albert
+from repro.graph.streams import BurstySchedule, BurstyStream
+from repro.graph.substrate import Change, edge_id, graph_edge_changes
+from repro.resilience import (
+    BatchValidationError,
+    Checkpoint,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    ResilientMaintainer,
+    restore_maintainer,
+    take_checkpoint,
+    validate_batch,
+)
+from repro.resilience.supervisor import BatchReport, QuarantinedBatch
+
+
+# ---------------------------------------------------------------------------
+# pre-flight validation
+# ---------------------------------------------------------------------------
+class TestBatchValidation:
+    def test_rejects_non_change_elements(self, fig1_graph):
+        with pytest.raises(BatchValidationError, match="not a Change"):
+            validate_batch(fig1_graph, [("not", "a", "change")])
+
+    def test_rejects_non_bool_direction(self, fig1_graph):
+        with pytest.raises(BatchValidationError, match="direction"):
+            validate_batch(fig1_graph, [Change((0, 1), 0, 1)])
+
+    def test_rejects_non_canonical_edge_id(self, fig1_graph):
+        with pytest.raises(BatchValidationError, match="non-canonical"):
+            validate_batch(fig1_graph, [Change((1, 0), 0, True)])
+
+    def test_rejects_foreign_pin(self, fig1_graph):
+        with pytest.raises(BatchValidationError, match="not an endpoint"):
+            validate_batch(fig1_graph, [Change((0, 1), 7, True)])
+
+    def test_rejects_self_loop(self, fig1_graph):
+        with pytest.raises(BatchValidationError, match="self-loop"):
+            validate_batch(fig1_graph, [Change((2, 2), 2, True)])
+
+    def test_rejects_unhashable_labels(self, fig2_hypergraph):
+        with pytest.raises(BatchValidationError, match="hashable"):
+            validate_batch(fig2_hypergraph, [Change("a", [1, 2], True)])
+
+    def test_hypergraph_free_form_edges_pass(self, fig2_hypergraph):
+        validate_batch(fig2_hypergraph, [Change("new-edge", 99, True)])
+
+    def test_state_dependent_noops_pass(self, fig1_graph):
+        """Deleting an absent pin / re-inserting a present edge are *not*
+        rejected: MaintainH skips them without mutating anything."""
+        validate_batch(fig1_graph, graph_edge_changes(0, 1, True))    # present
+        validate_batch(fig1_graph, graph_edge_changes(7, 9, False))   # absent
+        m = make_maintainer(fig1_graph, "mod")
+        k0 = m.kappa()
+        m.apply_batch(Batch(graph_edge_changes(7, 9, False)))
+        assert m.kappa() == k0
+
+    def test_rejection_mutates_nothing(self, fig1_graph):
+        m = make_maintainer(fig1_graph, "mod")
+        edges0 = sorted(fig1_graph.edge_list())
+        bad = Batch(graph_edge_changes(7, 9, True))
+        bad.extend([Change((1, 0), 0, False)])
+        with pytest.raises(BatchValidationError):
+            m.apply_batch(bad)
+        assert sorted(fig1_graph.edge_list()) == edges0
+        assert verify_kappa(m) == []
+
+
+# ---------------------------------------------------------------------------
+# transaction extra-state hooks
+# ---------------------------------------------------------------------------
+class TestTransactionExtraState:
+    def test_order_maintainer_level_order_rolls_back(self, fig1_graph):
+        m = make_maintainer(fig1_graph, "order")
+        # settle any initial bookkeeping with one real batch first
+        m.apply_batch(Batch(graph_edge_changes(7, 9, True)))
+        order0 = {k: list(seq) for k, seq in m._level_order.items()}
+        tau0 = dict(m.tau)
+        inj = FaultInjector(m, [FaultPlan.raise_at(batch=0, change=3)])
+        b = Batch(graph_edge_changes(8, 9, True))
+        b.extend(graph_edge_changes(0, 1, False))
+        with pytest.raises(FaultError):
+            inj.apply_batch(b)
+        assert m.tau == tau0
+        assert {k: list(seq) for k, seq in m._level_order.items()} == order0
+        m.apply_batch(b)
+        assert verify_kappa(m) == []
+
+    def test_batches_processed_rolls_back(self, fig1_graph):
+        m = make_maintainer(fig1_graph, "mod")
+        m.apply_batch(Batch(graph_edge_changes(7, 9, True)))
+        assert m.batches_processed == 1
+        inj = FaultInjector(m, [FaultPlan.raise_at(batch=0, change=1)])
+        with pytest.raises(FaultError):
+            inj.apply_batch(Batch(graph_edge_changes(8, 9, True)))
+        assert m.batches_processed == 1
+
+
+# ---------------------------------------------------------------------------
+# checkpoint / restore
+# ---------------------------------------------------------------------------
+class TestCheckpoint:
+    def test_graph_roundtrip_rewinds_divergence(self, fig1_graph):
+        m = make_maintainer(fig1_graph, "mod")
+        m.apply_batch(Batch(graph_edge_changes(7, 9, True)))
+        cp = take_checkpoint(m)
+        kappa_at_cp = m.kappa()
+        m.apply_batch(Batch(graph_edge_changes(8, 9, True)))  # diverge
+        m2 = restore_maintainer(cp)
+        assert m2.kappa() == kappa_at_cp
+        assert m2.batches_processed == 1
+        assert verify_kappa(m2) == []
+
+    def test_hypergraph_roundtrip(self, fig3_hypergraph):
+        m = make_maintainer(fig3_hypergraph, "setmb")
+        cp = take_checkpoint(m)
+        m2 = restore_maintainer(cp)
+        assert m2.kappa() == m.kappa()
+        assert verify_kappa(m2) == []
+
+    def test_disk_roundtrip(self, tmp_path, fig1_graph):
+        m = make_maintainer(fig1_graph, "set")
+        path = tmp_path / "state.ckpt"
+        take_checkpoint(m).save(path)
+        cp = Checkpoint.load(path)
+        assert cp.algorithm == "set"
+        assert restore_maintainer(cp).kappa() == m.kappa()
+
+    def test_load_rejects_foreign_pickles(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.ckpt"
+        with open(path, "wb") as fh:
+            pickle.dump({"not": "a checkpoint"}, fh)
+        with pytest.raises(TypeError):
+            Checkpoint.load(path)
+
+    def test_load_rejects_future_versions(self, tmp_path, fig1_graph):
+        cp = take_checkpoint(make_maintainer(fig1_graph, "mod"))
+        cp.version = 999
+        path = tmp_path / "future.ckpt"
+        cp.save(path)
+        with pytest.raises(ValueError, match="version"):
+            Checkpoint.load(path)
+
+    def test_restore_with_algorithm_override(self, fig1_graph):
+        cp = take_checkpoint(make_maintainer(fig1_graph, "mod"))
+        m2 = restore_maintainer(cp, algorithm="setmb")
+        assert m2.algorithm == "setmb"
+        assert verify_kappa(m2) == []
+
+    def test_facade_checkpoint_unwraps_supervisor(self, fig1_graph):
+        m = CoreMaintainer(fig1_graph, resilient=True, audit_every=0)
+        m.insert_edge(7, 9)
+        cp = m.checkpoint()
+        assert cp.batches_processed == 1
+        assert restore_maintainer(cp).kappa() == m.kappa()
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(
+        st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(lambda t: t[0] != t[1]),
+        min_size=1, max_size=40,
+    ))
+    def test_roundtrip_property(self, edges):
+        """Checkpoint -> restore is the identity on (structure, kappa),
+        whatever the graph."""
+        g = DynamicGraph.from_edges([edge_id(u, v) for u, v in edges])
+        m = make_maintainer(g, "mod")
+        m2 = restore_maintainer(take_checkpoint(m))
+        assert sorted(m2.sub.edge_list()) == sorted(g.edge_list())
+        assert m2.kappa() == m.kappa()
+        assert verify_kappa(m2) == []
+
+
+# ---------------------------------------------------------------------------
+# fault plans
+# ---------------------------------------------------------------------------
+class TestFaultPlans:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan("explode", 0)
+
+    def test_negative_positions_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan("raise", -1)
+        with pytest.raises(ValueError):
+            FaultPlan("raise", 0, -2)
+
+    def test_zero_delta_corruption_rejected(self):
+        with pytest.raises(ValueError, match="delta=0"):
+            FaultPlan("corrupt-tau", 0, delta=0)
+
+    def test_duplicate_is_a_safe_noop(self, fig1_graph):
+        m = make_maintainer(fig1_graph, "mod")
+        inj = FaultInjector(m, [FaultPlan.duplicate(batch=0, change=0)])
+        inj.apply_batch(Batch(graph_edge_changes(7, 9, True)))
+        assert inj.fired
+        assert verify_kappa(m) == []
+
+    def test_invert_flips_direction(self, fig1_graph):
+        m = make_maintainer(fig1_graph, "mod")
+        inj = FaultInjector(m, [FaultPlan.invert(batch=0, change=0)])
+        # an inverted *insertion* of an absent edge becomes a no-op delete
+        inj.apply_batch(Batch([Change((7, 9), 7, True)]))
+        assert not fig1_graph.has_edge((7, 9))
+        assert verify_kappa(m) == []
+
+    def test_transient_raise_fires_once(self, fig1_graph):
+        m = make_maintainer(fig1_graph, "mod")
+        inj = FaultInjector(m, [FaultPlan.raise_at(batch=0, change=0)])
+        b = Batch(graph_edge_changes(7, 9, True))
+        with pytest.raises(FaultError):
+            inj.apply_batch(b, index=0)
+        inj.apply_batch(b, index=0)  # plan spent: second replay succeeds
+        assert fig1_graph.has_edge((7, 9))
+
+
+# ---------------------------------------------------------------------------
+# sampled verification (satellite: verify_kappa sample=/rng=)
+# ---------------------------------------------------------------------------
+class TestSampledVerification:
+    def _corrupted(self):
+        g = barabasi_albert(40, 2, seed=4)
+        m = make_maintainer(g, "mod")
+        victim = sorted(m.tau, key=repr)[17]
+        m._set_tau(victim, m.tau[victim] + 9)
+        return m, victim
+
+    def test_full_check_finds_corruption(self):
+        m, victim = self._corrupted()
+        found = verify_kappa(m, raise_on_mismatch=False)
+        assert [v for v, _, _ in found] == [victim]
+
+    def test_repeated_sampled_draws_converge_on_detection(self):
+        """A small sample can miss the corrupted vertex, but repeated
+        audits with an advancing rng find it (the supervisor's model)."""
+        m, victim = self._corrupted()
+        rng = random.Random(0)
+        draws_needed = None
+        for i in range(1, 200):
+            found = verify_kappa(m, raise_on_mismatch=False, sample=4, rng=rng)
+            if found:
+                draws_needed = i
+                break
+        assert draws_needed is not None
+        assert [v for v, _, _ in found] == [victim]
+        # with |V| = 40 and sample 4, detection needed more than one draw
+        # for this seed -- the test would be vacuous if the first sample
+        # already contained the victim
+        assert draws_needed > 1
+
+    def test_sample_larger_than_universe_is_full_check(self):
+        m, victim = self._corrupted()
+        found = verify_kappa(m, raise_on_mismatch=False, sample=10_000, rng=1)
+        assert [v for v, _, _ in found] == [victim]
+
+    def test_int_seed_rng_is_deterministic(self):
+        m, _ = self._corrupted()
+        a = verify_kappa(m, raise_on_mismatch=False, sample=8, rng=123)
+        b = verify_kappa(m, raise_on_mismatch=False, sample=8, rng=123)
+        assert a == b
+
+    def test_negative_sample_rejected(self, fig1_graph):
+        m = make_maintainer(fig1_graph, "mod")
+        with pytest.raises(ValueError):
+            verify_kappa(m, sample=-1)
+
+    def test_clean_maintainer_samples_clean(self, fig1_graph):
+        m = make_maintainer(fig1_graph, "mod")
+        for seed in range(5):
+            assert verify_kappa(m, sample=3, rng=seed) == []
+
+
+# ---------------------------------------------------------------------------
+# bursty schedule validation (satellite)
+# ---------------------------------------------------------------------------
+class TestBurstyScheduleValidation:
+    @pytest.mark.parametrize("kwargs, msg", [
+        ({"calm_size": 0}, "calm_size"),
+        ({"calm_size": -3}, "calm_size"),
+        ({"burst_factor": 0}, "burst_factor"),
+        ({"p_burst": -0.1}, "p_burst"),
+        ({"p_burst": 1.5}, "p_burst"),
+        ({"jitter": -0.25}, "jitter"),
+    ])
+    def test_nonsense_parameters_rejected(self, kwargs, msg):
+        with pytest.raises(ValueError, match=msg):
+            BurstySchedule(**kwargs)
+
+    def test_boundary_values_accepted(self):
+        s = BurstySchedule(calm_size=1, burst_factor=1, p_burst=0.0, jitter=0.0)
+        assert list(s.sizes(3)) == [1, 1, 1]
+        BurstySchedule(p_burst=1.0)  # all-burst is legal
+
+    def test_sizes_always_positive(self):
+        s = BurstySchedule(calm_size=1, jitter=0.9, seed=13)
+        assert all(x >= 1 for x in s.sizes(200))
+
+
+# ---------------------------------------------------------------------------
+# the supervisor
+# ---------------------------------------------------------------------------
+class TestResilientMaintainer:
+    def test_transient_fault_is_retried(self, fig1_graph):
+        rm = ResilientMaintainer(fig1_graph, "mod", max_retries=1)
+        inj = FaultInjector(rm, [FaultPlan.raise_at(batch=0, change=1)])
+        report = inj.apply_batch(Batch(graph_edge_changes(7, 9, True)))
+        assert isinstance(report, BatchReport)
+        assert report.status == "retried" and report.attempts == 2 and report.ok
+        assert rm.stats["retries"] == 1 and rm.stats["applied"] == 1
+        assert fig1_graph.has_edge((7, 9))
+        assert verify_kappa(rm) == []
+
+    def test_poison_batch_is_quarantined_not_raised(self, fig1_graph):
+        rm = ResilientMaintainer(fig1_graph, "mod", max_retries=2)
+        inj = FaultInjector(
+            rm, [FaultPlan.raise_at(batch=0, change=0, transient=False)]
+        )
+        report = inj.apply_batch(Batch(graph_edge_changes(7, 9, True)))
+        assert report.status == "quarantined" and not report.ok
+        assert report.attempts == 3
+        [q] = rm.quarantine
+        assert isinstance(q, QuarantinedBatch)
+        assert q.error_type == "FaultError" and q.attempts == 3
+        assert "pin change 0" in str(q)
+        assert not fig1_graph.has_edge((7, 9))
+        # the stream continues: the next batch lands normally
+        ok = rm.apply_batch(Batch(graph_edge_changes(8, 9, True)))
+        assert ok.status == "ok"
+        assert verify_kappa(rm) == []
+
+    def test_zero_retries_quarantines_first_failure(self, fig1_graph):
+        rm = ResilientMaintainer(fig1_graph, "mod", max_retries=0)
+        inj = FaultInjector(rm, [FaultPlan.raise_at(batch=0, change=0)])
+        report = inj.apply_batch(Batch(graph_edge_changes(7, 9, True)))
+        assert report.status == "quarantined" and report.attempts == 1
+        assert rm.stats["retries"] == 0
+
+    def test_validation_failures_are_quarantined_too(self, fig1_graph):
+        """Supervision covers bad input, not just crashes: a poison batch
+        that fails pre-flight validation is reported, never raised."""
+        rm = ResilientMaintainer(fig1_graph, "mod")
+        report = rm.apply_batch(Batch([Change((1, 0), 0, True)]))
+        assert report.status == "quarantined"
+        assert rm.quarantine[0].error_type == "BatchValidationError"
+
+    def test_audit_detects_and_heals_coherent_drift(self, fig1_graph):
+        rm = ResilientMaintainer(fig1_graph, "mod", audit_every=0,
+                                 audit_sample=None)
+        rm.impl._set_tau(4, 9)  # coherent silent corruption
+        assert verify_kappa(rm, raise_on_mismatch=False) != []
+        assert rm.audit() == "healed"
+        assert rm.stats == {**rm.stats, "audits": 1, "audit_failures": 1, "heals": 1}
+        assert verify_kappa(rm) == []
+
+    def test_heal_preserves_stream_position(self, fig1_graph):
+        rm = ResilientMaintainer(fig1_graph, "mod")
+        rm.apply_batch(Batch(graph_edge_changes(7, 9, True)))
+        rm.heal()
+        assert rm.batches_processed == 1
+        assert verify_kappa(rm) == []
+
+    def test_periodic_audit_heals_drift_in_quiet_region(self):
+        """Mid-stream healing end to end: corruption lands in a component
+        the stream never touches, so no maintenance repairs it and the
+        periodic audit is the only defence.  Uses ``set``: its change-id
+        propagation never reaches the quiet component, whereas ``mod``'s
+        conservative level increments sweep whole tau levels and would
+        incidentally repair the drift (see ``docs/RESILIENCE.md``)."""
+        g = DynamicGraph.from_edges(
+            [(0, 1), (1, 2), (0, 2)]          # streamed component
+            + [(10, 11), (11, 12), (10, 12)]  # quiet component
+        )
+        rm = ResilientMaintainer(g, "set", audit_every=2, audit_sample=None)
+        rm.impl._set_tau(11, 7)
+        r1 = rm.apply_batch(Batch(graph_edge_changes(0, 3, True)))
+        assert r1.audit is None
+        r2 = rm.apply_batch(Batch(graph_edge_changes(0, 3, False)))
+        assert r2.audit == "healed"
+        assert rm.stats["heals"] == 1
+        assert verify_kappa(rm) == []
+
+    def test_invalid_parameters_rejected(self, fig1_graph):
+        with pytest.raises(ValueError):
+            ResilientMaintainer(fig1_graph, "mod", max_retries=-1)
+        with pytest.raises(ValueError):
+            ResilientMaintainer(fig1_graph, "mod", audit_every=-5)
+
+
+class TestFacadeWiring:
+    def test_resilient_flag_wraps_supervisor(self, fig1_graph):
+        m = CoreMaintainer(fig1_graph, algorithm="setmb", resilient=True,
+                           audit_every=4)
+        assert m.resilient
+        report = m.apply_batch(Batch(graph_edge_changes(7, 9, True)))
+        assert isinstance(report, BatchReport)
+        stats = m.resilience_stats
+        assert stats["batches"] == 1 and stats["applied"] == 1
+        assert m.quarantined_batches == []
+        assert m.algorithm == "setmb"
+
+    def test_plain_facade_reports_no_resilience(self, fig1_graph):
+        m = CoreMaintainer(fig1_graph)
+        assert not m.resilient
+        assert m.resilience_stats is None
+        assert m.quarantined_batches == []
+
+    def test_audit_every_requires_resilient(self, fig1_graph):
+        with pytest.raises(ValueError, match="resilient"):
+            CoreMaintainer(fig1_graph, audit_every=10)
+
+
+# ---------------------------------------------------------------------------
+# acceptance: a long bursty stream under fire ends verified
+# ---------------------------------------------------------------------------
+class TestAcceptance:
+    ROUNDS = 200
+
+    def test_200_round_bursty_stream_with_faults_ends_verified(self):
+        g = barabasi_albert(150, 3, seed=11)
+        rm = ResilientMaintainer(g, "mod", max_retries=1, audit_every=50,
+                                 audit_sample=None)
+        last = 2 * self.ROUNDS - 1
+        inj = FaultInjector(rm, [
+            FaultPlan.raise_at(batch=17, change=2),                    # transient
+            FaultPlan.raise_at(batch=101, change=0, transient=False),  # poison
+            FaultPlan.duplicate(batch=44, change=1),
+            FaultPlan.invert(batch=230, change=0),
+            FaultPlan.corrupt_tau(batch=last, delta=6),                # silent
+        ])
+        stream = BurstyStream(
+            g, BurstySchedule(calm_size=3, burst_factor=10, p_burst=0.1, seed=9),
+            seed=10,
+        )
+        reports = inj.apply_rounds(list(stream.rounds(self.ROUNDS)))
+        assert len(reports) == 2 * self.ROUNDS
+        assert all(isinstance(r, BatchReport) for r in reports)
+        assert rm.stats["retries"] >= 1
+        assert rm.stats["quarantined"] == 1
+        assert len(inj.fired) >= 5
+        # quiesce: the closing audit catches the last-batch drift...
+        assert rm.audit() == "healed"
+        # ...and the stream ends exactly as the paper's invariant demands
+        assert verify_kappa(rm) == []
+
+    def test_run_resilient_stream_driver(self):
+        res = run_resilient_stream(
+            "WikiTalk", "mod", rounds=6, scale=0.1,
+            fault_plans=(FaultPlan.raise_at(batch=1, change=0),
+                         FaultPlan.corrupt_tau(batch=11, delta=5)),
+            max_retries=1, audit_every=4, audit_sample=None,
+        )
+        assert res.final_verified
+        assert res.stats["retries"] == 1
+        assert res.stats["heals"] >= 1
+        text = res.format()
+        assert "retries=1" in text and "final full verification: clean" in text
