@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Real wall-clock comparison: dict engine vs the flat-array engine.
+
+Unlike the ``bench_fig*.py`` harness (which reproduces the paper's figures
+on the *simulated* machine), this script measures honest Python execution
+time of the same maintenance work on both execution engines:
+
+* ``dict``  -- label-keyed hash maps, per-vertex convergence loop;
+* ``array`` -- interned :class:`~repro.engine.ArrayGraph` substrate with
+  vectorised frontier convergence (:func:`~repro.engine.hhc_frontier_csr`).
+
+Three workloads mirror the paper's evaluation shapes:
+
+* ``fig06_insert`` -- insertion-only batches (Figure 6),
+* ``fig09_delete`` -- deletion-only batches (Figure 9),
+* ``fig12_mixed``  -- mixed batches at the paper's 3/2 sizing (Figure 12).
+
+Both engines replay byte-identical batch streams generated against a
+scratch copy of the dataset, so every timed round does the same semantic
+work.  After the timed rounds each engine's kappa is checked against the
+independent peeling oracle and the two engines are checked against each
+other -- a speedup only counts if the answers are identical.
+
+Usage::
+
+    python benchmarks/bench_wallclock.py            # full run, writes JSON
+    python benchmarks/bench_wallclock.py --quick    # CI smoke (small sizes)
+    python benchmarks/bench_wallclock.py --out PATH # custom output path
+
+The full run writes ``BENCH_wallclock.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.maintainer import make_maintainer  # noqa: E402
+from repro.core.verify import verify_kappa  # noqa: E402
+from repro.engine import ArrayGraph  # noqa: E402
+from repro.graph.batch import BatchProtocol  # noqa: E402
+from repro.graph.generators import powerlaw_social  # noqa: E402
+
+#: (graph_vertices, graph_m, rounds, {workload: batch_edges})
+FULL_CONFIG = dict(
+    n=50_000,
+    m=16,
+    rounds=3,
+    batches={"fig06_insert": 5000, "fig09_delete": 5000, "fig12_mixed": 5000},
+)
+QUICK_CONFIG = dict(
+    n=4_000,
+    m=10,
+    rounds=2,
+    batches={"fig12_mixed": 600},
+)
+
+WORKLOADS = ("fig06_insert", "fig09_delete", "fig12_mixed")
+
+
+def generate_rounds(base, workload: str, batch_edges: int, rounds: int, seed: int):
+    """Pre-generate identical batch streams for both engines.
+
+    The protocol samples lazily against the live substrate, so the rounds
+    are drawn against a scratch copy that is kept in sync by applying each
+    emitted batch to it.
+    """
+    scratch = base.copy()
+    proto = BatchProtocol(scratch, seed=seed)
+    out = []
+    for _ in range(rounds):
+        if workload == "fig12_mixed":
+            prep, timed, post = proto.mixed(batch_edges)
+        else:
+            deletion, insertion = proto.remove_reinsert(batch_edges)
+            if workload == "fig06_insert":
+                prep, timed, post = deletion, insertion, None
+            else:  # fig09_delete
+                prep, timed, post = None, deletion, insertion
+        for b in (prep, timed, post):
+            if b is not None:
+                for c in b:
+                    scratch.apply(c)
+        out.append((prep, timed, post))
+    return out
+
+
+def run_engine(base, engine: str, rounds_data):
+    """Replay the stream on one engine; returns (times_s, kappa)."""
+    if engine == "array":
+        sub = ArrayGraph.from_graph(base)
+    else:
+        sub = base.copy()
+    m = make_maintainer(sub, "mod", engine=engine)
+    times = []
+    for prep, timed, post in rounds_data:
+        if prep is not None:
+            m.apply_batch(prep)
+        t0 = time.perf_counter()
+        m.apply_batch(timed)
+        times.append(time.perf_counter() - t0)
+        if post is not None:
+            m.apply_batch(post)
+    violations = verify_kappa(m)
+    if violations:
+        raise AssertionError(
+            f"{engine} engine diverged from the peeling oracle: "
+            f"{violations[:5]} ..."
+        )
+    return times, m.kappa()
+
+
+def run(config, seed: int = 42):
+    base = powerlaw_social(config["n"], config["m"], seed=seed)
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "graph": {
+                "generator": f"powerlaw_social({config['n']}, {config['m']}, seed={seed})",
+                "vertices": base.num_vertices(),
+                "edges": base.num_edges(),
+            },
+            "rounds": config["rounds"],
+            "timed_algorithm": "mod",
+        },
+        "workloads": {},
+    }
+    for workload, batch_edges in config["batches"].items():
+        rounds_data = generate_rounds(
+            base, workload, batch_edges, config["rounds"], seed=seed + 1
+        )
+        timed_changes = len(rounds_data[0][1])
+        print(f"== {workload}: {batch_edges} edges/batch "
+              f"({timed_changes} pin changes timed) ==")
+        entry = {
+            "batch_edges": batch_edges,
+            "timed_pin_changes": timed_changes,
+        }
+        kappas = {}
+        for engine in ("dict", "array"):
+            times, kappa = run_engine(base, engine, rounds_data)
+            kappas[engine] = kappa
+            entry[engine] = {
+                "times_s": [round(t, 4) for t in times],
+                "median_s": round(statistics.median(times), 4),
+            }
+            print(f"  {engine:>5}: " +
+                  "  ".join(f"{t:.3f}s" for t in times) +
+                  f"  (median {entry[engine]['median_s']:.3f}s)")
+        identical = kappas["dict"] == kappas["array"]
+        speedup = entry["dict"]["median_s"] / entry["array"]["median_s"]
+        entry["kappa_identical"] = identical
+        entry["oracle_verified"] = True  # run_engine raises otherwise
+        entry["speedup"] = round(speedup, 2)
+        print(f"  speedup {speedup:.2f}x  kappa identical: {identical}")
+        if not identical:
+            raise AssertionError(f"{workload}: engines disagree on kappa")
+        report["workloads"][workload] = entry
+    return report
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI smoke run; asserts the array engine is "
+                         "not slower than dict on the mixed workload")
+    ap.add_argument("--out", type=Path, default=None,
+                    help="output JSON path (default: BENCH_wallclock.json "
+                         "at the repo root; --quick defaults to not writing)")
+    ap.add_argument("--seed", type=int, default=42)
+    args = ap.parse_args(argv)
+
+    config = QUICK_CONFIG if args.quick else FULL_CONFIG
+    report = run(config, seed=args.seed)
+    report["meta"]["mode"] = "quick" if args.quick else "full"
+
+    out = args.out
+    if out is None and not args.quick:
+        out = REPO_ROOT / "BENCH_wallclock.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {out}")
+
+    if args.quick:
+        mixed = report["workloads"]["fig12_mixed"]
+        assert mixed["speedup"] >= 1.0, (
+            f"array engine slower than dict on the quick mixed workload "
+            f"({mixed['speedup']:.2f}x)"
+        )
+        print(f"quick check passed: array {mixed['speedup']:.2f}x vs dict")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,7 @@ from repro.core import (
     shell,
     static_hindex,
 )
+from repro.engine import ArrayGraph
 from repro.graph import (
     Batch,
     BatchProtocol,
@@ -78,6 +79,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ApproximateModMaintainer",
+    "ArrayGraph",
     "Batch",
     "BatchProtocol",
     "BatchValidationError",

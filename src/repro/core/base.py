@@ -48,6 +48,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set
 
+import numpy as np
+
 from repro.core.static import hhc_local, static_hindex
 from repro.graph.dynamic_hypergraph import MinCache
 from repro.graph.substrate import Change
@@ -88,6 +90,13 @@ class MaintainerBase:
         self._level_index: Dict[int, Set[Vertex]] = {}
         for v, k in self.tau.items():
             self._level_index.setdefault(k, set()).add(v)
+        #: dense tau shadow + dirty-bucket level index (array engine only);
+        #: None routes every hot loop through the dict path
+        self._tau_array = None
+        if getattr(sub, "is_array_backed", False):
+            from repro.engine.tau_array import TauArray
+
+            self._tau_array = TauArray.from_graph(sub, self.tau)
         self.batches_processed = 0
         #: all-or-nothing batches (rollback on exception); see module docs
         self.transactional = True
@@ -97,6 +106,26 @@ class MaintainerBase:
         self.fault_hook: Optional[FaultHook] = None
         self._txn_journal: Optional[List[Change]] = None
         self._fault_index = 0
+
+    # -- engine selection ---------------------------------------------------------
+    @property
+    def engine(self) -> str:
+        """``"array"`` when the vectorised flat-array path is active."""
+        return "array" if self._tau_array is not None else "dict"
+
+    def _set_engine(self, engine: str) -> None:
+        """Force an execution engine (``make_maintainer``'s ``engine=``)."""
+        if engine == "dict":
+            self._tau_array = None
+        elif engine == "array":
+            if self._tau_array is None:
+                raise ValueError(
+                    "engine='array' needs an array-backed substrate; wrap the "
+                    "graph in repro.engine.ArrayGraph (or use "
+                    "CoreMaintainer(..., engine='array'))"
+                )
+        elif engine != "auto":
+            raise ValueError(f"unknown engine {engine!r}; choose auto/array/dict")
 
     # -- kappa access ------------------------------------------------------------
     def kappa(self) -> Dict[Vertex, int]:
@@ -129,6 +158,10 @@ class MaintainerBase:
         self._level_index.setdefault(new, set()).add(v)
         if self.min_cache is not None:
             self.min_cache.on_value_change(v)
+        if self._tau_array is not None:
+            i = self.sub.interner.id_of(v)
+            if i is not None:
+                self._tau_array.set_(i, new)
 
     def _drop_vertex(self, v: Vertex) -> None:
         """Vertex degree hit zero: it leaves the decomposition."""
@@ -149,14 +182,31 @@ class MaintainerBase:
                 del self._level_index[old]
         self._level_index.setdefault(new, set()).add(v)
         # min cache refresh is handled inside hhc_local itself
+        if self._tau_array is not None:
+            i = self.sub.interner.id_of(v)
+            if i is not None:
+                self._tau_array.set_(i, new)
 
     # -- transactional plumbing ---------------------------------------------------
     def _apply_structural(self, change: Change) -> bool:
         """The single structural mutation point: apply one pin change and,
         inside a transaction, journal it for rollback."""
+        dead_ids = None
+        if self._tau_array is not None and not change.insert:
+            # capture dense ids before the deletion can release them: a
+            # vertex whose degree hits zero leaves the interner, and its
+            # tau-array slot must be retired with it (the id may be
+            # recycled for a different label)
+            id_of = self.sub.interner.id_of
+            dead_ids = [(u, id_of(u)) for u in change.edge]
         applied = self.sub.apply(change)
         if applied and self._txn_journal is not None:
             self._txn_journal.append(change)
+        if applied and dead_ids is not None:
+            has_vertex = self.sub.has_vertex
+            for u, i in dead_ids:
+                if i is not None and not has_vertex(u):
+                    self._tau_array.drop(i)
         return applied
 
     def _fault_point(self, change: Change) -> None:
@@ -194,9 +244,11 @@ class MaintainerBase:
         sub, rt = self.sub, self.rt
         touched: Set[Vertex] = set()
         is_hyper = getattr(sub, "is_hypergraph", False)
+        # one batched charge for the per-record serial bookkeeping instead
+        # of a call per change (the loop itself is the hot path)
+        rt.serial(len(batch))
 
         for change in batch:
-            rt.serial(1)
             self._fault_point(change)
             if change.insert:
                 # capture nothing; apply then observe
@@ -214,10 +266,13 @@ class MaintainerBase:
                     if is_hyper:
                         callback(change, pins_now)
                     else:
-                        # both endpoints are semantic pin insertions
+                        # both endpoints are semantic pin insertions; the
+                        # incoming record already names one of them, so
+                        # only the twin needs allocating
                         u, v = change.edge
-                        callback(Change(change.edge, u, True), pins_now)
-                        callback(Change(change.edge, v, True), pins_now)
+                        twin = v if change.vertex == u else u
+                        callback(change, pins_now)
+                        callback(Change(change.edge, twin, True), pins_now)
             else:
                 if not sub.has_pin(change.edge, change.vertex):
                     continue
@@ -233,8 +288,9 @@ class MaintainerBase:
                         callback(change, pins_before)
                     else:
                         u, v = change.edge
-                        callback(Change(change.edge, u, False), pins_before)
-                        callback(Change(change.edge, v, False), pins_before)
+                        twin = v if change.vertex == u else u
+                        callback(change, pins_before)
+                        callback(Change(change.edge, twin, False), pins_before)
                 # vertices that vanished leave the decomposition
                 for p in pins_before:
                     if not sub.has_vertex(p):
@@ -244,7 +300,15 @@ class MaintainerBase:
 
     # -- convergence ------------------------------------------------------------------
     def converge(self, active: Iterable[Vertex]) -> None:
-        """Run Algorithm 2 from the current tau with the given frontier."""
+        """Run Algorithm 2 from the current tau with the given frontier.
+
+        Dispatches to the vectorised flat-array sweep when the substrate
+        is array-backed (both paths are oracle-equivalent; see
+        docs/PERFORMANCE.md).
+        """
+        if self._tau_array is not None:
+            self._converge_ids(self.sub.ids_of(active))
+            return
         hhc_local(
             self.sub,
             self.rt,
@@ -252,6 +316,30 @@ class MaintainerBase:
             frontier=active,
             min_cache=self.min_cache,
             on_change=self._on_change_hook,
+        )
+
+    def _converge_ids(self, ids: "np.ndarray") -> None:
+        """Array-engine convergence over a dense-id frontier."""
+        from repro.engine.frontier import hhc_frontier_csr
+
+        tau, index = self.tau, self._level_index
+        label_of = self.sub.interner.label_of
+
+        def commit(changed, old, new):
+            # sync the label-keyed dict and level index per committed
+            # change; the dense array was already updated in bulk
+            for i, o, n in zip(changed.tolist(), old.tolist(), new.tolist()):
+                v = label_of(i)
+                tau[v] = n
+                bucket = index.get(o)
+                if bucket is not None:
+                    bucket.discard(v)
+                    if not bucket:
+                        del index[o]
+                index.setdefault(n, set()).add(v)
+
+        hhc_frontier_csr(
+            self.sub, self._tau_array, ids, rt=self.rt, on_commit=commit
         )
 
     # -- the public entry point ---------------------------------------------------------

@@ -84,6 +84,7 @@ class HybridMaintainer(MaintainerBase):
         child.min_cache = self.min_cache
         child.use_min_cache = self.use_min_cache
         child._level_index = self._level_index
+        child._tau_array = self._tau_array
         child.batches_processed = 0
         # validation and transactions live at the hybrid level; children
         # inherit the live journal/fault hook per batch (see _apply_batch)
@@ -92,6 +93,13 @@ class HybridMaintainer(MaintainerBase):
         child.fault_hook = None
         child._txn_journal = None
         child._fault_index = 0
+
+    def _set_engine(self, engine: str) -> None:
+        super()._set_engine(engine)
+        # the children adopted the parent's tau array by reference; keep
+        # them on the same engine after a forced switch
+        self._mod._tau_array = self._tau_array
+        self._setmb._tau_array = self._tau_array
 
     def _hot_levels(self) -> set:
         n = max(1, len(self.tau))

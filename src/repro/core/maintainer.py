@@ -47,10 +47,15 @@ def make_maintainer(sub, algorithm: str = "mod", rt=None, **kwargs) -> Maintaine
 
     ``transactional=`` / ``validate=`` (both default ``True``) control the
     base class's all-or-nothing batch application and pre-flight batch
-    validation; the remaining kwargs go to the algorithm class.
+    validation.  ``engine=`` picks the execution path for the hot loops:
+    ``"auto"`` (default) uses the vectorised flat-array engine whenever
+    ``sub`` is array-backed (an :class:`~repro.engine.ArrayGraph`),
+    ``"array"`` requires it, ``"dict"`` forces the hash-based path.  The
+    remaining kwargs go to the algorithm class.
     """
     transactional = kwargs.pop("transactional", True)
     validate = kwargs.pop("validate", True)
+    engine = kwargs.pop("engine", "auto")
     try:
         cls = ALGORITHMS[algorithm]
     except KeyError:
@@ -60,6 +65,7 @@ def make_maintainer(sub, algorithm: str = "mod", rt=None, **kwargs) -> Maintaine
     m = cls(sub, rt, **kwargs)
     m.transactional = transactional
     m.validate_batches = validate
+    m._set_engine(engine)
     return m
 
 
@@ -77,6 +83,14 @@ class CoreMaintainer:
         / ``order``.
     rt:
         Optional parallel runtime (serial by default).
+    engine:
+        ``"auto"`` (default) -- use the vectorised flat-array engine when
+        the substrate is array-backed; ``"array"`` -- convert a plain
+        :class:`~repro.graph.DynamicGraph` into an
+        :class:`~repro.engine.ArrayGraph` up front (the maintainer then
+        owns the converted substrate; read it back via :attr:`sub`) and
+        run the vectorised path; ``"dict"`` -- force the hash-based path.
+        Hypergraphs always use the dict engine.
     resilient:
         Wrap the algorithm in a
         :class:`~repro.resilience.supervisor.ResilientMaintainer`:
@@ -95,6 +109,7 @@ class CoreMaintainer:
         algorithm: str = "mod",
         rt=None,
         *,
+        engine: str = "auto",
         resilient: bool = False,
         max_retries: int = 1,
         audit_every: int = 0,
@@ -102,6 +117,13 @@ class CoreMaintainer:
         resilience_seed: int = 0,
         **kwargs,
     ) -> None:
+        if engine == "array" and not getattr(sub, "is_array_backed", False):
+            if getattr(sub, "is_hypergraph", False):
+                raise ValueError("engine='array' supports graphs only")
+            from repro.engine.array_graph import ArrayGraph
+
+            sub = ArrayGraph.from_graph(sub)
+        kwargs["engine"] = engine
         if resilient:
             from repro.resilience.supervisor import ResilientMaintainer
 
@@ -126,6 +148,12 @@ class CoreMaintainer:
     @property
     def algorithm(self) -> str:
         return self.impl.algorithm
+
+    @property
+    def engine(self) -> str:
+        """``"array"`` when the vectorised flat-array path is active."""
+        impl = getattr(self.impl, "impl", self.impl)  # unwrap the supervisor
+        return impl.engine
 
     @property
     def resilient(self) -> bool:

@@ -214,7 +214,9 @@ def _segment_h_index(values: np.ndarray, seg: np.ndarray, indptr: np.ndarray) ->
     vs = values[order]
     ranks = np.arange(1, len(values) + 1, dtype=np.int64) - np.repeat(indptr[:-1], np.diff(indptr))
     ok = (vs >= ranks).astype(np.int64)
-    out = np.add.reduceat(ok, indptr[:-1])
+    # reduceat rejects offsets == len(ok) (trailing empty segments); clip
+    # them back -- the diff == 0 mask zeroes those slots anyway
+    out = np.add.reduceat(ok, np.minimum(indptr[:-1], len(ok) - 1))
     out[np.diff(indptr) == 0] = 0
     return out
 

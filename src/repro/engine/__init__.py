@@ -1,0 +1,38 @@
+"""The flat-array maintenance engine.
+
+The maintenance hot paths of :mod:`repro.core` are written against the
+hash-based :class:`~repro.graph.substrate.Substrate` protocol -- flexible,
+but every adjacency access pays dict/set overhead and nothing can be
+vectorised.  This package provides an *interned* flat-array execution path
+the maintainers use transparently whenever the substrate is array-backed:
+
+``interner``
+    :class:`VertexInterner` -- arbitrary hashable vertex labels to dense
+    int ids, with free-list recycling so long-running dynamic workloads do
+    not leak id space.
+``array_graph``
+    :class:`ArrayGraph` -- a fully dynamic adjacency store over numpy
+    index arrays with per-vertex slack (amortised O(1) edge insert/delete)
+    and periodic compaction.  Implements the full ``Substrate`` protocol,
+    so every existing algorithm runs on it unchanged, and snapshots to the
+    frozen :class:`~repro.graph.csr.CSRGraph` in O(n + m).
+``frontier``
+    :func:`hhc_frontier_csr` -- the vectorised Algorithm 2: per-iteration
+    neighbour-tau gathers and segment h-indices over the whole frontier at
+    once, replacing the per-vertex Python update loop.
+``tau_array``
+    :class:`TauArray` -- dense ``int64`` tau values plus a lazily rebuilt
+    (dirty-bucket) level index, so the ``mod`` increment sweep walks
+    arrays instead of dict buckets.
+
+See docs/PERFORMANCE.md for the architecture and invariants, and
+``benchmarks/bench_wallclock.py`` for the dict-vs-array wall-clock
+comparison this engine is measured by.
+"""
+
+from repro.engine.array_graph import ArrayGraph
+from repro.engine.frontier import hhc_frontier_csr
+from repro.engine.interner import VertexInterner
+from repro.engine.tau_array import TauArray
+
+__all__ = ["ArrayGraph", "VertexInterner", "TauArray", "hhc_frontier_csr"]

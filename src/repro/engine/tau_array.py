@@ -1,0 +1,133 @@
+"""Array-backed tau values with a lazily rebuilt level index.
+
+The maintainers keep ``tau`` as a label-keyed dict (the public API and the
+classification callbacks read it) plus, per tau value, a set bucket so the
+``mod`` increment sweep touches only affected levels.  On the array engine
+a :class:`TauArray` shadows the dict with a dense ``int64`` array indexed
+by interned vertex id: the vectorised frontier sweep gathers neighbour tau
+straight from it, and the increment sweep walks ``np.unique`` buckets
+instead of Python sets.
+
+The level index is *dirty-bucket*: point writes (:meth:`set_`) just store
+and flip a dirty flag; the per-level id lists are rebuilt in one
+vectorised pass the next time a sweep asks for them.  A batch performs
+many point writes but only one sweep, so the rebuild is paid once per
+batch instead of two set mutations per tau change.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+__all__ = ["TauArray"]
+
+
+class TauArray:
+    """Dense tau values + live mask + lazy level buckets for one graph."""
+
+    __slots__ = ("arr", "live", "_bucket_levels", "_bucket_ptr", "_bucket_ids", "_dirty")
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.arr = np.zeros(capacity, dtype=np.int64)
+        self.live = np.zeros(capacity, dtype=bool)
+        self._bucket_levels: Optional[np.ndarray] = None
+        self._bucket_ptr: Optional[np.ndarray] = None
+        self._bucket_ids: Optional[np.ndarray] = None
+        self._dirty = True
+
+    @classmethod
+    def from_graph(cls, graph, tau: Dict) -> "TauArray":
+        """Initialise from an :class:`~repro.engine.array_graph.ArrayGraph`
+        and a label-keyed tau dict."""
+        t = cls(max(16, graph.interner.capacity))
+        id_of = graph.interner.id_of
+        for label, value in tau.items():
+            i = id_of(label)
+            if i is not None:
+                t.set_(i, value)
+        return t
+
+    # -- point access ---------------------------------------------------------
+    def _ensure(self, i: int) -> None:
+        cap = len(self.arr)
+        if i < cap:
+            return
+        new_cap = max(cap * 2, i + 1)
+        arr = np.zeros(new_cap, dtype=np.int64)
+        arr[:cap] = self.arr
+        self.arr = arr
+        live = np.zeros(new_cap, dtype=bool)
+        live[:cap] = self.live
+        self.live = live
+
+    def set_(self, i: int, value: int) -> None:
+        self._ensure(i)
+        self.arr[i] = value
+        self.live[i] = True
+        self._dirty = True
+
+    def drop(self, i: int) -> None:
+        if i < len(self.arr):
+            self.live[i] = False
+            self.arr[i] = 0
+            self._dirty = True
+
+    def get(self, i: int) -> int:
+        return int(self.arr[i]) if i < len(self.arr) and self.live[i] else 0
+
+    # -- bulk access ----------------------------------------------------------
+    def bulk_set(self, ids: np.ndarray, values: np.ndarray) -> None:
+        if len(ids):
+            self._ensure(int(ids.max()))
+            self.arr[ids] = values
+            self.live[ids] = True
+            self._dirty = True
+
+    def resync(self, graph, tau: Dict) -> None:
+        """Full rebuild from the label-keyed dict (the rollback path)."""
+        self.arr[:] = 0
+        self.live[:] = False
+        id_of = graph.interner.id_of
+        for label, value in tau.items():
+            i = id_of(label)
+            if i is not None:
+                self.set_(i, value)
+        self._dirty = True
+
+    # -- the dirty-bucket level index -----------------------------------------
+    def _rebuild(self) -> None:
+        ids = np.nonzero(self.live)[0].astype(np.int64)
+        if len(ids) == 0:
+            self._bucket_levels = np.zeros(0, dtype=np.int64)
+            self._bucket_ptr = np.zeros(1, dtype=np.int64)
+            self._bucket_ids = np.zeros(0, dtype=np.int64)
+            self._dirty = False
+            return
+        values = self.arr[ids]
+        order = np.argsort(values, kind="stable")
+        sorted_vals = values[order]
+        levels, first = np.unique(sorted_vals, return_index=True)
+        self._bucket_levels = levels
+        self._bucket_ptr = np.append(first, len(sorted_vals)).astype(np.int64)
+        self._bucket_ids = ids[order]
+        self._dirty = False
+
+    def levels(self) -> np.ndarray:
+        """Distinct live tau values, ascending."""
+        if self._dirty:
+            self._rebuild()
+        return self._bucket_levels
+
+    def ids_at_level(self, k: int) -> np.ndarray:
+        """Dense ids currently at tau value ``k``."""
+        if self._dirty:
+            self._rebuild()
+        pos = np.searchsorted(self._bucket_levels, k)
+        if pos >= len(self._bucket_levels) or self._bucket_levels[pos] != k:
+            return np.zeros(0, dtype=np.int64)
+        return self._bucket_ids[self._bucket_ptr[pos] : self._bucket_ptr[pos + 1]]
+
+    def __repr__(self) -> str:
+        return f"TauArray(live={int(self.live.sum())}, capacity={len(self.arr)})"

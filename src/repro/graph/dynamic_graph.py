@@ -91,7 +91,9 @@ class DynamicGraph:
         """Each edge once, as its canonical id."""
         for u, nbrs in self._adj.items():
             for v in nbrs:
-                if edge_id(u, v)[0] == u:
+                # canonical orientation without building an edge_id tuple
+                # per neighbour (self-loops cannot exist, so u != v)
+                if u <= v:
                     yield (u, v)
 
     # -- Substrate protocol ----------------------------------------------------

@@ -70,5 +70,10 @@ class Transaction:
             index.setdefault(k, set()).add(v)
         if maintainer.min_cache is not None:
             maintainer.min_cache.clear()
+        tau_array = getattr(maintainer, "_tau_array", None)
+        if tau_array is not None:
+            # the inverse replay may have recycled interned ids; rebuild the
+            # dense shadow from the restored label-keyed tau wholesale
+            tau_array.resync(sub, tau)
         maintainer.batches_processed = self.batches_processed
         maintainer._txn_restore_extra(self.extra)
