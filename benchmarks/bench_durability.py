@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""What durability costs: WAL sync policies vs a non-durable baseline.
+
+Measures honest wall-clock time of the paper's Fig. 12 mixed workload
+(deletions interleaved with re-insertions at the 3/2 sizing) through a
+:class:`~repro.resilience.durability.durable.DurableMaintainer` under
+each WAL sync policy, against the same maintainer with no durability:
+
+* ``baseline``   -- no WAL, no checkpoints (the figure-harness path);
+* ``wal_record`` -- fsync after every change record (strongest, slowest);
+* ``wal_batch``  -- fsync after every commit record (the default: an
+  acknowledged batch is durable);
+* ``wal_size64k`` -- fsync per 64 KiB of log (fastest; an acked batch
+  may be lost to power failure).
+
+Every variant replays byte-identical pre-generated batch streams, and
+each finishes with a full verification against the peeling oracle.  The
+run also times an actual crash-recovery: the ``wal_batch`` session is
+abandoned without a final checkpoint and rebuilt from its directory,
+and the recovered kappa must equal the live one.
+
+The headline contract (asserted, and recorded in the JSON): the
+``wal_batch`` policy stays within **2.5x** of the non-durable baseline.
+
+Usage::
+
+    python benchmarks/bench_durability.py            # full run, writes JSON
+    python benchmarks/bench_durability.py --quick    # CI smoke (small sizes)
+    python benchmarks/bench_durability.py --out PATH # custom output path
+
+The full run writes ``BENCH_durability.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.maintainer import make_maintainer  # noqa: E402
+from repro.core.verify import verify_kappa  # noqa: E402
+from repro.graph.batch import BatchProtocol  # noqa: E402
+from repro.graph.generators import powerlaw_social  # noqa: E402
+from repro.resilience.durability import (  # noqa: E402
+    DurableMaintainer,
+    RecoveryManager,
+)
+
+FULL_CONFIG = dict(n=20_000, m=12, rounds=3, batch_edges=2000)
+QUICK_CONFIG = dict(n=3_000, m=8, rounds=2, batch_edges=300)
+
+#: (variant name, sync policy or None for the non-durable baseline)
+VARIANTS = (
+    ("baseline", None),
+    ("wal_record", "record"),
+    ("wal_batch", "batch"),
+    ("wal_size64k", "size:65536"),
+)
+
+EVERY_BATCH_OVERHEAD_MAX = 2.5
+
+
+def generate_rounds(base, batch_edges: int, rounds: int, seed: int):
+    """Pre-generate identical Fig. 12 mixed rounds for every variant."""
+    scratch = base.copy()
+    proto = BatchProtocol(scratch, seed=seed)
+    out = []
+    for _ in range(rounds):
+        prep, timed, post = proto.mixed(batch_edges)
+        for b in (prep, timed, post):
+            for c in b:
+                scratch.apply(c)
+        out.append((prep, timed, post))
+    return out
+
+
+def run_variant(base, policy, rounds_data, workdir):
+    """Replay the stream; returns (times_s, kappa, wal_stats, maintainer)."""
+    m = make_maintainer(base.copy(), "mod")
+    if policy is not None:
+        m = DurableMaintainer(
+            m, workdir, sync_policy=policy, checkpoint_every=0
+        )
+    times = []
+    for prep, timed, post in rounds_data:
+        m.apply_batch(prep)
+        t0 = time.perf_counter()
+        m.apply_batch(timed)
+        times.append(time.perf_counter() - t0)
+        m.apply_batch(post)
+    violations = verify_kappa(m.impl if policy is not None else m,
+                              raise_on_mismatch=False)
+    if violations:
+        raise AssertionError(
+            f"{policy or 'baseline'} diverged from the peeling oracle: "
+            f"{violations[:5]} ..."
+        )
+    wal_stats = dict(m.wal.stats) if policy is not None else None
+    return times, m.kappa(), wal_stats, m
+
+
+def time_recovery(durable, workdir):
+    """Abandon ``durable`` without a final checkpoint and rebuild it."""
+    live_kappa = durable.kappa()
+    durable.wal.sync()
+    durable.wal._fh.close()  # process death: no close(), no final checkpoint
+    t0 = time.perf_counter()
+    recovered, report = RecoveryManager(workdir).recover()
+    elapsed = time.perf_counter() - t0
+    if recovered.kappa() != live_kappa:
+        raise AssertionError("recovery diverged from the live session")
+    return {
+        "recover_s": round(elapsed, 4),
+        "batches_replayed": report.batches_replayed,
+        "records_scanned": report.records_scanned,
+        "kappa_identical": True,
+    }
+
+
+def run(config, seed: int = 42):
+    base = powerlaw_social(config["n"], config["m"], seed=seed)
+    rounds_data = generate_rounds(
+        base, config["batch_edges"], config["rounds"], seed=seed + 1
+    )
+    timed_changes = len(rounds_data[0][1])
+    print(f"== fig12 mixed: {config['batch_edges']} edges/batch "
+          f"({timed_changes} pin changes timed), {config['rounds']} rounds ==")
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "graph": {
+                "generator": f"powerlaw_social({config['n']}, {config['m']}, seed={seed})",
+                "vertices": base.num_vertices(),
+                "edges": base.num_edges(),
+            },
+            "workload": "fig12_mixed",
+            "rounds": config["rounds"],
+            "batch_edges": config["batch_edges"],
+            "timed_pin_changes": timed_changes,
+            "timed_algorithm": "mod",
+        },
+        "variants": {},
+    }
+    kappas = {}
+    batch_session = None
+    scratch_root = Path(tempfile.mkdtemp(prefix="bench-durability-"))
+    try:
+        for name, policy in VARIANTS:
+            workdir = scratch_root / name
+            times, kappa, wal_stats, m = run_variant(
+                base, policy, rounds_data, workdir
+            )
+            kappas[name] = kappa
+            entry = {
+                "sync_policy": policy,
+                "times_s": [round(t, 4) for t in times],
+                "median_s": round(statistics.median(times), 4),
+            }
+            if wal_stats is not None:
+                entry["wal"] = wal_stats
+            report["variants"][name] = entry
+            print(f"  {name:>12}: " + "  ".join(f"{t:.3f}s" for t in times) +
+                  f"  (median {entry['median_s']:.3f}s)")
+            if name == "wal_batch":
+                batch_session = (m, workdir)
+            elif policy is not None:
+                m.close(final_checkpoint=False)
+
+        base_median = report["variants"]["baseline"]["median_s"]
+        for name, policy in VARIANTS[1:]:
+            entry = report["variants"][name]
+            entry["overhead_vs_baseline"] = round(
+                entry["median_s"] / base_median, 2
+            )
+            print(f"  {name:>12}: {entry['overhead_vs_baseline']:.2f}x baseline")
+            if kappas[name] != kappas["baseline"]:
+                raise AssertionError(f"{name}: kappa diverged from baseline")
+
+        m, workdir = batch_session
+        report["recovery"] = time_recovery(m, workdir)
+        print(f"  recovery: {report['recovery']['batches_replayed']} batches "
+              f"replayed in {report['recovery']['recover_s']:.3f}s")
+
+        observed = report["variants"]["wal_batch"]["overhead_vs_baseline"]
+        report["contract"] = {
+            "every_batch_overhead_max": EVERY_BATCH_OVERHEAD_MAX,
+            "observed": observed,
+            "pass": observed <= EVERY_BATCH_OVERHEAD_MAX,
+        }
+    finally:
+        shutil.rmtree(scratch_root, ignore_errors=True)
+    return report
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="small CI smoke run (does not write JSON by default)")
+    ap.add_argument("--out", type=Path, default=None,
+                    help="output JSON path (default: BENCH_durability.json "
+                         "at the repo root; --quick defaults to not writing)")
+    ap.add_argument("--seed", type=int, default=42)
+    args = ap.parse_args(argv)
+
+    config = QUICK_CONFIG if args.quick else FULL_CONFIG
+    report = run(config, seed=args.seed)
+    report["meta"]["mode"] = "quick" if args.quick else "full"
+
+    out = args.out
+    if out is None and not args.quick:
+        out = REPO_ROOT / "BENCH_durability.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {out}")
+
+    contract = report["contract"]
+    assert contract["pass"], (
+        f"every-batch WAL overhead {contract['observed']:.2f}x exceeds the "
+        f"{contract['every_batch_overhead_max']}x contract"
+    )
+    print(f"contract passed: every-batch WAL overhead "
+          f"{contract['observed']:.2f}x <= {contract['every_batch_overhead_max']}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Kill a maintenance session mid-batch, then recover it from disk.
+
+The in-process resilience layer (``resilient_stream.py``) survives
+anything that leaves the process alive.  This example survives the
+thing that doesn't: with ``durable=``, every batch is appended to a
+checksummed write-ahead log *before* it is applied, and atomic
+checkpoints anchor the base state, so a ``kill -9`` loses nothing that
+was acknowledged.
+
+The script plays the paper's remove/reinsert workload over a power-law
+social graph, programs a crash (a simulated SIGKILL at an exact WAL I/O
+boundary, mid-record, so the log is left with a genuinely torn tail),
+then recovers: the torn tail is truncated, the committed suffix is
+replayed onto the last checkpoint, and the recovered core values are
+verified against an independent peeling oracle before the stream
+continues where it left off.
+
+Run:  python examples/durable_stream.py
+"""
+
+import shutil
+import tempfile
+
+from repro import CoreMaintainer
+from repro.core.verify import verify_kappa
+from repro.graph.batch import Batch, BatchProtocol
+from repro.graph.generators import powerlaw_social
+from repro.resilience import FaultInjector, FaultPlan
+from repro.resilience.durability import CrashError, scan_wal
+
+
+def main(n_vertices: int = 300, rounds: int = 8, seed: int = 11,
+         crash_hit: int = 60) -> None:
+    workdir = tempfile.mkdtemp(prefix="durable-stream-")
+    print(f"durable session directory: {workdir}")
+
+    def substrate():
+        return powerlaw_social(n_vertices, 6, seed=seed)
+
+    # pre-generate the batch stream against a scratch maintainer so the
+    # same batches can replay after recovery
+    scratch = CoreMaintainer(substrate(), algorithm="mod")
+    proto = BatchProtocol(scratch.sub, seed=seed + 1)
+    batches = []
+    for _ in range(rounds):
+        for b in proto.remove_reinsert(8):
+            batches.append(list(b))
+            scratch.apply_batch(Batch(list(b)))
+
+    m = CoreMaintainer(
+        substrate(), algorithm="mod", durable=workdir,
+        durability={"checkpoint_every": 4, "sync_policy": "batch"},
+    )
+    # program a SIGKILL mid-record: the 'torn' site fires between the two
+    # flushed halves of a WAL record, leaving half a record on disk
+    injector = FaultInjector(m, [FaultPlan.crash_at("wal.append.torn", crash_hit)])
+
+    print(f"\nstreaming {len(batches)} batches with a programmed crash armed...")
+    applied = 0
+    try:
+        for batch in batches:
+            injector.apply_batch(Batch(list(batch)))
+            applied += 1
+        raise SystemExit("the programmed crash never fired -- raise crash_hit?")
+    except CrashError as death:
+        print(f"  {applied} batches acknowledged, then: {death}")
+
+    scan = scan_wal(workdir)
+    print(f"  the log is torn: damage={scan.damage[2]!r}, "
+          f"{len(scan.uncommitted)} uncommitted batch group(s)")
+
+    print("\nrecovering from the directory (scan, repair, replay)...")
+    m2 = CoreMaintainer.recover(workdir)
+    report = m2.last_recovery
+    print(f"  {report}")
+    prefix = report.checkpoint_seqno + report.batches_replayed
+    assert prefix >= applied, "an acknowledged batch went missing"
+    assert not scan_wal(workdir).torn, "the torn tail should be gone"
+
+    # the recovered state must equal an uninterrupted run of the same
+    # prefix -- and peeling from scratch agrees
+    oracle = CoreMaintainer(substrate(), algorithm="mod")
+    for batch in batches[:prefix]:
+        oracle.apply_batch(Batch(list(batch)))
+    assert m2.kappa() == oracle.kappa(), "recovery diverged from the oracle"
+    verify_kappa(m2.impl.impl)
+    print(f"  recovered tau == uninterrupted run of {prefix} batches "
+          "== peeling oracle")
+
+    print("\ncontinuing the stream on the recovered session...")
+    for batch in batches[prefix:]:
+        m2.apply_batch(Batch(list(batch)))
+    assert m2.kappa() == scratch.kappa(), "the finished stream diverged"
+    m2.impl.close()
+    print("  full stream complete; final state verified, session sealed")
+
+    shutil.rmtree(workdir)
+    print("\nsurvived kill -9 with zero acknowledged batches lost")
+
+
+if __name__ == "__main__":
+    main()

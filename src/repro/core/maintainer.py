@@ -98,6 +98,17 @@ class CoreMaintainer:
         quarantined instead of raising, and ``audit_every`` > 0 enables
         periodic sampled drift audits with self-healing.  ``apply_batch``
         then returns a :class:`~repro.resilience.supervisor.BatchReport`.
+    durable:
+        Data directory for crash durability.  Wraps the stack (outermost,
+        above the supervisor when both are requested) in a
+        :class:`~repro.resilience.durability.durable.DurableMaintainer`:
+        every batch is write-ahead logged before it is applied, periodic
+        atomic checkpoints are taken, and a crashed session is rebuilt
+        from the directory via :meth:`CoreMaintainer.recover`.
+    durability:
+        Optional dict of :class:`DurableMaintainer` knobs
+        (``sync_policy`` / ``checkpoint_every`` / ``retain_checkpoints``
+        / ``segment_max_bytes``), used only with ``durable=``.
     kwargs:
         Forwarded to the algorithm class (plus ``transactional=`` /
         ``validate=``, see :func:`make_maintainer`).
@@ -115,6 +126,8 @@ class CoreMaintainer:
         audit_every: int = 0,
         audit_sample: Optional[int] = 32,
         resilience_seed: int = 0,
+        durable=None,
+        durability: Optional[Dict] = None,
         **kwargs,
     ) -> None:
         if engine == "array" and not getattr(sub, "is_array_backed", False):
@@ -139,6 +152,45 @@ class CoreMaintainer:
             if audit_every:
                 raise ValueError("audit_every requires resilient=True")
             self.impl = make_maintainer(sub, algorithm, rt, **kwargs)
+        if durability and durable is None:
+            raise ValueError("durability= options require durable=<directory>")
+        if durable is not None:
+            from repro.resilience.durability.durable import DurableMaintainer
+
+            self.impl = DurableMaintainer(self.impl, durable, **(durability or {}))
+        #: RecoveryReport when this instance came from :meth:`recover`
+        self.last_recovery = None
+
+    # -- recovery ----------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        directory,
+        rt=None,
+        *,
+        algorithm: Optional[str] = None,
+        engine: str = "auto",
+        durability: Optional[Dict] = None,
+        **kwargs,
+    ) -> "CoreMaintainer":
+        """Rebuild a durable session from its data directory after a crash.
+
+        Scans checkpoint + WAL, repairs any torn tail, replays the
+        committed suffix, and returns a live durable ``CoreMaintainer``
+        over the same directory; the
+        :class:`~repro.resilience.durability.recovery.RecoveryReport` is
+        on :attr:`last_recovery`.
+        """
+        from repro.resilience.durability.recovery import RecoveryManager
+
+        manager = RecoveryManager(
+            directory, rt, algorithm=algorithm, engine=engine, **kwargs
+        )
+        durable_impl, report = manager.resume(**(durability or {}))
+        self = cls.__new__(cls)
+        self.impl = durable_impl
+        self.last_recovery = report
+        return self
 
     # -- queries -----------------------------------------------------------------
     @property
@@ -149,15 +201,28 @@ class CoreMaintainer:
     def algorithm(self) -> str:
         return self.impl.algorithm
 
+    def _algorithm_impl(self):
+        """Unwrap durable/supervisor layers down to the algorithm."""
+        impl = self.impl
+        seen = 0
+        while hasattr(impl, "impl") and seen < 4:
+            impl = impl.impl
+            seen += 1
+        return impl
+
     @property
     def engine(self) -> str:
         """``"array"`` when the vectorised flat-array path is active."""
-        impl = getattr(self.impl, "impl", self.impl)  # unwrap the supervisor
-        return impl.engine
+        return self._algorithm_impl().engine
 
     @property
     def resilient(self) -> bool:
         return hasattr(self.impl, "quarantine")
+
+    @property
+    def durable(self) -> bool:
+        """Whether batches are write-ahead logged to disk."""
+        return getattr(self.impl, "wal", None) is not None
 
     @property
     def resilience_stats(self) -> Optional[Dict[str, int]]:

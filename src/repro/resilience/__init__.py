@@ -22,11 +22,18 @@ package adds the four defenses (see ``docs/RESILIENCE.md``):
 ``faults``
     The deterministic chaos harness (:class:`FaultPlan`,
     :class:`FaultInjector`, :class:`FaultError`) used by the chaos test
-    suite.
+    suite, including the ``crash`` kind that simulates ``kill -9`` at
+    durability I/O boundaries.
+``durability``
+    Cross-process durability: the write-ahead log, atomic checkpoint
+    files, crash recovery, and the crash-point injection seam
+    (:class:`DurableMaintainer`, :class:`RecoveryManager`,
+    :class:`WriteAheadLog`, :class:`SyncPolicy`, :class:`CrashPoints`,
+    :class:`DurabilityError`, :class:`CrashError`).
 
-Modules that depend on :mod:`repro.core` (checkpoint, supervisor, faults)
-are loaded lazily so the core algorithms can import the validation and
-transaction primitives without a cycle.
+Modules that depend on :mod:`repro.core` (checkpoint, supervisor, faults,
+durability) are loaded lazily so the core algorithms can import the
+validation and transaction primitives without a cycle.
 """
 
 from __future__ import annotations
@@ -38,12 +45,20 @@ __all__ = [
     "BatchReport",
     "BatchValidationError",
     "Checkpoint",
+    "CrashError",
+    "CrashPoints",
+    "DurabilityError",
+    "DurableMaintainer",
     "FaultError",
     "FaultInjector",
     "FaultPlan",
     "QuarantinedBatch",
+    "RecoveryManager",
+    "RecoveryReport",
     "ResilientMaintainer",
+    "SyncPolicy",
     "Transaction",
+    "WriteAheadLog",
     "restore_maintainer",
     "take_checkpoint",
     "validate_batch",
@@ -59,6 +74,14 @@ _LAZY = {
     "BatchReport": "repro.resilience.supervisor",
     "QuarantinedBatch": "repro.resilience.supervisor",
     "ResilientMaintainer": "repro.resilience.supervisor",
+    "CrashError": "repro.resilience.durability.errors",
+    "DurabilityError": "repro.resilience.durability.errors",
+    "CrashPoints": "repro.resilience.durability.crashpoints",
+    "DurableMaintainer": "repro.resilience.durability.durable",
+    "RecoveryManager": "repro.resilience.durability.recovery",
+    "RecoveryReport": "repro.resilience.durability.recovery",
+    "SyncPolicy": "repro.resilience.durability.wal",
+    "WriteAheadLog": "repro.resilience.durability.wal",
 }
 
 

@@ -1,4 +1,4 @@
-"""Checkpoint/restore: cheap durable snapshots of a maintainer.
+"""Checkpoint/restore: atomic, checksummed snapshots of a maintainer.
 
 A checkpoint captures the three things that define a maintenance session
 -- the substrate's content, the maintained ``tau`` values, and the stream
@@ -16,31 +16,67 @@ what-if analysis:
     >>> m2.kappa() == {0: 2, 1: 2, 2: 2}
     True
 
-Persistence uses :mod:`pickle` (vertex and edge labels are arbitrary
-hashables, which rules out JSON in general); treat checkpoint files like
-any other pickle -- load only your own.
+On-disk format
+--------------
+``save`` is **atomic and checksummed**: the payload (a pickle -- vertex
+and edge labels are arbitrary hashables, which rules out JSON in
+general) is prefixed with a magic/version/CRC32/length header, written
+to a ``.tmp`` sibling, flushed, ``fsync``\\ ed, and swapped into place
+with ``os.replace``.  A crash at any point leaves either the previous
+checkpoint or the new one -- never a torn file under the final name.
+``load`` verifies the digest before unpickling and wraps every torn /
+truncated / garbage shape in :class:`~repro.resilience.durability.errors
+.DurabilityError` naming the offending path; files that decode but do
+not hold a :class:`Checkpoint` raise :class:`TypeError`, and unsupported
+versions raise :class:`ValueError`, as before.  Legacy bare-pickle
+(version-1) files still load.  Treat checkpoint files like any other
+pickle -- load only your own.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
+import struct
+import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Hashable, List, Tuple
 
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.dynamic_hypergraph import DynamicHypergraph
+from repro.resilience.durability.errors import DurabilityError
 
 __all__ = ["Checkpoint", "take_checkpoint", "restore_maintainer"]
 
 Vertex = Hashable
 
 #: bump when the on-disk layout changes
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+#: versions ``load`` still understands (1 = bare pickle, no header)
+SUPPORTED_VERSIONS = (1, 2)
+
+_MAGIC = b"RKCP"
+_HEADER = struct.Struct("<III")  # version, crc32(payload), payload length
+
+
+def _fsync_directory(path: Path) -> None:
+    """Make a rename durable (best effort; not all platforms allow it)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _unwrap(maintainer):
-    """Peel facade layers (CoreMaintainer / ResilientMaintainer) down to
-    the algorithm instance."""
+    """Peel facade layers (CoreMaintainer / DurableMaintainer /
+    ResilientMaintainer) down to the algorithm instance."""
     seen = 0
     while hasattr(maintainer, "impl") and seen < 4:
         maintainer = maintainer.impl
@@ -59,22 +95,83 @@ class Checkpoint:
     tau: Dict[Vertex, int]
     batches_processed: int
     version: int = field(default=CHECKPOINT_VERSION)
+    #: WAL position this snapshot covers (durable sessions only; ``-1``
+    #: means "same as batches_processed")
+    wal_seqno: int = field(default=-1)
 
     # -- persistence -----------------------------------------------------------
-    def save(self, path) -> None:
-        with open(path, "wb") as fh:
-            pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    def save(self, path, *, crashpoints=None) -> None:
+        """Atomically persist to ``path`` (tmp + fsync + ``os.replace``).
+
+        ``crashpoints`` is the durability test seam
+        (:class:`~repro.resilience.durability.crashpoints.CrashPoints`);
+        production callers leave it ``None``.
+        """
+        path = Path(path)
+        fire = crashpoints.fire if crashpoints is not None else (lambda site: None)
+        payload = pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _MAGIC + _HEADER.pack(
+            self.version, zlib.crc32(payload), len(payload)
+        )
+        data = header + payload
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as fh:
+            fire("checkpoint.write.start")
+            mid = len(data) // 2
+            fh.write(data[:mid])
+            fh.flush()
+            fire("checkpoint.write.torn")
+            fh.write(data[mid:])
+            fh.flush()
+            fire("checkpoint.fsync.before")
+            os.fsync(fh.fileno())
+        fire("checkpoint.rename.before")
+        os.replace(tmp, path)
+        fire("checkpoint.rename.after")
+        _fsync_directory(path.parent)
 
     @classmethod
     def load(cls, path) -> "Checkpoint":
-        with open(path, "rb") as fh:
-            cp = pickle.load(fh)
+        """Load and verify; see the module docstring for the error map."""
+        path = Path(path)
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise DurabilityError(f"cannot read checkpoint: {exc}", path) from exc
+        if data.startswith(_MAGIC):
+            header_end = len(_MAGIC) + _HEADER.size
+            if len(data) < header_end:
+                raise DurabilityError("truncated checkpoint header", path)
+            version, crc, length = _HEADER.unpack_from(data, len(_MAGIC))
+            payload = data[header_end:]
+            if len(payload) != length:
+                raise DurabilityError(
+                    f"truncated checkpoint: header promises {length} payload "
+                    f"bytes, file holds {len(payload)}",
+                    path,
+                )
+            if zlib.crc32(payload) != crc:
+                raise DurabilityError("checkpoint checksum mismatch", path)
+            if version not in SUPPORTED_VERSIONS:
+                raise ValueError(
+                    f"checkpoint version {version} unsupported "
+                    f"(expected one of {SUPPORTED_VERSIONS})"
+                )
+        else:
+            payload = data  # legacy version-1 bare pickle
+        try:
+            cp = pickle.loads(payload)
+        except Exception as exc:
+            raise DurabilityError(
+                f"unreadable checkpoint payload ({type(exc).__name__}: {exc})",
+                path,
+            ) from exc
         if not isinstance(cp, cls):
-            raise TypeError(f"{path!r} does not hold a Checkpoint")
-        if cp.version != CHECKPOINT_VERSION:
+            raise TypeError(f"{str(path)!r} does not hold a Checkpoint")
+        if cp.version not in SUPPORTED_VERSIONS:
             raise ValueError(
                 f"checkpoint version {cp.version} unsupported "
-                f"(expected {CHECKPOINT_VERSION})"
+                f"(expected one of {SUPPORTED_VERSIONS})"
             )
         return cp
 
@@ -99,7 +196,9 @@ def take_checkpoint(maintainer) -> Checkpoint:
         edges.sort(key=lambda item: repr(item[0]))
         is_hyper = True
     else:
-        edges = sub.edge_list()
+        # sort by repr, not natively: labels are arbitrary hashables and
+        # need not be mutually orderable (mixed str/int graphs are legal)
+        edges = sorted(sub.edges(), key=repr)
         is_hyper = False
     return Checkpoint(
         algorithm=m.algorithm,
@@ -115,11 +214,41 @@ def restore_maintainer(cp: Checkpoint, rt=None, *, algorithm: str = None, **kwar
 
     ``algorithm`` overrides the checkpointed one (the snapshot is
     algorithm-agnostic: any maintainer can adopt it).  Extra ``kwargs``
-    are forwarded to the algorithm class.
-    """
-    from repro.core.maintainer import make_maintainer
+    are forwarded to the algorithm class; ``engine="array"`` rebuilds
+    onto an :class:`~repro.engine.ArrayGraph` substrate (graphs only).
 
+    The requested combination is validated *before* anything is built or
+    mutated, so a bad restore fails fast with an actionable error.
+    """
+    from repro.core.maintainer import ALGORITHMS, make_maintainer
+
+    algo = algorithm or cp.algorithm
+    if algo not in ALGORITHMS:
+        raise ValueError(
+            f"cannot restore checkpoint: unknown algorithm {algo!r} "
+            f"(checkpoint carries {cp.algorithm!r}; choose from "
+            f"{sorted(ALGORITHMS)} or pass algorithm= to override)"
+        )
+    engine = kwargs.get("engine", "auto")
+    if cp.is_hypergraph:
+        if algo == "traversal":
+            raise ValueError(
+                "cannot restore checkpoint: the 'traversal' baseline is "
+                "defined for graphs only but the checkpoint holds a "
+                "hypergraph; pass algorithm= to pick a hypergraph-capable "
+                f"maintainer ({sorted(set(ALGORITHMS) - {'traversal'})})"
+            )
+        if engine == "array":
+            raise ValueError(
+                "cannot restore checkpoint: engine='array' supports graphs "
+                "only but the checkpoint holds a hypergraph; restore with "
+                "engine='dict' (or 'auto')"
+            )
     sub = cp.build_substrate()
-    m = make_maintainer(sub, algorithm or cp.algorithm, rt, tau=dict(cp.tau), **kwargs)
+    if engine == "array" and not cp.is_hypergraph:
+        from repro.engine.array_graph import ArrayGraph
+
+        sub = ArrayGraph.from_graph(sub)
+    m = make_maintainer(sub, algo, rt, tau=dict(cp.tau), **kwargs)
     m.batches_processed = cp.batches_processed
     return m

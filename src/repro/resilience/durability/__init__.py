@@ -1,0 +1,73 @@
+"""Durability: write-ahead logging, atomic checkpoints, crash recovery.
+
+The in-process resilience layer (transactions, supervisor, fault
+injection) keeps a *live* maintainer correct; this subpackage extends
+the guarantees across process death.  See ``docs/RESILIENCE.md`` section
+"Durability & crash recovery" for the failure model and walkthrough.
+
+``wal``
+    Append-only segments of CRC32-checksummed, length-prefixed change
+    records with rotation and a sync policy
+    (:class:`WriteAheadLog`, :class:`SyncPolicy`, :func:`scan_wal`).
+``recovery``
+    Startup scan / torn-tail repair / replay
+    (:class:`RecoveryManager`, :class:`RecoveryReport`).
+``durable``
+    The WAL-before-apply facade with periodic checkpoints
+    (:class:`DurableMaintainer`), wired through
+    ``CoreMaintainer(..., durable=path)``.
+``crashpoints``
+    The deterministic ``kill -9`` injection seam
+    (:class:`CrashPoints`), driven by ``crash``-kind
+    :class:`~repro.resilience.faults.FaultPlan` entries.
+``errors``
+    :class:`DurabilityError` and the uncatchable :class:`CrashError`.
+
+Submodules load lazily so leaf imports (``errors`` from
+``checkpoint.py``, which this package itself builds on) stay cycle-free.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CRASH_SITES",
+    "CrashError",
+    "CrashPoints",
+    "DurabilityError",
+    "DurableMaintainer",
+    "RecoveryManager",
+    "RecoveryReport",
+    "ScanResult",
+    "SyncPolicy",
+    "WriteAheadLog",
+    "scan_wal",
+]
+
+_LAZY = {
+    "CRASH_SITES": "repro.resilience.durability.crashpoints",
+    "CrashPoints": "repro.resilience.durability.crashpoints",
+    "CrashError": "repro.resilience.durability.errors",
+    "DurabilityError": "repro.resilience.durability.errors",
+    "DurableMaintainer": "repro.resilience.durability.durable",
+    "RecoveryManager": "repro.resilience.durability.recovery",
+    "RecoveryReport": "repro.resilience.durability.recovery",
+    "ScanResult": "repro.resilience.durability.wal",
+    "SyncPolicy": "repro.resilience.durability.wal",
+    "WriteAheadLog": "repro.resilience.durability.wal",
+    "scan_wal": "repro.resilience.durability.wal",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(__all__)

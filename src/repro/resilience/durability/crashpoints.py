@@ -1,0 +1,91 @@
+"""Deterministic crash-point seam threaded through all durability I/O.
+
+Every file-touching operation in the durability subsystem announces its
+position by calling :meth:`CrashPoints.fire` with a *site* name at each
+I/O boundary -- before a write, after a torn half-write, before and after
+an fsync, around a checkpoint rename.  The object counts hits per site;
+when a hook is armed (by :class:`~repro.resilience.faults.FaultInjector`
+for a ``crash``-kind :class:`~repro.resilience.faults.FaultPlan`), the
+hook may raise :class:`~repro.resilience.durability.errors.CrashError`
+to simulate ``kill -9`` at exactly that boundary, with exactly the bytes
+written so far on disk.
+
+Because the sites are *inside* the write sequences, the injected crash
+leaves precisely the on-disk state a real SIGKILL would: nothing of the
+record, half the record, the whole record unsynced, a temp checkpoint
+never renamed.  The crash-matrix property suite in
+``tests/test_durability.py`` sweeps every site and proves recovery from
+each of them.
+
+Canonical sites
+---------------
+============================  ====================================================
+``wal.append.start``          record not yet written (nothing on disk)
+``wal.append.torn``           first half of the record written -- a torn tail
+``wal.append.unsynced``       record fully written, not yet fsynced
+``wal.sync.before``           between the last write and its fsync
+``wal.sync.after``            fsync completed (the record is durable)
+``wal.rotate.before``         segment full, before closing it
+``wal.rotate.after``          new segment opened
+``checkpoint.write.start``    temp file created, nothing written
+``checkpoint.write.torn``     half the checkpoint bytes written to the temp file
+``checkpoint.fsync.before``   temp file complete but not fsynced
+``checkpoint.rename.before``  temp file durable, final name not yet swapped
+``checkpoint.rename.after``   checkpoint live, old segments not yet pruned
+============================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+__all__ = ["CrashPoints", "CRASH_SITES"]
+
+#: the canonical site names, in write order (documentation + test sweep)
+CRASH_SITES = (
+    "wal.append.start",
+    "wal.append.torn",
+    "wal.append.unsynced",
+    "wal.sync.before",
+    "wal.sync.after",
+    "wal.rotate.before",
+    "wal.rotate.after",
+    "checkpoint.write.start",
+    "checkpoint.write.torn",
+    "checkpoint.fsync.before",
+    "checkpoint.rename.before",
+    "checkpoint.rename.after",
+)
+
+Hook = Callable[[str, int], None]
+
+
+class CrashPoints:
+    """Per-site hit counters plus an optional armed hook.
+
+    One instance is shared by a :class:`~repro.resilience.durability
+    .durable.DurableMaintainer`, its write-ahead log, and its checkpoint
+    writer, so ordinals are globally consistent across the session's I/O
+    stream: hit ``n`` of a site is the ``n``-th time that boundary is
+    crossed since the durable session opened (the baseline checkpoint
+    written at open counts too).
+    """
+
+    __slots__ = ("counts", "hook")
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.hook: Optional[Hook] = None
+
+    def fire(self, site: str) -> None:
+        """Cross one I/O boundary: count it, give any armed hook its shot
+        (the hook may raise :class:`CrashError` to die right here)."""
+        n = self.counts.get(site, 0)
+        self.counts[site] = n + 1
+        hook = self.hook
+        if hook is not None:
+            hook(site, n)
+
+    def __repr__(self) -> str:
+        armed = "armed" if self.hook is not None else "unarmed"
+        return f"CrashPoints({sum(self.counts.values())} hits, {armed})"

@@ -1,0 +1,193 @@
+"""The durable facade: WAL-before-apply, periodic atomic checkpoints.
+
+:class:`DurableMaintainer` wraps any maintainer-shaped object (a raw
+algorithm from :func:`~repro.core.maintainer.make_maintainer`, or a
+:class:`~repro.resilience.supervisor.ResilientMaintainer` so that
+retry/quarantine and durability compose) and gives the session crash
+durability:
+
+* every batch is appended to the write-ahead log **before** the
+  in-memory apply -- under the ``every-record`` / ``every-batch`` sync
+  policies, an acknowledged ``apply_batch`` is a durable batch;
+* every ``checkpoint_every`` batches (and once at open -- the baseline
+  that anchors recovery for a pre-loaded substrate) an atomic,
+  checksummed checkpoint is written, older checkpoints beyond
+  ``retain_checkpoints`` are retired, and WAL segments the checkpoint
+  covers are pruned;
+* after a crash, :class:`~repro.resilience.durability.recovery
+  .RecoveryManager` rebuilds an equivalent maintainer from the directory
+  (checkpoint + committed WAL suffix) -- see that module.
+
+The wrapper quacks like the maintainer it wraps (unknown attributes
+delegate inward), so it slots anywhere a maintainer goes:
+``CoreMaintainer(..., durable=path)`` wires it outermost, above the
+resilient supervisor when both are requested.
+
+Sequence numbers
+----------------
+The WAL position ``seq`` counts batches *offered* to this session, which
+is ``batches_processed`` exactly until a supervised batch is quarantined
+(quarantine consumes a stream position without applying).  Checkpoints
+therefore record their WAL position separately (``Checkpoint.wal_seqno``)
+and recovery replays from that, never from ``batches_processed``.
+
+A batch that fails pre-flight validation is *not* logged (the WAL holds
+only batches that could apply) but is still handed to the inner
+maintainer so its failure policy -- raise, or quarantine under a
+supervisor -- is unchanged.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.resilience.checkpoint import take_checkpoint
+from repro.resilience.durability.crashpoints import CrashPoints
+from repro.resilience.durability.recovery import (
+    checkpoint_path,
+    list_checkpoints,
+)
+from repro.resilience.durability.wal import WriteAheadLog
+from repro.resilience.validation import BatchValidationError, validate_batch
+
+__all__ = ["DurableMaintainer"]
+
+
+class DurableMaintainer:
+    """Write-ahead logging + periodic checkpoints around any maintainer.
+
+    Parameters
+    ----------
+    impl:
+        The maintainer to protect (algorithm instance or supervisor).
+    directory:
+        Data directory for checkpoints and WAL segments (created if
+        missing; a directory already holding a crashed session should go
+        through :class:`RecoveryManager` first).
+    sync_policy:
+        ``"record"`` / ``"batch"`` (default) / ``"size:N"`` or a
+        :class:`~repro.resilience.durability.wal.SyncPolicy`.
+    checkpoint_every:
+        Take a checkpoint every N applied batches (0 = only the baseline
+        and explicit :meth:`checkpoint` calls).
+    retain_checkpoints:
+        Keep this many newest checkpoints (>= 1); older ones are retired
+        after each new one lands.
+    segment_max_bytes:
+        WAL segment rotation threshold.
+    crashpoints:
+        Shared :class:`CrashPoints` seam (tests); a fresh one otherwise.
+    """
+
+    def __init__(
+        self,
+        impl,
+        directory,
+        *,
+        sync_policy="batch",
+        checkpoint_every: int = 64,
+        retain_checkpoints: int = 2,
+        segment_max_bytes: int = 1 << 22,
+        crashpoints: Optional[CrashPoints] = None,
+    ) -> None:
+        self.impl = impl
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if retain_checkpoints < 1:
+            raise ValueError("retain_checkpoints must be >= 1")
+        self.checkpoint_every = checkpoint_every
+        self.retain_checkpoints = retain_checkpoints
+        self.crashpoints = crashpoints if crashpoints is not None else CrashPoints()
+        self.wal = WriteAheadLog(
+            self.directory,
+            sync_policy=sync_policy,
+            segment_max_bytes=segment_max_bytes,
+            crashpoints=self.crashpoints,
+        )
+        self._seq = int(impl.batches_processed)
+        self._since_checkpoint = 0
+        self.durability_stats: Dict[str, int] = {
+            "wal_batches": 0, "unlogged_batches": 0, "checkpoints": 0,
+        }
+        for stale in self.directory.glob("*.tmp"):
+            stale.unlink()
+        # the baseline: without it, a crash before the first periodic
+        # checkpoint would leave a WAL with no state to replay onto
+        self.checkpoint()
+
+    # -- maintainer protocol -----------------------------------------------------
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.impl, name)
+
+    @property
+    def wal_seqno(self) -> int:
+        """Next batch's WAL sequence number (batches offered so far)."""
+        return self._seq
+
+    def apply_batch(self, batch):
+        """Log ``batch`` to the WAL, then apply it through the wrapped
+        maintainer; checkpoint when the period elapses."""
+        try:
+            validate_batch(self.sub, batch)
+        except BatchValidationError:
+            # keep garbage out of the log; the inner maintainer decides
+            # whether this raises or quarantines
+            self.durability_stats["unlogged_batches"] += 1
+            self._seq += 1
+            return self.impl.apply_batch(batch)
+        self.wal.append_batch(self._seq, batch)
+        self.durability_stats["wal_batches"] += 1
+        try:
+            result = self.impl.apply_batch(batch)
+        finally:
+            # the record exists on disk either way; replaying a batch that
+            # failed to apply is safe (changes are idempotent no-ops the
+            # second time), so the position always advances
+            self._seq += 1
+        self._since_checkpoint += 1
+        if self.checkpoint_every and self._since_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
+        return result
+
+    def apply_change(self, change):
+        from repro.graph.batch import Batch
+
+        return self.apply_batch(Batch([change]))
+
+    # -- checkpointing -----------------------------------------------------------
+    def checkpoint(self) -> Path:
+        """Write an atomic checkpoint now; retire old ones, prune the WAL."""
+        self.wal.sync()  # the checkpoint must not outrun the log
+        cp = take_checkpoint(self.impl)
+        cp.wal_seqno = self._seq
+        path = checkpoint_path(self.directory, self._seq)
+        cp.save(path, crashpoints=self.crashpoints)
+        self._since_checkpoint = 0
+        self.durability_stats["checkpoints"] += 1
+        self._retire_checkpoints()
+        self.wal.prune(self._seq)
+        return path
+
+    def _retire_checkpoints(self) -> None:
+        existing = list_checkpoints(self.directory)
+        for old in existing[: -self.retain_checkpoints]:
+            old.unlink()
+
+    def close(self, *, final_checkpoint: bool = True) -> None:
+        """Flush and close; by default seals the session with a final
+        checkpoint so restart needs no replay."""
+        if final_checkpoint:
+            self.checkpoint()
+        self.wal.close()
+
+    def __repr__(self) -> str:
+        s = self.durability_stats
+        return (
+            f"DurableMaintainer({self.impl!r}, {str(self.directory)!r}, "
+            f"seq={self._seq}, checkpoints={s['checkpoints']})"
+        )

@@ -1,0 +1,38 @@
+"""Durability exceptions (a leaf module: safe to import from anywhere).
+
+:class:`DurabilityError` is the subsystem's "your persisted state is not
+usable" signal -- a truncated or garbage checkpoint, a WAL directory with
+no valid checkpoint to recover from.  It always names the offending path.
+
+:class:`CrashError` is raised by an armed crash point
+(:class:`~repro.resilience.durability.crashpoints.CrashPoints`) to
+simulate ``kill -9`` at an exact I/O boundary.  It deliberately derives
+from :class:`BaseException`, not :class:`Exception`: a real SIGKILL is
+not catchable, so no retry loop, supervisor, or ``except Exception``
+cleanup path in the stack may swallow it -- the harness that armed the
+crash is the only thing allowed to observe it, and it must then abandon
+the in-memory objects entirely and recover from disk.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DurabilityError", "CrashError"]
+
+
+class DurabilityError(RuntimeError):
+    """Persisted state (checkpoint or WAL) is unusable; carries the path."""
+
+    def __init__(self, message: str, path=None) -> None:
+        if path is not None:
+            message = f"{message} [{path}]"
+        super().__init__(message)
+        self.path = path
+
+
+class CrashError(BaseException):
+    """A simulated ``kill -9`` fired by a programmed crash point."""
+
+    def __init__(self, site: str, hit: int) -> None:
+        super().__init__(f"simulated kill -9 at crash point {site!r} (hit #{hit})")
+        self.site = site
+        self.hit = hit

@@ -1,0 +1,383 @@
+"""The write-ahead log: append-only, checksummed, segment-rotated.
+
+Format
+------
+A WAL is a directory of segment files ``wal-<seqno>.seg``, named by the
+first batch sequence number they hold.  A segment is a flat sequence of
+*records*, each length-prefixed and CRC32-checksummed::
+
+    +----------------+----------------+------------------------+
+    | length (u32le) | crc32 (u32le)  | payload (length bytes) |
+    +----------------+----------------+------------------------+
+
+The payload is a pickled tuple, one of two kinds:
+
+* ``("C", seqno, (edge, vertex, insert))`` -- one pin-change record of
+  batch ``seqno`` (the paper's unit of change, Section II-C);
+* ``("B", seqno, n)`` -- the *commit record* closing batch ``seqno``,
+  carrying its change count.
+
+A batch is **replayable iff its commit record landed**: change records
+without a trailing commit are a torn batch and are discarded wholesale
+on recovery, which is what makes a crash mid-append atomic at batch
+granularity.  Segments rotate only at batch boundaries, so no batch
+spans two files.
+
+Sync policies
+-------------
+``SyncPolicy`` decides when appended bytes become *durable* (fsync):
+
+* ``every-record`` -- fsync after each change record: a batch is never
+  more than one record from durable, at one ``fsync`` syscall per pin
+  change (the slowest policy by far);
+* ``every-batch`` -- fsync once, after the commit record: an
+  acknowledged ``apply_batch`` implies the batch is durable (the
+  default, and the policy the durability contract is stated for);
+* ``size:N`` -- fsync when ``N`` unsynced bytes accumulate: the fastest
+  policy, but an acknowledged batch may be lost to a crash (recovery
+  then restarts from the last synced prefix -- the report says where).
+
+Torn tails
+----------
+Reading tolerates every torn-write shape a crash can leave: a partial
+length header, a payload shorter than its header promises, a checksum
+mismatch, an undecodable pickle, an implausible length from garbage
+bytes.  :func:`scan_wal` stops at the first damaged record and reports
+the damage point; :class:`~repro.resilience.durability.recovery
+.RecoveryManager` truncates the file back to the last *committed* batch
+boundary and deletes any later segments -- the torn tail is never
+replayed and never fatal.
+
+Crash simulation: every I/O boundary here fires a
+:class:`~repro.resilience.durability.crashpoints.CrashPoints` site (see
+that module for the catalogue); records are deliberately written in two
+halves so the ``wal.append.torn`` site leaves a genuinely torn record on
+disk.  :meth:`WriteAheadLog.simulate_power_loss` additionally models
+losing the OS page cache (everything after the last fsync) for the
+harsher power-failure model.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.graph.substrate import Change
+from repro.resilience.durability.crashpoints import CrashPoints
+from repro.resilience.durability.errors import DurabilityError
+
+__all__ = ["SyncPolicy", "WriteAheadLog", "ScanResult", "scan_wal"]
+
+_RECORD_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+#: sanity cap on a single record; a longer length field is garbage bytes
+MAX_RECORD_BYTES = 1 << 24
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+
+
+def _segment_seqno(path: Path) -> int:
+    """First batch seqno of a segment, parsed from its filename."""
+    stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError:
+        raise DurabilityError(f"not a WAL segment name: {path.name!r}", path) from None
+
+
+def list_segments(directory) -> List[Path]:
+    """WAL segments of ``directory`` in replay (sequence) order."""
+    return sorted(Path(directory).glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+
+
+@dataclass(frozen=True)
+class SyncPolicy:
+    """When appended WAL bytes are fsynced; see the module docstring."""
+
+    kind: str                 #: ``"record"`` | ``"batch"`` | ``"size"``
+    threshold: int = 0        #: unsynced-byte trigger (``size`` only)
+
+    KINDS = ("record", "batch", "size")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(
+                f"unknown sync policy {self.kind!r}; choose from {self.KINDS}"
+            )
+        if self.kind == "size" and self.threshold <= 0:
+            raise ValueError("size sync policy needs a positive byte threshold")
+
+    # -- readable constructors -------------------------------------------------
+    @classmethod
+    def every_record(cls) -> "SyncPolicy":
+        return cls("record")
+
+    @classmethod
+    def every_batch(cls) -> "SyncPolicy":
+        return cls("batch")
+
+    @classmethod
+    def size_threshold(cls, n_bytes: int) -> "SyncPolicy":
+        return cls("size", n_bytes)
+
+    @classmethod
+    def coerce(cls, value) -> "SyncPolicy":
+        """Accept a policy, a kind name, or ``"size:N"``."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            if value.startswith("size:"):
+                return cls("size", int(value.split(":", 1)[1]))
+            return cls(value)
+        raise TypeError(f"cannot interpret {value!r} as a SyncPolicy")
+
+    @property
+    def guarantees_acked(self) -> bool:
+        """Whether an acknowledged batch is guaranteed durable."""
+        return self.kind in ("record", "batch")
+
+
+class WriteAheadLog:
+    """Append-only change log over a directory of rotated segments.
+
+    The log is batch-oriented: :meth:`append_batch` writes one change
+    record per pin change plus a commit record, then syncs per policy.
+    A fresh instance over a non-empty directory never touches existing
+    segments except to :meth:`prune` them -- it appends into new files,
+    so recovery-then-resume needs no coordination.
+    """
+
+    def __init__(
+        self,
+        directory,
+        *,
+        sync_policy="batch",
+        segment_max_bytes: int = 1 << 22,
+        crashpoints: Optional[CrashPoints] = None,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.sync_policy = SyncPolicy.coerce(sync_policy)
+        if segment_max_bytes <= 0:
+            raise ValueError("segment_max_bytes must be positive")
+        self.segment_max_bytes = segment_max_bytes
+        self.crashpoints = crashpoints if crashpoints is not None else CrashPoints()
+        self._fh = None
+        self._path: Optional[Path] = None
+        self._synced_offset = 0
+        self._unsynced_bytes = 0
+        self.stats: Dict[str, int] = {
+            "records": 0, "batches": 0, "syncs": 0, "rotations": 0,
+        }
+
+    # -- write path ------------------------------------------------------------
+    def _open_segment(self, first_seqno: int) -> None:
+        path = self.directory / f"{_SEGMENT_PREFIX}{first_seqno:012d}{_SEGMENT_SUFFIX}"
+        self._fh = open(path, "ab")
+        self._path = path
+        self._synced_offset = self._fh.tell()
+        self._unsynced_bytes = 0
+
+    def append_batch(self, seqno: int, changes: Iterable[Change]) -> None:
+        """Log one batch: its change records, then its commit record.
+
+        Under ``every-record`` / ``every-batch`` policies the batch is
+        durable when this returns; under ``size:N`` it is durable once
+        enough bytes accumulate (call :meth:`sync` to force).
+        """
+        if self._fh is None:
+            self._open_segment(seqno)
+        elif self._fh.tell() >= self.segment_max_bytes:
+            self._rotate(seqno)
+        every_record = self.sync_policy.kind == "record"
+        n = 0
+        for c in changes:
+            self._append(("C", seqno, (c.edge, c.vertex, bool(c.insert))))
+            n += 1
+            if every_record:
+                self.sync()
+        self._append(("B", seqno, n))
+        self.stats["batches"] += 1
+        if self.sync_policy.kind in ("record", "batch"):
+            self.sync()
+        elif self._unsynced_bytes >= self.sync_policy.threshold:
+            self.sync()
+
+    def _append(self, record: tuple) -> None:
+        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        data = _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        fire = self.crashpoints.fire
+        fh = self._fh
+        fire("wal.append.start")
+        # two-part write so the torn site leaves a genuinely torn record
+        mid = len(data) // 2
+        fh.write(data[:mid])
+        fh.flush()
+        fire("wal.append.torn")
+        fh.write(data[mid:])
+        fh.flush()
+        self._unsynced_bytes += len(data)
+        self.stats["records"] += 1
+        fire("wal.append.unsynced")
+
+    def sync(self) -> None:
+        """Force everything appended so far to durable storage."""
+        if self._fh is None or self._unsynced_bytes == 0:
+            return
+        fire = self.crashpoints.fire
+        fire("wal.sync.before")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._synced_offset = self._fh.tell()
+        self._unsynced_bytes = 0
+        self.stats["syncs"] += 1
+        fire("wal.sync.after")
+
+    def _rotate(self, next_seqno: int) -> None:
+        self.crashpoints.fire("wal.rotate.before")
+        self.sync()
+        self._fh.close()
+        self._open_segment(next_seqno)
+        self.stats["rotations"] += 1
+        self.crashpoints.fire("wal.rotate.after")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.sync()
+            self._fh.close()
+            self._fh = None
+            self._path = None
+
+    # -- maintenance -----------------------------------------------------------
+    def segments(self) -> List[Path]:
+        return list_segments(self.directory)
+
+    def prune(self, upto_seqno: int) -> List[Path]:
+        """Delete whole segments made redundant by a checkpoint at
+        ``upto_seqno`` (every batch they hold is ``< upto_seqno``).
+        Rotation is batch-aligned, so a segment is redundant exactly when
+        the *next* segment starts at or before ``upto_seqno``.  The open
+        segment is never deleted."""
+        segs = self.segments()
+        removed: List[Path] = []
+        for seg, nxt in zip(segs, segs[1:]):
+            if _segment_seqno(nxt) <= upto_seqno and seg != self._path:
+                seg.unlink()
+                removed.append(seg)
+            else:
+                break
+        return removed
+
+    def simulate_power_loss(self) -> int:
+        """Model losing the OS page cache: truncate the active segment to
+        the last fsynced offset and drop the handle.  Returns the number
+        of bytes lost.  (``kill -9`` alone does *not* lose flushed
+        writes; a power failure does -- the crash-matrix suite uses this
+        to test the harsher model.)"""
+        if self._fh is None:
+            return 0
+        path, synced = self._path, self._synced_offset
+        try:
+            self._fh.close()
+        finally:
+            self._fh = None
+            self._path = None
+        size = path.stat().st_size
+        if size > synced:
+            os.truncate(path, synced)
+        return max(0, size - synced)
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({str(self.directory)!r}, {self.sync_policy.kind}, "
+            f"records={self.stats['records']}, batches={self.stats['batches']})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# reading
+# ---------------------------------------------------------------------------
+@dataclass
+class ScanResult:
+    """Everything a recovery needs to know about a WAL directory."""
+
+    #: committed batches in log order: ``[(seqno, [Change, ...]), ...]``
+    committed: List[Tuple[int, List[Change]]] = field(default_factory=list)
+    #: change groups whose commit record never landed (torn batches)
+    uncommitted: Dict[int, List[Change]] = field(default_factory=dict)
+    #: ``(segment, offset, reason)`` of the first damaged record, if any
+    damage: Optional[Tuple[Path, int, str]] = None
+    #: ``(segment, offset)`` just past the last committed batch's records
+    commit_end: Optional[Tuple[Path, int]] = None
+    records: int = 0
+    segments: List[Path] = field(default_factory=list)
+
+    @property
+    def torn(self) -> bool:
+        return self.damage is not None or bool(self.uncommitted)
+
+
+def scan_wal(directory) -> ScanResult:
+    """Read every segment, stopping at the first damaged record.
+
+    Damage (torn header, short payload, checksum mismatch, undecodable
+    or implausible record) ends the scan: with a single sequential
+    writer, anything beyond a damaged record is the crash's debris, so
+    the valid prefix is exactly what recovery may trust.  The scan never
+    raises for damage -- it reports it.
+    """
+    result = ScanResult(segments=list_segments(directory))
+    for seg in result.segments:
+        data = seg.read_bytes()
+        offset = 0
+        size = len(data)
+        while offset < size:
+            if offset + _RECORD_HEADER.size > size:
+                result.damage = (seg, offset, "torn header")
+                break
+            length, crc = _RECORD_HEADER.unpack_from(data, offset)
+            if length > MAX_RECORD_BYTES:
+                result.damage = (seg, offset, "implausible record length")
+                break
+            start = offset + _RECORD_HEADER.size
+            end = start + length
+            if end > size:
+                result.damage = (seg, offset, "torn record")
+                break
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                result.damage = (seg, offset, "checksum mismatch")
+                break
+            try:
+                record = pickle.loads(payload)
+                kind = record[0]
+                if kind == "C":
+                    _, seqno, (e, v, insert) = record
+                    change = Change(e, v, bool(insert))
+                elif kind != "B":
+                    raise ValueError(kind)
+            except Exception:
+                result.damage = (seg, offset, "undecodable record")
+                break
+            result.records += 1
+            if kind == "C":
+                result.uncommitted.setdefault(seqno, []).append(change)
+            else:
+                _, seqno, n = record
+                group = result.uncommitted.pop(seqno, [])
+                if len(group) != n:
+                    # a commit whose group is incomplete: logical damage,
+                    # the commit itself cannot be trusted
+                    result.damage = (seg, offset, "batch commit count mismatch")
+                    break
+                result.committed.append((seqno, group))
+                result.commit_end = (seg, end)
+            offset = end
+        if result.damage is not None:
+            break
+    return result

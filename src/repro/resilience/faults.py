@@ -24,6 +24,17 @@ Fault kinds
 ``invert``
     Flip the direction of the ``change``-th record of batch ``batch``
     (models a corrupted upstream feed).
+``crash``
+    Simulate ``kill -9`` at a durability I/O boundary: raise the
+    uncatchable :class:`~repro.resilience.durability.errors.CrashError`
+    the ``batch``-th time crash point ``site`` is crossed (see
+    :mod:`repro.resilience.durability.crashpoints` for the site
+    catalogue).  Requires a durable target -- something in the wrapped
+    stack exposing a ``crashpoints`` seam, i.e. a
+    :class:`~repro.resilience.durability.durable.DurableMaintainer`.
+    After a crash fires, the in-memory object must be abandoned and the
+    session recovered from disk
+    (:class:`~repro.resilience.durability.recovery.RecoveryManager`).
 
 The per-batch change counter is reset by ``apply_batch`` itself, so a
 ``raise`` plan fires at the same pin-change index on every retry attempt
@@ -37,12 +48,13 @@ from typing import Hashable, Iterable, List, Optional, Sequence
 
 from repro.graph.batch import Batch
 from repro.graph.substrate import Change
+from repro.resilience.durability.errors import CrashError
 
 __all__ = ["FaultError", "FaultPlan", "FaultInjector"]
 
 Vertex = Hashable
 
-KINDS = ("raise", "corrupt-tau", "duplicate", "invert")
+KINDS = ("raise", "corrupt-tau", "duplicate", "invert", "crash")
 
 
 class FaultError(RuntimeError):
@@ -59,6 +71,9 @@ class FaultPlan:
     vertex: Optional[Vertex] = None
     delta: int = 5
     transient: bool = True
+    #: crash plans only: the durability I/O boundary to die at (``batch``
+    #: is then the site's hit ordinal, not a batch index)
+    site: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -67,6 +82,8 @@ class FaultPlan:
             raise ValueError("batch and change indices must be >= 0")
         if self.delta == 0 and self.kind == "corrupt-tau":
             raise ValueError("corrupt-tau with delta=0 corrupts nothing")
+        if self.kind == "crash" and not self.site:
+            raise ValueError("crash plans need a site (see durability.CRASH_SITES)")
 
     # -- readable constructors -------------------------------------------------
     @classmethod
@@ -84,6 +101,11 @@ class FaultPlan:
     @classmethod
     def invert(cls, batch: int, change: int = 0) -> "FaultPlan":
         return cls("invert", batch, change)
+
+    @classmethod
+    def crash_at(cls, site: str, hit: int = 0) -> "FaultPlan":
+        """Die (simulated ``kill -9``) the ``hit``-th time ``site`` fires."""
+        return cls("crash", hit, site=site)
 
 
 class FaultInjector:
@@ -109,6 +131,18 @@ class FaultInjector:
             m = m.impl
             seen += 1
         return m
+
+    def _durable_layer(self):
+        """The layer of the wrapped stack exposing the ``crashpoints``
+        seam (a DurableMaintainer), or None."""
+        m = self.target
+        seen = 0
+        while m is not None and seen < 5:
+            if "crashpoints" in getattr(m, "__dict__", {}):
+                return m
+            m = getattr(m, "impl", None)
+            seen += 1
+        return None
 
     def _active(self, kind: str, batch_index: int) -> List[FaultPlan]:
         return [
@@ -172,6 +206,11 @@ class FaultInjector:
         batch = self._transform(batch, i)
         raise_plans = self._active("raise", i)
         inner = self._inner()
+        crash_plans = [
+            p for p in self.plans
+            if p.kind == "crash" and id(p) not in self._spent
+        ]
+        durable = self._durable_layer() if crash_plans else None
 
         def hook(change: Change, k: int) -> None:
             for plan in raise_plans:
@@ -181,12 +220,22 @@ class FaultInjector:
                         f"injected fault: batch {i}, pin change {k} ({change!r})"
                     )
 
+        def crash_hook(site: str, hit: int) -> None:
+            for plan in crash_plans:
+                if plan.site == site and plan.batch == hit and id(plan) not in self._spent:
+                    self._mark_fired(plan)
+                    raise CrashError(site, hit)
+
         if raise_plans:
             inner.fault_hook = hook
+        if durable is not None:
+            durable.crashpoints.hook = crash_hook
         try:
             result = self.target.apply_batch(batch)
         finally:
             inner.fault_hook = None
+            if durable is not None:
+                durable.crashpoints.hook = None
             self._cursor = i + 1
         self._corrupt(i)
         return result

@@ -1,0 +1,754 @@
+"""Durability subsystem: WAL, atomic checkpoints, crash recovery.
+
+The centrepiece is the crash matrix: for every programmed crash point
+(>= 20 distinct (site, hit) pairs spanning WAL append, the fsync
+boundary, and the checkpoint rename; graph + hypergraph; dict + array
+engines), recovery must yield ``tau`` identical to an uninterrupted run
+of the recovered prefix, verified against the peeling oracle -- and a
+torn WAL tail must be truncated: never replayed, never fatal.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import pickle
+import struct
+import zlib
+
+import pytest
+
+from repro.core.maintainer import CoreMaintainer, make_maintainer
+from repro.core.verify import verify_kappa
+from repro.graph.batch import Batch, BatchProtocol
+from repro.graph.dynamic_hypergraph import DynamicHypergraph
+from repro.graph.generators import erdos_renyi
+from repro.graph.substrate import Change, graph_edge_changes
+from repro.resilience import FaultInjector, FaultPlan
+from repro.resilience.checkpoint import Checkpoint, restore_maintainer, take_checkpoint
+from repro.resilience.durability import (
+    CRASH_SITES,
+    CrashError,
+    CrashPoints,
+    DurabilityError,
+    DurableMaintainer,
+    RecoveryManager,
+    SyncPolicy,
+    WriteAheadLog,
+    scan_wal,
+)
+from repro.resilience.durability.recovery import checkpoint_path, list_checkpoints
+from repro.resilience.durability.wal import _RECORD_HEADER, list_segments
+
+# ---------------------------------------------------------------------------
+# deterministic streams (generated once against a scratch maintainer so
+# every batch is valid when replayed in order from the initial substrate)
+# ---------------------------------------------------------------------------
+
+N_BATCHES = 12
+
+_HYPEREDGES = {
+    "a": [1, 2, 3], "b": [2, 3, 4], "c": [1, 3, 4], "d": [1, 2, 4],
+    "e": [4, 5], "f": [5, 6, 7], "g": [6, 7, 8], "h": [7, 8, 9],
+    "i": [1, 5, 9], "j": [2, 6, 8],
+}
+
+
+def _make_sub(kind):
+    if kind == "hyper":
+        return DynamicHypergraph.from_hyperedges(_HYPEREDGES)
+    return erdos_renyi(20, 40, seed=1)
+
+
+@functools.lru_cache(maxsize=None)
+def _stream(kind):
+    """N_BATCHES alternating remove/reinsert batches, as change tuples."""
+    scratch = CoreMaintainer(_make_sub(kind), algorithm="mod")
+    proto = BatchProtocol(scratch.sub, seed=7)
+    size = 3 if kind == "graph" else 4
+    batches = []
+    for _ in range(N_BATCHES // 2):
+        for b in proto.remove_reinsert(size):
+            batches.append(tuple(b))
+            scratch.apply_batch(Batch(list(b)))
+    return tuple(batches)
+
+
+@functools.lru_cache(maxsize=None)
+def _oracle_kappa(kind, prefix):
+    """kappa after an uninterrupted run of the first ``prefix`` batches."""
+    m = CoreMaintainer(_make_sub(kind), algorithm="mod")
+    for b in _stream(kind)[:prefix]:
+        m.apply_batch(Batch(list(b)))
+    verify_kappa(m.impl)  # the oracle itself is peel-verified
+    return m.kappa()
+
+
+def _abandon(m):
+    """Model process death: drop the WAL handle without syncing.
+
+    ``kill -9`` does not lose flushed writes (they live in the OS page
+    cache), so the on-disk file keeps exactly what ``_append`` flushed.
+    """
+    fh = m.impl.wal._fh
+    if fh is not None:
+        fh.close()
+
+
+# ---------------------------------------------------------------------------
+# the crash matrix
+# ---------------------------------------------------------------------------
+
+#: (site, hit-ordinal) pairs; hit counts include unarmed firings (the
+#: baseline checkpoint in the constructor is hit 0 of checkpoint sites,
+#: so armed checkpoint crashes start at hit 1)
+CRASH_POINTS = [
+    ("wal.append.start", 0),
+    ("wal.append.start", 9),
+    ("wal.append.start", 23),
+    ("wal.append.torn", 4),
+    ("wal.append.torn", 16),
+    ("wal.append.unsynced", 6),
+    ("wal.append.unsynced", 20),
+    ("wal.sync.before", 1),
+    ("wal.sync.before", 5),
+    ("wal.sync.after", 2),
+    ("wal.sync.after", 7),
+    ("wal.rotate.before", 0),
+    ("wal.rotate.after", 1),
+    ("checkpoint.write.start", 1),
+    ("checkpoint.write.torn", 1),
+    ("checkpoint.write.torn", 2),
+    ("checkpoint.fsync.before", 1),
+    ("checkpoint.rename.before", 1),
+    ("checkpoint.rename.before", 2),
+    ("checkpoint.rename.after", 1),
+]
+
+CONFIGS = [("graph", "dict"), ("graph", "array"), ("hyper", "dict")]
+
+
+def test_crash_matrix_covers_the_required_surface():
+    assert len(CRASH_POINTS) >= 20
+    assert len(set(CRASH_POINTS)) == len(CRASH_POINTS)
+    sites = {site for site, _ in CRASH_POINTS}
+    assert sites <= set(CRASH_SITES)
+    # spans WAL append, the fsync boundary, and the checkpoint rename
+    assert any(s.startswith("wal.append") for s in sites)
+    assert any(s.startswith("wal.sync") for s in sites)
+    assert any(s.startswith("checkpoint.rename") for s in sites)
+
+
+@pytest.mark.parametrize("kind,engine", CONFIGS)
+@pytest.mark.parametrize("site,hit", CRASH_POINTS)
+def test_crash_matrix(tmp_path, kind, engine, site, hit):
+    batches = _stream(kind)
+    m = CoreMaintainer(
+        _make_sub(kind),
+        algorithm="mod",
+        engine=engine,
+        durable=str(tmp_path),
+        durability={"checkpoint_every": 3, "segment_max_bytes": 400},
+    )
+    inj = FaultInjector(m, [FaultPlan.crash_at(site, hit)])
+    applied = 0
+    crashed = False
+    for b in batches:
+        try:
+            inj.apply_batch(Batch(list(b)))
+        except CrashError as exc:
+            assert exc.site == site and exc.hit == hit
+            crashed = True
+            break
+        applied += 1
+    assert crashed, f"crash point ({site}, {hit}) never fired -- widen the stream"
+    assert inj.fired
+    _abandon(m)
+
+    m2, report = RecoveryManager(tmp_path, engine=engine).recover()
+    # the recovered prefix: checkpointed batches plus the replayed,
+    # committed WAL suffix (replay is contiguous from the checkpoint)
+    prefix = report.checkpoint_seqno + report.batches_replayed
+    # kill -9 keeps flushed writes, so every acknowledged batch survives;
+    # at most the in-flight batch's commit record may additionally have
+    # landed before the crash
+    assert applied <= prefix <= applied + 1
+    assert not report.replay_errors
+    assert m2.kappa() == _oracle_kappa(kind, prefix)
+    verify_kappa(m2)  # and against fresh peeling
+    if engine == "array":
+        assert m2.engine == "array"
+
+    # the torn tail was physically removed: a re-scan sees a clean log
+    rescan = scan_wal(tmp_path)
+    assert rescan.damage is None
+    assert not rescan.uncommitted
+    if site == "wal.append.torn":
+        assert report.torn_bytes_truncated > 0 or report.torn_batches == 0
+
+
+@pytest.mark.parametrize("site,hit", [("wal.append.torn", 16), ("wal.append.unsynced", 20)])
+def test_crash_then_power_loss_under_batch_policy(tmp_path, site, hit):
+    """The harsher model: the OS page cache dies too.  Under the
+    ``every-batch`` policy every acknowledged batch was fsynced, so the
+    recovered prefix is exactly the acknowledged count."""
+    batches = _stream("graph")
+    m = CoreMaintainer(
+        _make_sub("graph"), algorithm="mod", durable=str(tmp_path),
+        durability={"checkpoint_every": 4, "sync_policy": "batch"},
+    )
+    inj = FaultInjector(m, [FaultPlan.crash_at(site, hit)])
+    applied = 0
+    with pytest.raises(CrashError):
+        for b in batches:
+            inj.apply_batch(Batch(list(b)))
+            applied += 1
+    m.impl.wal.simulate_power_loss()
+
+    m2, report = RecoveryManager(tmp_path).recover()
+    prefix = report.checkpoint_seqno + report.batches_replayed
+    assert prefix == applied  # acked == durable under every-batch
+    assert m2.kappa() == _oracle_kappa("graph", prefix)
+    verify_kappa(m2)
+
+
+def test_power_loss_under_size_policy_may_lose_acked_batches(tmp_path):
+    """``size:N`` trades the ack guarantee for speed: acknowledged but
+    unsynced batches are lost to a power failure, and recovery restarts
+    from the last synced prefix -- documented, detected, never fatal."""
+    policy = SyncPolicy.size_threshold(1 << 20)  # effectively: never sync
+    assert not policy.guarantees_acked
+    batches = _stream("graph")
+    m = CoreMaintainer(
+        _make_sub("graph"), algorithm="mod", durable=str(tmp_path),
+        durability={"checkpoint_every": 0, "sync_policy": policy},
+    )
+    for b in batches[:6]:
+        m.apply_batch(Batch(list(b)))
+    lost = m.impl.wal.simulate_power_loss()
+    assert lost > 0  # acked batches really were at risk
+
+    m2, report = RecoveryManager(tmp_path).recover()
+    prefix = report.checkpoint_seqno + report.batches_replayed
+    assert prefix < 6  # some acknowledged batches were lost...
+    assert m2.kappa() == _oracle_kappa("graph", prefix)  # ...but the
+    verify_kappa(m2)  # survivors recover to a consistent prefix state
+
+
+# ---------------------------------------------------------------------------
+# WAL unit behaviour
+# ---------------------------------------------------------------------------
+
+def _changes(*pairs):
+    out = []
+    for u, v in pairs:
+        out.extend(graph_edge_changes(u, v, True))
+    return out
+
+
+def test_sync_policy_coercion_and_validation():
+    assert SyncPolicy.coerce("record") == SyncPolicy.every_record()
+    assert SyncPolicy.coerce("batch") == SyncPolicy.every_batch()
+    assert SyncPolicy.coerce("size:4096") == SyncPolicy.size_threshold(4096)
+    p = SyncPolicy.every_batch()
+    assert SyncPolicy.coerce(p) is p
+    assert SyncPolicy("record").guarantees_acked
+    assert SyncPolicy("batch").guarantees_acked
+    assert not SyncPolicy("size", 64).guarantees_acked
+    with pytest.raises(ValueError, match="unknown sync policy"):
+        SyncPolicy("eventually")
+    with pytest.raises(ValueError, match="positive byte threshold"):
+        SyncPolicy("size", 0)
+    with pytest.raises(TypeError):
+        SyncPolicy.coerce(42)
+
+
+def test_wal_append_scan_round_trip(tmp_path):
+    wal = WriteAheadLog(tmp_path)
+    wal.append_batch(0, _changes((0, 1), (1, 2)))
+    wal.append_batch(1, _changes((2, 3)))
+    wal.close()
+    scan = scan_wal(tmp_path)
+    assert not scan.torn
+    assert [s for s, _ in scan.committed] == [0, 1]
+    assert scan.committed[0][1] == _changes((0, 1), (1, 2))
+    assert scan.committed[1][1] == _changes((2, 3))
+    # 4 changes + 1 commit, then 2 changes + 1 commit
+    assert scan.records == 8
+
+
+def test_wal_rotation_is_batch_aligned(tmp_path):
+    wal = WriteAheadLog(tmp_path, segment_max_bytes=200)
+    for i in range(6):
+        wal.append_batch(i, _changes((i, i + 1)))
+    wal.close()
+    segs = list_segments(tmp_path)
+    assert len(segs) > 1
+    assert wal.stats["rotations"] == len(segs) - 1
+    # every segment starts with a fresh batch (scan sees no torn batches)
+    scan = scan_wal(tmp_path)
+    assert not scan.torn
+    assert [s for s, _ in scan.committed] == list(range(6))
+
+
+def test_wal_prune_keeps_covering_segments(tmp_path):
+    wal = WriteAheadLog(tmp_path, segment_max_bytes=200)
+    for i in range(6):
+        wal.append_batch(i, _changes((i, i + 1)))
+    segs_before = wal.segments()
+    last_start = max(int(p.name[4:-4]) for p in segs_before)
+    removed = wal.prune(last_start)
+    assert removed  # everything strictly before the newest segment goes
+    survivors = wal.segments()
+    assert survivors
+    # batches >= last_start are still replayable
+    scan = scan_wal(tmp_path)
+    assert [s for s, _ in scan.committed] == list(range(last_start, 6))
+    # the active segment is never deleted, even for a future seqno
+    wal.prune(10 ** 6)
+    assert wal.segments()
+    wal.close()
+
+
+def _raw_record(payload_obj):
+    payload = pickle.dumps(payload_obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@pytest.mark.parametrize("shape,garbage", [
+    ("torn header", b"\x07\x00"),
+    ("torn record", _RECORD_HEADER.pack(500, 0) + b"only-a-little"),
+    ("implausible record length", struct.pack("<II", 0xFFFFFFFF, 0) + b"x" * 8),
+    ("checksum mismatch", _RECORD_HEADER.pack(5, zlib.crc32(b"AAAAA")) + b"AAAAB"),
+    ("undecodable record", _RECORD_HEADER.pack(7, zlib.crc32(b"garbage")) + b"garbage"),
+    ("batch commit count mismatch", _raw_record(("B", 1, 99))),
+])
+def test_scan_stops_at_every_torn_tail_shape(tmp_path, shape, garbage):
+    wal = WriteAheadLog(tmp_path)
+    wal.append_batch(0, _changes((0, 1)))
+    wal.close()
+    seg = list_segments(tmp_path)[0]
+    with open(seg, "ab") as fh:
+        if shape == "batch commit count mismatch":
+            fh.write(_raw_record(("C", 1, ((1, 2), 1, True))))
+        fh.write(garbage)
+    scan = scan_wal(tmp_path)
+    assert scan.torn
+    assert scan.damage is not None and scan.damage[2] == shape
+    assert [s for s, _ in scan.committed] == [0]  # the valid prefix survives
+
+
+def test_recovery_truncates_torn_tail_physically(tmp_path):
+    wal = WriteAheadLog(tmp_path)
+    wal.append_batch(0, _changes((0, 1)))
+    wal.close()
+    seg = list_segments(tmp_path)[0]
+    clean_size = seg.stat().st_size
+    with open(seg, "ab") as fh:
+        fh.write(_raw_record(("C", 1, ((1, 2), 1, True))))  # commit never lands
+        fh.write(b"\x03\x00")  # plus a torn header
+    m = make_maintainer(erdos_renyi(6, 8, seed=2), "mod")
+    cp = take_checkpoint(m)
+    cp.wal_seqno = 0
+    cp.save(checkpoint_path(tmp_path, 0))
+
+    _, report = RecoveryManager(tmp_path).recover()
+    assert report.torn_batches == 1
+    assert report.torn_bytes_truncated > 0
+    assert seg.stat().st_size == clean_size
+    assert not scan_wal(tmp_path).torn
+
+
+def test_simulate_power_loss_drops_unsynced_bytes(tmp_path):
+    wal = WriteAheadLog(tmp_path, sync_policy="size:1048576")
+    wal.append_batch(0, _changes((0, 1)))
+    wal.append_batch(1, _changes((1, 2)))
+    lost = wal.simulate_power_loss()
+    assert lost > 0
+    assert scan_wal(tmp_path).records == 0  # nothing ever fsynced
+
+
+def test_wal_refuses_nonsense():
+    with pytest.raises(ValueError, match="segment_max_bytes"):
+        WriteAheadLog("/tmp/never-created-xyz", segment_max_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# atomic checkpoints
+# ---------------------------------------------------------------------------
+
+def _checkpoint_of(edges, seqno=3):
+    m = make_maintainer(erdos_renyi(8, 12, seed=3), "mod")
+    cp = take_checkpoint(m)
+    cp.wal_seqno = seqno
+    return cp
+
+
+def test_checkpoint_save_load_round_trip(tmp_path):
+    cp = _checkpoint_of(None)
+    path = tmp_path / "snap.ckpt"
+    cp.save(path)
+    loaded = Checkpoint.load(path)
+    assert loaded == cp
+    assert loaded.wal_seqno == 3
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_checkpoint_legacy_bare_pickle_still_loads(tmp_path):
+    cp = _checkpoint_of(None)
+    cp.version = 1
+    path = tmp_path / "old.ckpt"
+    path.write_bytes(pickle.dumps(cp))  # the pre-header on-disk format
+    loaded = Checkpoint.load(path)
+    assert loaded.tau == cp.tau
+    assert loaded.wal_seqno == 3
+
+
+@pytest.mark.parametrize("mangle", [
+    lambda d: d[: len(d) // 2],                       # torn mid-payload
+    lambda d: d[:7],                                  # torn mid-header
+    lambda d: d[:-1],                                 # short one byte
+    lambda d: d[:20] + bytes([d[20] ^ 0xFF]) + d[21:],  # bit flip
+    lambda d: b"RKCP" + b"\x99" * 12 + b"not a pickle",  # garbage header
+])
+def test_checkpoint_load_rejects_damage_with_path(tmp_path, mangle):
+    path = tmp_path / "snap.ckpt"
+    _checkpoint_of(None).save(path)
+    path.write_bytes(mangle(path.read_bytes()))
+    with pytest.raises(DurabilityError) as err:
+        Checkpoint.load(path)
+    assert str(path) in str(err.value)
+    assert err.value.path == path
+
+
+def test_checkpoint_load_error_map_is_preserved(tmp_path):
+    # garbage that *unpickles* to the wrong type stays a TypeError...
+    path = tmp_path / "foreign.ckpt"
+    path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+    with pytest.raises(TypeError, match="does not hold a Checkpoint"):
+        Checkpoint.load(path)
+    # ...and unsupported versions stay a ValueError
+    cp = _checkpoint_of(None)
+    cp.version = 999
+    with pytest.raises(ValueError, match="version"):
+        with open(tmp_path / "future.ckpt", "wb") as fh:
+            pickle.dump(cp, fh)
+        Checkpoint.load(tmp_path / "future.ckpt")
+    # a garbage header version is also a ValueError (checksum passes)
+    good = tmp_path / "snap.ckpt"
+    _checkpoint_of(None).save(good)
+    data = good.read_bytes()
+    bad = b"RKCP" + struct.pack("<I", 77) + data[8:]
+    good.write_bytes(bad)
+    with pytest.raises(ValueError, match="version 77"):
+        Checkpoint.load(good)
+
+
+@pytest.mark.parametrize("site", [
+    "checkpoint.write.start", "checkpoint.write.torn",
+    "checkpoint.fsync.before", "checkpoint.rename.before",
+])
+def test_checkpoint_crash_mid_save_leaves_previous_intact(tmp_path, site):
+    """A crash anywhere before the rename leaves the old file untouched
+    under its final name -- atomicity of ``os.replace``."""
+    path = tmp_path / "snap.ckpt"
+    old = _checkpoint_of(None, seqno=1)
+    old.save(path)
+
+    cps = CrashPoints()
+    def die(s, hit):
+        if s == site:
+            raise CrashError(s, hit)
+    cps.hook = die
+    new = _checkpoint_of(None, seqno=2)
+    with pytest.raises(CrashError):
+        new.save(path, crashpoints=cps)
+    assert Checkpoint.load(path).wal_seqno == 1  # still the old snapshot
+
+
+def test_checkpoint_crash_after_rename_is_the_new_file(tmp_path):
+    path = tmp_path / "snap.ckpt"
+    _checkpoint_of(None, seqno=1).save(path)
+    cps = CrashPoints()
+    cps.hook = lambda s, hit: (_ for _ in ()).throw(CrashError(s, hit)) \
+        if s == "checkpoint.rename.after" else None
+    with pytest.raises(CrashError):
+        _checkpoint_of(None, seqno=2).save(path, crashpoints=cps)
+    assert Checkpoint.load(path).wal_seqno == 2
+
+
+# ---------------------------------------------------------------------------
+# restore validation (fail fast, mutate nothing)
+# ---------------------------------------------------------------------------
+
+def _hyper_checkpoint():
+    m = make_maintainer(DynamicHypergraph.from_hyperedges(_HYPEREDGES), "mod")
+    return take_checkpoint(m)
+
+
+def test_restore_rejects_unknown_algorithm():
+    cp = _checkpoint_of(None)
+    with pytest.raises(ValueError, match="unknown algorithm 'quantum'"):
+        restore_maintainer(cp, algorithm="quantum")
+
+
+def test_restore_rejects_traversal_on_hypergraph():
+    cp = _hyper_checkpoint()
+    with pytest.raises(ValueError, match="graphs only"):
+        restore_maintainer(cp, algorithm="traversal")
+
+
+def test_restore_rejects_array_engine_on_hypergraph():
+    cp = _hyper_checkpoint()
+    with pytest.raises(ValueError, match="engine='array' supports graphs"):
+        restore_maintainer(cp, engine="array")
+
+
+# ---------------------------------------------------------------------------
+# array-engine checkpoint/restore (interner recycling, TauArray resync)
+# ---------------------------------------------------------------------------
+
+def _churned_array_maintainer():
+    """An array-engine maintainer whose interner has recycled ids:
+    remove a vertex's edges entirely (freeing its slot), then add new
+    vertices that reuse it."""
+    m = CoreMaintainer(erdos_renyi(15, 30, seed=4), algorithm="mod", engine="array")
+    victim_edges = [e for e in m.sub.edge_list() if 0 in e]
+    m.remove_edges(victim_edges)  # vertex 0 drops to degree 0
+    m.insert_edges([(100, 101), (101, 102), (100, 102)])  # fresh labels
+    m.insert_edges([(0, 100)])  # and the victim comes back
+    return m
+
+
+def test_array_engine_checkpoint_restore_round_trip():
+    m = _churned_array_maintainer()
+    assert m.engine == "array"
+    cp = take_checkpoint(m)
+    m2 = restore_maintainer(cp, engine="array")
+    assert m2.engine == "array"
+    assert m2.kappa() == m.kappa()
+    verify_kappa(m2)
+    # restored maintainer keeps streaming correctly
+    for mm in (m, m2):
+        mm.apply_batch(Batch(graph_edge_changes(102, 103, True)))
+    assert m2.kappa() == m.impl.kappa()
+
+
+def test_checkpoint_handles_unorderable_mixed_labels(tmp_path):
+    """Endpoints of one edge must be mutually orderable, but labels
+    *across* edges need not be: a graph holding both int-int and str-str
+    edges must checkpoint and recover (edge snapshots sort by repr)."""
+    m = CoreMaintainer(erdos_renyi(8, 12, seed=4), algorithm="mod",
+                       durable=str(tmp_path))
+    m.insert_edge("a", "b")
+    m.insert_edge("b", "c")
+    m.impl.close()
+    m2 = CoreMaintainer.recover(tmp_path)
+    assert m2.kappa() == m.kappa()
+    verify_kappa(m2)
+
+
+def test_checkpoint_is_engine_agnostic_both_ways():
+    m = _churned_array_maintainer()
+    cp = take_checkpoint(m)
+    as_dict = restore_maintainer(cp, engine="dict")
+    assert as_dict.engine == "dict"
+    assert as_dict.kappa() == m.kappa()
+    cp2 = take_checkpoint(as_dict)
+    as_array = restore_maintainer(cp2, engine="array")
+    assert as_array.engine == "array"
+    assert as_array.kappa() == m.kappa()
+    verify_kappa(as_array)
+
+
+def test_durable_round_trip_preserves_array_engine(tmp_path):
+    m = CoreMaintainer(
+        erdos_renyi(15, 30, seed=5), algorithm="mod", engine="array",
+        durable=str(tmp_path),
+    )
+    m.insert_edges([(100, 101), (101, 102), (100, 102)])
+    m.remove_edge(*m.sub.edge_list()[0])
+    m.impl.close()
+    m2 = CoreMaintainer.recover(tmp_path, engine="array")
+    assert m2.engine == "array"
+    assert m2.durable
+    assert m2.kappa() == m.kappa()
+    verify_kappa(m2.impl.impl)
+
+
+# ---------------------------------------------------------------------------
+# DurableMaintainer behaviour
+# ---------------------------------------------------------------------------
+
+def test_durable_baseline_checkpoint_and_cadence(tmp_path):
+    m = CoreMaintainer(
+        erdos_renyi(10, 20, seed=6), algorithm="mod", durable=str(tmp_path),
+        durability={"checkpoint_every": 2, "retain_checkpoints": 2},
+    )
+    assert list_checkpoints(tmp_path)  # the baseline anchors recovery
+    for i in range(6):
+        m.insert_edges([(50 + i, 51 + i)])
+    stats = m.impl.durability_stats
+    assert stats["wal_batches"] == 6
+    assert stats["checkpoints"] == 1 + 3  # baseline + every 2nd batch
+    assert len(list_checkpoints(tmp_path)) == 2  # retention
+    # pruning: no surviving segment holds only pre-checkpoint batches
+    newest = int(list_checkpoints(tmp_path)[-1].name[len("checkpoint-"):-5])
+    for seg in list_segments(tmp_path)[1:]:
+        assert int(seg.name[4:-4]) <= newest
+
+
+def test_durable_rejected_batch_is_not_logged_but_advances_seq(tmp_path):
+    m = CoreMaintainer(
+        erdos_renyi(10, 20, seed=6), algorithm="mod", durable=str(tmp_path),
+        durability={"checkpoint_every": 0},
+    )
+    m.insert_edges([(50, 51)])
+    from repro.resilience.validation import BatchValidationError
+    with pytest.raises(BatchValidationError):
+        m.apply_batch(Batch([Change((1, 1), 1, True)]))  # self-loop
+    m.insert_edges([(51, 52)])
+    assert m.impl.durability_stats == {
+        "wal_batches": 2, "unlogged_batches": 1, "checkpoints": 1,
+    }
+    assert m.impl.wal_seqno == 3  # the bad batch consumed a position
+    m.impl.wal.sync()
+    scan = scan_wal(tmp_path)
+    assert [s for s, _ in scan.committed] == [0, 2]  # gap where it failed
+
+    m2 = CoreMaintainer.recover(tmp_path)
+    assert m2.kappa() == m.kappa()
+
+
+def test_durable_composes_with_resilient_supervisor(tmp_path):
+    m = CoreMaintainer(
+        erdos_renyi(10, 20, seed=6), algorithm="mod",
+        resilient=True, durable=str(tmp_path),
+        durability={"checkpoint_every": 0},
+    )
+    assert m.durable and m.resilient
+    m.insert_edges([(50, 51)])
+    assert m.resilience_stats is not None
+    # a validation-rejected batch quarantines instead of raising, and the
+    # WAL position still tracks batches *offered*
+    m.apply_batch(Batch([Change((1, 1), 1, True)]))
+    assert len(m.quarantined_batches) == 1
+    m.insert_edges([(51, 52)])
+    assert m.impl.wal_seqno == 3
+    assert m.impl.batches_processed == 2  # quarantine consumed a position
+    m.impl.checkpoint()
+    cp, _ = RecoveryManager(tmp_path).latest_checkpoint()
+    assert cp.wal_seqno == 3  # recovery replays from offered-count, so a
+    assert cp.batches_processed == 2  # post-recovery stream stays aligned
+
+    m2 = CoreMaintainer.recover(tmp_path)
+    assert m2.kappa() == m.kappa()
+
+
+def test_quarantined_but_logged_batch_replays_on_recovery(tmp_path):
+    """Quarantine is an in-memory liveness policy: a structurally valid
+    batch that only failed because of a transient runtime fault *was*
+    logged, so recovery (which sees no fault) applies it."""
+    m = CoreMaintainer(
+        erdos_renyi(10, 20, seed=6), algorithm="mod",
+        resilient=True, max_retries=0, durable=str(tmp_path),
+        durability={"checkpoint_every": 0},
+    )
+    inj = FaultInjector(m, [FaultPlan.raise_at(0, transient=False)])
+    inj.apply_batch(Batch(graph_edge_changes(50, 51, True)))
+    assert len(m.quarantined_batches) == 1
+    assert m.kappa_of(50) == 0  # the live session skipped it
+    m.impl.wal.sync()
+    _abandon(m)
+    m2 = CoreMaintainer.recover(tmp_path)
+    assert m2.kappa_of(50) == 1  # recovery replayed the durable record
+    verify_kappa(m2.impl.impl)
+
+
+def test_durable_constructor_validation(tmp_path):
+    g = erdos_renyi(6, 8, seed=2)
+    with pytest.raises(ValueError, match="checkpoint_every"):
+        CoreMaintainer(g, durable=str(tmp_path), durability={"checkpoint_every": -1})
+    with pytest.raises(ValueError, match="retain_checkpoints"):
+        CoreMaintainer(g, durable=str(tmp_path), durability={"retain_checkpoints": 0})
+    with pytest.raises(ValueError, match="durability= options require"):
+        CoreMaintainer(g, durability={"checkpoint_every": 2})
+
+
+# ---------------------------------------------------------------------------
+# recovery details
+# ---------------------------------------------------------------------------
+
+def _durable_session(tmp_path, n_batches=5):
+    m = CoreMaintainer(
+        erdos_renyi(12, 24, seed=8), algorithm="mod", durable=str(tmp_path),
+        durability={"checkpoint_every": 2, "retain_checkpoints": 3},
+    )
+    for i in range(n_batches):
+        m.insert_edges([(60 + i, 61 + i)])
+    m.impl.wal.sync()
+    return m
+
+
+def test_recovery_falls_back_over_corrupt_newest_checkpoint(tmp_path):
+    m = _durable_session(tmp_path)
+    newest = list_checkpoints(tmp_path)[-1]
+    newest.write_bytes(b"RKCP" + os.urandom(40))  # bitrot the newest
+    m2, report = RecoveryManager(tmp_path).recover()
+    assert len(report.checkpoints_rejected) == 1
+    assert report.checkpoints_rejected[0][0] == newest
+    assert report.checkpoint != newest
+    # the WAL still carries the batches past the older checkpoint
+    assert m2.kappa() == m.kappa()
+    verify_kappa(m2)
+
+
+def test_recovery_without_any_loadable_checkpoint_is_explicit(tmp_path):
+    _durable_session(tmp_path)
+    for cp in list_checkpoints(tmp_path):
+        cp.write_bytes(b"garbage")
+    with pytest.raises(DurabilityError, match="no loadable checkpoint"):
+        RecoveryManager(tmp_path).recover()
+
+
+def test_recovery_sweeps_stale_tmp_files(tmp_path):
+    _durable_session(tmp_path)
+    (tmp_path / "checkpoint-000000000099.ckpt.tmp").write_bytes(b"half")
+    _, report = RecoveryManager(tmp_path).recover()
+    assert report.stale_tmp_removed == 1
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+def test_resume_returns_a_live_durable_session(tmp_path):
+    m = _durable_session(tmp_path)
+    _abandon(m)
+    durable, report = RecoveryManager(tmp_path).resume(checkpoint_every=2)
+    assert isinstance(durable, DurableMaintainer)
+    assert durable.wal_seqno == report.checkpoint_seqno + report.batches_replayed
+    durable.apply_batch(Batch(graph_edge_changes(90, 91, True)))
+    assert durable.kappa_of(90) == 1
+    durable.close()
+    # ...and the continued session recovers too (crash-restart-crash)
+    m3 = CoreMaintainer.recover(tmp_path)
+    assert m3.kappa_of(90) == 1
+
+
+def test_hypergraph_durable_round_trip(tmp_path, fig3_hypergraph):
+    m = CoreMaintainer(fig3_hypergraph, algorithm="mod", durable=str(tmp_path))
+    m.insert_hyperedge("meet7", ["C", "E", "F"])
+    m.remove_hyperedge("meet5")
+    m.impl.close()
+    m2 = CoreMaintainer.recover(tmp_path)
+    assert m2.sub.is_hypergraph
+    assert m2.kappa() == m.kappa()
+    verify_kappa(m2)
+
+
+def test_recover_classmethod_surfaces_the_report(tmp_path):
+    m = _durable_session(tmp_path)
+    _abandon(m)
+    m2 = CoreMaintainer.recover(tmp_path)
+    assert m2.last_recovery is not None
+    assert "recovered from" in str(m2.last_recovery)
+    assert m2.durable
+    assert m2.kappa() == m.kappa()

@@ -64,6 +64,14 @@ class TestExamples:
         assert "closing drift audit (full, unsampled): healed" in out
         assert "survived every injected fault" in out
 
+    def test_durable_stream_run_small(self, capsys):
+        mod = runpy.run_path(str(EXAMPLES / "durable_stream.py"))
+        mod["main"](n_vertices=60, rounds=4, seed=11, crash_hit=40)
+        out = capsys.readouterr().out
+        assert "the log is torn" in out
+        assert "recovered tau == uninterrupted run" in out
+        assert "survived kill -9 with zero acknowledged batches lost" in out
+
     def test_distributed_example_run_small(self, capsys):
         mod = runpy.run_path(str(EXAMPLES / "distributed_cores.py"))
         from repro.distributed import hash_partition
