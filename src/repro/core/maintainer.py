@@ -179,7 +179,12 @@ class CoreMaintainer:
         committed suffix, and returns a live durable ``CoreMaintainer``
         over the same directory; the
         :class:`~repro.resilience.durability.recovery.RecoveryReport` is
-        on :attr:`last_recovery`.
+        on :attr:`last_recovery`.  Recovery is *strict* by default: if a
+        committed batch fails to replay or the WAL has a gap, it raises
+        :class:`~repro.resilience.durability.errors.DurabilityError`
+        instead of returning a silently-diverged state; pass
+        ``strict=False`` to keep the partial state (a ``RuntimeWarning``
+        is emitted and the report records what was lost).
         """
         from repro.resilience.durability.recovery import RecoveryManager
 

@@ -12,8 +12,8 @@ durability:
 * every ``checkpoint_every`` batches (and once at open -- the baseline
   that anchors recovery for a pre-loaded substrate) an atomic,
   checksummed checkpoint is written, older checkpoints beyond
-  ``retain_checkpoints`` are retired, and WAL segments the checkpoint
-  covers are pruned;
+  ``retain_checkpoints`` are retired, and WAL segments that no
+  *retained* checkpoint still needs are pruned;
 * after a crash, :class:`~repro.resilience.durability.recovery
   .RecoveryManager` rebuilds an equivalent maintainer from the directory
   (checkpoint + committed WAL suffix) -- see that module.
@@ -29,7 +29,13 @@ The WAL position ``seq`` counts batches *offered* to this session, which
 is ``batches_processed`` exactly until a supervised batch is quarantined
 (quarantine consumes a stream position without applying).  Checkpoints
 therefore record their WAL position separately (``Checkpoint.wal_seqno``)
-and recovery replays from that, never from ``batches_processed``.
+and recovery replays from that, never from ``batches_processed``.  For
+the same reason a *resumed* session must be seeded with the recovered
+WAL position (``start_seqno``, which
+:meth:`~repro.resilience.durability.recovery.RecoveryManager.resume`
+passes from ``RecoveryReport.resume_seqno``): restarting from
+``batches_processed`` would let this session's checkpoints sort below a
+surviving pre-crash checkpoint and be ignored by the next recovery.
 
 A batch that fails pre-flight validation is *not* logged (the WAL holds
 only batches that could apply) but is still handed to the inner
@@ -46,6 +52,7 @@ from repro.resilience.checkpoint import take_checkpoint
 from repro.resilience.durability.crashpoints import CrashPoints
 from repro.resilience.durability.recovery import (
     checkpoint_path,
+    checkpoint_seqno,
     list_checkpoints,
 )
 from repro.resilience.durability.wal import WriteAheadLog
@@ -73,9 +80,17 @@ class DurableMaintainer:
         and explicit :meth:`checkpoint` calls).
     retain_checkpoints:
         Keep this many newest checkpoints (>= 1); older ones are retired
-        after each new one lands.
+        after each new one lands.  WAL segments are pruned only up to the
+        *oldest* retained checkpoint, so every fallback keeps a
+        replayable suffix.
     segment_max_bytes:
         WAL segment rotation threshold.
+    start_seqno:
+        WAL position to continue from -- set by
+        :meth:`RecoveryManager.resume` to the recovered position.  When
+        omitted, seeds from ``impl.batches_processed`` but never below a
+        checkpoint already in ``directory`` (the position exceeds the
+        applied-count after a quarantined batch).
     crashpoints:
         Shared :class:`CrashPoints` seam (tests); a fresh one otherwise.
     """
@@ -89,6 +104,7 @@ class DurableMaintainer:
         checkpoint_every: int = 64,
         retain_checkpoints: int = 2,
         segment_max_bytes: int = 1 << 22,
+        start_seqno: Optional[int] = None,
         crashpoints: Optional[CrashPoints] = None,
     ) -> None:
         self.impl = impl
@@ -101,13 +117,20 @@ class DurableMaintainer:
         self.checkpoint_every = checkpoint_every
         self.retain_checkpoints = retain_checkpoints
         self.crashpoints = crashpoints if crashpoints is not None else CrashPoints()
+        if start_seqno is not None:
+            self._seq = int(start_seqno)
+        else:
+            self._seq = int(impl.batches_processed)
+            existing = list_checkpoints(self.directory)
+            if existing:
+                self._seq = max(self._seq, checkpoint_seqno(existing[-1]))
         self.wal = WriteAheadLog(
             self.directory,
             sync_policy=sync_policy,
             segment_max_bytes=segment_max_bytes,
+            start_seqno=self._seq,
             crashpoints=self.crashpoints,
         )
-        self._seq = int(impl.batches_processed)
         self._since_checkpoint = 0
         self.durability_stats: Dict[str, int] = {
             "wal_batches": 0, "unlogged_batches": 0, "checkpoints": 0,
@@ -170,7 +193,12 @@ class DurableMaintainer:
         self._since_checkpoint = 0
         self.durability_stats["checkpoints"] += 1
         self._retire_checkpoints()
-        self.wal.prune(self._seq)
+        # prune only what *no retained checkpoint* needs: if the newest
+        # one is later rejected (bitrot), the older fallbacks must still
+        # find their full replay suffix on disk
+        survivors = list_checkpoints(self.directory)
+        floor = checkpoint_seqno(survivors[0]) if survivors else self._seq
+        self.wal.prune(floor)
         return path
 
     def _retire_checkpoints(self) -> None:

@@ -32,6 +32,7 @@ same directory, ready to continue the stream.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Tuple
@@ -39,9 +40,19 @@ from typing import List, Optional, Tuple
 from repro.graph.batch import Batch
 from repro.resilience.checkpoint import Checkpoint, restore_maintainer
 from repro.resilience.durability.errors import DurabilityError
-from repro.resilience.durability.wal import ScanResult, list_segments, scan_wal
+from repro.resilience.durability.wal import (
+    ScanResult,
+    _segment_seqno,
+    list_segments,
+    scan_wal,
+)
 
-__all__ = ["RecoveryManager", "RecoveryReport", "CHECKPOINT_PREFIX"]
+__all__ = [
+    "RecoveryManager",
+    "RecoveryReport",
+    "CHECKPOINT_PREFIX",
+    "checkpoint_seqno",
+]
 
 CHECKPOINT_PREFIX = "checkpoint-"
 CHECKPOINT_SUFFIX = ".ckpt"
@@ -49,6 +60,16 @@ CHECKPOINT_SUFFIX = ".ckpt"
 
 def checkpoint_path(directory, seqno: int) -> Path:
     return Path(directory) / f"{CHECKPOINT_PREFIX}{seqno:012d}{CHECKPOINT_SUFFIX}"
+
+
+def checkpoint_seqno(path) -> int:
+    """WAL position embedded in a checkpoint filename."""
+    name = Path(path).name
+    stem = name[len(CHECKPOINT_PREFIX):-len(CHECKPOINT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError:
+        raise DurabilityError(f"not a checkpoint name: {name!r}", path) from None
 
 
 def list_checkpoints(directory) -> List[Path]:
@@ -66,6 +87,14 @@ class RecoveryReport:
     checkpoints_rejected: List[Tuple[Path, str]] = field(default_factory=list)
     records_scanned: int = 0
     batches_replayed: int = 0
+    #: the WAL position a resumed session must continue from: one past
+    #: the last committed batch, never below the checkpoint's position
+    #: (``batches_processed`` is *lower* than this after a quarantine)
+    resume_seqno: int = 0
+    #: ``(checkpoint_seqno, wal_floor)`` when the oldest surviving WAL
+    #: segment starts past the checkpoint base -- batches in between were
+    #: pruned or deleted, so replay cannot reach the pre-crash state
+    wal_gap: Optional[Tuple[int, int]] = None
     #: committed batches whose replay raised: ``[(seqno, error)]``
     replay_errors: List[Tuple[int, str]] = field(default_factory=list)
     #: change groups discarded because their commit record never landed
@@ -109,6 +138,13 @@ class RecoveryManager:
         Physically truncate torn tails and delete orphaned segments
         (default).  ``False`` scans read-only -- replay still uses only
         the valid prefix.
+    strict:
+        When recovery *cannot* reach the pre-crash state -- a committed
+        batch fails to replay, or the surviving WAL starts past the
+        checkpoint base (a gap) -- raise :class:`DurabilityError`
+        (default) rather than silently returning a diverged maintainer.
+        ``strict=False`` degrades both cases to a ``RuntimeWarning`` and
+        records them on the report (``replay_errors`` / ``wal_gap``).
     kwargs:
         Forwarded to the algorithm class on restore.
     """
@@ -121,6 +157,7 @@ class RecoveryManager:
         algorithm: Optional[str] = None,
         engine: str = "auto",
         repair: bool = True,
+        strict: bool = True,
         **kwargs,
     ) -> None:
         self.directory = Path(directory)
@@ -128,6 +165,7 @@ class RecoveryManager:
         self.algorithm = algorithm
         self.engine = engine
         self.repair = repair
+        self.strict = strict
         self.kwargs = kwargs
 
     # -- checkpoint selection ----------------------------------------------------
@@ -194,32 +232,82 @@ class RecoveryManager:
         scan = scan_wal(self.directory)
         report.records_scanned = scan.records
         report.torn_batches = len(scan.uncommitted)
+        if scan.segments:
+            wal_floor = _segment_seqno(scan.segments[0])
+            if wal_floor > base_seq:
+                # the replay suffix this checkpoint needs was pruned away
+                # (a newer checkpoint was rejected, or the directory was
+                # meddled with): replaying over the gap would produce a
+                # state matching neither run
+                report.wal_gap = (base_seq, wal_floor)
+                msg = (
+                    f"WAL gap: oldest surviving segment starts at batch "
+                    f"{wal_floor} but checkpoint {report.checkpoint.name} "
+                    f"covers only up to batch {base_seq}; batches in "
+                    f"[{base_seq}, {wal_floor}) are gone and the recovered "
+                    "state would silently diverge"
+                )
+                if self.strict:
+                    raise DurabilityError(
+                        msg + " -- pass strict=False to keep the partial state",
+                        self.directory,
+                    )
+                warnings.warn(msg, RuntimeWarning, stacklevel=2)
         if self.repair:
             self._repair_wal(scan, report)
 
         maintainer = restore_maintainer(
             cp, self.rt, algorithm=self.algorithm, engine=self.engine, **self.kwargs
         )
+        next_seq = base_seq
         for seqno, changes in scan.committed:
             if seqno < base_seq:
                 continue  # already inside the checkpoint
+            # the position is consumed on disk whether or not replay
+            # succeeds: a resumed session must never reuse it
+            next_seq = max(next_seq, seqno + 1)
             try:
                 maintainer.apply_batch(Batch(list(changes)))
                 report.batches_replayed += 1
-            except Exception as exc:  # noqa: BLE001 -- recovery must not die
+            except Exception as exc:  # noqa: BLE001 -- classify, then decide
                 report.replay_errors.append(
                     (seqno, f"{type(exc).__name__}: {exc}")
                 )
+        report.resume_seqno = next_seq
+        if report.replay_errors:
+            head = "; ".join(
+                f"batch {s}: {e}" for s, e in report.replay_errors[:3]
+            )
+            msg = (
+                f"{len(report.replay_errors)} committed batch(es) failed to "
+                f"replay ({head}); the recovered state diverges from the "
+                "pre-crash run"
+            )
+            if self.strict:
+                raise DurabilityError(
+                    msg + " -- pass strict=False to keep the partial state",
+                    self.directory,
+                )
+            warnings.warn(msg, RuntimeWarning, stacklevel=2)
         return maintainer, report
 
     def resume(self, **durable_opts):
         """Recover, then wrap the result in a fresh live
         :class:`~repro.resilience.durability.durable.DurableMaintainer`
         over the same directory (which takes a new baseline checkpoint
-        and prunes the replayed WAL).  Returns ``(durable, report)``."""
+        and prunes the replayed WAL).  Returns ``(durable, report)``.
+
+        The new facade continues from ``report.resume_seqno`` -- the
+        recovered WAL position, which legitimately exceeds
+        ``batches_processed`` after a quarantined or validation-failed
+        batch.  Seeding from the applied-count instead would let the
+        baseline checkpoint sort *below* a surviving pre-crash
+        checkpoint, and a second recovery would then silently skip the
+        batches acknowledged after this resume."""
         from repro.resilience.durability.durable import DurableMaintainer
 
         maintainer, report = self.recover()
+        durable_opts.setdefault("start_seqno", report.resume_seqno)
         durable = DurableMaintainer(maintainer, self.directory, **durable_opts)
         return durable, report
 

@@ -158,6 +158,7 @@ class WriteAheadLog:
         *,
         sync_policy="batch",
         segment_max_bytes: int = 1 << 22,
+        start_seqno: Optional[int] = None,
         crashpoints: Optional[CrashPoints] = None,
     ) -> None:
         self.directory = Path(directory)
@@ -166,6 +167,12 @@ class WriteAheadLog:
         if segment_max_bytes <= 0:
             raise ValueError("segment_max_bytes must be positive")
         self.segment_max_bytes = segment_max_bytes
+        #: WAL position of the session this log serves.  The first
+        #: segment is named for it (not for the first *logged* batch,
+        #: which may come later if early batches fail validation), so the
+        #: oldest segment name is a lower bound on every position the
+        #: session consumed -- recovery's gap check depends on this.
+        self.start_seqno = start_seqno
         self.crashpoints = crashpoints if crashpoints is not None else CrashPoints()
         self._fh = None
         self._path: Optional[Path] = None
@@ -191,7 +198,8 @@ class WriteAheadLog:
         enough bytes accumulate (call :meth:`sync` to force).
         """
         if self._fh is None:
-            self._open_segment(seqno)
+            first = seqno if self.start_seqno is None else min(seqno, self.start_seqno)
+            self._open_segment(first)
         elif self._fh.tell() >= self.segment_max_bytes:
             self._rotate(seqno)
         every_record = self.sync_policy.kind == "record"
@@ -359,7 +367,12 @@ def scan_wal(directory) -> ScanResult:
                 if kind == "C":
                     _, seqno, (e, v, insert) = record
                     change = Change(e, v, bool(insert))
-                elif kind != "B":
+                elif kind == "B":
+                    # unpack here: a CRC-valid record with the wrong arity
+                    # is damage to report, not an exception to leak
+                    _, seqno, n = record
+                    n = int(n)
+                else:
                     raise ValueError(kind)
             except Exception:
                 result.damage = (seg, offset, "undecodable record")
@@ -368,7 +381,6 @@ def scan_wal(directory) -> ScanResult:
             if kind == "C":
                 result.uncommitted.setdefault(seqno, []).append(change)
             else:
-                _, seqno, n = record
                 group = result.uncommitted.pop(seqno, [])
                 if len(group) != n:
                     # a commit whose group is incomplete: logical damage,

@@ -37,7 +37,11 @@ from repro.resilience.durability import (
     WriteAheadLog,
     scan_wal,
 )
-from repro.resilience.durability.recovery import checkpoint_path, list_checkpoints
+from repro.resilience.durability.recovery import (
+    checkpoint_path,
+    checkpoint_seqno,
+    list_checkpoints,
+)
 from repro.resilience.durability.wal import _RECORD_HEADER, list_segments
 
 # ---------------------------------------------------------------------------
@@ -335,6 +339,21 @@ def test_scan_stops_at_every_torn_tail_shape(tmp_path, shape, garbage):
     scan = scan_wal(tmp_path)
     assert scan.torn
     assert scan.damage is not None and scan.damage[2] == shape
+    assert [s for s, _ in scan.committed] == [0]  # the valid prefix survives
+
+
+@pytest.mark.parametrize("record", [("B", 1), ("B",), ("C", 0), 42])
+def test_scan_reports_malformed_checksummed_record_as_damage(tmp_path, record):
+    """A CRC-valid record with the wrong shape (arity, kind, type) is
+    *damage to report*, never an exception out of ``scan_wal``."""
+    wal = WriteAheadLog(tmp_path)
+    wal.append_batch(0, _changes((0, 1)))
+    wal.close()
+    seg = list_segments(tmp_path)[0]
+    with open(seg, "ab") as fh:
+        fh.write(_raw_record(record))
+    scan = scan_wal(tmp_path)  # must not raise
+    assert scan.damage is not None and scan.damage[2] == "undecodable record"
     assert [s for s, _ in scan.committed] == [0]  # the valid prefix survives
 
 
@@ -731,6 +750,118 @@ def test_resume_returns_a_live_durable_session(tmp_path):
     # ...and the continued session recovers too (crash-restart-crash)
     m3 = CoreMaintainer.recover(tmp_path)
     assert m3.kappa_of(90) == 1
+
+
+def test_resume_preserves_wal_position_after_quarantine(tmp_path):
+    """The WAL position legitimately runs ahead of ``batches_processed``
+    after a quarantined batch.  A resumed session must continue from the
+    *recovered position*: seeded from the applied-count instead, its
+    baseline checkpoint sorts below the surviving pre-crash checkpoint
+    and a second recovery silently drops batches acknowledged (and
+    fsynced, under the every-batch policy) after the resume."""
+    m = CoreMaintainer(
+        erdos_renyi(10, 20, seed=6), algorithm="mod",
+        resilient=True, durable=str(tmp_path),
+        durability={"checkpoint_every": 0},
+    )
+    m.insert_edges([(50, 51)])                        # seq 0
+    m.apply_batch(Batch([Change((1, 1), 1, True)]))   # quarantined: seq 1
+    m.insert_edges([(51, 52)])                        # seq 2
+    m.impl.checkpoint()                               # checkpoint-3, wal_seqno 3
+    assert m.impl.batches_processed == 2
+    _abandon(m)
+
+    durable, report = RecoveryManager(tmp_path).resume(checkpoint_every=0)
+    assert report.resume_seqno == 3
+    assert durable.wal_seqno == 3  # NOT batches_processed (== 2)
+    durable.apply_batch(Batch(graph_edge_changes(52, 53, True)))  # acked: seq 3
+    durable.wal._fh.close()  # crash again, without sealing
+
+    m3, report2 = RecoveryManager(tmp_path).recover()
+    assert report2.checkpoint_seqno + report2.batches_replayed == 4
+    assert m3.kappa_of(53) == 1  # the acknowledged batch survived both crashes
+    verify_kappa(m3)
+
+
+def test_checkpoint_pruning_keeps_fallback_replay_suffix(tmp_path):
+    """WAL pruning must respect *retained* fallback checkpoints: pruning
+    up to the newest checkpoint would strand the older ones (kept exactly
+    for the bitrot case) without their replay suffix."""
+    m = CoreMaintainer(
+        erdos_renyi(12, 24, seed=8), algorithm="mod", durable=str(tmp_path),
+        durability={"checkpoint_every": 2, "retain_checkpoints": 2,
+                    "segment_max_bytes": 1},  # one batch per segment
+    )
+    for i in range(8):
+        m.insert_edges([(60 + i, 61 + i)])
+    m.impl.wal.sync()
+    cps = list_checkpoints(tmp_path)
+    assert len(cps) == 2
+    oldest = checkpoint_seqno(cps[0])
+    assert oldest < checkpoint_seqno(cps[-1])
+    # every batch the oldest retained checkpoint needs is still on disk
+    committed = {s for s, _ in scan_wal(tmp_path).committed}
+    assert set(range(oldest, 8)) <= committed
+    # so recovery over a bitrotted newest checkpoint reaches the live state
+    cps[-1].write_bytes(b"RKCP" + os.urandom(40))
+    _abandon(m)
+    m2, report = RecoveryManager(tmp_path).recover()
+    assert report.checkpoints_rejected
+    assert m2.kappa() == m.kappa()
+    verify_kappa(m2)
+
+
+def test_recovery_refuses_a_gapped_wal(tmp_path):
+    """A WAL whose oldest surviving segment starts past the checkpoint
+    base lost the batches in between (over-eager pruning, meddling):
+    strict recovery refuses to replay over the hole; ``strict=False``
+    records the gap, warns, and keeps the partial state."""
+    m = CoreMaintainer(
+        erdos_renyi(12, 24, seed=8), algorithm="mod", durable=str(tmp_path),
+        durability={"checkpoint_every": 2, "retain_checkpoints": 2,
+                    "segment_max_bytes": 1},  # one batch per segment
+    )
+    for i in range(8):
+        m.insert_edges([(60 + i, 61 + i)])
+    m.impl.wal.sync()
+    _abandon(m)
+    cps = list_checkpoints(tmp_path)
+    base = checkpoint_seqno(cps[0])
+    cps[-1].write_bytes(b"RKCP" + os.urandom(40))  # fall back to cps[0]
+    # delete the suffix the fallback needs (what pruning-to-newest did)
+    for seg in list_segments(tmp_path):
+        if int(seg.name[4:-4]) <= base:
+            seg.unlink()
+    floor = min(int(s.name[4:-4]) for s in list_segments(tmp_path))
+    assert floor > base
+
+    with pytest.raises(DurabilityError, match="WAL gap"):
+        RecoveryManager(tmp_path).recover()
+    with pytest.warns(RuntimeWarning, match="WAL gap"):
+        m2, report = RecoveryManager(tmp_path, strict=False).recover()
+    assert report.wal_gap == (base, floor)
+    assert report.batches_replayed > 0  # the survivors were still applied
+
+
+def test_replay_failure_raises_by_default_and_warns_when_lenient(tmp_path):
+    """A committed batch that cannot re-apply means the recovered state
+    diverges from the pre-crash run: strict recovery says so loudly;
+    ``strict=False`` keeps the partial state but warns, records the
+    error, and still consumes the batch's WAL position."""
+    m = _durable_session(tmp_path)
+    bad_seq = m.impl.wal_seqno
+    # hand-log a committed batch that cannot apply (self-loop)
+    m.impl.wal.append_batch(bad_seq, [Change((9, 9), 9, True)])
+    m.impl.wal.sync()
+    _abandon(m)
+
+    with pytest.raises(DurabilityError, match="failed to replay"):
+        RecoveryManager(tmp_path).recover()
+    with pytest.warns(RuntimeWarning, match="failed to replay"):
+        m2, report = RecoveryManager(tmp_path, strict=False).recover()
+    assert [s for s, _ in report.replay_errors] == [bad_seq]
+    assert report.resume_seqno == bad_seq + 1  # the position stays consumed
+    assert m2.kappa() == m.kappa()  # every *good* batch was still replayed
 
 
 def test_hypergraph_durable_round_trip(tmp_path, fig3_hypergraph):
