@@ -9,11 +9,18 @@ time of the same maintenance work on both execution engines:
 * ``array`` -- interned :class:`~repro.engine.ArrayGraph` substrate with
   vectorised frontier convergence (:func:`~repro.engine.hhc_frontier_csr`).
 
-Three workloads mirror the paper's evaluation shapes:
+Graph workloads mirror the paper's evaluation shapes:
 
 * ``fig06_insert`` -- insertion-only batches (Figure 6),
 * ``fig09_delete`` -- deletion-only batches (Figure 9),
 * ``fig12_mixed``  -- mixed batches at the paper's 3/2 sizing (Figure 12).
+
+Hypergraph workloads run the same three shapes over an affiliation-model
+hypergraph (the OrkutGroup/LiveJGroup analogue of Table II) under the
+pin-change protocol, comparing the dict path against
+:class:`~repro.engine.ArrayHypergraph` + the min-tau shadow +
+:func:`~repro.engine.hhc_frontier_incidence`; they write ``hyper_*``
+keys next to the graph workloads.
 
 Both engines replay byte-identical batch streams generated against a
 scratch copy of the dataset, so every timed round does the same semantic
@@ -47,25 +54,48 @@ import numpy as np  # noqa: E402
 
 from repro.core.maintainer import make_maintainer  # noqa: E402
 from repro.core.verify import verify_kappa  # noqa: E402
-from repro.engine import ArrayGraph  # noqa: E402
+from repro.engine import ArrayGraph, ArrayHypergraph  # noqa: E402
 from repro.graph.batch import BatchProtocol  # noqa: E402
-from repro.graph.generators import powerlaw_social  # noqa: E402
+from repro.graph.generators import (  # noqa: E402
+    affiliation_hypergraph,
+    powerlaw_social,
+)
 
-#: (graph_vertices, graph_m, rounds, {workload: batch_edges})
+#: (graph_vertices, graph_m, rounds, {workload: batch_edges}) plus the
+#: affiliation hypergraph analogue (``hyper_*`` workloads time pin batches)
 FULL_CONFIG = dict(
     n=50_000,
     m=16,
     rounds=3,
     batches={"fig06_insert": 5000, "fig09_delete": 5000, "fig12_mixed": 5000},
+    hyper=dict(
+        nv=30_000,
+        ne=20_000,
+        mean_pins=6.0,
+        rounds=3,
+        batches={
+            "hyper_insert": 4000,
+            "hyper_delete": 4000,
+            "hyper_mixed": 4000,
+        },
+    ),
 )
 QUICK_CONFIG = dict(
     n=4_000,
     m=10,
     rounds=2,
     batches={"fig12_mixed": 600},
+    hyper=dict(
+        nv=2_500,
+        ne=1_800,
+        mean_pins=5.0,
+        rounds=2,
+        batches={"hyper_mixed": 400},
+    ),
 )
 
-WORKLOADS = ("fig06_insert", "fig09_delete", "fig12_mixed")
+WORKLOADS = ("fig06_insert", "fig09_delete", "fig12_mixed",
+             "hyper_insert", "hyper_delete", "hyper_mixed")
 
 
 def generate_rounds(base, workload: str, batch_edges: int, rounds: int, seed: int):
@@ -79,13 +109,13 @@ def generate_rounds(base, workload: str, batch_edges: int, rounds: int, seed: in
     proto = BatchProtocol(scratch, seed=seed)
     out = []
     for _ in range(rounds):
-        if workload == "fig12_mixed":
+        if workload.endswith("mixed"):
             prep, timed, post = proto.mixed(batch_edges)
         else:
             deletion, insertion = proto.remove_reinsert(batch_edges)
-            if workload == "fig06_insert":
+            if workload.endswith("insert"):
                 prep, timed, post = deletion, insertion, None
-            else:  # fig09_delete
+            else:  # *_delete
                 prep, timed, post = None, deletion, insertion
         for b in (prep, timed, post):
             if b is not None:
@@ -98,7 +128,10 @@ def generate_rounds(base, workload: str, batch_edges: int, rounds: int, seed: in
 def run_engine(base, engine: str, rounds_data):
     """Replay the stream on one engine; returns (times_s, kappa)."""
     if engine == "array":
-        sub = ArrayGraph.from_graph(base)
+        if getattr(base, "is_hypergraph", False):
+            sub = ArrayHypergraph.from_hypergraph(base)
+        else:
+            sub = ArrayGraph.from_graph(base)
     else:
         sub = base.copy()
     m = make_maintainer(sub, "mod", engine=engine)
@@ -120,26 +153,11 @@ def run_engine(base, engine: str, rounds_data):
     return times, m.kappa()
 
 
-def run(config, seed: int = 42):
-    base = powerlaw_social(config["n"], config["m"], seed=seed)
-    report = {
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "platform": platform.platform(),
-            "graph": {
-                "generator": f"powerlaw_social({config['n']}, {config['m']}, seed={seed})",
-                "vertices": base.num_vertices(),
-                "edges": base.num_edges(),
-            },
-            "rounds": config["rounds"],
-            "timed_algorithm": "mod",
-        },
-        "workloads": {},
-    }
-    for workload, batch_edges in config["batches"].items():
+def run_section(report, base, batches, rounds, seed):
+    """Time every workload in ``batches`` over ``base`` on both engines."""
+    for workload, batch_edges in batches.items():
         rounds_data = generate_rounds(
-            base, workload, batch_edges, config["rounds"], seed=seed + 1
+            base, workload, batch_edges, rounds, seed=seed + 1
         )
         timed_changes = len(rounds_data[0][1])
         print(f"== {workload}: {batch_edges} edges/batch "
@@ -168,6 +186,41 @@ def run(config, seed: int = 42):
         if not identical:
             raise AssertionError(f"{workload}: engines disagree on kappa")
         report["workloads"][workload] = entry
+
+
+def run(config, seed: int = 42):
+    base = powerlaw_social(config["n"], config["m"], seed=seed)
+    hyper_cfg = config["hyper"]
+    hyper = affiliation_hypergraph(
+        hyper_cfg["nv"], hyper_cfg["ne"], hyper_cfg["mean_pins"], seed=seed
+    )
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "graph": {
+                "generator": f"powerlaw_social({config['n']}, {config['m']}, seed={seed})",
+                "vertices": base.num_vertices(),
+                "edges": base.num_edges(),
+            },
+            "hypergraph": {
+                "generator": (
+                    f"affiliation_hypergraph({hyper_cfg['nv']}, "
+                    f"{hyper_cfg['ne']}, {hyper_cfg['mean_pins']}, seed={seed})"
+                ),
+                "vertices": hyper.num_vertices(),
+                "hyperedges": hyper.num_edges(),
+                "pins": hyper.num_pins(),
+            },
+            "rounds": config["rounds"],
+            "timed_algorithm": "mod",
+        },
+        "workloads": {},
+    }
+    run_section(report, base, config["batches"], config["rounds"], seed)
+    run_section(report, hyper, hyper_cfg["batches"], hyper_cfg["rounds"],
+                seed + 100)
     return report
 
 
@@ -194,12 +247,14 @@ def main(argv=None) -> int:
         print(f"\nwrote {out}")
 
     if args.quick:
-        mixed = report["workloads"]["fig12_mixed"]
-        assert mixed["speedup"] >= 1.0, (
-            f"array engine slower than dict on the quick mixed workload "
-            f"({mixed['speedup']:.2f}x)"
-        )
-        print(f"quick check passed: array {mixed['speedup']:.2f}x vs dict")
+        for key in ("fig12_mixed", "hyper_mixed"):
+            mixed = report["workloads"][key]
+            assert mixed["speedup"] >= 1.0, (
+                f"array engine slower than dict on the quick {key} workload "
+                f"({mixed['speedup']:.2f}x)"
+            )
+            print(f"quick check passed: {key} array "
+                  f"{mixed['speedup']:.2f}x vs dict")
     return 0
 
 

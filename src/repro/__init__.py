@@ -46,7 +46,7 @@ from repro.core import (
     shell,
     static_hindex,
 )
-from repro.engine import ArrayGraph
+from repro.engine import ArrayGraph, ArrayHypergraph
 from repro.graph import (
     Batch,
     BatchProtocol,
@@ -80,6 +80,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ApproximateModMaintainer",
     "ArrayGraph",
+    "ArrayHypergraph",
     "Batch",
     "BatchProtocol",
     "BatchValidationError",

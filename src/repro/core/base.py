@@ -84,19 +84,30 @@ class MaintainerBase:
         if tau is None:
             tau = static_hindex(sub, self.rt)
         self.tau: Dict[Vertex, int] = dict(tau)
-        self.min_cache: Optional[MinCache] = (
-            MinCache(sub, self.tau, charge=self.rt.charge) if self.use_min_cache else None
-        )
         self._level_index: Dict[int, Set[Vertex]] = {}
         for v, k in self.tau.items():
             self._level_index.setdefault(k, set()).add(v)
         #: dense tau shadow + dirty-bucket level index (array engine only);
         #: None routes every hot loop through the dict path
         self._tau_array = None
+        #: dense per-hyperedge min-tau shadow (array hypergraphs only)
+        self._edge_shadow = None
         if getattr(sub, "is_array_backed", False):
-            from repro.engine.tau_array import TauArray
+            from repro.engine.tau_array import EdgeMinShadow, TauArray
 
             self._tau_array = TauArray.from_graph(sub, self.tau)
+            if getattr(sub, "is_hypergraph", False):
+                self._edge_shadow = EdgeMinShadow(sub, self._tau_array)
+        self.min_cache: Optional[MinCache] = None
+        if self.use_min_cache:
+            if self._edge_shadow is not None:
+                from repro.engine.tau_array import ArrayMinCache
+
+                self.min_cache = ArrayMinCache(
+                    sub, self._edge_shadow, charge=self.rt.charge
+                )
+            else:
+                self.min_cache = MinCache(sub, self.tau, charge=self.rt.charge)
         self.batches_processed = 0
         #: all-or-nothing batches (rollback on exception); see module docs
         self.transactional = True
@@ -117,11 +128,21 @@ class MaintainerBase:
         """Force an execution engine (``make_maintainer``'s ``engine=``)."""
         if engine == "dict":
             self._tau_array = None
+            self._edge_shadow = None
+            # the dense min-tau shadow died with the engine; fall back to
+            # the dict-backed cache for the scan-based hot loops
+            from repro.engine.tau_array import ArrayMinCache
+
+            if isinstance(self.min_cache, ArrayMinCache):
+                self.min_cache = MinCache(
+                    self.sub, self.tau, charge=self.rt.charge
+                )
         elif engine == "array":
             if self._tau_array is None:
                 raise ValueError(
                     "engine='array' needs an array-backed substrate; wrap the "
-                    "graph in repro.engine.ArrayGraph (or use "
+                    "graph in repro.engine.ArrayGraph or the hypergraph in "
+                    "repro.engine.ArrayHypergraph (or use "
                     "CoreMaintainer(..., engine='array'))"
                 )
         elif engine != "auto":
@@ -162,6 +183,8 @@ class MaintainerBase:
             i = self.sub.interner.id_of(v)
             if i is not None:
                 self._tau_array.set_(i, new)
+                if self._edge_shadow is not None:
+                    self._edge_shadow.on_vertex_change(i)
 
     def _drop_vertex(self, v: Vertex) -> None:
         """Vertex degree hit zero: it leaves the decomposition."""
@@ -181,24 +204,38 @@ class MaintainerBase:
             if not bucket:
                 del self._level_index[old]
         self._level_index.setdefault(new, set()).add(v)
-        # min cache refresh is handled inside hhc_local itself
+        # min cache refresh is handled inside hhc_local itself (the array
+        # hypergraph's shadow is dirtied here instead: its adapter's
+        # on_value_change is a no-op so dense invalidation has one home)
         if self._tau_array is not None:
             i = self.sub.interner.id_of(v)
             if i is not None:
                 self._tau_array.set_(i, new)
+                if self._edge_shadow is not None:
+                    self._edge_shadow.on_vertex_change(i)
 
     # -- transactional plumbing ---------------------------------------------------
     def _apply_structural(self, change: Change) -> bool:
         """The single structural mutation point: apply one pin change and,
         inside a transaction, journal it for rollback."""
         dead_ids = None
+        shadow_eid = None
+        is_hyper = getattr(self.sub, "is_hypergraph", False)
         if self._tau_array is not None and not change.insert:
             # capture dense ids before the deletion can release them: a
             # vertex whose degree hits zero leaves the interner, and its
             # tau-array slot must be retired with it (the id may be
-            # recycled for a different label)
+            # recycled for a different label).  A graph change can kill
+            # either endpoint; a hypergraph pin change only the named pin.
             id_of = self.sub.interner.id_of
-            dead_ids = [(u, id_of(u)) for u in change.edge]
+            if is_hyper:
+                dead_ids = [(change.vertex, id_of(change.vertex))]
+            else:
+                dead_ids = [(u, id_of(u)) for u in change.edge]
+        if self._edge_shadow is not None and not change.insert:
+            # likewise capture the edge id before the deletion can release
+            # it (its recycled slot must not keep a stale valid entry)
+            shadow_eid = self.sub.edge_interner.id_of(change.edge)
         applied = self.sub.apply(change)
         if applied and self._txn_journal is not None:
             self._txn_journal.append(change)
@@ -207,6 +244,11 @@ class MaintainerBase:
             for u, i in dead_ids:
                 if i is not None and not has_vertex(u):
                     self._tau_array.drop(i)
+        if applied and self._edge_shadow is not None:
+            if change.insert:
+                shadow_eid = self.sub.edge_interner.id_of(change.edge)
+            if shadow_eid is not None:
+                self._edge_shadow.invalidate(shadow_eid)
         return applied
 
     def _fault_point(self, change: Change) -> None:
@@ -320,7 +362,7 @@ class MaintainerBase:
 
     def _converge_ids(self, ids: "np.ndarray") -> None:
         """Array-engine convergence over a dense-id frontier."""
-        from repro.engine.frontier import hhc_frontier_csr
+        from repro.engine.frontier import hhc_frontier_csr, hhc_frontier_incidence
 
         tau, index = self.tau, self._level_index
         label_of = self.sub.interner.label_of
@@ -338,9 +380,15 @@ class MaintainerBase:
                         del index[o]
                 index.setdefault(n, set()).add(v)
 
-        hhc_frontier_csr(
-            self.sub, self._tau_array, ids, rt=self.rt, on_commit=commit
-        )
+        if self._edge_shadow is not None:
+            hhc_frontier_incidence(
+                self.sub, self._tau_array, self._edge_shadow, ids,
+                rt=self.rt, on_commit=commit,
+            )
+        else:
+            hhc_frontier_csr(
+                self.sub, self._tau_array, ids, rt=self.rt, on_commit=commit
+            )
 
     # -- the public entry point ---------------------------------------------------------
     def apply_batch(self, batch) -> None:

@@ -85,6 +85,7 @@ class HybridMaintainer(MaintainerBase):
         child.use_min_cache = self.use_min_cache
         child._level_index = self._level_index
         child._tau_array = self._tau_array
+        child._edge_shadow = self._edge_shadow
         child.batches_processed = 0
         # validation and transactions live at the hybrid level; children
         # inherit the live journal/fault hook per batch (see _apply_batch)
@@ -98,8 +99,10 @@ class HybridMaintainer(MaintainerBase):
         super()._set_engine(engine)
         # the children adopted the parent's tau array by reference; keep
         # them on the same engine after a forced switch
-        self._mod._tau_array = self._tau_array
-        self._setmb._tau_array = self._tau_array
+        for child in (self._mod, self._setmb):
+            child._tau_array = self._tau_array
+            child._edge_shadow = self._edge_shadow
+            child.min_cache = self.min_cache
 
     def _hot_levels(self) -> set:
         n = max(1, len(self.tau))

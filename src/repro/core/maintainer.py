@@ -49,9 +49,10 @@ def make_maintainer(sub, algorithm: str = "mod", rt=None, **kwargs) -> Maintaine
     base class's all-or-nothing batch application and pre-flight batch
     validation.  ``engine=`` picks the execution path for the hot loops:
     ``"auto"`` (default) uses the vectorised flat-array engine whenever
-    ``sub`` is array-backed (an :class:`~repro.engine.ArrayGraph`),
-    ``"array"`` requires it, ``"dict"`` forces the hash-based path.  The
-    remaining kwargs go to the algorithm class.
+    ``sub`` is array-backed (an :class:`~repro.engine.ArrayGraph` or
+    :class:`~repro.engine.ArrayHypergraph`), ``"array"`` requires it,
+    ``"dict"`` forces the hash-based path.  The remaining kwargs go to the
+    algorithm class.
     """
     transactional = kwargs.pop("transactional", True)
     validate = kwargs.pop("validate", True)
@@ -87,10 +88,12 @@ class CoreMaintainer:
         ``"auto"`` (default) -- use the vectorised flat-array engine when
         the substrate is array-backed; ``"array"`` -- convert a plain
         :class:`~repro.graph.DynamicGraph` into an
-        :class:`~repro.engine.ArrayGraph` up front (the maintainer then
-        owns the converted substrate; read it back via :attr:`sub`) and
-        run the vectorised path; ``"dict"`` -- force the hash-based path.
-        Hypergraphs always use the dict engine.
+        :class:`~repro.engine.ArrayGraph` (or a
+        :class:`~repro.graph.DynamicHypergraph` into an
+        :class:`~repro.engine.ArrayHypergraph`) up front -- the maintainer
+        then owns the converted substrate; read it back via :attr:`sub` --
+        and run the vectorised path; ``"dict"`` -- force the hash-based
+        path.
     resilient:
         Wrap the algorithm in a
         :class:`~repro.resilience.supervisor.ResilientMaintainer`:
@@ -132,10 +135,13 @@ class CoreMaintainer:
     ) -> None:
         if engine == "array" and not getattr(sub, "is_array_backed", False):
             if getattr(sub, "is_hypergraph", False):
-                raise ValueError("engine='array' supports graphs only")
-            from repro.engine.array_graph import ArrayGraph
+                from repro.engine.array_hypergraph import ArrayHypergraph
 
-            sub = ArrayGraph.from_graph(sub)
+                sub = ArrayHypergraph.from_hypergraph(sub)
+            else:
+                from repro.engine.array_graph import ArrayGraph
+
+                sub = ArrayGraph.from_graph(sub)
         kwargs["engine"] = engine
         if resilient:
             from repro.resilience.supervisor import ResilientMaintainer

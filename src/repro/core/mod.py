@@ -288,6 +288,9 @@ class ModMaintainer(MaintainerBase):
                 if not src:
                     del index[level]
             ta.bulk_set(ids, np.full(len(ids), new, dtype=np.int64))
+            if self._edge_shadow is not None:
+                # the moved pins' edges hold stale minima until re-read
+                self._edge_shadow.on_vertices_changed(ids)
             frontier.append(ids)
         self._converge_ids(np.concatenate(frontier))
 

@@ -57,7 +57,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from repro.core.base import MaintainerBase
 from repro.graph.substrate import Change
-from repro.structures.hindex import h_index_counting
+from repro.structures.hindex import h_index_counting_scratch
 
 __all__ = ["SetMaintainer", "SetEngine", "PySetOps"]
 
@@ -309,7 +309,7 @@ class SetEngine:
                             mval = t
                     L.append(mval)
                 rt.charge(work + len(L))
-                return (x, h_index_counting(L), Ux, saw_boost)
+                return (x, h_index_counting_scratch(L), Ux, saw_boost)
 
             results = rt.parallel_for(worklist, step, region="set_iterate")
 

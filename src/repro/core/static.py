@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.graph.dynamic_hypergraph import MinCache
 from repro.parallel.runtime import ParallelRuntime, SerialRuntime
-from repro.structures.hindex import h_index_counting
+from repro.structures.hindex import h_index_counting, h_index_counting_scratch
 
 __all__ = [
     "hhc_local",
@@ -62,7 +62,9 @@ def _vertex_update(sub, tau: Dict[Vertex, int], v: Vertex, rt: ParallelRuntime,
             rt.charge(n)
             L.append(m)
     rt.charge(len(L))  # the h-index evaluation itself
-    return h_index_counting(L)
+    # scratch variant: this runs once per frontier vertex per iteration,
+    # so the reusable histogram pays off (see repro.structures.hindex)
+    return h_index_counting_scratch(L)
 
 
 def hhc_local(

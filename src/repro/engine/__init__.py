@@ -16,14 +16,24 @@ the maintainers use transparently whenever the substrate is array-backed:
     and periodic compaction.  Implements the full ``Substrate`` protocol,
     so every existing algorithm runs on it unchanged, and snapshots to the
     frozen :class:`~repro.graph.csr.CSRGraph` in O(n + m).
+``array_hypergraph``
+    :class:`ArrayHypergraph` -- the hypergraph analogue: both directions
+    of the incidence (vertex -> hyperedges, hyperedge -> pins) in two
+    slack+compaction pools with O(1) ``add_pin``/``remove_pin``, dual
+    interners for vertex and hyperedge labels, and a
+    :class:`~repro.graph.csr.CSRHypergraph` snapshot.
 ``frontier``
-    :func:`hhc_frontier_csr` -- the vectorised Algorithm 2: per-iteration
-    neighbour-tau gathers and segment h-indices over the whole frontier at
-    once, replacing the per-vertex Python update loop.
+    :func:`hhc_frontier_csr` / :func:`hhc_frontier_incidence` -- the
+    vectorised Algorithm 2: per-iteration neighbour-tau (or
+    hyperedge-min) gathers and segment h-indices over the whole frontier
+    at once, replacing the per-vertex Python update loop.
 ``tau_array``
     :class:`TauArray` -- dense ``int64`` tau values plus a lazily rebuilt
     (dirty-bucket) level index, so the ``mod`` increment sweep walks
-    arrays instead of dict buckets.
+    arrays instead of dict buckets; :class:`EdgeMinShadow` /
+    :class:`ArrayMinCache` -- the dense per-hyperedge min-tau shadow
+    (first/second order statistic + witness, dirty-edge invalidation)
+    that turns ``edge_min``/``min_excluding`` into array lookups.
 
 See docs/PERFORMANCE.md for the architecture and invariants, and
 ``benchmarks/bench_wallclock.py`` for the dict-vs-array wall-clock
@@ -31,8 +41,18 @@ comparison this engine is measured by.
 """
 
 from repro.engine.array_graph import ArrayGraph
-from repro.engine.frontier import hhc_frontier_csr
+from repro.engine.array_hypergraph import ArrayHypergraph
+from repro.engine.frontier import hhc_frontier_csr, hhc_frontier_incidence
 from repro.engine.interner import VertexInterner
-from repro.engine.tau_array import TauArray
+from repro.engine.tau_array import ArrayMinCache, EdgeMinShadow, TauArray
 
-__all__ = ["ArrayGraph", "VertexInterner", "TauArray", "hhc_frontier_csr"]
+__all__ = [
+    "ArrayGraph",
+    "ArrayHypergraph",
+    "VertexInterner",
+    "TauArray",
+    "EdgeMinShadow",
+    "ArrayMinCache",
+    "hhc_frontier_csr",
+    "hhc_frontier_incidence",
+]

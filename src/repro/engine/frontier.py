@@ -14,8 +14,18 @@ variants converge to kappa from any pointwise-valid initialisation
 (Lemma 1 / Section III-A), so the result is oracle-identical to the
 asynchronous dict path; only the iteration counts differ.
 
+:func:`hhc_frontier_incidence` is the hypergraph analogue over an
+:class:`~repro.engine.array_hypergraph.ArrayHypergraph`'s bipartite
+incidence pools: each iteration bulk-refreshes the
+:class:`~repro.engine.tau_array.EdgeMinShadow` for every hyperedge the
+frontier touches, derives each (vertex, edge) contribution as ``m2`` when
+the vertex is the edge's min witness else ``m1`` (Algorithm 2 line 8's
+min-over-other-pins, exact under ties), and h-indexes the contributions
+per vertex with the same segment kernel.
+
 Work accounting mirrors the dict path: one charge unit per gathered
-neighbour value plus one per frontier h-index evaluation.
+neighbour value (graphs) / incidence contribution plus shadow pin read
+(hypergraphs), plus one per frontier h-index evaluation.
 """
 
 from __future__ import annotations
@@ -26,7 +36,7 @@ import numpy as np
 
 from repro.core.static import _segment_h_index
 
-__all__ = ["hhc_frontier_csr"]
+__all__ = ["hhc_frontier_csr", "hhc_frontier_incidence"]
 
 #: callback: (changed_ids, old_values, new_values) -- arrays, one call per iteration
 CommitHook = Callable[[np.ndarray, np.ndarray, np.ndarray], None]
@@ -117,6 +127,88 @@ def hhc_frontier_csr(
             on_commit(changed, old[changed_mask], new[changed_mask])
         cnbrs, _ = _gather_ranges(starts, counts, pool, changed)
         frontier = np.unique(np.concatenate((changed, cnbrs)))
+        if rt is not None:
+            rt.serial(len(changed))
+    return iterations
+
+
+def hhc_frontier_incidence(
+    hg,
+    tau,
+    shadow,
+    frontier: np.ndarray,
+    *,
+    rt=None,
+    on_commit: Optional[CommitHook] = None,
+    max_iterations: Optional[int] = None,
+) -> int:
+    """Frontier h-index convergence on an array-backed hypergraph.
+
+    Parameters
+    ----------
+    hg:
+        An :class:`~repro.engine.array_hypergraph.ArrayHypergraph`.
+    tau:
+        The maintainer's :class:`~repro.engine.tau_array.TauArray`; must be
+        pointwise >= kappa on live vertices (Lemma 1).  Updated in place.
+    shadow:
+        The maintainer's :class:`~repro.engine.tau_array.EdgeMinShadow`
+        bound to ``hg`` and ``tau``; refreshed in bulk per iteration and
+        re-invalidated for every edge incident to a committed change.
+    frontier:
+        Dense vertex ids of the initially active set (duplicates and dead
+        ids tolerated).
+    rt, on_commit, max_iterations:
+        As for :func:`hhc_frontier_csr`.
+
+    Returns the number of iterations run.  Semantics are the synchronous
+    (Jacobi) sweep of the two-level relation -- vertex <- h-index over the
+    min-tau of the *other* pins of each incident hyperedge -- which shares
+    its unique fixpoint (kappa) with the asynchronous dict path.
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    iterations = 0
+    while len(frontier):
+        if max_iterations is not None and iterations >= max_iterations:
+            break
+        # incidence views can move under mutation; re-read defensively
+        v_starts, v_counts, v_pool = hg.incidence_arrays()
+        arr = tau.arr
+        live = tau.live
+        limit = min(len(live), len(v_counts))
+        F = np.unique(frontier)
+        F = F[F < limit]
+        F = F[live[F] & (v_counts[F] > 0)]
+        if not len(F):
+            break
+        iterations += 1
+        inc, out_ptr = _gather_ranges(v_starts, v_counts, v_pool, F)
+        pin_reads = shadow.refresh_ids(np.unique(inc))
+        # contribution of edge e to its pin v: min tau over the other pins
+        # = second order statistic when v is the min witness, else the min
+        owner = np.repeat(F, np.diff(out_ptr))
+        contrib = np.where(
+            shadow.witness[inc] == owner, shadow.m2[inc], shadow.m1[inc]
+        )
+        seg = np.repeat(np.arange(len(F), dtype=np.int64), np.diff(out_ptr))
+        new = _segment_h_index(contrib, seg, out_ptr)
+        old = arr[F]
+        changed_mask = new != old
+        if rt is not None:
+            rt.charge(int(out_ptr[-1]) + pin_reads + len(F))
+        if not changed_mask.any():
+            break
+        changed = F[changed_mask]
+        tau.bulk_set(changed, new[changed_mask])
+        shadow.on_vertices_changed(changed)
+        if on_commit is not None:
+            on_commit(changed, old[changed_mask], new[changed_mask])
+        # next frontier: the changed vertices plus every pin sharing a
+        # hyperedge with one (their h-index inputs moved)
+        cinc, _ = _gather_ranges(v_starts, v_counts, v_pool, changed)
+        e_starts, e_counts, e_pool = hg.pin_arrays()
+        cpins, _ = _gather_ranges(e_starts, e_counts, e_pool, np.unique(cinc))
+        frontier = np.unique(np.concatenate((changed, cpins)))
         if rt is not None:
             rt.serial(len(changed))
     return iterations

@@ -13,15 +13,35 @@ and flip a dirty flag; the per-level id lists are rebuilt in one
 vectorised pass the next time a sweep asks for them.  A batch performs
 many point writes but only one sweep, so the rebuild is paid once per
 batch instead of two set mutations per tau change.
+
+On array-backed *hypergraphs* the frequent query is not a neighbour's tau
+but the minimum tau over the other pins of a hyperedge (Algorithm 2 line
+8).  :class:`EdgeMinShadow` keeps a dense per-hyperedge-id shadow of the
+first and second order statistics of the pin taus plus one witness pin
+achieving the minimum, maintained with dirty-edge invalidation: structural
+pin changes and tau commits flip a ``valid`` bit, and the next query (or
+the vectorised frontier kernel, in bulk) recomputes exactly the
+invalidated edges.  ``min_excluding(e, v)`` then collapses to ``m2 if v is
+the witness else m1`` -- correct under ties because the second order
+statistic equals the minimum whenever the minimum is shared.
+:class:`ArrayMinCache` wraps the shadow in the label-keyed interface of
+:class:`~repro.graph.dynamic_hypergraph.MinCache` so every dict-path
+algorithm (and the approximate maintainer's bounded convergence) uses it
+transparently.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Optional
 
 import numpy as np
 
-__all__ = ["TauArray"]
+__all__ = ["TauArray", "EdgeMinShadow", "ArrayMinCache", "INF"]
+
+#: big sentinel standing in for +inf while staying in int64 arithmetic; it
+#: exceeds any reachable h-index (bounded by max degree)
+INF = np.int64(1) << 60
 
 
 class TauArray:
@@ -131,3 +151,214 @@ class TauArray:
 
     def __repr__(self) -> str:
         return f"TauArray(live={int(self.live.sum())}, capacity={len(self.arr)})"
+
+
+class EdgeMinShadow:
+    """Dense per-hyperedge (min, second-min, witness) of pin taus.
+
+    Indexed by interned hyperedge id.  Entries are recomputed lazily:
+    callers invalidate on structural pin changes
+    (:meth:`invalidate` / the maintainer's ``_apply_structural``) and on
+    tau commits of a pin (:meth:`on_vertex_change` /
+    :meth:`on_vertices_changed`), and the next read refreshes -- point
+    reads via a scalar scan, the frontier kernel via one vectorised
+    :meth:`refresh_ids` pass over every edge it is about to gather.
+
+    The representation is exact under ties: ``witness`` is *a* pin
+    achieving ``m1`` and ``m2`` is the second order statistic (not the
+    second *distinct* value), so ``min over pins != v`` is ``m2`` when
+    ``v == witness`` and ``m1`` otherwise, in every case.  Size-1 edges
+    carry ``m2 == INF`` (the empty minimum), mirroring ``math.inf`` on
+    the dict path.
+    """
+
+    __slots__ = ("hg", "ta", "m1", "m2", "witness", "valid")
+
+    def __init__(self, hg, tau_array: TauArray) -> None:
+        self.hg = hg
+        self.ta = tau_array
+        cap = max(16, hg.edge_interner.capacity)
+        self.m1 = np.full(cap, INF, dtype=np.int64)
+        self.m2 = np.full(cap, INF, dtype=np.int64)
+        self.witness = np.full(cap, -1, dtype=np.int64)
+        self.valid = np.zeros(cap, dtype=bool)
+
+    def _ensure(self, i: int) -> None:
+        cap = len(self.valid)
+        if i < cap:
+            return
+        new_cap = max(cap * 2, i + 1)
+        for name, fill in (("m1", INF), ("m2", INF), ("witness", -1)):
+            arr = getattr(self, name)
+            grown = np.full(new_cap, fill, dtype=np.int64)
+            grown[:cap] = arr
+            setattr(self, name, grown)
+        valid = np.zeros(new_cap, dtype=bool)
+        valid[:cap] = self.valid
+        self.valid = valid
+
+    # -- invalidation ---------------------------------------------------------
+    def invalidate(self, ei: int) -> None:
+        """Pin set of edge ``ei`` changed (or its id was recycled)."""
+        if ei < len(self.valid):
+            self.valid[ei] = False
+
+    def invalidate_all(self) -> None:
+        """Wholesale reset (the rollback / resync path)."""
+        self.valid[:] = False
+
+    def on_vertex_change(self, vi: int) -> None:
+        """tau of pin ``vi`` committed: dirty its incident edges."""
+        starts, counts, pool = self.hg.incidence_arrays()
+        if vi >= len(counts):
+            return
+        s, c = int(starts[vi]), int(counts[vi])
+        if c:
+            inc = pool[s : s + c]
+            self._ensure(int(inc.max()))
+            self.valid[inc] = False
+
+    def on_vertices_changed(self, vids: np.ndarray) -> None:
+        """Bulk tau commit: dirty every edge incident to ``vids``."""
+        from repro.engine.frontier import _gather_ranges
+
+        starts, counts, pool = self.hg.incidence_arrays()
+        vids = vids[vids < len(counts)]
+        if not len(vids):
+            return
+        inc, _ = _gather_ranges(starts, counts, pool, vids)
+        if len(inc):
+            self._ensure(int(inc.max()))
+            self.valid[inc] = False
+
+    # -- refresh --------------------------------------------------------------
+    def refresh_ids(self, ids: np.ndarray) -> int:
+        """Recompute the invalid entries among edge ids ``ids`` in one
+        vectorised pass; returns the number of pin reads performed."""
+        from repro.engine.frontier import _gather_ranges
+
+        if not len(ids):
+            return 0
+        self._ensure(int(ids.max()))
+        dirty = ids[~self.valid[ids]]
+        if not len(dirty):
+            return 0
+        starts, counts, pool = self.hg.pin_arrays()
+        dirty = dirty[(dirty < len(counts)) & (counts[dirty] > 0)]
+        if not len(dirty):
+            return 0
+        pins, ptr = _gather_ranges(starts, counts, pool, dirty)
+        ta = self.ta
+        ta._ensure(int(pins.max()))
+        vals = ta.arr[pins]
+        sizes = np.diff(ptr)
+        seg = np.repeat(np.arange(len(dirty), dtype=np.int64), sizes)
+        order = np.lexsort((vals, seg))
+        sv = vals[order]
+        sp = pins[order]
+        first = ptr[:-1]
+        self.m1[dirty] = sv[first]
+        self.witness[dirty] = sp[first]
+        m2 = np.full(len(dirty), INF, dtype=np.int64)
+        has2 = sizes >= 2
+        m2[has2] = sv[first[has2] + 1]
+        self.m2[dirty] = m2
+        self.valid[dirty] = True
+        return int(len(pins))
+
+    def refresh_one(self, ei: int) -> None:
+        if ei >= len(self.valid) or not self.valid[ei]:
+            self.refresh_ids(np.asarray([ei], dtype=np.int64))
+
+    # -- point queries (dict-path compatibility) -------------------------------
+    def edge_min_id(self, ei: int) -> int:
+        """Minimum pin tau of live edge ``ei`` (INF sentinel when empty)."""
+        self.refresh_one(ei)
+        return int(self.m1[ei])
+
+    def min_excluding_id(self, ei: int, vi: int) -> int:
+        """``min over pins of ei excluding vi`` (INF when vi is the only pin)."""
+        self.refresh_one(ei)
+        if int(self.witness[ei]) == vi:
+            return int(self.m2[ei])
+        return int(self.m1[ei])
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeMinShadow(valid={int(self.valid.sum())}, "
+            f"capacity={len(self.valid)})"
+        )
+
+
+class ArrayMinCache:
+    """Label-keyed :class:`~repro.graph.dynamic_hypergraph.MinCache`
+    interface over an :class:`EdgeMinShadow`.
+
+    Algorithms written against the dict path (``hhc_local``'s per-vertex
+    update, the approximate maintainer) call ``edge_min`` /
+    ``min_excluding`` with labels and expect ``float`` results with
+    ``math.inf`` for empty minima; this adapter resolves labels through
+    the substrate's interners and converts the INF sentinel back.
+
+    ``on_value_change`` is a deliberate no-op: on the array engine the
+    maintainer's commit hooks (``_set_tau`` / ``_on_change_hook`` / the
+    frontier kernel) dirty the shadow against *dense ids*, which also
+    covers the algorithms that run with ``use_min_cache=False``.
+    ``enabled=False`` falls back to honest pin scans for the min-cache
+    ablation benchmark.
+    """
+
+    def __init__(self, sub, shadow: EdgeMinShadow, *, enabled: bool = True,
+                 charge=None) -> None:
+        self._sub = sub
+        self._shadow = shadow
+        self.enabled = enabled
+        self._charge = charge if charge is not None else (lambda n: None)
+
+    def _scan_excluding(self, e, v) -> float:
+        best: float = math.inf
+        n = 0
+        get = self._shadow.ta.get
+        id_of = self._sub.interner.id_of
+        for w in self._sub.pins(e):
+            n += 1
+            if w != v:
+                i = id_of(w)
+                t = get(i) if i is not None else 0
+                if t < best:
+                    best = t
+        self._charge(n)
+        return best
+
+    def edge_min(self, e) -> float:
+        if not self.enabled:
+            return self._scan_excluding(e, object())
+        ei = self._sub.edge_interner.id_of(e)
+        if ei is None:
+            return math.inf
+        self._charge(1)
+        m = self._shadow.edge_min_id(ei)
+        return math.inf if m >= INF else m
+
+    def min_excluding(self, e, v) -> float:
+        if not self.enabled:
+            return self._scan_excluding(e, v)
+        ei = self._sub.edge_interner.id_of(e)
+        if ei is None:
+            return math.inf
+        vi = self._sub.interner.id_of(v)
+        self._charge(1)
+        m = self._shadow.min_excluding_id(ei, vi if vi is not None else -1)
+        return math.inf if m >= INF else m
+
+    def on_value_change(self, v) -> None:
+        # dense-id hooks on the maintainer dirty the shadow; see class docs
+        return None
+
+    def invalidate(self, e) -> None:
+        ei = self._sub.edge_interner.id_of(e)
+        if ei is not None:
+            self._shadow.invalidate(ei)
+
+    def clear(self) -> None:
+        self._shadow.invalidate_all()

@@ -215,7 +215,9 @@ def restore_maintainer(cp: Checkpoint, rt=None, *, algorithm: str = None, **kwar
     ``algorithm`` overrides the checkpointed one (the snapshot is
     algorithm-agnostic: any maintainer can adopt it).  Extra ``kwargs``
     are forwarded to the algorithm class; ``engine="array"`` rebuilds
-    onto an :class:`~repro.engine.ArrayGraph` substrate (graphs only).
+    onto an :class:`~repro.engine.ArrayGraph` (graph checkpoints) or
+    :class:`~repro.engine.ArrayHypergraph` (hypergraph checkpoints)
+    substrate.
 
     The requested combination is validated *before* anything is built or
     mutated, so a bad restore fails fast with an actionable error.
@@ -230,25 +232,23 @@ def restore_maintainer(cp: Checkpoint, rt=None, *, algorithm: str = None, **kwar
             f"{sorted(ALGORITHMS)} or pass algorithm= to override)"
         )
     engine = kwargs.get("engine", "auto")
-    if cp.is_hypergraph:
-        if algo == "traversal":
-            raise ValueError(
-                "cannot restore checkpoint: the 'traversal' baseline is "
-                "defined for graphs only but the checkpoint holds a "
-                "hypergraph; pass algorithm= to pick a hypergraph-capable "
-                f"maintainer ({sorted(set(ALGORITHMS) - {'traversal'})})"
-            )
-        if engine == "array":
-            raise ValueError(
-                "cannot restore checkpoint: engine='array' supports graphs "
-                "only but the checkpoint holds a hypergraph; restore with "
-                "engine='dict' (or 'auto')"
-            )
+    if cp.is_hypergraph and algo == "traversal":
+        raise ValueError(
+            "cannot restore checkpoint: the 'traversal' baseline is "
+            "defined for graphs only but the checkpoint holds a "
+            "hypergraph; pass algorithm= to pick a hypergraph-capable "
+            f"maintainer ({sorted(set(ALGORITHMS) - {'traversal'})})"
+        )
     sub = cp.build_substrate()
-    if engine == "array" and not cp.is_hypergraph:
-        from repro.engine.array_graph import ArrayGraph
+    if engine == "array":
+        if cp.is_hypergraph:
+            from repro.engine.array_hypergraph import ArrayHypergraph
 
-        sub = ArrayGraph.from_graph(sub)
+            sub = ArrayHypergraph.from_hypergraph(sub)
+        else:
+            from repro.engine.array_graph import ArrayGraph
+
+            sub = ArrayGraph.from_graph(sub)
     m = make_maintainer(sub, algo, rt, tau=dict(cp.tau), **kwargs)
     m.batches_processed = cp.batches_processed
     return m

@@ -75,5 +75,10 @@ class Transaction:
             # the inverse replay may have recycled interned ids; rebuild the
             # dense shadow from the restored label-keyed tau wholesale
             tau_array.resync(sub, tau)
+        edge_shadow = getattr(maintainer, "_edge_shadow", None)
+        if edge_shadow is not None:
+            # same reasoning for the hyperedge min-tau shadow -- and it must
+            # happen even when min_cache is None (set/setmb run without one)
+            edge_shadow.invalidate_all()
         maintainer.batches_processed = self.batches_processed
         maintainer._txn_restore_extra(self.extra)

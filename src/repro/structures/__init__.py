@@ -21,6 +21,7 @@ from repro.structures.disjoint_set import DisjointSet
 from repro.structures.hindex import (
     h_index,
     h_index_counting,
+    h_index_counting_scratch,
     h_index_of_counts,
     h_index_sorted,
 )
@@ -33,6 +34,7 @@ __all__ = [
     "LevelAccumulator",
     "h_index",
     "h_index_counting",
+    "h_index_counting_scratch",
     "h_index_of_counts",
     "h_index_sorted",
 ]

@@ -1,0 +1,36 @@
+"""Full-size wall-clock benchmark run as a ``slow``-marked test.
+
+Tier-1 excludes these (``-m 'not slow'`` in the project addopts); run them
+explicitly with ``pytest -m slow`` to check the engine acceptance bar at
+the default benchmark scale: the hypergraph workloads must show at least
+a 2.5x median dict -> array speedup with identical, oracle-verified kappa.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from bench_wallclock import FULL_CONFIG, run  # noqa: E402
+
+pytestmark = pytest.mark.slow
+
+
+def test_full_benchmark_meets_acceptance_bar():
+    report = run(FULL_CONFIG)
+    hyper = {k: w for k, w in report["workloads"].items()
+             if k.startswith("hyper_")}
+    assert set(hyper) == {"hyper_insert", "hyper_delete", "hyper_mixed"}
+    for key, w in report["workloads"].items():
+        assert w["kappa_identical"] is True, key
+        assert w["oracle_verified"] is True, key
+    median_speedup = statistics.median(w["speedup"] for w in hyper.values())
+    assert median_speedup >= 2.5, (
+        f"hypergraph dict->array median speedup {median_speedup:.2f}x "
+        f"below the 2.5x acceptance bar"
+    )

@@ -129,7 +129,12 @@ CRASH_POINTS = [
     ("checkpoint.rename.after", 1),
 ]
 
-CONFIGS = [("graph", "dict"), ("graph", "array"), ("hyper", "dict")]
+CONFIGS = [
+    ("graph", "dict"),
+    ("graph", "array"),
+    ("hyper", "dict"),
+    ("hyper", "array"),
+]
 
 
 def test_crash_matrix_covers_the_required_surface():
@@ -517,10 +522,17 @@ def test_restore_rejects_traversal_on_hypergraph():
         restore_maintainer(cp, algorithm="traversal")
 
 
-def test_restore_rejects_array_engine_on_hypergraph():
+def test_restore_array_engine_on_hypergraph_round_trips():
+    """PR 4 lifted the array-engine restriction: a hypergraph checkpoint
+    restores onto an ArrayHypergraph and keeps maintaining correctly."""
     cp = _hyper_checkpoint()
-    with pytest.raises(ValueError, match="engine='array' supports graphs"):
-        restore_maintainer(cp, engine="array")
+    m = restore_maintainer(cp, engine="array")
+    assert getattr(m.sub, "is_array_backed", False)
+    assert m.sub.is_hypergraph
+    assert m.engine == "array"
+    assert m.kappa() == cp.tau
+    m.apply_batch(Batch([Change("new", 1, True), Change("new", 5, True)]))
+    verify_kappa(m)
 
 
 # ---------------------------------------------------------------------------

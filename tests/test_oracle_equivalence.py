@@ -178,6 +178,46 @@ def test_array_engine_remove_reinsert(algorithm):
         verify_kappa(m)
 
 
+@pytest.mark.parametrize("algorithm", HYPER_ALGOS)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_array_hypergraph_matches_oracle_and_dict(algorithm, seed):
+    """The hypergraph array engine (incidence pools + min-tau shadow) must
+    agree with the peeling oracle *and* with the dict engine over the same
+    randomised mixed pin stream."""
+    from repro.engine import ArrayHypergraph
+
+    h_dict = hypergraph_for(seed)
+    h_arr = ArrayHypergraph.from_hypergraph(h_dict)
+    m_dict = make_maintainer(h_dict, algorithm, engine="dict")
+    m_arr = make_maintainer(h_arr, algorithm, engine="array")
+    assert m_dict.engine == "dict" and m_arr.engine == "array"
+    proto = BatchProtocol(h_dict, seed=seed + 40)
+    for _ in range(ROUNDS):
+        prep, mixed, restore = proto.mixed(10)
+        for batch in (prep, mixed, restore):
+            m_dict.apply_batch(batch)
+            m_arr.apply_batch(batch)
+            verify_kappa(m_arr)
+            assert m_arr.kappa() == m_dict.kappa()
+
+
+@pytest.mark.parametrize("algorithm", HYPER_ALGOS)
+def test_array_hypergraph_remove_reinsert(algorithm):
+    """Every hypergraph algorithm stays oracle-exact on the array engine."""
+    from repro.engine import ArrayHypergraph
+
+    h = ArrayHypergraph.from_hypergraph(affiliation_hypergraph(70, 110, 4.0, seed=15))
+    m = make_maintainer(h, algorithm)
+    assert m.engine == "array"
+    proto = BatchProtocol(h, seed=16)
+    for _ in range(ROUNDS):
+        deletion, insertion = proto.remove_reinsert(12)
+        m.apply_batch(deletion)
+        verify_kappa(m)
+        m.apply_batch(insertion)
+        verify_kappa(m)
+
+
 def test_all_algorithms_registered():
     assert set(ALGORITHMS) == {
         "mod", "set", "setmb", "hybrid", "traversal", "order", "mod-approx",
