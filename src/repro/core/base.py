@@ -48,9 +48,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set
 
-import numpy as np
-
-from repro.core.static import hhc_local, static_hindex
+from repro.core.backend import select_backend
+from repro.core.static import static_hindex
 from repro.graph.dynamic_hypergraph import MinCache
 from repro.graph.substrate import Change
 from repro.parallel.runtime import ParallelRuntime, SerialRuntime
@@ -87,27 +86,12 @@ class MaintainerBase:
         self._level_index: Dict[int, Set[Vertex]] = {}
         for v, k in self.tau.items():
             self._level_index.setdefault(k, set()).add(v)
-        #: dense tau shadow + dirty-bucket level index (array engine only);
-        #: None routes every hot loop through the dict path
-        self._tau_array = None
-        #: dense per-hyperedge min-tau shadow (array hypergraphs only)
-        self._edge_shadow = None
-        if getattr(sub, "is_array_backed", False):
-            from repro.engine.tau_array import EdgeMinShadow, TauArray
-
-            self._tau_array = TauArray.from_graph(sub, self.tau)
-            if getattr(sub, "is_hypergraph", False):
-                self._edge_shadow = EdgeMinShadow(sub, self._tau_array)
+        #: execution backend: owns all engine-specific state (dense tau
+        #: shadow, min-tau shadow, vectorised kernels) behind one seam
+        self.backend = select_backend(sub).bind(self)
         self.min_cache: Optional[MinCache] = None
         if self.use_min_cache:
-            if self._edge_shadow is not None:
-                from repro.engine.tau_array import ArrayMinCache
-
-                self.min_cache = ArrayMinCache(
-                    sub, self._edge_shadow, charge=self.rt.charge
-                )
-            else:
-                self.min_cache = MinCache(sub, self.tau, charge=self.rt.charge)
+            self.min_cache = self.backend.make_min_cache()
         self.batches_processed = 0
         #: all-or-nothing batches (rollback on exception); see module docs
         self.transactional = True
@@ -122,31 +106,17 @@ class MaintainerBase:
     @property
     def engine(self) -> str:
         """``"array"`` when the vectorised flat-array path is active."""
-        return "array" if self._tau_array is not None else "dict"
+        return self.backend.name
 
     def _set_engine(self, engine: str) -> None:
         """Force an execution engine (``make_maintainer``'s ``engine=``)."""
-        if engine == "dict":
-            self._tau_array = None
-            self._edge_shadow = None
-            # the dense min-tau shadow died with the engine; fall back to
-            # the dict-backed cache for the scan-based hot loops
-            from repro.engine.tau_array import ArrayMinCache
-
-            if isinstance(self.min_cache, ArrayMinCache):
-                self.min_cache = MinCache(
-                    self.sub, self.tau, charge=self.rt.charge
-                )
-        elif engine == "array":
-            if self._tau_array is None:
-                raise ValueError(
-                    "engine='array' needs an array-backed substrate; wrap the "
-                    "graph in repro.engine.ArrayGraph or the hypergraph in "
-                    "repro.engine.ArrayHypergraph (or use "
-                    "CoreMaintainer(..., engine='array'))"
-                )
-        elif engine != "auto":
-            raise ValueError(f"unknown engine {engine!r}; choose auto/array/dict")
+        if engine == "auto" or engine == self.backend.name:
+            return
+        self.backend = select_backend(self.sub, engine).bind(self)
+        if self.min_cache is not None:
+            # the old backend's cache (dense shadow or dict scan) died
+            # with it; rebuild against the new one
+            self.min_cache = self.backend.make_min_cache()
 
     # -- kappa access ------------------------------------------------------------
     def kappa(self) -> Dict[Vertex, int]:
@@ -179,12 +149,7 @@ class MaintainerBase:
         self._level_index.setdefault(new, set()).add(v)
         if self.min_cache is not None:
             self.min_cache.on_value_change(v)
-        if self._tau_array is not None:
-            i = self.sub.interner.id_of(v)
-            if i is not None:
-                self._tau_array.set_(i, new)
-                if self._edge_shadow is not None:
-                    self._edge_shadow.on_vertex_change(i)
+        self.backend.on_tau_commit(v, new)
 
     def _drop_vertex(self, v: Vertex) -> None:
         """Vertex degree hit zero: it leaves the decomposition."""
@@ -204,51 +169,22 @@ class MaintainerBase:
             if not bucket:
                 del self._level_index[old]
         self._level_index.setdefault(new, set()).add(v)
-        # min cache refresh is handled inside hhc_local itself (the array
-        # hypergraph's shadow is dirtied here instead: its adapter's
-        # on_value_change is a no-op so dense invalidation has one home)
-        if self._tau_array is not None:
-            i = self.sub.interner.id_of(v)
-            if i is not None:
-                self._tau_array.set_(i, new)
-                if self._edge_shadow is not None:
-                    self._edge_shadow.on_vertex_change(i)
+        # min cache refresh is handled inside hhc_local itself; the
+        # backend hook keeps any dense shadow in sync (the array
+        # min-cache adapter's on_value_change is a no-op so dense
+        # invalidation has one home)
+        self.backend.on_tau_commit(v, new)
 
     # -- transactional plumbing ---------------------------------------------------
     def _apply_structural(self, change: Change) -> bool:
         """The single structural mutation point: apply one pin change and,
         inside a transaction, journal it for rollback."""
-        dead_ids = None
-        shadow_eid = None
-        is_hyper = getattr(self.sub, "is_hypergraph", False)
-        if self._tau_array is not None and not change.insert:
-            # capture dense ids before the deletion can release them: a
-            # vertex whose degree hits zero leaves the interner, and its
-            # tau-array slot must be retired with it (the id may be
-            # recycled for a different label).  A graph change can kill
-            # either endpoint; a hypergraph pin change only the named pin.
-            id_of = self.sub.interner.id_of
-            if is_hyper:
-                dead_ids = [(change.vertex, id_of(change.vertex))]
-            else:
-                dead_ids = [(u, id_of(u)) for u in change.edge]
-        if self._edge_shadow is not None and not change.insert:
-            # likewise capture the edge id before the deletion can release
-            # it (its recycled slot must not keep a stale valid entry)
-            shadow_eid = self.sub.edge_interner.id_of(change.edge)
+        token = self.backend.pre_structural(change)
         applied = self.sub.apply(change)
-        if applied and self._txn_journal is not None:
-            self._txn_journal.append(change)
-        if applied and dead_ids is not None:
-            has_vertex = self.sub.has_vertex
-            for u, i in dead_ids:
-                if i is not None and not has_vertex(u):
-                    self._tau_array.drop(i)
-        if applied and self._edge_shadow is not None:
-            if change.insert:
-                shadow_eid = self.sub.edge_interner.id_of(change.edge)
-            if shadow_eid is not None:
-                self._edge_shadow.invalidate(shadow_eid)
+        if applied:
+            if self._txn_journal is not None:
+                self._txn_journal.append(change)
+            self.backend.post_structural(change, token)
         return applied
 
     def _fault_point(self, change: Change) -> None:
@@ -344,51 +280,12 @@ class MaintainerBase:
     def converge(self, active: Iterable[Vertex]) -> None:
         """Run Algorithm 2 from the current tau with the given frontier.
 
-        Dispatches to the vectorised flat-array sweep when the substrate
-        is array-backed (both paths are oracle-equivalent; see
+        The backend decides execution: the dict backend runs the
+        per-vertex ``hhc_local`` loop, the array backend the vectorised
+        flat-array sweep (both are oracle-equivalent; see
         docs/PERFORMANCE.md).
         """
-        if self._tau_array is not None:
-            self._converge_ids(self.sub.ids_of(active))
-            return
-        hhc_local(
-            self.sub,
-            self.rt,
-            tau=self.tau,
-            frontier=active,
-            min_cache=self.min_cache,
-            on_change=self._on_change_hook,
-        )
-
-    def _converge_ids(self, ids: "np.ndarray") -> None:
-        """Array-engine convergence over a dense-id frontier."""
-        from repro.engine.frontier import hhc_frontier_csr, hhc_frontier_incidence
-
-        tau, index = self.tau, self._level_index
-        label_of = self.sub.interner.label_of
-
-        def commit(changed, old, new):
-            # sync the label-keyed dict and level index per committed
-            # change; the dense array was already updated in bulk
-            for i, o, n in zip(changed.tolist(), old.tolist(), new.tolist()):
-                v = label_of(i)
-                tau[v] = n
-                bucket = index.get(o)
-                if bucket is not None:
-                    bucket.discard(v)
-                    if not bucket:
-                        del index[o]
-                index.setdefault(n, set()).add(v)
-
-        if self._edge_shadow is not None:
-            hhc_frontier_incidence(
-                self.sub, self._tau_array, self._edge_shadow, ids,
-                rt=self.rt, on_commit=commit,
-            )
-        else:
-            hhc_frontier_csr(
-                self.sub, self._tau_array, ids, rt=self.rt, on_commit=commit
-            )
+        self.backend.converge(active)
 
     # -- the public entry point ---------------------------------------------------------
     def apply_batch(self, batch) -> None:

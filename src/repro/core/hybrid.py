@@ -84,8 +84,7 @@ class HybridMaintainer(MaintainerBase):
         child.min_cache = self.min_cache
         child.use_min_cache = self.use_min_cache
         child._level_index = self._level_index
-        child._tau_array = self._tau_array
-        child._edge_shadow = self._edge_shadow
+        child.backend = self.backend
         child.batches_processed = 0
         # validation and transactions live at the hybrid level; children
         # inherit the live journal/fault hook per batch (see _apply_batch)
@@ -97,11 +96,10 @@ class HybridMaintainer(MaintainerBase):
 
     def _set_engine(self, engine: str) -> None:
         super()._set_engine(engine)
-        # the children adopted the parent's tau array by reference; keep
+        # the children adopted the parent's backend by reference; keep
         # them on the same engine after a forced switch
         for child in (self._mod, self._setmb):
-            child._tau_array = self._tau_array
-            child._edge_shadow = self._edge_shadow
+            child.backend = self.backend
             child.min_cache = self.min_cache
 
     def _hot_levels(self) -> set:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, Optional, Type
 
 from repro.core.approx import ApproximateModMaintainer
+from repro.core.backend import wrap_substrate
 from repro.core.base import MaintainerBase
 from repro.core.hybrid import HybridMaintainer
 from repro.core.mod import ModMaintainer
@@ -133,15 +134,7 @@ class CoreMaintainer:
         durability: Optional[Dict] = None,
         **kwargs,
     ) -> None:
-        if engine == "array" and not getattr(sub, "is_array_backed", False):
-            if getattr(sub, "is_hypergraph", False):
-                from repro.engine.array_hypergraph import ArrayHypergraph
-
-                sub = ArrayHypergraph.from_hypergraph(sub)
-            else:
-                from repro.engine.array_graph import ArrayGraph
-
-                sub = ArrayGraph.from_graph(sub)
+        sub = wrap_substrate(sub, engine)
         kwargs["engine"] = engine
         if resilient:
             from repro.resilience.supervisor import ResilientMaintainer

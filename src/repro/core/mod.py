@@ -38,7 +38,7 @@ first) is :meth:`ModMaintainer.apply_single`, a batch of one.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterable, Optional, Set, Tuple
 
 from repro.core.base import MaintainerBase
 from repro.core.pin_cases import classify_delete, classify_insert
@@ -218,81 +218,13 @@ class ModMaintainer(MaintainerBase):
         self.last_resolution = resolution
         rt.serial(len(I) + len(D))
 
-        if self._tau_array is not None:
-            self._sweep_and_converge_array(resolution, touched)
-            self.batches_processed += 1
-            return
-
-        # Algorithm 4 lines 13-17, restricted to resolved levels through the
-        # level index.  Collect moves first: mutating the index mid-scan
-        # would double-apply increments when levels collide.
-        moves: List[Tuple[Vertex, int, int]] = []
-        active: Set[Vertex] = set(touched)
-        for level in list(self._level_index.keys()):
-            inc = resolution.increment(level)
-            if inc > 0:
-                for v in self._level_index[level]:
-                    moves.append((v, level, inc))
-            elif self.activate_deletion_levels and resolution.should_activate(level):
-                active.update(self._level_index[level])
-
-        def apply_move(move):
-            rt.charge(1)
-            return move
-
-        rt.parallel_for(moves, apply_move, region="mod_apply_increments")
-        for v, level, inc in moves:
-            self._set_tau(v, level + inc)
-            active.add(v)
-
-        self.converge(active)
+        # Algorithm 4 lines 13-17 + convergence: the backend owns the
+        # sweep execution strategy (per-vertex dict scan vs vectorised
+        # bucket moves off the dirty-bucket tau index)
+        self.backend.sweep_and_converge(
+            resolution, touched, self.activate_deletion_levels
+        )
         self.batches_processed += 1
-
-    def _sweep_and_converge_array(self, resolution: Resolution, touched) -> None:
-        """The Algorithm 4 level sweep on the flat-array engine.
-
-        Distinct levels come off the dirty-bucket tau index in one
-        vectorised pass and the frontier is assembled as dense id arrays
-        -- no Python set iteration over untouched buckets.  Bucket slices
-        are collected before the first tau write (the rebuild-on-mutation
-        rule mirrors the dict path's collect-then-apply).
-        """
-        import numpy as np
-
-        ta = self._tau_array
-        rt = self.rt
-        moves: List[Tuple[np.ndarray, int, int]] = []
-        frontier = [self.sub.ids_of(touched)]
-        for level in ta.levels().tolist():
-            inc = resolution.increment(level)
-            if inc > 0:
-                moves.append((ta.ids_at_level(level), level, inc))
-            elif self.activate_deletion_levels and resolution.should_activate(level):
-                frontier.append(ta.ids_at_level(level))
-        label_of = self.sub.interner.label_of
-        tau, index = self.tau, self._level_index
-        for ids, level, inc in moves:
-            rt.charge(len(ids))
-            new = level + inc
-            # bulk move: the whole pre-sweep bucket shifts together.  Only
-            # the collected labels leave the source bucket -- a chained
-            # increment (level k and k+inc both incrementing) may have
-            # moved other vertices *into* it meanwhile.
-            labels = [label_of(i) for i in ids.tolist()]
-            for v in labels:
-                tau[v] = new
-            index.setdefault(new, set()).update(labels)
-            src = index.get(level)
-            if src is not None:
-                src.difference_update(labels)
-                if not src:
-                    del index[level]
-            ta.bulk_set(ids, np.full(len(ids), new, dtype=np.int64))
-            if self._edge_shadow is not None:
-                # the moved pins' edges hold stale minima until re-read
-                self._edge_shadow.on_vertices_changed(ids)
-            frontier.append(ids)
-        self._converge_ids(np.concatenate(frontier))
 
     # -- Algorithm 3: single hyperedge change -----------------------------------------------
     def apply_single(self, edge, pins: Iterable[Vertex], insert: bool) -> None:

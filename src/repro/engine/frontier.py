@@ -25,7 +25,13 @@ per vertex with the same segment kernel.
 
 Work accounting mirrors the dict path: one charge unit per gathered
 neighbour value (graphs) / incidence contribution plus shadow pin read
-(hypergraphs), plus one per frontier h-index evaluation.
+(hypergraphs), plus one per frontier h-index evaluation.  The charges go
+through ``rt.parallel_ranges`` with per-chunk costs read off the gather's
+CSR prefix sums (``out_ptr``), so under the
+:class:`~repro.parallel.simulated.SimulatedRuntime` each vectorised
+iteration is metered as a real chunked parallel region -- the same
+scheduling treatment ``hhc_local``'s per-vertex ``parallel_for``
+receives -- instead of one serial lump.
 """
 
 from __future__ import annotations
@@ -118,7 +124,13 @@ def hhc_frontier_csr(
         old = arr[F]
         changed_mask = new != old
         if rt is not None:
-            rt.charge(int(out_ptr[-1]) + len(F))
+            # per frontier vertex: its gathered neighbours + one h-index
+            # evaluation, chunk costs straight off the CSR prefix sums
+            rt.parallel_ranges(
+                len(F),
+                lambda lo, hi: float(out_ptr[hi] - out_ptr[lo]) + (hi - lo),
+                region="frontier_csr",
+            )
         if not changed_mask.any():
             break
         changed = F[changed_mask]
@@ -183,7 +195,8 @@ def hhc_frontier_incidence(
             break
         iterations += 1
         inc, out_ptr = _gather_ranges(v_starts, v_counts, v_pool, F)
-        pin_reads = shadow.refresh_ids(np.unique(inc))
+        dirty = np.unique(inc)
+        pin_reads = shadow.refresh_ids(dirty)
         # contribution of edge e to its pin v: min tau over the other pins
         # = second order statistic when v is the min witness, else the min
         owner = np.repeat(F, np.diff(out_ptr))
@@ -195,7 +208,22 @@ def hhc_frontier_incidence(
         old = arr[F]
         changed_mask = new != old
         if rt is not None:
-            rt.charge(int(out_ptr[-1]) + pin_reads + len(F))
+            # the shadow refresh scans pins grouped by dirty edge; spread
+            # its cost uniformly over the refreshed edges as one region
+            if pin_reads and len(dirty):
+                per_edge = pin_reads / len(dirty)
+                rt.parallel_ranges(
+                    len(dirty),
+                    lambda lo, hi: per_edge * (hi - lo),
+                    region="shadow_refresh",
+                )
+            # per frontier vertex: its incidence contributions + one
+            # h-index evaluation, chunked off the CSR prefix sums
+            rt.parallel_ranges(
+                len(F),
+                lambda lo, hi: float(out_ptr[hi] - out_ptr[lo]) + (hi - lo),
+                region="frontier_incidence",
+            )
         if not changed_mask.any():
             break
         changed = F[changed_mask]

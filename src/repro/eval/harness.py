@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.backend import wrap_substrate
 from repro.core.maintainer import make_maintainer
 from repro.core.static import hhc_local
 from repro.eval.datasets import DATASETS
@@ -63,6 +64,10 @@ class ExperimentResult:
     times: Dict[int, Dict[int, Stats]] = field(default_factory=dict)
     #: simulated seconds of a from-scratch recompute, per thread count
     static_time: Optional[Dict[int, float]] = None
+    #: execution engine the maintainer actually ran on
+    engine: str = "dict"
+    #: total simulated work units across all timed batches
+    work_units: float = 0.0
 
     def speedup(self, batch_size: int, threads: int) -> float:
         series = self.times[batch_size]
@@ -80,11 +85,12 @@ def _spec(dataset: str):
         raise ValueError(f"unknown dataset {dataset!r}") from None
 
 
-def _timed_apply(maintainer, rt: SimulatedRuntime, batch) -> Dict[int, float]:
+def _timed_apply(maintainer, rt: SimulatedRuntime, batch) -> Tuple[Dict[int, float], float]:
     rt.reset_clock()
     maintainer.apply_batch(batch)
     metrics = rt.take_metrics()
-    return {t: metrics.elapsed_seconds(t) for t in rt.thread_counts}
+    times = {t: metrics.elapsed_seconds(t) for t in rt.thread_counts}
+    return times, metrics.work_units
 
 
 def run_scalability(
@@ -97,22 +103,31 @@ def run_scalability(
     scale: float = 1.0,
     seed: int = 0,
     thread_counts: Sequence[int] = DEFAULT_THREAD_COUNTS,
+    engine: str = "auto",
     maintainer_kwargs: Optional[dict] = None,
 ) -> ExperimentResult:
     """One figure panel: runtime vs threads, one series per batch size.
 
     ``direction`` is ``"insert"``, ``"delete"`` or ``"mixed"``.
+    ``engine`` picks the execution path (``"auto"`` / ``"array"`` /
+    ``"dict"``): with ``"array"`` the loaded dataset is lifted onto its
+    flat-array substrate and the timed batches run through the vectorised
+    kernels, which report chunked work to the simulated machine -- the
+    same scaling figures, produced on the fast engine.
     """
     if direction not in ("insert", "delete", "mixed"):
         raise ValueError(f"unknown direction {direction!r}")
     spec = _spec(dataset)
-    sub = spec.load(scale, seed)
+    sub = wrap_substrate(spec.load(scale, seed), engine)
     rt = SimulatedRuntime(profile=spec.profile, thread_counts=thread_counts)
-    maintainer = make_maintainer(sub, algorithm, rt, **(maintainer_kwargs or {}))
+    maintainer = make_maintainer(
+        sub, algorithm, rt, engine=engine, **(maintainer_kwargs or {})
+    )
     proto = BatchProtocol(sub, seed=seed + 1)
 
     result = ExperimentResult(
-        dataset, algorithm, direction, tuple(thread_counts), tuple(batch_sizes)
+        dataset, algorithm, direction, tuple(thread_counts), tuple(batch_sizes),
+        engine=maintainer.engine,
     )
     for b in batch_sizes:
         samples: Dict[int, List[float]] = {t: [] for t in thread_counts}
@@ -121,21 +136,22 @@ def run_scalability(
                 prep, mixed, restore = proto.mixed(b)
                 rt.reset_clock()
                 maintainer.apply_batch(prep)  # untimed staging
-                timed = _timed_apply(maintainer, rt, mixed)
+                timed, work = _timed_apply(maintainer, rt, mixed)
                 rt.reset_clock()
                 maintainer.apply_batch(restore)  # untimed restore
             else:
                 deletion, insertion = proto.remove_reinsert(b)
                 if direction == "delete":
-                    timed = _timed_apply(maintainer, rt, deletion)
+                    timed, work = _timed_apply(maintainer, rt, deletion)
                     rt.reset_clock()
                     maintainer.apply_batch(insertion)  # untimed restore
                 else:
                     rt.reset_clock()
                     maintainer.apply_batch(deletion)  # untimed staging
-                    timed = _timed_apply(maintainer, rt, insertion)
+                    timed, work = _timed_apply(maintainer, rt, insertion)
             for t, secs in timed.items():
                 samples[t].append(secs)
+            result.work_units += work
         result.times[b] = {t: Stats.of(xs) for t, xs in samples.items()}
     rt.reset_clock()
     return result
@@ -150,6 +166,7 @@ def run_latency_vs_static(
     scale: float = 1.0,
     seed: int = 0,
     threads: int = 1,
+    engine: str = "auto",
 ) -> ExperimentResult:
     """Maintenance latency against from-scratch recomputation.
 
@@ -170,6 +187,7 @@ def run_latency_vs_static(
         scale=scale,
         seed=seed,
         thread_counts=thread_counts,
+        engine=engine,
     )
     sub = spec.load(scale, seed)
     rt = SimulatedRuntime(profile=spec.profile, thread_counts=thread_counts)

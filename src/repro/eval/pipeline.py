@@ -27,6 +27,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.core.backend import wrap_substrate
 from repro.core.maintainer import make_maintainer
 from repro.eval.datasets import DATASETS
 from repro.eval.stats import Stats
@@ -160,6 +161,7 @@ def max_sustainable_rate(
     seed: int = 0,
     rate_bounds: Tuple[float, float] = (1e2, 1e9),
     iterations: int = 12,
+    engine: str = "auto",
     maintainer_kwargs: Optional[dict] = None,
 ) -> Tuple[float, PipelineResult]:
     """Binary-search the saturation change rate (changes/second).
@@ -167,13 +169,15 @@ def max_sustainable_rate(
     The change stream is a Poisson process over remove/reinsert protocol
     units; a rate is *sustained* when the pipeline finishes with bounded
     queues and utilisation below 1.  Returns ``(rate, result_at_rate)``.
+    ``engine`` selects the execution path as in
+    :func:`~repro.eval.harness.run_scalability`.
     """
     spec = DATASETS[dataset]
 
     def attempt(rate: float) -> PipelineResult:
-        sub = spec.load(scale, seed)
+        sub = wrap_substrate(spec.load(scale, seed), engine)
         rt = SimulatedRuntime(profile=spec.profile)
-        maintainer = make_maintainer(sub, algorithm, rt,
+        maintainer = make_maintainer(sub, algorithm, rt, engine=engine,
                                      **(maintainer_kwargs or {}))
         proto = BatchProtocol(sub, seed=seed + 1)
         changes: List[object] = []

@@ -79,7 +79,12 @@ class RunMetrics:
 
     def speedup(self, t: int, base: int = 1) -> float:
         e = self.elapsed_ns[t]
-        return self.elapsed_ns[base] / e if e else float("inf")
+        b = self.elapsed_ns[base]
+        if e == 0:
+            # an empty run scales trivially: report 1.0, not inf (a zero
+            # numerator over a zero denominator is no evidence of scaling)
+            return 1.0 if b == 0 else float("inf")
+        return b / e
 
     def merged_with(self, other: "RunMetrics") -> "RunMetrics":
         if self.thread_counts != other.thread_counts:

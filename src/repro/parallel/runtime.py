@@ -16,6 +16,16 @@ Algorithms interact with a runtime through four calls:
 ``serial(units)``
     Account sequential, non-parallelisable work.
 
+``parallel_ranges(n, chunk_cost, region=...)``
+    The chunked-region seam for *vectorised* code: the caller has already
+    executed a whole region as one NumPy pass over ``n`` logical items and
+    reports how much work each contiguous chunk ``[lo, hi)`` of those
+    items represents (typically a degree prefix-sum difference).  The
+    simulated backend chunks the range exactly as it would a
+    ``parallel_for`` of ``n`` tasks and schedules the per-chunk costs, so
+    vectorised kernels show the same scaling behaviour their per-item
+    twins would -- instead of booking one serial lump.
+
 Keeping the accounting explicit in the algorithm code is what lets the
 simulated backend replay the *actual* work distribution on any number of
 virtual threads; the serial and thread backends simply ignore it.
@@ -56,6 +66,30 @@ class ParallelRuntime:
     ) -> List[R]:
         """Apply ``fn`` to each item, returning results in order."""
         return [fn(x) for x in items]
+
+    def parallel_ranges(
+        self,
+        n: int,
+        chunk_cost: Callable[[int, int], float],
+        *,
+        region: str = "ranges",
+        grain: int = 1,
+    ) -> float:
+        """Account an already-executed vectorised pass over ``n`` items.
+
+        ``chunk_cost(lo, hi)`` must return the work units represented by
+        the contiguous item range ``[lo, hi)`` and be *additive*:
+        ``chunk_cost(a, c) == chunk_cost(a, b) + chunk_cost(b, c)`` --
+        prefix-sum differences qualify.  Returns the total work units
+        accounted for the region.  The base implementation charges the
+        whole range as one lump (wall-clock backends ignore charges
+        anyway); the simulator overrides this with real chunking.
+        """
+        if n <= 0:
+            return 0.0
+        total = float(chunk_cost(0, n))
+        self.charge(total)
+        return total
 
     # -- accounting --------------------------------------------------------------
     def charge(self, units: float) -> None:

@@ -116,6 +116,55 @@ class SimulatedRuntime(ParallelRuntime):
             self.region_log.append(reg)
         return out
 
+    def parallel_ranges(
+        self,
+        n: int,
+        chunk_cost: Callable[[int, int], float],
+        *,
+        region: str = "ranges",
+        grain: int = 1,
+    ) -> float:
+        """Meter a vectorised pass as a real chunked parallel region.
+
+        The range ``[0, n)`` is chunked exactly like a ``parallel_for``
+        of ``n`` tasks; each chunk's cost is the caller-reported
+        ``chunk_cost(lo, hi)`` plus the machine's per-task and per-chunk
+        overheads, and the chunk-cost stream goes through the same greedy
+        list scheduler -- so a NumPy kernel that executes in one shot
+        still yields the full makespan curve its work distribution
+        implies.
+        """
+        if n <= 0:
+            return 0.0
+        if self._task_units is not None:
+            # nested inside a task: collapse into it, like parallel_for
+            total = float(chunk_cost(0, n))
+            self._task_units += total
+            return total
+        self._flush_serial()
+        mach = self.machine
+        reg = RegionMetrics(region, tasks=n)
+        sizes = chunk_sizes(n, max(self.thread_counts), grain)
+        chunk_costs: List[float] = []
+        lo = 0
+        for size in sizes:
+            hi = lo + size
+            chunk_costs.append(
+                mach.chunk_overhead_units
+                + size * mach.task_overhead_units
+                + float(chunk_cost(lo, hi))
+            )
+            lo = hi
+        reg.chunks = len(chunk_costs)
+        reg.work_units = sum(chunk_costs)
+        reg.span_units = max(chunk_costs, default=0.0)
+        for t in self.thread_counts:
+            reg.makespan_units[t] = list_schedule_makespan(chunk_costs, t)
+        self._run.add_region(reg, mach, self.profile)
+        if self.keep_regions:
+            self.region_log.append(reg)
+        return reg.work_units
+
     def region_breakdown(self, threads: int) -> str:
         """Where simulated time goes: per-region-name totals at ``threads``.
 

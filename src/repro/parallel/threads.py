@@ -12,10 +12,18 @@ Algorithms in this repository are written so that concurrent task bodies
 are safe under the GIL's per-bytecode atomicity for the dict/set operations
 they perform; results are returned in item order regardless of completion
 order.
+
+Although charges cannot change this backend's (measured) elapsed time,
+they are **recorded** rather than dropped: ``regions`` / ``tasks`` /
+``work_units`` totals and the per-region ``region_counts`` /
+``region_tasks`` breakdowns let a thread-backend run be compared
+region-for-region against the same algorithm under the simulator or the
+dict engine -- the parity check the oracle tests rely on.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, List, TypeVar
 
@@ -37,6 +45,25 @@ class ThreadRuntime(ParallelRuntime):
         self.threads = threads
         self.thread_counts = (threads,)
         self._pool = ThreadPoolExecutor(max_workers=threads)
+        #: parallel regions entered (parallel_for + parallel_ranges)
+        self.regions = 0
+        #: logical tasks across all regions
+        self.tasks = 0
+        #: charged work units (under the GIL, += on a float is atomic
+        #: enough for accounting; exact totals are asserted only for
+        #: deterministic single-region runs)
+        self.work_units = 0.0
+        self.atomic_ops = 0.0
+        self.serial_units = 0.0
+        #: per-region-name entry counts / task totals
+        self.region_counts: Counter = Counter()
+        self.region_tasks: Counter = Counter()
+
+    def _record_region(self, region: str, tasks: int) -> None:
+        self.regions += 1
+        self.tasks += tasks
+        self.region_counts[region] += 1
+        self.region_tasks[region] += tasks
 
     def parallel_for(
         self,
@@ -48,6 +75,7 @@ class ThreadRuntime(ParallelRuntime):
     ) -> List[R]:
         item_list = list(items)
         n = len(item_list)
+        self._record_region(region, n)
         if n == 0:
             return []
         if n <= grain or self.threads == 1:
@@ -62,6 +90,40 @@ class ThreadRuntime(ParallelRuntime):
         for f in futures:
             out.extend(f.result())
         return out
+
+    def parallel_ranges(
+        self,
+        n: int,
+        chunk_cost: Callable[[int, int], float],
+        *,
+        region: str = "ranges",
+        grain: int = 1,
+    ) -> float:
+        self._record_region(region, max(n, 0))
+        return super().parallel_ranges(n, chunk_cost, region=region, grain=grain)
+
+    # -- accounting (recorded, not timed) ----------------------------------------
+    def charge(self, units: float) -> None:
+        self.work_units += units
+
+    def charge_atomic(self, ops: float = 1.0) -> None:
+        self.atomic_ops += ops
+        self.work_units += ops
+
+    def serial(self, units: float) -> None:
+        self.serial_units += units
+        self.work_units += units
+
+    def reset_clock(self) -> None:
+        # a "run" is everything between clock resets, as in the simulator
+        super().reset_clock()
+        self.regions = 0
+        self.tasks = 0
+        self.work_units = 0.0
+        self.atomic_ops = 0.0
+        self.serial_units = 0.0
+        self.region_counts.clear()
+        self.region_tasks.clear()
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

@@ -239,16 +239,9 @@ def restore_maintainer(cp: Checkpoint, rt=None, *, algorithm: str = None, **kwar
             "hypergraph; pass algorithm= to pick a hypergraph-capable "
             f"maintainer ({sorted(set(ALGORITHMS) - {'traversal'})})"
         )
-    sub = cp.build_substrate()
-    if engine == "array":
-        if cp.is_hypergraph:
-            from repro.engine.array_hypergraph import ArrayHypergraph
+    from repro.core.backend import wrap_substrate
 
-            sub = ArrayHypergraph.from_hypergraph(sub)
-        else:
-            from repro.engine.array_graph import ArrayGraph
-
-            sub = ArrayGraph.from_graph(sub)
+    sub = wrap_substrate(cp.build_substrate(), engine)
     m = make_maintainer(sub, algo, rt, tau=dict(cp.tau), **kwargs)
     m.batches_processed = cp.batches_processed
     return m

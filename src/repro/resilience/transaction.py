@@ -70,15 +70,8 @@ class Transaction:
             index.setdefault(k, set()).add(v)
         if maintainer.min_cache is not None:
             maintainer.min_cache.clear()
-        tau_array = getattr(maintainer, "_tau_array", None)
-        if tau_array is not None:
-            # the inverse replay may have recycled interned ids; rebuild the
-            # dense shadow from the restored label-keyed tau wholesale
-            tau_array.resync(sub, tau)
-        edge_shadow = getattr(maintainer, "_edge_shadow", None)
-        if edge_shadow is not None:
-            # same reasoning for the hyperedge min-tau shadow -- and it must
-            # happen even when min_cache is None (set/setmb run without one)
-            edge_shadow.invalidate_all()
+        backend = getattr(maintainer, "backend", None)
+        if backend is not None:
+            backend.rollback_resync()
         maintainer.batches_processed = self.batches_processed
         maintainer._txn_restore_extra(self.extra)

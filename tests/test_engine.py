@@ -370,8 +370,8 @@ class TestArrayRollback:
         # dense shadow resynced: every live label agrees with the dict
         for v, k in m.tau.items():
             i = ag.interner.id_of(v)
-            assert i is not None and m._tau_array.live[i]
-            assert int(m._tau_array.arr[i]) == k
+            assert i is not None and m.backend.tau_array.live[i]
+            assert int(m.backend.tau_array.arr[i]) == k
         m.apply_batch(bad)
         assert verify_kappa(m) == []
 
@@ -390,6 +390,6 @@ class TestArrayRollback:
         assert m.tau == tau0
         assert sorted(ag.vertices()) == [0, 1, 2, 3]
         for v, k in m.tau.items():
-            assert int(m._tau_array.arr[ag.interner.id_of(v)]) == k
+            assert int(m.backend.tau_array.arr[ag.interner.id_of(v)]) == k
         m.apply_batch(bad)
         assert verify_kappa(m) == []
