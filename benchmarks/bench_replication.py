@@ -1,0 +1,220 @@
+#!/usr/bin/env python
+"""What replication buys: bounded lag, read scale-out, fast failover.
+
+Plays the bursty remove/reinsert stream through a durable primary with
+``N`` hot standbys over the simulated, costed transport
+(:mod:`repro.replication`) and measures the three headline numbers of
+the replication subsystem:
+
+* ``lag``      -- max standby lag sampled after every committed batch.
+  The contract (asserted, and recorded in the JSON): at steady state the
+  lag stays **within one batch** -- the adaptive pump always lands an
+  undisturbed shipment inside the round that committed it.
+* ``scaleout`` -- bounded-staleness reads at budget 0 routed through the
+  :class:`~repro.replication.replica_set.ReplicaSet`, swept over fleet
+  sizes: reads served per endpoint and the share the standbys absorb.
+* ``failover`` -- the primary is killed mid-stream (process-death model:
+  the WAL handle is dropped unsynced), the freshest standby is promoted,
+  and the simulated promote + survivor catch-up time is recorded.  A
+  drop-plan on one survivor's link forces real retransmit work during
+  catch-up, so the recovery time is not a degenerate zero.
+
+All timing is *simulated* seconds on the shared virtual clock -- the
+same :class:`~repro.distributed.cluster.ClusterSpec` cost model that
+prices BSP supersteps -- so every number is deterministic under a fixed
+seed.  Every run finishes with a full peeling verification and a
+replica-convergence check.
+
+Usage::
+
+    python benchmarks/bench_replication.py            # full run, writes JSON
+    python benchmarks/bench_replication.py --quick    # CI smoke (small sizes)
+    python benchmarks/bench_replication.py --out PATH # custom output path
+
+The full run writes ``BENCH_replication.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.harness import run_replicated_stream  # noqa: E402
+from repro.resilience.faults import FaultPlan  # noqa: E402
+
+FULL_CONFIG = dict(
+    dataset="DBLP", scale=0.3, rounds=10, reads_per_round=8,
+    fleet=(1, 2, 4), fail_at=12, checkpoint_every=8,
+)
+QUICK_CONFIG = dict(
+    dataset="DBLP", scale=0.05, rounds=3, reads_per_round=4,
+    fleet=(1, 2), fail_at=3, checkpoint_every=4,
+)
+
+#: steady-state replication lag must stay within one batch
+LAG_MAX_BATCHES = 1.0
+
+
+def _result_dict(r) -> dict:
+    return {
+        "dataset": r.dataset,
+        "algorithm": r.algorithm,
+        "rounds": r.rounds,
+        "n_replicas": r.n_replicas,
+        "staleness_budget": r.staleness_budget,
+        "batch_latency_s": dataclasses.asdict(r.batch_latency),
+        "lag_batches": dataclasses.asdict(r.lag_batches),
+        "reads": r.reads,
+        "replica_read_fraction": r.replica_read_fraction,
+        "stats": r.stats,
+        "failover": r.failover,
+        "final_verified": r.final_verified,
+        "replicas_converged": r.replicas_converged,
+    }
+
+
+def run_lag(config: dict, seed: int) -> dict:
+    """Steady-state replication lag with the default 2-standby fleet."""
+    r = run_replicated_stream(
+        config["dataset"], rounds=config["rounds"], n_replicas=2,
+        staleness_budget=0, reads_per_round=config["reads_per_round"],
+        checkpoint_every=config["checkpoint_every"],
+        scale=config["scale"], seed=seed,
+    )
+    print(r.format())
+    if not (r.final_verified and r.replicas_converged):
+        raise AssertionError("lag run diverged or left replicas lagging")
+    return _result_dict(r)
+
+
+def run_scaleout(config: dict, seed: int) -> list:
+    """Budget-0 read routing swept over fleet sizes."""
+    out = []
+    for n in config["fleet"]:
+        r = run_replicated_stream(
+            config["dataset"], rounds=config["rounds"], n_replicas=n,
+            staleness_budget=0, reads_per_round=config["reads_per_round"],
+            checkpoint_every=config["checkpoint_every"],
+            scale=config["scale"], seed=seed,
+        )
+        total = sum(r.reads.values())
+        standby_reads = [v for k, v in r.reads.items() if k != "primary"]
+        row = {
+            "n_replicas": n,
+            "reads": r.reads,
+            "total_reads": total,
+            "replica_read_fraction": r.replica_read_fraction,
+            "max_reads_per_endpoint": max(r.reads.values()) if r.reads else 0,
+            "standby_read_spread": (
+                (max(standby_reads) - min(standby_reads))
+                if standby_reads else None
+            ),
+        }
+        print(f"  N={n}: {total} reads, replica share "
+              f"{r.replica_read_fraction:.0%}, per-endpoint {r.reads}")
+        if not (r.final_verified and r.replicas_converged):
+            raise AssertionError(f"scale-out run (N={n}) diverged")
+        out.append(row)
+    return out
+
+
+def run_failover(config: dict, seed: int) -> dict:
+    """Kill the primary mid-stream, promote, finish, verify.
+
+    Replica 1's link drops a few shipments right before the kill, so the
+    promoted primary has real retransmit + catch-up work to do: the
+    recorded recovery time covers election *and* bringing every survivor
+    back to the promoted watermark.
+    """
+    fail_at = config["fail_at"]
+    drops = {1: [FaultPlan.drop_shipment(k)
+                 for k in range(max(0, fail_at - 2), fail_at + 1)]}
+    r = run_replicated_stream(
+        config["dataset"], rounds=config["rounds"], n_replicas=2,
+        staleness_budget=0, reads_per_round=config["reads_per_round"],
+        checkpoint_every=config["checkpoint_every"],
+        fail_at=fail_at, fault_plans=drops,
+        scale=config["scale"], seed=seed,
+    )
+    print(r.format())
+    if r.failover is None:
+        raise AssertionError("failover never triggered")
+    if not (r.final_verified and r.replicas_converged):
+        raise AssertionError("post-failover stream diverged")
+    return _result_dict(r)
+
+
+def run(config: dict, seed: int) -> dict:
+    print(f"== replication lag ({config['dataset']}, "
+          f"scale {config['scale']}) ==")
+    lag = run_lag(config, seed)
+
+    print(f"\n== read scale-out (fleet {config['fleet']}) ==")
+    scaleout = run_scaleout(config, seed)
+
+    print(f"\n== promote-on-failure (kill at batch {config['fail_at']}) ==")
+    failover = run_failover(config, seed)
+
+    observed_lag = lag["lag_batches"]["maximum"]
+    report = {
+        "meta": {
+            "benchmark": "replication",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "seed": seed,
+            "config": {k: list(v) if isinstance(v, tuple) else v
+                       for k, v in config.items()},
+        },
+        "lag": lag,
+        "scaleout": scaleout,
+        "failover": failover,
+        "contract": {
+            "lag_max_batches": LAG_MAX_BATCHES,
+            "observed": observed_lag,
+            "pass": observed_lag <= LAG_MAX_BATCHES,
+        },
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON path")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    config = QUICK_CONFIG if args.quick else FULL_CONFIG
+    report = run(config, args.seed)
+
+    out = args.out
+    if out is None and not args.quick:
+        out = REPO_ROOT / "BENCH_replication.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {out}")
+
+    contract = report["contract"]
+    assert contract["pass"], (
+        f"steady-state replication lag {contract['observed']:.0f} batches "
+        f"exceeds the {contract['lag_max_batches']:.0f}-batch contract"
+    )
+    print(f"contract passed: steady-state replication lag "
+          f"{contract['observed']:.0f} <= {contract['lag_max_batches']:.0f} "
+          "batch(es); failover recovery "
+          f"{report['failover']['failover']['recovery_s'] * 1e3:.3f} ms "
+          "simulated")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

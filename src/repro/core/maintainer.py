@@ -113,6 +113,17 @@ class CoreMaintainer:
         Optional dict of :class:`DurableMaintainer` knobs
         (``sync_policy`` / ``checkpoint_every`` / ``retain_checkpoints``
         / ``segment_max_bytes``), used only with ``durable=``.
+    replicas:
+        Replicate to this many hot standbys (or attach a sequence of
+        existing :class:`~repro.replication.replica.Replica` objects).
+        Requires ``durable=`` -- replication ships the primary's WAL.
+        Wraps the stack (outermost) in a
+        :class:`~repro.replication.primary.ReplicatedMaintainer`; read
+        routing is on :attr:`replica_set`.
+    replication:
+        Optional dict of :class:`ReplicatedMaintainer` knobs (``spec`` /
+        ``clock`` / ``fault_plans`` / ``heartbeat_every`` /
+        ``divergence_every`` / ...), used only with ``replicas=``.
     kwargs:
         Forwarded to the algorithm class (plus ``transactional=`` /
         ``validate=``, see :func:`make_maintainer`).
@@ -132,6 +143,8 @@ class CoreMaintainer:
         resilience_seed: int = 0,
         durable=None,
         durability: Optional[Dict] = None,
+        replicas=None,
+        replication: Optional[Dict] = None,
         **kwargs,
     ) -> None:
         sub = wrap_substrate(sub, engine)
@@ -157,6 +170,19 @@ class CoreMaintainer:
             from repro.resilience.durability.durable import DurableMaintainer
 
             self.impl = DurableMaintainer(self.impl, durable, **(durability or {}))
+        if replication and replicas is None:
+            raise ValueError("replication= options require replicas=")
+        if replicas is not None:
+            if durable is None:
+                raise ValueError(
+                    "replicas= requires durable=<directory>: replication "
+                    "ships the primary's write-ahead log"
+                )
+            from repro.replication.primary import ReplicatedMaintainer
+
+            self.impl = ReplicatedMaintainer(
+                self.impl, replicas=replicas, **(replication or {})
+            )
         #: RecoveryReport when this instance came from :meth:`recover`
         self.last_recovery = None
 
@@ -227,6 +253,28 @@ class CoreMaintainer:
     def durable(self) -> bool:
         """Whether batches are write-ahead logged to disk."""
         return getattr(self.impl, "wal", None) is not None
+
+    @property
+    def replicated(self) -> bool:
+        """Whether batches are shipped to hot standbys."""
+        return hasattr(self.impl, "sync_replicas")
+
+    @property
+    def replica_set(self):
+        """Bounded-staleness read router (``None`` unless replicated)."""
+        return self.impl.replica_set if self.replicated else None
+
+    @property
+    def replicas(self):
+        """The hot standbys (``[]`` unless replicated)."""
+        return list(self.impl.replicas) if self.replicated else []
+
+    def sync_replicas(self, max_rounds: Optional[int] = None) -> int:
+        """Drain replication until every standby is caught up (no-op
+        rounds=0 when not replicated)."""
+        if not self.replicated:
+            return 0
+        return self.impl.sync_replicas(max_rounds)
 
     @property
     def resilience_stats(self) -> Optional[Dict[str, int]]:

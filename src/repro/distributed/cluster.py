@@ -44,6 +44,18 @@ class ClusterSpec:
         if self.nodes < 1:
             raise ValueError("need at least one node")
 
+    # -- point-to-point costing (used by repro.replication) --------------------
+    def shipment_cost_ns(self, n_items: int) -> float:
+        """Wire cost of one point-to-point message carrying ``n_items``
+        payload items: serialisation + per-item cost + network latency.
+        The replication transport prices every WAL shipment with this,
+        so replication lag and BSP superstep time share one cost model."""
+        return self.msg_ns + max(0, n_items) * self.item_ns + self.network_latency_ns
+
+    def shipment_cost_s(self, n_items: int) -> float:
+        """:meth:`shipment_cost_ns` in seconds (clock units)."""
+        return self.shipment_cost_ns(n_items) / 1e9
+
 
 @dataclass
 class ClusterMetrics:

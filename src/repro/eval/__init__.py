@@ -15,8 +15,10 @@ This subpackage regenerates the paper's evaluation section:
 from repro.eval.datasets import DATASETS, DatasetSpec, load_dataset
 from repro.eval.harness import (
     ExperimentResult,
+    ReplicationResult,
     ResilienceResult,
     run_latency_vs_static,
+    run_replicated_stream,
     run_resilient_stream,
     run_scalability,
 )
@@ -26,10 +28,12 @@ __all__ = [
     "DATASETS",
     "DatasetSpec",
     "ExperimentResult",
+    "ReplicationResult",
     "ResilienceResult",
     "Stats",
     "load_dataset",
     "run_latency_vs_static",
+    "run_replicated_stream",
     "run_resilient_stream",
     "run_scalability",
 ]

@@ -41,9 +41,11 @@ from repro.parallel.simulated import DEFAULT_THREAD_COUNTS, SimulatedRuntime
 
 __all__ = [
     "ExperimentResult",
+    "ReplicationResult",
     "ResilienceResult",
     "run_scalability",
     "run_latency_vs_static",
+    "run_replicated_stream",
     "run_resilient_stream",
 ]
 
@@ -291,3 +293,181 @@ def run_resilient_stream(
         quarantined=[str(q) for q in rm.quarantine],
         final_verified=final_clean,
     )
+
+
+@dataclass
+class ReplicationResult:
+    """Outcome of one replicated bursty-stream run."""
+
+    dataset: str
+    algorithm: str
+    rounds: int
+    n_replicas: int
+    staleness_budget: int
+    batch_latency: Stats          #: simulated seconds per applied batch
+    lag_batches: Stats            #: max standby lag sampled after each batch
+    reads: Dict[str, int]         #: reads served per endpoint
+    replica_read_fraction: float  #: share of reads the standbys absorbed
+    stats: Dict[str, int]         #: primary shipping counters
+    failover: Optional[Dict] = None  #: promote-on-failure measurements
+    final_verified: bool = False
+    replicas_converged: bool = False
+
+    def format(self) -> str:
+        s = self.stats
+        lines = [
+            f"[{self.dataset}] {self.algorithm}: {self.rounds} bursty rounds "
+            f"x {self.n_replicas} replicas (staleness budget "
+            f"{self.staleness_budget})",
+            f"  batch latency (simulated): {self.batch_latency}",
+            "  replication lag (batches): "
+            f"{self.lag_batches.format(unit=1.0)} "
+            f"(max {self.lag_batches.maximum:.0f})",
+            f"  shipments={s['shipments']} acks={s['acks']} naks={s['naks']} "
+            f"retransmits={s['retransmits']} resyncs={s['resyncs']}",
+            f"  reads: {self.reads} "
+            f"(replica share {self.replica_read_fraction:.0%})",
+        ]
+        if self.failover:
+            f = self.failover
+            lines.append(
+                f"  failover at batch {f['at_batch']}: promoted "
+                f"replica-{f['promoted_replica']} term {f['term']}, "
+                f"recovery {f['recovery_s'] * 1e3:.3f} ms simulated, "
+                f"redriven batches {f['redriven_batches']}"
+            )
+        lines.append(
+            "  final: "
+            + ("verified clean" if self.final_verified else "DIVERGED")
+            + (", all replicas converged" if self.replicas_converged else
+               ", REPLICAS LAGGING")
+        )
+        return "\n".join(lines)
+
+
+def run_replicated_stream(
+    dataset: str,
+    algorithm: str = "mod",
+    *,
+    rounds: int = 20,
+    n_replicas: int = 2,
+    staleness_budget: int = 0,
+    reads_per_round: int = 4,
+    fail_at: Optional[int] = None,
+    fault_plans=None,
+    checkpoint_every: int = 8,
+    scale: float = 0.5,
+    seed: int = 0,
+    threads: int = 16,
+    directory=None,
+) -> ReplicationResult:
+    """Play a bursty stream through a durable, replicated maintainer.
+
+    Every applied batch is WAL-logged, shipped to ``n_replicas`` hot
+    standbys over the simulated transport, and pumped to delivery; the
+    sampled max standby lag is the replication-lag series.  Reads are
+    routed through the bounded-staleness
+    :class:`~repro.replication.replica_set.ReplicaSet` at
+    ``staleness_budget``.  With ``fail_at`` set, the primary is killed
+    (process-death model: the WAL handle is dropped unsynced) after that
+    many batches, :func:`~repro.replication.primary.promote_on_failure`
+    elects a standby, unreplicated batches are redriven from the client's
+    buffer, and the stream finishes on the promoted primary; the
+    simulated promote + catch-up time is reported.
+    """
+    import shutil as _shutil
+    import tempfile as _tempfile
+    from pathlib import Path as _Path
+
+    from repro.core.maintainer import CoreMaintainer
+    from repro.core.verify import verify_kappa
+    from repro.graph.streams import BurstySchedule, BurstyStream
+    from repro.replication.primary import promote_on_failure
+
+    spec = _spec(dataset)
+    sub = spec.load(scale, seed)
+    rt = SimulatedRuntime(profile=spec.profile)
+    owned = directory is None
+    root = _Path(_tempfile.mkdtemp(prefix="repro-repl-")) if owned else _Path(directory)
+    try:
+        m = CoreMaintainer(
+            sub, algorithm, rt,
+            durable=root / "primary",
+            durability={"checkpoint_every": checkpoint_every},
+            replicas=n_replicas,
+            replication={"fault_plans": fault_plans} if fault_plans else {},
+        )
+        primary = m.impl  # the ReplicatedMaintainer
+        stream = BurstyStream(sub, BurstySchedule(seed=seed), seed=seed + 1)
+
+        latencies: List[float] = []
+        lags: List[int] = []
+        applied_batches: List = []  # client-side redrive buffer
+        failover: Optional[Dict] = None
+        batches_done = 0
+        for _, deletion, insertion in stream.rounds(rounds):
+            for batch in (deletion, insertion):
+                rt.reset_clock()
+                primary.apply_batch(batch)
+                latencies.append(rt.take_metrics().elapsed_seconds(threads))
+                applied_batches.append(batch)
+                lags.append(primary.max_lag())
+                batches_done += 1
+                if fail_at is not None and failover is None and batches_done >= fail_at:
+                    replicas = primary.replicas
+                    pre_failover_reads = dict(primary.replica_set.reads)
+                    fh = primary.impl.wal._fh  # process death: drop, no sync
+                    if fh is not None:
+                        fh.close()
+                    t0 = primary.clock.now()
+                    promoted = promote_on_failure(replicas)
+                    recovery_s = promoted.clock.now() - t0
+                    redriven = applied_batches[promoted.committed_seqno:]
+                    for rb in redriven:
+                        promoted.apply_batch(rb)
+                    failover = {
+                        "at_batch": batches_done,
+                        "promoted_replica": promoted.promoted_from,
+                        "term": promoted.term,
+                        "recovery_s": recovery_s,
+                        "redriven_batches": len(redriven),
+                    }
+                    primary = promoted
+            rs = primary.replica_set
+            if primary.tau:
+                probe = next(iter(primary.tau))
+                for _ in range(reads_per_round):
+                    rs.kappa_of(probe, max_staleness=staleness_budget)
+        primary.sync_replicas()
+        converged = primary.converged and all(
+            r.kappa() == primary.kappa() for r in primary.replicas
+        )
+        final_clean = verify_kappa(primary, raise_on_mismatch=False) == []
+        rs = primary.replica_set
+        reads = dict(rs.reads)
+        if failover is not None:
+            for label, count in pre_failover_reads.items():
+                reads[label] = reads.get(label, 0) + count
+        total_reads = sum(reads.values())
+        result = ReplicationResult(
+            dataset=dataset,
+            algorithm=algorithm,
+            rounds=rounds,
+            n_replicas=n_replicas,
+            staleness_budget=staleness_budget,
+            batch_latency=Stats.of(latencies),
+            lag_batches=Stats.of([float(x) for x in lags]),
+            reads=reads,
+            replica_read_fraction=(
+                1.0 - reads.get("primary", 0) / total_reads if total_reads else 0.0
+            ),
+            stats=dict(primary.stats),
+            failover=failover,
+            final_verified=final_clean,
+            replicas_converged=converged,
+        )
+        primary.close(final_checkpoint=False, sync=False)
+        return result
+    finally:
+        if owned:
+            _shutil.rmtree(root, ignore_errors=True)

@@ -1,0 +1,178 @@
+"""The replication transport: simulated, costed, and fault-injectable.
+
+A :class:`ReplicationLink` is a one-way primary->replica channel.  It is
+**deterministic-first**: delivery time is computed from the
+:class:`~repro.distributed.cluster.ClusterSpec` cost model
+(serialisation + per-record cost + network latency, the same parameters
+that price BSP supersteps in :mod:`repro.distributed`) against an
+injectable clock -- under a
+:class:`~repro.resilience.backoff.ManualClock` the whole replication
+timeline is virtual and reproducible, which is what lets the chaos and
+failover suites run in milliseconds with zero real waiting.
+
+Transport faults come from ``ship-*``-kind
+:class:`~repro.resilience.faults.FaultPlan` entries, addressed by
+*shipment ordinal* (the N-th shipment handed to this link, heartbeats
+included).  Each plan fires once:
+
+* ``ship-drop`` -- the shipment never arrives;
+* ``ship-dup`` -- it arrives twice;
+* ``ship-reorder`` -- it is held back past its successor's arrival, so a
+  later shipment overtakes it;
+* ``ship-delay`` -- delivery is postponed ``delta`` base latencies;
+* ``ship-torn`` -- the payload is truncated mid-record (the receiver's
+  CRC parsing turns this into a ``"torn"`` NAK, never corruption).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Tuple
+
+from repro.distributed.cluster import ClusterMetrics, ClusterSpec
+from repro.replication.shipment import Shipment
+from repro.resilience.backoff import Clock
+from repro.resilience.faults import FaultPlan
+
+__all__ = ["ReplicationLink"]
+
+
+def _fresh_stats():
+    return {
+        "shipped": 0, "delivered": 0, "dropped": 0, "duplicated": 0,
+        "reordered": 0, "delayed": 0, "torn": 0,
+    }
+
+
+class ReplicationLink:
+    """One-way shipment channel with simulated latency and faults.
+
+    Parameters
+    ----------
+    clock:
+        The shared replication clock (``now()`` decides due deliveries).
+    spec:
+        Transport cost model; a default :class:`ClusterSpec` otherwise.
+    plans:
+        :class:`FaultPlan` entries; only transport (``ship-*``) kinds are
+        consumed, keyed by this link's shipment ordinal.
+    name:
+        Label for repr/debugging.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        *,
+        spec: Optional[ClusterSpec] = None,
+        plans: Iterable[FaultPlan] = (),
+        name: str = "link",
+    ) -> None:
+        self.clock = clock
+        self.spec = spec if spec is not None else ClusterSpec()
+        self.plans: List[FaultPlan] = [p for p in plans if p.is_transport]
+        self.fired: List[FaultPlan] = []
+        self._spent: set = set()
+        self.name = name
+        self.metrics = ClusterMetrics()
+        self.stats = _fresh_stats()
+        #: ``(deliver_at, tiebreak, shipment)`` entries still in flight
+        self._inflight: List[Tuple[float, int, Shipment]] = []
+        self._ordinal = 0
+        self._counter = 0
+
+    # -- sending ---------------------------------------------------------------
+    def base_cost_s(self, items: int = 0) -> float:
+        """Delivery time of a shipment carrying ``items`` records."""
+        return self.spec.shipment_cost_s(items)
+
+    def _plans_for(self, ordinal: int) -> List[FaultPlan]:
+        return [
+            p for p in self.plans
+            if p.batch == ordinal and id(p) not in self._spent
+        ]
+
+    @staticmethod
+    def _tear(shipment: Shipment) -> Shipment:
+        """Truncate the payload strictly mid-record (never on a record
+        boundary: the cut lands inside the trailing commit record, the
+        shape a half-written network buffer leaves)."""
+        payload = shipment.payload
+        if len(payload) < 8:
+            return shipment  # nothing to tear (e.g. a heartbeat)
+        return dataclasses.replace(shipment, payload=payload[: len(payload) - 5])
+
+    def ship(self, shipment: Shipment) -> float:
+        """Put ``shipment`` in flight; returns its delivery time.
+
+        Cost accounting always charges the *sent* shipment (a dropped
+        message still burned wire time); faults then shape what actually
+        arrives, and when.
+        """
+        ordinal = self._ordinal
+        self._ordinal += 1
+        cost = self.base_cost_s(shipment.items)
+        self.metrics.messages += 1
+        self.metrics.elapsed_ns += self.spec.shipment_cost_ns(shipment.items)
+        self.stats["shipped"] += 1
+        deliver_at = self.clock.now() + cost
+        copies: List[Shipment] = [shipment]
+        for plan in self._plans_for(ordinal):
+            self._spent.add(id(plan))
+            self.fired.append(plan)
+            if plan.kind == "ship-drop":
+                copies = []
+                self.stats["dropped"] += 1
+            elif plan.kind == "ship-dup":
+                copies.append(shipment)
+                self.stats["duplicated"] += 1
+            elif plan.kind == "ship-delay":
+                deliver_at += plan.delta * cost
+                self.stats["delayed"] += 1
+            elif plan.kind == "ship-reorder":
+                # held back past the next shipment's arrival: 1.5 steps
+                # is late enough to be overtaken, early enough to land
+                # within the next pump round
+                deliver_at += 1.5 * cost
+                self.stats["reordered"] += 1
+            elif plan.kind == "ship-torn":
+                copies = [self._tear(c) for c in copies]
+                self.stats["torn"] += 1
+        for c in copies:
+            self._inflight.append((deliver_at, self._counter, c))
+            self._counter += 1
+        return deliver_at
+
+    # -- receiving -------------------------------------------------------------
+    def poll(self) -> List[Shipment]:
+        """Shipments whose delivery time has arrived, in arrival order."""
+        now = self.clock.now()
+        due = sorted(
+            (e for e in self._inflight if e[0] <= now), key=lambda e: (e[0], e[1])
+        )
+        if due:
+            self._inflight = [e for e in self._inflight if e[0] > now]
+            self.stats["delivered"] += len(due)
+        return [e[2] for e in due]
+
+    def next_delivery_at(self) -> Optional[float]:
+        """When the earliest in-flight shipment lands (None when idle)."""
+        return min((e[0] for e in self._inflight), default=None)
+
+    def max_inflight_cost_s(self) -> Optional[float]:
+        """Base delivery cost of the largest shipment in flight (None
+        when idle) -- sizes the primary's adaptive pump step so one round
+        always covers an undisturbed delivery."""
+        if not self._inflight:
+            return None
+        return max(self.base_cost_s(e[2].items) for e in self._inflight)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicationLink({self.name!r}, shipped={self.stats['shipped']}, "
+            f"inflight={self.inflight})"
+        )

@@ -1,0 +1,98 @@
+"""Bounded-staleness read routing over a primary and its standbys.
+
+A :class:`ReplicaSet` is the read facade the ISSUE calls for: clients ask
+for ``kappa`` / ``kappa_of`` with a *staleness budget* -- the largest
+number of committed-but-unapplied batches they will tolerate -- and the
+set routes the read to a standby within that budget (round-robin over the
+eligible ones, spreading read load), falling back to the primary when no
+standby qualifies.
+
+The staleness contract: a replica's lag is
+``primary.committed_seqno - replica.applied_seqno``.  With budget 0 a
+read is served only by a standby whose applied watermark *equals* the
+primary's committed watermark (or by the primary itself, which reflects
+its committed state by construction) -- so budget-0 reads are always
+read-your-writes with respect to the primary's durable log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+__all__ = ["ReplicaSet"]
+
+Vertex = Hashable
+
+
+class ReplicaSet:
+    """Staleness-budget read router over ``primary`` and its replicas.
+
+    Constructed from (and cached on) a
+    :class:`~repro.replication.primary.ReplicatedMaintainer`; membership
+    tracks the primary's live handle list, so a promote simply builds a
+    new set from the new primary.
+    """
+
+    def __init__(self, primary) -> None:
+        self.primary = primary
+        self._rr = 0
+        #: reads served per endpoint, for scale-out accounting
+        self.reads: Dict[str, int] = {"primary": 0}
+        for r in primary.replicas:
+            self.reads.setdefault(f"replica-{r.replica_id}", 0)
+
+    # -- staleness accounting --------------------------------------------------
+    def staleness_of(self, replica) -> int:
+        """Committed-but-unapplied batches on ``replica`` right now."""
+        return max(0, self.primary.committed_seqno - replica.applied_seqno)
+
+    def lags(self) -> Dict[int, int]:
+        """``{replica_id: staleness}`` snapshot across the set."""
+        return {
+            r.replica_id: self.staleness_of(r) for r in self.primary.replicas
+        }
+
+    def eligible(self, max_staleness: int = 0) -> List:
+        """Live standbys currently within the staleness budget."""
+        return [
+            r for r in self.primary.replicas
+            if r.live and self.staleness_of(r) <= max_staleness
+        ]
+
+    # -- routing ---------------------------------------------------------------
+    def route(self, max_staleness: int = 0) -> Tuple[str, object]:
+        """Pick ``(label, server)`` for one read under the budget.
+
+        Round-robins across eligible standbys; the primary serves the
+        read itself when nobody is fresh enough (correct at any budget:
+        the primary *is* its own committed watermark).
+        """
+        candidates = self.eligible(max_staleness)
+        if candidates:
+            replica = candidates[self._rr % len(candidates)]
+            self._rr += 1
+            return f"replica-{replica.replica_id}", replica
+        return "primary", self.primary
+
+    def kappa_of(self, v: Vertex, *, max_staleness: int = 0) -> int:
+        label, server = self.route(max_staleness)
+        self.reads[label] = self.reads.get(label, 0) + 1
+        return server.kappa_of(v)
+
+    def kappa(self, *, max_staleness: int = 0) -> Dict[Vertex, int]:
+        label, server = self.route(max_staleness)
+        self.reads[label] = self.reads.get(label, 0) + 1
+        return server.kappa()
+
+    def replica_read_fraction(self) -> float:
+        """Fraction of routed reads served by standbys (scale-out)."""
+        total = sum(self.reads.values())
+        if not total:
+            return 0.0
+        return 1.0 - self.reads.get("primary", 0) / total
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaSet(replicas={len(self.primary.replicas)}, "
+            f"lags={self.lags()})"
+        )

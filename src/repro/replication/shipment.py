@@ -1,0 +1,134 @@
+"""Replication wire types: shipments, acks/naks, the tau fingerprint.
+
+A :class:`Shipment` is the unit the primary puts on a
+:class:`~repro.replication.link.ReplicationLink`.  Its payload is *raw
+WAL wire format* (:func:`~repro.resilience.durability.wal.encode_batch`)
+-- the exact bytes the primary's log holds -- so a replica appends them
+to its own log unchanged, and a shipment torn in flight is caught by the
+same CRC record parsing that catches a segment torn by a crash.
+
+Every shipment is stamped with the primary's **term**, a monotonically
+increasing epoch that changes exactly when a new primary is promoted.
+A replica that has seen term *t* refuses anything stamped ``< t``
+(:class:`Nak` with reason ``"stale-term"``) -- that is what fences a
+deposed primary that comes back from a GC pause and keeps shipping: its
+stale segments can never overwrite a promoted timeline.
+
+``start_seqno`` / ``end_seqno`` delimit the *positions* a records
+shipment covers, not the records it carries: a WAL position consumed by
+a validation-rejected batch has no record, so the receiver advances its
+watermark by range, exactly as recovery derives ``resume_seqno``.
+
+``tau_hash`` carries the primary's :func:`tau_fingerprint` at the commit
+watermark ``end_seqno``.  A replica that reaches the same watermark with
+a different fingerprint has **diverged** and raises
+:class:`ReplicationDivergence` rather than silently serving wrong core
+numbers.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.resilience.durability.errors import DurabilityError
+
+__all__ = [
+    "Shipment",
+    "Ack",
+    "Nak",
+    "tau_fingerprint",
+    "ReplicationError",
+    "ReplicationDivergence",
+    "StaleTermError",
+]
+
+
+class ReplicationError(DurabilityError):
+    """Replication-layer failure (a :class:`DurabilityError` subtype, so
+    one ``except`` clause covers the whole persistence stack)."""
+
+
+class ReplicationDivergence(ReplicationError):
+    """A replica's tau fingerprint disagrees with the primary's at a
+    shared commit watermark.  Never swallowed: a diverged standby must
+    not serve reads or win an election."""
+
+
+class StaleTermError(ReplicationError):
+    """A deposed primary discovered a newer term: its shipments are being
+    fenced and it must stop acting as primary."""
+
+
+def tau_fingerprint(tau: Mapping) -> int:
+    """Order-independent fingerprint of a core-number assignment.
+
+    XOR of per-entry CRC32s over ``repr(vertex)=value`` strings: cheap
+    (one pass, no sort), identical across dict iteration orders and
+    engines, and any single-entry drift flips the result.  This is a
+    divergence *tripwire*, not a cryptographic commitment.
+    """
+    h = len(tau)
+    for v, k in tau.items():
+        h ^= zlib.crc32(f"{v!r}={k}".encode())
+    return h
+
+
+@dataclass(frozen=True)
+class Shipment:
+    """One message from primary to replica.  See the module docstring."""
+
+    kind: str                       #: ``"records"`` | ``"heartbeat"``
+    term: int                       #: primary's fencing epoch
+    start_seqno: int                #: first WAL position covered
+    end_seqno: int                  #: one past the last position covered
+    payload: bytes = b""            #: raw WAL records (``records`` only)
+    items: int = 0                  #: record count, for transport costing
+    tau_hash: Optional[int] = None  #: primary fingerprint at ``end_seqno``
+    committed_seqno: int = 0        #: primary's committed watermark at ship time
+
+    KINDS = ("records", "heartbeat")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown shipment kind {self.kind!r}")
+        if self.end_seqno < self.start_seqno:
+            raise ValueError("end_seqno must be >= start_seqno")
+
+    def __repr__(self) -> str:
+        return (
+            f"Shipment({self.kind}, term={self.term}, "
+            f"[{self.start_seqno},{self.end_seqno}), {len(self.payload)}B)"
+        )
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Receiver's positive response: its new applied watermark."""
+
+    replica_id: int
+    applied_seqno: int
+    term: int
+
+
+@dataclass(frozen=True)
+class Nak:
+    """Receiver's refusal, with the watermark the sender must back up to.
+
+    Reasons: ``"gap"`` (shipment starts past the replica's watermark --
+    something before it was lost), ``"torn"`` (payload damaged in
+    flight; the intact prefix was applied), ``"stale-term"`` (the sender
+    has been deposed and is fenced).
+    """
+
+    replica_id: int
+    applied_seqno: int
+    term: int
+    reason: str
+
+    REASONS = ("gap", "torn", "stale-term")
+
+    def __post_init__(self) -> None:
+        if self.reason not in self.REASONS:
+            raise ValueError(f"unknown nak reason {self.reason!r}")

@@ -1,0 +1,164 @@
+"""Deterministic retry pacing: clocks and exponential backoff.
+
+Both the in-process supervisor (:class:`~repro.resilience.supervisor
+.ResilientMaintainer`) and the replication shipping loop
+(:mod:`repro.replication`) retry failed work.  Retrying *immediately* is
+wrong twice over: against a struggling dependency it is a tight loop of
+load, and in tests it hides every timing-dependent bug.  This module
+gives both call sites the same policy object:
+
+* :class:`ExponentialBackoff` -- ``initial * factor**attempt`` capped at
+  ``max_delay``, with *deterministic* jitter: the jitter fraction is
+  drawn from a :class:`random.Random` seeded by ``(seed, key, attempt)``,
+  so the same attempt of the same logical operation always waits the
+  same amount.  Reproducibility is the whole point -- a chaos test that
+  passes once passes forever.
+* :class:`ManualClock` -- virtual time.  ``sleep`` advances ``now()``
+  and returns; nothing blocks.  Every replication test and every
+  supervisor backoff test runs on one of these, so the suites add zero
+  real wall-clock waiting.
+* :class:`SystemClock` -- ``time.monotonic`` / ``time.sleep`` for
+  production use.
+
+The clock protocol is two methods, ``now() -> float`` (seconds) and
+``sleep(dt: float) -> None``; anything matching it can be injected.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Optional, Union
+
+__all__ = ["Clock", "SystemClock", "ManualClock", "ExponentialBackoff"]
+
+
+class Clock:
+    """Protocol: ``now()`` in seconds and a ``sleep`` that honours it."""
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def sleep(self, dt: float) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Real time: ``time.monotonic`` + ``time.sleep``."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, dt: float) -> None:
+        if dt > 0:
+            time.sleep(dt)
+
+    def __repr__(self) -> str:
+        return "SystemClock()"
+
+
+class ManualClock(Clock):
+    """Virtual time under test control: ``sleep`` advances, never blocks.
+
+    ``sleeps`` records every requested wait so a test can assert the
+    exact backoff schedule that was observed.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.sleeps: List[float] = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.sleeps.append(dt)
+        self._now += dt
+
+    def advance(self, dt: float) -> float:
+        """Move time forward without recording a sleep (an external wait)."""
+        if dt < 0:
+            raise ValueError("cannot advance backwards")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to ``t`` (no-op when already past it)."""
+        self._now = max(self._now, float(t))
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"ManualClock(now={self._now:.6f})"
+
+
+class ExponentialBackoff:
+    """``initial * factor**attempt`` capped at ``max_delay``, jittered.
+
+    Parameters
+    ----------
+    initial:
+        Delay before the first retry (attempt 0), in seconds.
+    factor:
+        Multiplier per further attempt.
+    max_delay:
+        Cap on the un-jittered delay.
+    jitter:
+        Fraction of the delay drawn uniformly at random and *added*
+        (``0.25`` -> up to +25%).  Deterministic: the draw is seeded by
+        ``(seed, key, attempt)``, never by global RNG state or time.
+    seed:
+        Base seed for the jitter stream.
+    """
+
+    def __init__(
+        self,
+        initial: float = 0.01,
+        factor: float = 2.0,
+        max_delay: float = 1.0,
+        *,
+        jitter: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        if initial < 0 or max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1 (backoff never shrinks)")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.initial = float(initial)
+        self.factor = float(factor)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+
+    @classmethod
+    def coerce(
+        cls, value: Union[None, str, "ExponentialBackoff"], *, seed: int = 0
+    ) -> Optional["ExponentialBackoff"]:
+        """``None`` stays ``None`` (no backoff, retry immediately);
+        ``"default"`` builds the standard policy; an instance passes
+        through."""
+        if value is None or isinstance(value, cls):
+            return value
+        if value == "default":
+            return cls(seed=seed)
+        raise TypeError(f"cannot interpret {value!r} as a backoff policy")
+
+    def delay(self, attempt: int, *, key: int = 0) -> float:
+        """Wait before retry number ``attempt`` (0-based) of operation
+        ``key``.  Pure function of ``(seed, key, attempt)``."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        base = min(self.initial * self.factor ** attempt, self.max_delay)
+        if not self.jitter or not base:
+            return base
+        rng = random.Random(self.seed * 1_000_003 + key * 9_176 + attempt)
+        return base * (1.0 + self.jitter * rng.random())
+
+    def __repr__(self) -> str:
+        return (
+            f"ExponentialBackoff(initial={self.initial}, factor={self.factor}, "
+            f"max_delay={self.max_delay}, jitter={self.jitter}, seed={self.seed})"
+        )

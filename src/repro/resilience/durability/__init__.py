@@ -35,12 +35,15 @@ __all__ = [
     "CrashPoints",
     "DurabilityError",
     "DurableMaintainer",
+    "PruneResult",
     "RecoveryManager",
     "RecoveryReport",
     "ScanResult",
     "SyncPolicy",
     "WriteAheadLog",
+    "read_wal_from",
     "scan_wal",
+    "wal_horizon",
 ]
 
 _LAZY = {
@@ -51,10 +54,13 @@ _LAZY = {
     "DurableMaintainer": "repro.resilience.durability.durable",
     "RecoveryManager": "repro.resilience.durability.recovery",
     "RecoveryReport": "repro.resilience.durability.recovery",
+    "PruneResult": "repro.resilience.durability.wal",
     "ScanResult": "repro.resilience.durability.wal",
     "SyncPolicy": "repro.resilience.durability.wal",
     "WriteAheadLog": "repro.resilience.durability.wal",
+    "read_wal_from": "repro.resilience.durability.wal",
     "scan_wal": "repro.resilience.durability.wal",
+    "wal_horizon": "repro.resilience.durability.wal",
 }
 
 

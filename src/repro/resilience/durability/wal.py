@@ -71,7 +71,18 @@ from repro.graph.substrate import Change
 from repro.resilience.durability.crashpoints import CrashPoints
 from repro.resilience.durability.errors import DurabilityError
 
-__all__ = ["SyncPolicy", "WriteAheadLog", "ScanResult", "scan_wal"]
+__all__ = [
+    "SyncPolicy",
+    "WriteAheadLog",
+    "ScanResult",
+    "PruneResult",
+    "scan_wal",
+    "read_wal_from",
+    "wal_horizon",
+    "encode_record",
+    "encode_batch",
+    "decode_payload",
+]
 
 _RECORD_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
 #: sanity cap on a single record; a longer length field is garbage bytes
@@ -93,6 +104,102 @@ def _segment_seqno(path: Path) -> int:
 def list_segments(directory) -> List[Path]:
     """WAL segments of ``directory`` in replay (sequence) order."""
     return sorted(Path(directory).glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+
+
+# ---------------------------------------------------------------------------
+# the record codec (shared by the writer, the scanner, the incremental
+# reader, and replication shipments -- one wire format, one parser)
+# ---------------------------------------------------------------------------
+def encode_record(record: tuple) -> bytes:
+    """One length-prefixed, CRC32-checksummed record (see module header)."""
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    return _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def encode_batch(seqno: int, changes: Iterable[Change]) -> bytes:
+    """A whole batch in WAL wire format: change records + commit record.
+
+    This is exactly what :meth:`WriteAheadLog.append_batch` puts on disk,
+    which is what makes replication shipments *literal* WAL bytes: a
+    replica appends them unchanged and a torn shipment is caught by the
+    same CRC parsing as a torn segment.
+    """
+    parts = [
+        encode_record(("C", seqno, (c.edge, c.vertex, bool(c.insert))))
+        for c in changes
+    ]
+    parts.append(encode_record(("B", seqno, len(parts))))
+    return b"".join(parts)
+
+
+def _parse_record(data: bytes, offset: int):
+    """Parse one record at ``offset`` of ``data``.
+
+    Returns ``((kind, seqno, obj), end_offset, None)`` on success --
+    ``obj`` is a :class:`Change` for ``"C"`` records, the change count
+    for ``"B"`` -- or ``(None, offset, reason)`` for any torn-write shape
+    a crash (or a torn shipment) can leave.
+    """
+    size = len(data)
+    if offset + _RECORD_HEADER.size > size:
+        return None, offset, "torn header"
+    length, crc = _RECORD_HEADER.unpack_from(data, offset)
+    if length > MAX_RECORD_BYTES:
+        return None, offset, "implausible record length"
+    start = offset + _RECORD_HEADER.size
+    end = start + length
+    if end > size:
+        return None, offset, "torn record"
+    payload = data[start:end]
+    if zlib.crc32(payload) != crc:
+        return None, offset, "checksum mismatch"
+    try:
+        record = pickle.loads(payload)
+        kind = record[0]
+        if kind == "C":
+            _, seqno, (e, v, insert) = record
+            obj = Change(e, v, bool(insert))
+        elif kind == "B":
+            # unpack here: a CRC-valid record with the wrong arity is
+            # damage to report, not an exception to leak
+            _, seqno, n = record
+            obj = int(n)
+        else:
+            raise ValueError(kind)
+    except Exception:
+        return None, offset, "undecodable record"
+    return (kind, seqno, obj), end, None
+
+
+def decode_payload(data: bytes):
+    """Parse a flat buffer of WAL wire-format records into batches.
+
+    Returns ``(committed, damage)`` where ``committed`` is
+    ``[(seqno, [Change, ...]), ...]`` in buffer order and ``damage`` is
+    ``None`` or a reason string.  A damaged record *or* trailing change
+    records without their commit record report damage -- a replication
+    shipment is supposed to carry whole batches, so an open group means
+    the shipment was torn in flight.  The valid committed prefix is
+    returned either way (the receiver applies it and NAKs for the rest).
+    """
+    committed: List[Tuple[int, List[Change]]] = []
+    open_groups: Dict[int, List[Change]] = {}
+    offset, size = 0, len(data)
+    while offset < size:
+        parsed, offset, damage = _parse_record(data, offset)
+        if damage is not None:
+            return committed, damage
+        kind, seqno, obj = parsed
+        if kind == "C":
+            open_groups.setdefault(seqno, []).append(obj)
+        else:
+            group = open_groups.pop(seqno, [])
+            if len(group) != obj:
+                return committed, "batch commit count mismatch"
+            committed.append((seqno, group))
+    if open_groups:
+        return committed, "torn payload tail"
+    return committed, None
 
 
 @dataclass(frozen=True)
@@ -217,8 +324,7 @@ class WriteAheadLog:
             self.sync()
 
     def _append(self, record: tuple) -> None:
-        payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
-        data = _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        data = encode_record(record)
         fire = self.crashpoints.fire
         fh = self._fh
         fire("wal.append.start")
@@ -261,16 +367,40 @@ class WriteAheadLog:
             self._fh = None
             self._path = None
 
+    # -- reading back ----------------------------------------------------------
+    def read_from(self, seqno: int):
+        """Stream committed batches at or after position ``seqno`` --
+        see :func:`read_wal_from`.  Unsynced appends are visible (the
+        writer flushes every record), so a replication primary can ship
+        straight from its own live log."""
+        return read_wal_from(self.directory, seqno)
+
+    def horizon(self) -> int:
+        """Oldest position still replayable from this log: everything
+        below it has been pruned away.  Falls back to the session's
+        start position while no segment exists yet."""
+        h = wal_horizon(self.directory)
+        if h is not None:
+            return h
+        return self.start_seqno if self.start_seqno is not None else 0
+
     # -- maintenance -----------------------------------------------------------
     def segments(self) -> List[Path]:
         return list_segments(self.directory)
 
-    def prune(self, upto_seqno: int) -> List[Path]:
+    def prune(self, upto_seqno: int) -> "PruneResult":
         """Delete whole segments made redundant by a checkpoint at
         ``upto_seqno`` (every batch they hold is ``< upto_seqno``).
         Rotation is batch-aligned, so a segment is redundant exactly when
         the *next* segment starts at or before ``upto_seqno``.  The open
-        segment is never deleted."""
+        segment is never deleted.
+
+        Returns a :class:`PruneResult` carrying the removed paths and the
+        new *horizon* -- the oldest position still replayable.  A
+        replication primary checks every standby's cursor against this
+        horizon: a replica whose cursor fell below it has been lapped and
+        must resync from a checkpoint instead of the log.
+        """
         segs = self.segments()
         removed: List[Path] = []
         for seg, nxt in zip(segs, segs[1:]):
@@ -279,7 +409,7 @@ class WriteAheadLog:
                 removed.append(seg)
             else:
                 break
-        return removed
+        return PruneResult(removed=removed, horizon=self.horizon())
 
     def simulate_power_loss(self) -> int:
         """Model losing the OS page cache: truncate the active segment to
@@ -310,6 +440,29 @@ class WriteAheadLog:
 # ---------------------------------------------------------------------------
 # reading
 # ---------------------------------------------------------------------------
+@dataclass
+class PruneResult:
+    """What :meth:`WriteAheadLog.prune` removed and where the log now starts.
+
+    Truthiness and iteration delegate to ``removed`` so existing callers
+    that treated prune's result as "the list of deleted segments" keep
+    working unchanged.
+    """
+
+    removed: List[Path]
+    #: oldest WAL position still replayable after the prune
+    horizon: int
+
+    def __bool__(self) -> bool:
+        return bool(self.removed)
+
+    def __iter__(self):
+        return iter(self.removed)
+
+    def __len__(self) -> int:
+        return len(self.removed)
+
+
 @dataclass
 class ScanResult:
     """Everything a recovery needs to know about a WAL directory."""
@@ -345,47 +498,20 @@ def scan_wal(directory) -> ScanResult:
         offset = 0
         size = len(data)
         while offset < size:
-            if offset + _RECORD_HEADER.size > size:
-                result.damage = (seg, offset, "torn header")
+            parsed, end, damage = _parse_record(data, offset)
+            if damage is not None:
+                result.damage = (seg, offset, damage)
                 break
-            length, crc = _RECORD_HEADER.unpack_from(data, offset)
-            if length > MAX_RECORD_BYTES:
-                result.damage = (seg, offset, "implausible record length")
-                break
-            start = offset + _RECORD_HEADER.size
-            end = start + length
-            if end > size:
-                result.damage = (seg, offset, "torn record")
-                break
-            payload = data[start:end]
-            if zlib.crc32(payload) != crc:
-                result.damage = (seg, offset, "checksum mismatch")
-                break
-            try:
-                record = pickle.loads(payload)
-                kind = record[0]
-                if kind == "C":
-                    _, seqno, (e, v, insert) = record
-                    change = Change(e, v, bool(insert))
-                elif kind == "B":
-                    # unpack here: a CRC-valid record with the wrong arity
-                    # is damage to report, not an exception to leak
-                    _, seqno, n = record
-                    n = int(n)
-                else:
-                    raise ValueError(kind)
-            except Exception:
-                result.damage = (seg, offset, "undecodable record")
-                break
+            kind, seqno, obj = parsed
             result.records += 1
             if kind == "C":
-                result.uncommitted.setdefault(seqno, []).append(change)
+                result.uncommitted.setdefault(seqno, []).append(obj)
             else:
                 group = result.uncommitted.pop(seqno, [])
-                if len(group) != n:
+                if len(group) != obj:
                     # a commit whose group is incomplete: logical damage,
                     # the commit itself cannot be trusted
-                    result.damage = (seg, offset, "batch commit count mismatch")
+                    result.damage = (seg, end, "batch commit count mismatch")
                     break
                 result.committed.append((seqno, group))
                 result.commit_end = (seg, end)
@@ -393,3 +519,60 @@ def scan_wal(directory) -> ScanResult:
         if result.damage is not None:
             break
     return result
+
+
+def wal_horizon(directory) -> Optional[int]:
+    """Oldest position replayable from the WAL in ``directory``: the
+    first segment's name.  ``None`` when no segment exists."""
+    segs = list_segments(directory)
+    return _segment_seqno(segs[0]) if segs else None
+
+
+def read_wal_from(directory, seqno: int):
+    """Stream committed batches at or after position ``seqno``, in log
+    order, as ``(seqno, [Change, ...])`` pairs.
+
+    This is the incremental companion to :func:`scan_wal` (same record
+    parsing, same stop-at-first-damage rule) for callers that already
+    know their position -- replication ships from a cursor without
+    re-parsing the whole directory.  Whole segments below the cursor are
+    skipped by filename alone; a damaged or uncommitted tail simply ends
+    the stream (it is the writer's live edge or crash debris, not an
+    error).
+
+    Raises :class:`DurabilityError` when ``seqno`` predates the log's
+    horizon: the suffix the caller wants was pruned away (a replica this
+    far behind has been *lapped* and must bootstrap from a checkpoint).
+    """
+    segments = list_segments(directory)
+    if segments:
+        floor = _segment_seqno(segments[0])
+        if seqno < floor:
+            raise DurabilityError(
+                f"WAL position {seqno} predates the prune horizon {floor}; "
+                "the requested suffix is gone -- resync from a checkpoint",
+                Path(directory),
+            )
+    open_groups: Dict[int, List[Change]] = {}
+    for i, seg in enumerate(segments):
+        # every batch of this segment is < seqno iff the next segment
+        # starts at or below it (rotation is batch-aligned)
+        if i + 1 < len(segments) and _segment_seqno(segments[i + 1]) <= seqno:
+            continue
+        data = seg.read_bytes()
+        offset, size = 0, len(data)
+        while offset < size:
+            parsed, end, damage = _parse_record(data, offset)
+            if damage is not None:
+                return
+            kind, s, obj = parsed
+            if kind == "C":
+                if s >= seqno:
+                    open_groups.setdefault(s, []).append(obj)
+            else:
+                group = open_groups.pop(s, [])
+                if s >= seqno:
+                    if len(group) != obj:
+                        return
+                    yield s, group
+            offset = end

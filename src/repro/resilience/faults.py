@@ -36,6 +36,29 @@ Fault kinds
     session recovered from disk
     (:class:`~repro.resilience.durability.recovery.RecoveryManager`).
 
+Transport faults
+----------------
+The ``ship-*`` kinds target a replication
+:class:`~repro.replication.link.ReplicationLink` rather than a
+maintainer: ``batch`` is the link's *shipment ordinal* (the N-th shipment
+handed to that link, heartbeats included), and the plan is consumed by
+the link itself -- :class:`FaultInjector` ignores these kinds.
+
+``ship-drop``
+    The shipment vanishes in flight (the receiver never sees it; the
+    sender retransmits on ack timeout).
+``ship-dup``
+    The shipment is delivered twice (replay must be idempotent).
+``ship-reorder``
+    The shipment is held back past its successor, arriving out of order
+    (the receiver NAKs the gap, then heals).
+``ship-delay``
+    Delivery is delayed ``delta`` times the link's base latency.
+``ship-torn``
+    The shipment's payload is truncated mid-record in flight -- the
+    receiving replica's CRC parsing catches it, applies the intact
+    prefix, and NAKs for the rest.
+
 The per-batch change counter is reset by ``apply_batch`` itself, so a
 ``raise`` plan fires at the same pin-change index on every retry attempt
 -- exactly what distinguishes transient from persistent failures.
@@ -54,7 +77,11 @@ __all__ = ["FaultError", "FaultPlan", "FaultInjector"]
 
 Vertex = Hashable
 
-KINDS = ("raise", "corrupt-tau", "duplicate", "invert", "crash")
+KINDS = ("raise", "corrupt-tau", "duplicate", "invert", "crash",
+         "ship-drop", "ship-dup", "ship-reorder", "ship-delay", "ship-torn")
+
+#: the kinds consumed by a replication link, not by :class:`FaultInjector`
+TRANSPORT_KINDS = ("ship-drop", "ship-dup", "ship-reorder", "ship-delay", "ship-torn")
 
 
 class FaultError(RuntimeError):
@@ -84,6 +111,8 @@ class FaultPlan:
             raise ValueError("corrupt-tau with delta=0 corrupts nothing")
         if self.kind == "crash" and not self.site:
             raise ValueError("crash plans need a site (see durability.CRASH_SITES)")
+        if self.kind == "ship-delay" and self.delta <= 0:
+            raise ValueError("ship-delay needs a positive latency multiple (delta)")
 
     # -- readable constructors -------------------------------------------------
     @classmethod
@@ -106,6 +135,36 @@ class FaultPlan:
     def crash_at(cls, site: str, hit: int = 0) -> "FaultPlan":
         """Die (simulated ``kill -9``) the ``hit``-th time ``site`` fires."""
         return cls("crash", hit, site=site)
+
+    # -- transport faults (consumed by a ReplicationLink) ----------------------
+    @classmethod
+    def drop_shipment(cls, ordinal: int) -> "FaultPlan":
+        """Lose the link's ``ordinal``-th shipment in flight."""
+        return cls("ship-drop", ordinal)
+
+    @classmethod
+    def duplicate_shipment(cls, ordinal: int) -> "FaultPlan":
+        """Deliver the link's ``ordinal``-th shipment twice."""
+        return cls("ship-dup", ordinal)
+
+    @classmethod
+    def reorder_shipment(cls, ordinal: int) -> "FaultPlan":
+        """Hold the ``ordinal``-th shipment back past its successor."""
+        return cls("ship-reorder", ordinal)
+
+    @classmethod
+    def delay_shipment(cls, ordinal: int, factor: int = 5) -> "FaultPlan":
+        """Delay the ``ordinal``-th shipment by ``factor`` base latencies."""
+        return cls("ship-delay", ordinal, delta=factor)
+
+    @classmethod
+    def tear_shipment(cls, ordinal: int) -> "FaultPlan":
+        """Truncate the ``ordinal``-th shipment's payload mid-record."""
+        return cls("ship-torn", ordinal)
+
+    @property
+    def is_transport(self) -> bool:
+        return self.kind in TRANSPORT_KINDS
 
 
 class FaultInjector:

@@ -8,7 +8,11 @@ one:
   times; the transactional ``apply_batch`` guarantees every attempt starts
   from the exact pre-batch state, so retries are sound (transient faults
   -- callback bugs tripped by iteration order, injected chaos -- succeed
-  on the second attempt);
+  on the second attempt).  Retries are paced by a deterministic
+  :class:`~repro.resilience.backoff.ExponentialBackoff` (jitter seeded
+  from ``(seed, batch index, attempt)``) against an injectable clock --
+  tests pass a :class:`~repro.resilience.backoff.ManualClock` and wait
+  zero real time, production gets polite spacing for free;
 * **quarantine** -- a batch that exhausts its retries is recorded in
   :attr:`quarantine` with a structured :class:`QuarantinedBatch` report
   and *skipped*; the stream continues and the exception is never
@@ -31,8 +35,10 @@ facade and the experiment drivers can use it interchangeably
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional
+
+from repro.resilience.backoff import ExponentialBackoff, SystemClock
 
 __all__ = ["BatchReport", "QuarantinedBatch", "ResilientMaintainer"]
 
@@ -79,6 +85,7 @@ def _fresh_stats() -> Dict[str, int]:
         "audits": 0,
         "audit_failures": 0,
         "heals": 0,
+        "backoff_waits": 0,
     }
 
 
@@ -97,7 +104,18 @@ class ResilientMaintainer:
     audit_sample:
         Vertices compared per audit (``None`` = all).
     seed:
-        Seeds the audit's sampling RNG (determinism for tests).
+        Seeds the audit's sampling RNG and the backoff jitter
+        (determinism for tests).
+    backoff:
+        Retry pacing: ``"default"`` (an
+        :class:`~repro.resilience.backoff.ExponentialBackoff` seeded from
+        ``seed``), an explicit policy instance, or ``None`` to retry
+        immediately (the pre-backoff behaviour).
+    clock:
+        Clock the backoff sleeps against
+        (:class:`~repro.resilience.backoff.SystemClock` by default; tests
+        inject a :class:`~repro.resilience.backoff.ManualClock` so no
+        real time passes).
     kwargs:
         Forwarded to the algorithm class.
     """
@@ -112,6 +130,8 @@ class ResilientMaintainer:
         audit_every: int = 0,
         audit_sample: Optional[int] = 32,
         seed: int = 0,
+        backoff="default",
+        clock=None,
         **kwargs,
     ) -> None:
         from repro.core.maintainer import make_maintainer
@@ -128,6 +148,10 @@ class ResilientMaintainer:
         self.audit_every = audit_every
         self.audit_sample = audit_sample
         self._rng = random.Random(seed)
+        self.backoff = ExponentialBackoff.coerce(backoff, seed=seed)
+        self.clock = clock if clock is not None else SystemClock()
+        #: total seconds spent waiting between retry attempts
+        self.backoff_s = 0.0
         self.stats: Dict[str, int] = _fresh_stats()
         self.quarantine: List[QuarantinedBatch] = []
 
@@ -175,6 +199,13 @@ class ResilientMaintainer:
                 last = exc
                 if attempts <= self.max_retries:
                     self.stats["retries"] += 1
+                    if self.backoff is not None:
+                        wait = self.backoff.delay(
+                            attempts - 1, key=self.stats["batches"] - 1
+                        )
+                        self.clock.sleep(wait)
+                        self.backoff_s += wait
+                        self.stats["backoff_waits"] += 1
         if last is not None:
             record = QuarantinedBatch(
                 index=self.stats["batches"] - 1,

@@ -72,6 +72,14 @@ class TestExamples:
         assert "recovered tau == uninterrupted run" in out
         assert "survived kill -9 with zero acknowledged batches lost" in out
 
+    def test_replicated_stream_run_small(self, capsys):
+        mod = runpy.run_path(str(EXAMPLES / "replicated_stream.py"))
+        mod["main"](n_vertices=60, rounds=4, seed=11, fail_after=5)
+        out = capsys.readouterr().out
+        assert "promoted tau == uninterrupted oracle == peeling" in out
+        assert "old primary fenced" in out
+        assert "zero committed batches lost" in out
+
     def test_distributed_example_run_small(self, capsys):
         mod = runpy.run_path(str(EXAMPLES / "distributed_cores.py"))
         from repro.distributed import hash_partition
