@@ -48,8 +48,10 @@ import numpy as np
 from repro.core.static import hhc_local
 from repro.engine.array_graph import ArrayGraph
 from repro.engine.array_hypergraph import ArrayHypergraph
+from repro.engine.columnar import maintain_h_columnar
 from repro.engine.frontier import hhc_frontier_csr, hhc_frontier_incidence
 from repro.engine.tau_array import ArrayMinCache, EdgeMinShadow, TauArray
+from repro.graph.columnar import ColumnarBatch
 from repro.graph.dynamic_hypergraph import MinCache
 from repro.graph.substrate import Change
 
@@ -105,6 +107,17 @@ class ExecutionBackend:
         """``change`` landed on the substrate; retire/invalidate
         backend state captured in ``token``."""
         raise NotImplementedError
+
+    # -- bulk batch application -----------------------------------------------
+    def maintain_h_columnar(self, batch, *, conservative: bool = True):
+        """Attempt the whole-batch columnar MaintainH + classification.
+
+        Returns ``(I, D, touched)`` on success or ``None`` when this
+        backend (or this batch) has no bulk path -- the caller then runs
+        the per-``Change`` reference loop.  The default is ``None``: only
+        engines with vectorised bulk kernels override it.
+        """
+        return None
 
     # -- convergence ----------------------------------------------------------
     def converge(self, active: Iterable[Vertex]) -> None:
@@ -203,6 +216,8 @@ class ArrayBackend(ExecutionBackend):
     def __init__(self) -> None:
         self.tau_array: Optional[TauArray] = None
         self.edge_shadow: Optional[EdgeMinShadow] = None
+        #: batches that took the columnar bulk path (diagnostics)
+        self.columnar_batches = 0
 
     def bind(self, maintainer) -> "ArrayBackend":
         self.m = maintainer
@@ -270,6 +285,30 @@ class ArrayBackend(ExecutionBackend):
             if shadow_eid is not None:
                 self.edge_shadow.invalidate(shadow_eid)
 
+    # -- bulk batch application -----------------------------------------------
+    def maintain_h_columnar(self, batch, *, conservative: bool = True):
+        """The columnar fast path: convert (or accept) a
+        :class:`~repro.graph.columnar.ColumnarBatch` and run the bulk
+        MaintainH + classification kernels of
+        :mod:`repro.engine.columnar`.  ``None`` means the batch is not
+        plain (non-integer labels, duplicate units, absent deletions,
+        present insertions) and nothing was mutated -- the caller falls
+        back to the per-``Change`` reference loop.
+        """
+        if isinstance(batch, ColumnarBatch):
+            cb = batch
+        else:
+            cb = ColumnarBatch.from_batch(
+                batch,
+                is_hyper=bool(getattr(self.m.sub, "is_hypergraph", False)),
+            )
+            if cb is None:
+                return None
+        result = maintain_h_columnar(self, cb, conservative=conservative)
+        if result is not None:
+            self.columnar_batches += 1
+        return result
+
     # -- convergence ----------------------------------------------------------
     def converge(self, active: Iterable[Vertex]) -> None:
         self._converge_ids(self.m.sub.ids_of(active))
@@ -278,30 +317,61 @@ class ArrayBackend(ExecutionBackend):
         """Frontier convergence over a dense-id frontier."""
         m = self.m
         tau, index = m.tau, m._level_index
-        label_of = m.sub.interner.label_of
+
+        # defer the label-keyed dict/level-index sync to one bulk pass
+        # after the fixpoint: a vertex changing across several Jacobi
+        # iterations costs one dict commit, not one per iteration.  The
+        # first commit a vertex appears in carries its pre-convergence
+        # value (the dense array and the dict agree on entry), which is
+        # exactly the "old" level the index move needs.
+        changed_acc: List[np.ndarray] = []
+        old_acc: List[np.ndarray] = []
 
         def commit(changed, old, new):
-            # sync the label-keyed dict and level index per committed
-            # change; the dense array was already updated in bulk
-            for i, o, n in zip(changed.tolist(), old.tolist(), new.tolist()):
-                v = label_of(i)
-                tau[v] = n
-                bucket = index.get(o)
-                if bucket is not None:
-                    bucket.discard(v)
-                    if not bucket:
-                        del index[o]
-                index.setdefault(n, set()).add(v)
+            changed_acc.append(changed)
+            old_acc.append(old)
 
+        ta = self.tau_array
         if self.edge_shadow is not None:
             hhc_frontier_incidence(
-                m.sub, self.tau_array, self.edge_shadow, ids,
+                m.sub, ta, self.edge_shadow, ids,
                 rt=m.rt, on_commit=commit,
             )
         else:
             hhc_frontier_csr(
-                m.sub, self.tau_array, ids, rt=m.rt, on_commit=commit
+                m.sub, ta, ids, rt=m.rt, on_commit=commit
             )
+        if not changed_acc:
+            return
+        uq, first_idx = np.unique(np.concatenate(changed_acc),
+                                  return_index=True)
+        old_first = np.concatenate(old_acc)[first_idx]
+        final = ta.arr[uq]
+        moved = old_first != final
+        if not moved.any():
+            return
+        mids, olds, news = uq[moved], old_first[moved], final[moved]
+        labels = np.asarray(m.sub.interner.labels_of(mids.tolist()),
+                            dtype=object)
+        tau.update(zip(labels.tolist(), news.tolist()))
+        for vals in (olds, news):
+            order = np.argsort(vals, kind="stable")
+            sv = vals[order]
+            bounds = np.flatnonzero(np.diff(sv)) + 1
+            starts = np.concatenate(([0], bounds))
+            stops = np.concatenate((bounds, [len(sv)]))
+            removing = vals is olds
+            for lo, hi in zip(starts.tolist(), stops.tolist()):
+                level = int(sv[lo])
+                chunk = labels[order[lo:hi]]
+                if removing:
+                    bucket = index.get(level)
+                    if bucket is not None:
+                        bucket.difference_update(chunk)
+                        if not bucket:
+                            del index[level]
+                else:
+                    index.setdefault(level, set()).update(chunk)
 
     def sweep_and_converge(self, resolution, touched,
                            activate_deletion_levels: bool = True) -> None:
@@ -320,7 +390,12 @@ class ArrayBackend(ExecutionBackend):
         ta = self.tau_array
         rt = m.rt
         moves: List[Tuple[np.ndarray, int, int]] = []
-        frontier = [m.sub.ids_of(touched)]
+        # the columnar path hands touched vertices over as dense ids
+        # already; the reference path as a label set
+        if isinstance(touched, np.ndarray):
+            frontier = [touched]
+        else:
+            frontier = [m.sub.ids_of(touched)]
         total_moves = 0
         for level in ta.levels().tolist():
             inc = resolution.increment(level)
@@ -334,7 +409,7 @@ class ArrayBackend(ExecutionBackend):
             total_moves, lambda lo, hi: float(hi - lo),
             region="mod_apply_increments",
         )
-        label_of = m.sub.interner.label_of
+        labels_of = m.sub.interner.labels_of
         tau, index = m.tau, m._level_index
         for ids, level, inc in moves:
             new = level + inc
@@ -342,9 +417,8 @@ class ArrayBackend(ExecutionBackend):
             # the collected labels leave the source bucket -- a chained
             # increment (level k and k+inc both incrementing) may have
             # moved other vertices *into* it meanwhile.
-            labels = [label_of(i) for i in ids.tolist()]
-            for v in labels:
-                tau[v] = new
+            labels = labels_of(ids.tolist())
+            tau.update(dict.fromkeys(labels, new))
             index.setdefault(new, set()).update(labels)
             src = index.get(level)
             if src is not None:

@@ -298,7 +298,14 @@ class MaintainerBase:
         min-cache back to the exact pre-batch state before re-raising.
         """
         if self.validate_batches:
-            validate_batch(self.sub, batch)
+            # batches carrying their own vectorised validator (the
+            # columnar representation) use it; everything else takes the
+            # per-Change structural walk
+            validate = getattr(batch, "validate_against", None)
+            if validate is not None:
+                validate(self.sub)
+            else:
+                validate_batch(self.sub, batch)
         self._fault_index = 0
         if not self.transactional or self._txn_journal is not None:
             # transactions off, or already inside an enclosing transaction

@@ -200,19 +200,33 @@ class ModMaintainer(MaintainerBase):
     def _apply_batch(self, batch) -> None:
         """Process one batch of pin changes (Algorithm 4)."""
         rt = self.rt
-        I = LevelAccumulator()
-        D = LevelAccumulator()
 
-        # track hyperedges created by this batch: pins joining a fresh edge
-        # follow new-edge semantics in the classification
-        new_edges: Set = set()
-        if getattr(self.sub, "is_hypergraph", False):
-            for change in batch:
-                if change.insert and not self.sub.has_edge(change.edge):
-                    new_edges.add(change.edge)
-        callback = self._make_callback(I, D, new_edges)
+        # the backend may run the whole MaintainH + classification as one
+        # bulk columnar pass (plain batches on the array engine); the
+        # per-Change loop below stays the reference semantics and the
+        # fallback.  The chaos seam needs per-record fault points, so an
+        # armed hook pins the batch to the reference path.
+        columnar = None
+        if self.fault_hook is None:
+            columnar = self.backend.maintain_h_columnar(
+                batch, conservative=self.conservative_cases
+            )
+        if columnar is not None:
+            I, D, touched = columnar
+        else:
+            I = LevelAccumulator()
+            D = LevelAccumulator()
 
-        touched = self.maintain_h(batch, callback)
+            # track hyperedges created by this batch: pins joining a fresh
+            # edge follow new-edge semantics in the classification
+            new_edges: Set = set()
+            if getattr(self.sub, "is_hypergraph", False):
+                for change in batch:
+                    if change.insert and not self.sub.has_edge(change.edge):
+                        new_edges.add(change.edge)
+            callback = self._make_callback(I, D, new_edges)
+
+            touched = self.maintain_h(batch, callback)
 
         resolution = _POLICIES[self.increment_policy](I, D)
         self.last_resolution = resolution

@@ -208,18 +208,31 @@ def _segment_h_index(values: np.ndarray, seg: np.ndarray, indptr: np.ndarray) ->
     Sort each segment descending; with ranks 1..len within the segment, the
     h-index equals the number of positions where value >= rank (the
     predicate is prefix-closed for a descending sort).
+
+    ``seg`` must be non-decreasing and consistent with ``indptr`` (the
+    callers build it with ``repeat(arange, diff(indptr))``).  The per-
+    segment descending sort is realised as one direct in-place sort of a
+    combined integer key ``seg * K + (K-1-value)``: values are first
+    clipped to the largest segment size, which never changes an h-index
+    (h <= segment size), and keeps the key range small.  A single-key
+    ``ndarray.sort`` is several times faster than the indirect two-key
+    ``np.lexsort`` it replaces.
     """
     n_seg = len(indptr) - 1
     if len(values) == 0:
         return np.zeros(n_seg, dtype=np.int64)
-    order = np.lexsort((-values, seg))
-    vs = values[order]
-    ranks = np.arange(1, len(values) + 1, dtype=np.int64) - np.repeat(indptr[:-1], np.diff(indptr))
+    sizes = np.diff(indptr)
+    K = int(sizes.max()) + 1
+    clipped = np.minimum(values, K - 1)
+    combined = seg * K + (K - 1 - clipped)
+    combined.sort()
+    vs = (K - 1) - (combined % K)
+    ranks = np.arange(1, len(values) + 1, dtype=np.int64) - np.repeat(indptr[:-1], sizes)
     ok = (vs >= ranks).astype(np.int64)
     # reduceat rejects offsets == len(ok) (trailing empty segments); clip
     # them back -- the diff == 0 mask zeroes those slots anyway
     out = np.add.reduceat(ok, np.minimum(indptr[:-1], len(ok) - 1))
-    out[np.diff(indptr) == 0] = 0
+    out[sizes == 0] = 0
     return out
 
 

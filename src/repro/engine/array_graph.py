@@ -41,6 +41,7 @@ from repro.engine.interner import VertexInterner
 __all__ = ["ArrayGraph"]
 
 _MIN_BLOCK = 4
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
 
 
 class ArrayGraph:
@@ -233,6 +234,118 @@ class ArrayGraph:
         if self._holes > self._compact_threshold * max(64, self._tail - self._holes):
             self._compact()
         return True
+
+    # -- bulk mutation (the columnar fast path) -------------------------------
+    def bulk_remove_edge_ids(self, uids: np.ndarray, vids: np.ndarray) -> List[Tuple[int, object]]:
+        """Delete edges given as parallel dense-id arrays, grouped per
+        endpoint: one hole-filling splice per touched adjacency block
+        instead of two swap-removes per edge.
+
+        Preconditions (the columnar precheck's job): every edge present,
+        no duplicates.  Returns ``(id, label)`` pairs of vertices whose
+        degree hit zero (released, ids recycled).
+        """
+        nd = len(uids)
+        if not nd:
+            return []
+        src = np.concatenate((uids, vids))
+        tgt = np.concatenate((vids, uids))
+        order = np.argsort(src, kind="stable")
+        src_s = src[order]
+        tgt_s = tgt[order]
+        bounds = np.flatnonzero(
+            np.r_[True, src_s[1:] != src_s[:-1], True]
+        ).tolist()
+        pos = self._pos
+        pool = self._pool
+        starts = self._starts
+        counts = self._counts
+        for gi in range(len(bounds) - 1):
+            lo, hi = bounds[gi], bounds[gi + 1]
+            u = int(src_s[lo])
+            k = hi - lo
+            s = int(starts[u])
+            c = int(counts[u])
+            new_c = c - k
+            removed = [pos.pop((u << 32) | t) for t in tgt_s[lo:hi].tolist()]
+            if new_c:
+                in_tail = {p for p in removed if p >= new_c}
+                holes = sorted(p for p in removed if p < new_c)
+                if holes:
+                    movers = (q for q in range(new_c, c) if q not in in_tail)
+                    for h, q in zip(holes, movers):
+                        w = int(pool[s + q])
+                        pool[s + h] = w
+                        pos[(u << 32) | w] = h
+            counts[u] = new_c
+        self._num_edges -= nd
+        dropped: List[Tuple[int, object]] = []
+        dead = np.unique(src)
+        dead = dead[counts[dead] == 0]
+        label_of = self.interner.label_of
+        for i in dead.tolist():
+            label = label_of(i)
+            self._release(i)
+            dropped.append((i, label))
+        if self._holes > self._compact_threshold * max(64, self._tail - self._holes):
+            self._compact()
+        return dropped
+
+    def bulk_add_edges(self, u_labels: np.ndarray, v_labels: np.ndarray):
+        """Insert absent edges given as parallel label arrays: batched
+        interning plus one capacity reservation and one pool-slice write
+        per touched adjacency block.
+
+        Preconditions: no duplicates, no edge present, no self-loops.
+        Returns ``(uids, vids, created)`` where ``created`` holds
+        ``(id, label)`` pairs of vertices interned fresh by this call.
+        """
+        n = len(u_labels)
+        created: List[Tuple[int, object]] = []
+        if not n:
+            return _EMPTY_I64, _EMPTY_I64, created
+        interner = self.interner
+        uids = np.empty(n, dtype=np.int64)
+        vids = np.empty(n, dtype=np.int64)
+        for out, labels in ((uids, u_labels), (vids, v_labels)):
+            for k, lab in enumerate(labels.tolist()):
+                known = lab in interner
+                i = interner.intern(lab)
+                if not known:
+                    self._ensure_vertex_capacity(i)
+                    self._starts[i] = 0
+                    self._counts[i] = 0
+                    self._caps[i] = 0
+                    created.append((i, lab))
+                out[k] = i
+        src = np.concatenate((uids, vids))
+        tgt = np.concatenate((vids, uids))
+        order = np.argsort(src, kind="stable")
+        src_s = src[order]
+        tgt_s = tgt[order]
+        bounds = np.flatnonzero(
+            np.r_[True, src_s[1:] != src_s[:-1], True]
+        ).tolist()
+        for gi in range(len(bounds) - 1):
+            lo, hi = bounds[gi], bounds[gi + 1]
+            u = int(src_s[lo])
+            k = hi - lo
+            c = int(self._counts[u])
+            cap = int(self._caps[u])
+            if c + k > cap:
+                new_cap = max(_MIN_BLOCK, cap)
+                while new_cap < c + k:
+                    new_cap *= 2
+                self._relocate(u, new_cap)
+            s = int(self._starts[u])
+            block = tgt_s[lo:hi]
+            self._pool[s + c : s + c + k] = block
+            self._pos.update(
+                zip(((u << 32) | block).tolist(), range(c, c + k))
+            )
+            self._counts[u] = c + k
+        self._num_edges += n
+        return uids, vids, created
 
     def has_graph_edge(self, u: Vertex, v: Vertex) -> bool:
         ui = self.interner.id_of(u)

@@ -176,6 +176,68 @@ class _IncidencePool:
             self._pos[self._key(row, w)] = p
         self._counts[row] = last
 
+    # -- bulk splices (the columnar fast path) --------------------------------
+    def bulk_add_grouped(self, rows: np.ndarray, members: np.ndarray,
+                         live_rows_fn) -> None:
+        """Insert ``(rows[k], members[k])`` memberships grouped per row:
+        one capacity reservation and one pool-slice write per touched row.
+        Preconditions: rows exist, no membership present, no duplicates."""
+        order = np.argsort(rows, kind="stable")
+        rows_s = rows[order]
+        mem_s = members[order]
+        bounds = np.flatnonzero(
+            np.r_[True, rows_s[1:] != rows_s[:-1], True]
+        ).tolist()
+        for gi in range(len(bounds) - 1):
+            lo, hi = bounds[gi], bounds[gi + 1]
+            r = int(rows_s[lo])
+            k = hi - lo
+            c = int(self._counts[r])
+            cap = int(self._caps[r])
+            if c + k > cap:
+                new_cap = max(_MIN_BLOCK, cap)
+                while new_cap < c + k:
+                    new_cap *= 2
+                self._relocate(r, new_cap, live_rows_fn)
+            s = int(self._starts[r])
+            block = mem_s[lo:hi]
+            self._pool[s + c : s + c + k] = block
+            self._pos.update(
+                zip(((r << 32) | block).tolist(), range(c, c + k))
+            )
+            self._counts[r] = c + k
+
+    def bulk_remove_grouped(self, rows: np.ndarray, members: np.ndarray) -> None:
+        """Delete memberships grouped per row: one hole-filling splice per
+        touched row instead of one swap-remove per membership.
+        Preconditions: every membership present, no duplicates."""
+        order = np.argsort(rows, kind="stable")
+        rows_s = rows[order]
+        mem_s = members[order]
+        bounds = np.flatnonzero(
+            np.r_[True, rows_s[1:] != rows_s[:-1], True]
+        ).tolist()
+        pos = self._pos
+        pool = self._pool
+        for gi in range(len(bounds) - 1):
+            lo, hi = bounds[gi], bounds[gi + 1]
+            r = int(rows_s[lo])
+            k = hi - lo
+            s = int(self._starts[r])
+            c = int(self._counts[r])
+            new_c = c - k
+            removed = [pos.pop((r << 32) | m) for m in mem_s[lo:hi].tolist()]
+            if new_c:
+                in_tail = {p for p in removed if p >= new_c}
+                holes = sorted(p for p in removed if p < new_c)
+                if holes:
+                    movers = (q for q in range(new_c, c) if q not in in_tail)
+                    for h, q in zip(holes, movers):
+                        w = int(pool[s + q])
+                        pool[s + h] = w
+                        pos[(r << 32) | w] = h
+            self._counts[r] = new_c
+
     # -- views ----------------------------------------------------------------
     def count(self, row: int) -> int:
         return int(self._counts[row])
@@ -312,6 +374,76 @@ class ArrayHypergraph:
         if self._epins.needs_compaction():
             self._epins.compact(self.live_edge_ids())
         return True
+
+    # -- bulk mutation (the columnar fast path) -------------------------------
+    def bulk_remove_pin_ids(self, eids: np.ndarray, vids: np.ndarray):
+        """Delete pins given as parallel dense-id arrays with grouped
+        incidence splices.  Preconditions (the columnar precheck's job):
+        every pin present, no duplicates.  Returns ``(dropped_vertices,
+        dead_edges)`` as ``(id, label)`` pair lists for rows whose count
+        hit zero (released, ids recycled)."""
+        nd = len(eids)
+        dropped_v: List[Tuple[int, object]] = []
+        dead_e: List[Tuple[int, object]] = []
+        if not nd:
+            return dropped_v, dead_e
+        self._vinc.bulk_remove_grouped(vids, eids)
+        self._epins.bulk_remove_grouped(eids, vids)
+        self._num_pins -= nd
+        v_label_of = self.interner.label_of
+        for i in np.unique(vids).tolist():
+            if not self._vinc.count(i):
+                label = v_label_of(i)
+                self._vinc.release_row(i)
+                self.interner.release(label)
+                dropped_v.append((i, label))
+        e_label_of = self.edge_interner.label_of
+        for j in np.unique(eids).tolist():
+            if not self._epins.count(j):
+                label = e_label_of(j)
+                self._epins.release_row(j)
+                self.edge_interner.release(label)
+                dead_e.append((j, label))
+        if self._vinc.needs_compaction():
+            self._vinc.compact(self.live_ids())
+        if self._epins.needs_compaction():
+            self._epins.compact(self.live_edge_ids())
+        return dropped_v, dead_e
+
+    def bulk_add_pins(self, e_labels: np.ndarray, v_labels: np.ndarray):
+        """Insert absent pins given as parallel label arrays: batched
+        interning of both id spaces plus grouped incidence splices.
+        Preconditions: no duplicates, no pin present.  Returns
+        ``(eids, vids, created_vertices, created_edges)``; the created
+        lists hold ``(id, label)`` pairs interned fresh by this call."""
+        n = len(e_labels)
+        created_v: List[Tuple[int, object]] = []
+        created_e: List[Tuple[int, object]] = []
+        if not n:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty, created_v, created_e
+        eids = np.empty(n, dtype=np.int64)
+        vids = np.empty(n, dtype=np.int64)
+        e_interner = self.edge_interner
+        for k, lab in enumerate(e_labels.tolist()):
+            known = lab in e_interner
+            j = e_interner.intern(lab)
+            if not known:
+                self._epins.reset_row(j)
+                created_e.append((j, lab))
+            eids[k] = j
+        v_interner = self.interner
+        for k, lab in enumerate(v_labels.tolist()):
+            known = lab in v_interner
+            i = v_interner.intern(lab)
+            if not known:
+                self._vinc.reset_row(i)
+                created_v.append((i, lab))
+            vids[k] = i
+        self._vinc.bulk_add_grouped(vids, eids, self.live_ids)
+        self._epins.bulk_add_grouped(eids, vids, self.live_edge_ids)
+        self._num_pins += n
+        return eids, vids, created_v, created_e
 
     def add_hyperedge(self, e: EdgeId, pins: Iterable[Vertex]) -> None:
         for v in pins:

@@ -42,10 +42,22 @@ import numpy as np
 
 from repro.core.static import _segment_h_index
 
-__all__ = ["hhc_frontier_csr", "hhc_frontier_incidence"]
+__all__ = ["gather_ranges", "hhc_frontier_csr", "hhc_frontier_incidence"]
 
 #: callback: (changed_ids, old_values, new_values) -- arrays, one call per iteration
 CommitHook = Callable[[np.ndarray, np.ndarray, np.ndarray], None]
+
+
+_IOTA = np.zeros(0, dtype=np.int64)
+
+
+def _iota(n: int) -> np.ndarray:
+    """Read-only ``arange(n)`` served from a growing module-level buffer
+    (the convergence loop requests one per iteration)."""
+    global _IOTA
+    if len(_IOTA) < n:
+        _IOTA = np.arange(max(n, 2 * len(_IOTA)), dtype=np.int64)
+    return _IOTA[:n]
 
 
 def _gather_ranges(starts: np.ndarray, counts: np.ndarray, pool: np.ndarray,
@@ -62,8 +74,27 @@ def _gather_ranges(starts: np.ndarray, counts: np.ndarray, pool: np.ndarray,
     if total == 0:
         return np.zeros(0, dtype=np.int64), out_ptr
     # positions: per vertex j, starts[ids[j]] + (0 .. cnt[j]-1)
-    pos = np.repeat(starts[ids] - out_ptr[:-1], cnt) + np.arange(total, dtype=np.int64)
+    pos = np.repeat(starts[ids] - out_ptr[:-1], cnt) + _iota(total)
     return pool[pos], out_ptr
+
+
+#: public alias -- the columnar bulk kernels (:mod:`repro.engine.columnar`)
+#: gather pin/adjacency segments with the same CSR trick.
+gather_ranges = _gather_ranges
+
+
+def _dedup(ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Sorted distinct ids via a reusable bool scratch mask.
+
+    O(len(mask)) flatnonzero beats hash-based ``np.unique`` by an order
+    of magnitude on the large, duplicate-heavy frontiers the convergence
+    loop produces (the mask is cleared before returning, so one scratch
+    array serves every iteration).
+    """
+    mask[ids] = True
+    out = np.flatnonzero(mask)
+    mask[out] = False
+    return out
 
 
 def hhc_frontier_csr(
@@ -104,6 +135,7 @@ def hhc_frontier_csr(
     arr = tau.arr
     live = tau.live
     frontier = np.asarray(frontier, dtype=np.int64)
+    scratch = np.zeros(len(arr), dtype=bool)
     iterations = 0
     while len(frontier):
         if max_iterations is not None and iterations >= max_iterations:
@@ -112,7 +144,9 @@ def hhc_frontier_csr(
         starts, counts, pool = graph.adjacency_arrays()
         arr = tau.arr
         live = tau.live
-        F = np.unique(frontier)
+        if len(scratch) < len(arr):
+            scratch = np.zeros(len(arr), dtype=bool)
+        F = _dedup(frontier[frontier < len(arr)], scratch)
         F = F[(F < len(live)) & live[F] & (counts[F] > 0)]
         if not len(F):
             break
@@ -134,11 +168,17 @@ def hhc_frontier_csr(
         if not changed_mask.any():
             break
         changed = F[changed_mask]
-        tau.bulk_set(changed, new[changed_mask])
+        new_changed = new[changed_mask]
+        tau.bulk_set(changed, new_changed)
         if on_commit is not None:
-            on_commit(changed, old[changed_mask], new[changed_mask])
-        cnbrs, _ = _gather_ranges(starts, counts, pool, changed)
-        frontier = np.unique(np.concatenate((changed, cnbrs)))
+            on_commit(changed, old[changed_mask], new_changed)
+        # descent filter: a neighbour w is only affected by v's drop to
+        # ``n`` when tau[w] > n -- otherwise v still contributes at least
+        # tau[w] to every h-index threshold w can reach (values only
+        # descend from a pointwise-valid start, Lemma 1)
+        cnbrs, c_ptr = _gather_ranges(starts, counts, pool, changed)
+        rep_new = np.repeat(new_changed, np.diff(c_ptr))
+        frontier = cnbrs[arr[cnbrs] > rep_new]
         if rt is not None:
             rt.serial(len(changed))
     return iterations
@@ -179,6 +219,7 @@ def hhc_frontier_incidence(
     its unique fixpoint (kappa) with the asynchronous dict path.
     """
     frontier = np.asarray(frontier, dtype=np.int64)
+    scratch = np.zeros(len(tau.arr), dtype=bool)
     iterations = 0
     while len(frontier):
         if max_iterations is not None and iterations >= max_iterations:
@@ -188,7 +229,9 @@ def hhc_frontier_incidence(
         arr = tau.arr
         live = tau.live
         limit = min(len(live), len(v_counts))
-        F = np.unique(frontier)
+        if len(scratch) < len(arr):
+            scratch = np.zeros(len(arr), dtype=bool)
+        F = _dedup(frontier[frontier < len(arr)], scratch)
         F = F[F < limit]
         F = F[live[F] & (v_counts[F] > 0)]
         if not len(F):
@@ -227,16 +270,23 @@ def hhc_frontier_incidence(
         if not changed_mask.any():
             break
         changed = F[changed_mask]
-        tau.bulk_set(changed, new[changed_mask])
+        new_changed = new[changed_mask]
+        tau.bulk_set(changed, new_changed)
         shadow.on_vertices_changed(changed)
         if on_commit is not None:
-            on_commit(changed, old[changed_mask], new[changed_mask])
-        # next frontier: the changed vertices plus every pin sharing a
-        # hyperedge with one (their h-index inputs moved)
-        cinc, _ = _gather_ranges(v_starts, v_counts, v_pool, changed)
+            on_commit(changed, old[changed_mask], new_changed)
+        # next frontier: pins sharing a hyperedge with a changed vertex,
+        # filtered by the descent rule -- a pin w is only affected by
+        # v's drop to ``n`` when tau[w] > n (v still holds every edge
+        # minimum at or above tau[w] otherwise).  Edges are gathered per
+        # changed vertex (duplicates kept) so each pin aligns with the
+        # dropping vertex's new value.
+        cinc, ci_ptr = _gather_ranges(v_starts, v_counts, v_pool, changed)
+        rep_edge_new = np.repeat(new_changed, np.diff(ci_ptr))
         e_starts, e_counts, e_pool = hg.pin_arrays()
-        cpins, _ = _gather_ranges(e_starts, e_counts, e_pool, np.unique(cinc))
-        frontier = np.unique(np.concatenate((changed, cpins)))
+        cpins, cp_ptr = _gather_ranges(e_starts, e_counts, e_pool, cinc)
+        rep_pin_new = np.repeat(rep_edge_new, np.diff(cp_ptr))
+        frontier = cpins[arr[cpins] > rep_pin_new]
         if rt is not None:
             rt.serial(len(changed))
     return iterations

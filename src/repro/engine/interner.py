@@ -82,6 +82,19 @@ class VertexInterner:
             raise KeyError(f"id {i} is not live")
         return lbl
 
+    def labels_of(self, ids) -> List[Label]:
+        """Labels of an iterable of dense ids (KeyError for free slots).
+
+        One bound-method call for a whole id array -- the bulk analogue of
+        :meth:`label_of` for the array engine's commit paths.
+        """
+        lb = self._labels
+        out = [lb[i] for i in ids]
+        if None in out:
+            missing = next(i for i in ids if lb[i] is None)
+            raise KeyError(f"id {missing} is not live")
+        return out
+
     def __contains__(self, label: Label) -> bool:
         return label in self._ids
 

@@ -8,11 +8,18 @@ by interned vertex id: the vectorised frontier sweep gathers neighbour tau
 straight from it, and the increment sweep walks ``np.unique`` buckets
 instead of Python sets.
 
-The level index is *dirty-bucket*: point writes (:meth:`set_`) just store
-and flip a dirty flag; the per-level id lists are rebuilt in one
-vectorised pass the next time a sweep asks for them.  A batch performs
-many point writes but only one sweep, so the rebuild is paid once per
-batch instead of two set mutations per tau change.
+The level index is a GBBS-style lazy bucket structure (Julienne's
+buckets, Dhulipala/Blelloch/Shun, arXiv:1805.05208): one bucket per
+distinct tau value, holding a compacted id array plus a pending append
+list.  Writes only *append* the id to its new bucket (amortised O(1),
+no removal from the old one); reads filter stale entries -- ids whose
+current tau no longer matches the bucket, or that died -- with one
+vectorised mask + ``np.unique`` pass over exactly the buckets touched.
+This replaces the previous dirty-flag design, whose every sweep paid a
+full ``argsort`` over all live vertices even when a batch had dirtied
+only a handful of levels.  A stale-entry cap (4x the live count)
+bounds bucket memory by triggering the occasional full rebuild, which
+is also the rollback/resync path.
 
 On array-backed *hypergraphs* the frequent query is not a neighbour's tau
 but the minimum tau over the other pins of a hyperedge (Algorithm 2 line
@@ -44,18 +51,28 @@ __all__ = ["TauArray", "EdgeMinShadow", "ArrayMinCache", "INF"]
 INF = np.int64(1) << 60
 
 
-class TauArray:
-    """Dense tau values + live mask + lazy level buckets for one graph."""
+_EMPTY_IDS = np.zeros(0, dtype=np.int64)
 
-    __slots__ = ("arr", "live", "_bucket_levels", "_bucket_ptr", "_bucket_ids", "_dirty")
+
+class TauArray:
+    """Dense tau values + live mask + GBBS-style lazy level buckets."""
+
+    __slots__ = ("arr", "live", "_bk_arr", "_bk_pending", "_stale", "_all_dirty",
+                 "_clean")
 
     def __init__(self, capacity: int = 16) -> None:
         self.arr = np.zeros(capacity, dtype=np.int64)
         self.live = np.zeros(capacity, dtype=bool)
-        self._bucket_levels: Optional[np.ndarray] = None
-        self._bucket_ptr: Optional[np.ndarray] = None
-        self._bucket_ids: Optional[np.ndarray] = None
-        self._dirty = True
+        #: level -> compacted (sorted, deduped, filtered) id array
+        self._bk_arr: Dict[int, np.ndarray] = {}
+        #: level -> pending appended ids, not yet compacted
+        self._bk_pending: Dict[int, list] = {}
+        #: appends+drops since the last full rebuild (bounds bucket memory)
+        self._stale = 0
+        #: buckets unusable; rebuild wholesale on next read
+        self._all_dirty = True
+        #: every compacted bucket is exact (no writes since last compact-all)
+        self._clean = False
 
     @classmethod
     def from_graph(cls, graph, tau: Dict) -> "TauArray":
@@ -86,68 +103,126 @@ class TauArray:
         self._ensure(i)
         self.arr[i] = value
         self.live[i] = True
-        self._dirty = True
+        if not self._all_dirty:
+            self._bk_pending.setdefault(int(value), []).append(int(i))
+            self._stale += 1
+        self._clean = False
 
     def drop(self, i: int) -> None:
         if i < len(self.arr):
             self.live[i] = False
             self.arr[i] = 0
-            self._dirty = True
+            self._stale += 1
+            self._clean = False
 
     def get(self, i: int) -> int:
         return int(self.arr[i]) if i < len(self.arr) and self.live[i] else 0
 
     # -- bulk access ----------------------------------------------------------
     def bulk_set(self, ids: np.ndarray, values: np.ndarray) -> None:
-        if len(ids):
-            self._ensure(int(ids.max()))
-            self.arr[ids] = values
-            self.live[ids] = True
-            self._dirty = True
+        if not len(ids):
+            return
+        self._ensure(int(ids.max()))
+        self.arr[ids] = values
+        self.live[ids] = True
+        if not self._all_dirty:
+            vals = np.broadcast_to(np.asarray(values, dtype=np.int64), ids.shape)
+            # group ids by value via one sort -- a per-level ``inv == j``
+            # scan is quadratic in the number of distinct levels
+            order = np.argsort(vals, kind="stable")
+            sv = vals[order]
+            si = ids[order]
+            bounds = np.flatnonzero(np.diff(sv)) + 1
+            starts = np.concatenate(([0], bounds))
+            stops = np.concatenate((bounds, [len(sv)]))
+            pend = self._bk_pending
+            for lo, hi in zip(starts.tolist(), stops.tolist()):
+                pend.setdefault(int(sv[lo]), []).extend(si[lo:hi].tolist())
+            self._stale += len(ids)
+        self._clean = False
 
     def resync(self, graph, tau: Dict) -> None:
         """Full rebuild from the label-keyed dict (the rollback path)."""
         self.arr[:] = 0
         self.live[:] = False
+        self._bk_arr = {}
+        self._bk_pending = {}
+        self._all_dirty = True
+        self._clean = False
         id_of = graph.interner.id_of
         for label, value in tau.items():
             i = id_of(label)
             if i is not None:
-                self.set_(i, value)
-        self._dirty = True
+                self._ensure(i)
+                self.arr[i] = value
+                self.live[i] = True
 
-    # -- the dirty-bucket level index -----------------------------------------
-    def _rebuild(self) -> None:
+    # -- the lazy bucket level index ------------------------------------------
+    def _full_rebuild(self) -> None:
+        """Regenerate every bucket from the dense arrays (argsort pass);
+        the resync path and the stale-cap escape hatch."""
+        self._bk_pending = {}
+        self._bk_arr = {}
         ids = np.nonzero(self.live)[0].astype(np.int64)
-        if len(ids) == 0:
-            self._bucket_levels = np.zeros(0, dtype=np.int64)
-            self._bucket_ptr = np.zeros(1, dtype=np.int64)
-            self._bucket_ids = np.zeros(0, dtype=np.int64)
-            self._dirty = False
-            return
-        values = self.arr[ids]
-        order = np.argsort(values, kind="stable")
-        sorted_vals = values[order]
-        levels, first = np.unique(sorted_vals, return_index=True)
-        self._bucket_levels = levels
-        self._bucket_ptr = np.append(first, len(sorted_vals)).astype(np.int64)
-        self._bucket_ids = ids[order]
-        self._dirty = False
+        if len(ids):
+            values = self.arr[ids]
+            order = np.argsort(values, kind="stable")
+            sv = values[order]
+            si = ids[order]
+            levels, first = np.unique(sv, return_index=True)
+            bounds = np.append(first, len(sv))
+            for j, lv in enumerate(levels.tolist()):
+                self._bk_arr[int(lv)] = si[bounds[j]:bounds[j + 1]]
+        self._stale = 0
+        self._all_dirty = False
+        self._clean = True
+
+    def _maybe_rebuild(self) -> None:
+        if self._all_dirty:
+            self._full_rebuild()
+        elif self._stale > 1024 and self._stale > 4 * int(self.live.sum()):
+            self._full_rebuild()
+
+    def _compact_level(self, k: int) -> np.ndarray:
+        """Merge pending appends into bucket ``k`` and filter stale entries
+        (dead ids, ids whose tau moved on, recycled-id duplicates)."""
+        parts = []
+        stored = self._bk_arr.get(k)
+        if stored is not None and len(stored):
+            parts.append(stored)
+        pend = self._bk_pending.pop(k, None)
+        if pend:
+            parts.append(np.asarray(pend, dtype=np.int64))
+        if not parts:
+            self._bk_arr.pop(k, None)
+            return _EMPTY_IDS
+        ids = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        ids = ids[self.live[ids] & (self.arr[ids] == k)]
+        ids = np.unique(ids)
+        if len(ids):
+            self._bk_arr[k] = ids
+        else:
+            self._bk_arr.pop(k, None)
+        return ids
 
     def levels(self) -> np.ndarray:
         """Distinct live tau values, ascending."""
-        if self._dirty:
-            self._rebuild()
-        return self._bucket_levels
+        self._maybe_rebuild()
+        if not self._clean:
+            for k in list(self._bk_pending.keys() | self._bk_arr.keys()):
+                self._compact_level(k)
+            self._stale = 0
+            self._clean = True
+        return np.array(sorted(self._bk_arr.keys()), dtype=np.int64)
 
     def ids_at_level(self, k: int) -> np.ndarray:
-        """Dense ids currently at tau value ``k``."""
-        if self._dirty:
-            self._rebuild()
-        pos = np.searchsorted(self._bucket_levels, k)
-        if pos >= len(self._bucket_levels) or self._bucket_levels[pos] != k:
-            return np.zeros(0, dtype=np.int64)
-        return self._bucket_ids[self._bucket_ptr[pos] : self._bucket_ptr[pos + 1]]
+        """Dense ids currently at tau value ``k`` (sorted, distinct)."""
+        self._maybe_rebuild()
+        k = int(k)
+        if self._clean:
+            ids = self._bk_arr.get(k)
+            return ids if ids is not None else _EMPTY_IDS
+        return self._compact_level(k)
 
     def __repr__(self) -> str:
         return f"TauArray(live={int(self.live.sum())}, capacity={len(self.arr)})"

@@ -22,7 +22,35 @@ from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from repro.graph.substrate import Change, Vertex, graph_edge_changes
 
-__all__ = ["Batch", "BatchProtocol", "mixed_batch", "invert_batch"]
+__all__ = ["Batch", "BatchProtocol", "coalesce_changes", "mixed_batch", "invert_batch"]
+
+
+def coalesce_changes(changes: Iterable[Change]) -> List[Change]:
+    """Drop opposing insert+delete pairs of the same pin within one batch.
+
+    For each unit ``(edge, vertex)`` only the *last* change survives, and
+    only if it differs in direction from the first -- an
+    insert-then-delete (or delete-then-insert) of the same pin nets out
+    to nothing and is removed entirely.  Because tau equals kappa between
+    batches and the net structural effect is unchanged, the coalesced
+    batch is maintenance-equivalent to the original (the dropped pair
+    needs no I/D records at all).  Surviving changes keep their relative
+    order.
+    """
+    first = {}
+    last = {}
+    for idx, c in enumerate(changes):
+        key = (c.edge, c.vertex)
+        if key not in first:
+            first[key] = c.insert
+        last[key] = (idx, c)
+    kept = [
+        (idx, c)
+        for (key, (idx, c)) in last.items()
+        if first[key] == c.insert
+    ]
+    kept.sort(key=lambda pair: pair[0])
+    return [c for _, c in kept]
 
 
 @dataclass
@@ -60,12 +88,33 @@ class Batch:
 
     @classmethod
     def from_graph_edges(
-        cls, edges: Iterable[Tuple[Vertex, Vertex]], insert: bool
+        cls, edges: Iterable[Tuple[Vertex, Vertex]], insert: bool,
+        *, coalesce: bool = True
     ) -> "Batch":
         b = cls()
         for u, v in edges:
             b.changes.extend(graph_edge_changes(u, v, insert))
+        if coalesce:
+            b.changes = coalesce_changes(b.changes)
         return b
+
+    @classmethod
+    def from_pins(
+        cls, pins: Iterable[Tuple[object, Vertex, bool]],
+        *, coalesce: bool = True
+    ) -> "Batch":
+        """Build from ``(edge, vertex, insert)`` triples (hypergraph pin
+        streams); opposing insert+delete of one pin coalesce away before
+        the batch reaches the engine."""
+        b = cls([Change(e, v, bool(ins)) for e, v, ins in pins])
+        if coalesce:
+            b.changes = coalesce_changes(b.changes)
+        return b
+
+    def coalesced(self) -> "Batch":
+        """A copy with opposing same-pin changes netted out
+        (see :func:`coalesce_changes`)."""
+        return Batch(coalesce_changes(self.changes))
 
     def touched_vertices(self) -> set:
         return {c.vertex for c in self.changes}
@@ -138,10 +187,19 @@ class BatchProtocol:
         if self.hyperedge_level:
             pool = list(sub.edge_ids())
             self.rng.shuffle(pool)
-            return [
-                [Change(e, v, False) for v in sorted(sub.pins(e), key=repr)]
-                for e in pool[:k]
-            ]
+            groups = []
+            for e in pool[:k]:
+                pins = list(sub.pins(e))
+                # Deterministic order without repr() on every pin: labels
+                # within one hypergraph are mutually orderable in practice
+                # (ints or strings); repr-keying is only the fallback for
+                # exotic mixed-label graphs.
+                try:
+                    pins.sort()
+                except TypeError:
+                    pins.sort(key=repr)
+                groups.append([Change(e, v, False) for v in pins])
+            return groups
         if self.pin_level:
             pin_pool = [(e, v) for e, pins in sub.hyperedges() for v in pins]
             self.rng.shuffle(pin_pool)

@@ -1,0 +1,191 @@
+"""Columnar pin-change batches: id arrays instead of ``Change`` objects.
+
+The per-:class:`~repro.graph.substrate.Change` batch representation is
+what the maintenance *semantics* are written against, but on the array
+engine it is also where the steady-state time goes: every record is a
+Python object, every structural application a chain of dict lookups, and
+every classification a Python callback.  A :class:`ColumnarBatch` carries
+the same stream as three NumPy columns:
+
+* ``col_a`` -- for graphs the canonical *smaller* endpoint of each edge
+  unit, for hypergraphs the hyperedge label, as ``int64``;
+* ``col_b`` -- the other endpoint / the pin vertex label, as ``int64``;
+* ``insert`` -- the change direction per unit, as ``bool``.
+
+One row is one *unit*: a whole graph edge (the twin pin records of the
+per-Change encoding collapse into it) or a single hypergraph pin.  Only
+integer labels columnarise -- :meth:`from_batch` returns ``None`` for
+anything else, and callers fall back to the per-Change path, which
+remains the reference semantics and the dict backend's only route.
+
+A ``ColumnarBatch`` still quacks like a batch (``__iter__`` yields
+equivalent ``Change`` records, ``__len__`` counts units), so every
+legacy consumer -- ``maintain_h``, the set-family algorithms, the WAL --
+accepts one unchanged; the array backend's bulk kernels
+(:mod:`repro.engine.columnar`) intercept it before any ``Change`` is
+materialised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.substrate import Change
+
+__all__ = ["ColumnarBatch"]
+
+
+def _as_int64(values) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.int64)
+    if arr.ndim != 1:
+        raise ValueError("columnar batch columns must be one-dimensional")
+    return arr
+
+
+class ColumnarBatch:
+    """A batch of pin changes as flat ``int64``/``bool`` columns."""
+
+    __slots__ = ("col_a", "col_b", "insert", "is_hyper")
+
+    def __init__(self, col_a, col_b, insert, *, is_hyper: bool) -> None:
+        self.col_a = _as_int64(col_a)
+        self.col_b = _as_int64(col_b)
+        self.insert = np.asarray(insert, dtype=bool)
+        if not (len(self.col_a) == len(self.col_b) == len(self.insert)):
+            raise ValueError("columnar batch columns must share one length")
+        self.is_hyper = bool(is_hyper)
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_graph_edges(cls, edges, insert: bool) -> "ColumnarBatch":
+        """Columnar twin of :meth:`Batch.from_graph_edges`: ``edges`` is an
+        ``(n, 2)`` array-like of integer endpoints, one row per edge."""
+        arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        a = np.minimum(arr[:, 0], arr[:, 1])
+        b = np.maximum(arr[:, 0], arr[:, 1])
+        ins = np.full(len(arr), bool(insert), dtype=bool)
+        return cls(a, b, ins, is_hyper=False)
+
+    @classmethod
+    def from_pins(cls, edges, vertices, insert) -> "ColumnarBatch":
+        """Hypergraph pin-change columns: parallel arrays of integer
+        hyperedge labels, pin vertex labels, and directions."""
+        ins = np.asarray(insert, dtype=bool)
+        if ins.shape == ():
+            ins = np.full(len(np.asarray(edges)), bool(insert), dtype=bool)
+        return cls(edges, vertices, ins, is_hyper=True)
+
+    @classmethod
+    def from_batch(cls, batch: Iterable[Change], *,
+                   is_hyper: bool) -> Optional["ColumnarBatch"]:
+        """Convert a per-``Change`` batch; ``None`` when it cannot be
+        represented (non-integer labels, or a unit changed twice --
+        order-sensitive patterns stay on the per-Change path).
+
+        Graph twin records (the two pin changes of one edge) collapse to
+        one row; a graph edge appearing with *both* directions, or a
+        hypergraph pin changed more than once, is rejected.
+        """
+        a_out = []
+        b_out = []
+        ins_out = []
+        seen = {}
+        try:
+            if is_hyper:
+                for c in batch:
+                    e = c.edge
+                    v = c.vertex
+                    if type(e) is not int or type(v) is not int:
+                        return None
+                    if (e, v) in seen:
+                        return None
+                    seen[(e, v)] = True
+                    a_out.append(e)
+                    b_out.append(v)
+                    ins_out.append(c.insert)
+            else:
+                for c in batch:
+                    e = c.edge
+                    if type(e) is not tuple or len(e) != 2:
+                        return None
+                    u, v = e
+                    if type(u) is not int or type(v) is not int:
+                        return None
+                    prev = seen.get(e)
+                    if prev is None:
+                        seen[e] = c.insert
+                        a_out.append(u)
+                        b_out.append(v)
+                        ins_out.append(c.insert)
+                    elif prev != c.insert:
+                        # both directions of one edge: order-sensitive
+                        return None
+                    # same-direction twin/duplicate: collapses into the row
+        except (TypeError, AttributeError):
+            return None
+        return cls(
+            np.array(a_out, dtype=np.int64),
+            np.array(b_out, dtype=np.int64),
+            np.array(ins_out, dtype=bool),
+            is_hyper=is_hyper,
+        )
+
+    # -- batch protocol ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.col_a)
+
+    @property
+    def n_pin_records(self) -> int:
+        """Pin-record count of the per-Change encoding (graph edges carry
+        two pin records per unit)."""
+        return len(self.col_a) * (1 if self.is_hyper else 2)
+
+    def __iter__(self) -> Iterator[Change]:
+        """Compatibility iteration: materialise equivalent ``Change``
+        records (one per unit -- either pin record moves a whole graph
+        edge, so the twin is redundant for structural consumers)."""
+        a = self.col_a.tolist()
+        b = self.col_b.tolist()
+        ins = self.insert.tolist()
+        if self.is_hyper:
+            for e, v, i in zip(a, b, ins):
+                yield Change(e, v, i)
+        else:
+            for u, v, i in zip(a, b, ins):
+                yield Change((u, v), u, i)
+
+    def to_batch(self):
+        """Materialise as a per-Change :class:`~repro.graph.batch.Batch`."""
+        from repro.graph.batch import Batch
+
+        return Batch(list(self))
+
+    # -- views ----------------------------------------------------------------
+    def deletions_columns(self) -> Tuple[np.ndarray, np.ndarray]:
+        mask = ~self.insert
+        return self.col_a[mask], self.col_b[mask]
+
+    def insertions_columns(self) -> Tuple[np.ndarray, np.ndarray]:
+        mask = self.insert
+        return self.col_a[mask], self.col_b[mask]
+
+    def is_insert_only(self) -> bool:
+        return bool(self.insert.all())
+
+    def is_delete_only(self) -> bool:
+        return not bool(self.insert.any())
+
+    # -- validation -------------------------------------------------------------
+    def validate_against(self, sub) -> None:
+        """Vectorised pre-flight validation (the columnar twin of
+        :func:`repro.resilience.validation.validate_batch`)."""
+        from repro.graph.validate import validate_columnar
+
+        validate_columnar(sub, self)
+
+    def __repr__(self) -> str:
+        ni = int(self.insert.sum())
+        kind = "hyper" if self.is_hyper else "graph"
+        return f"ColumnarBatch({kind}, +{ni}/-{len(self) - ni})"

@@ -26,12 +26,15 @@ changes by setting batch boundaries at full hyperedges*").
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, List, Protocol, Tuple, runtime_checkable
+from typing import Hashable, Iterable, Iterator, List, Optional, Protocol, Tuple, \
+    runtime_checkable
 
 __all__ = [
     "Change",
     "Substrate",
+    "count_change_allocations",
     "edge_id",
     "graph_edge_changes",
     "hyperedge_changes",
@@ -52,6 +55,31 @@ def edge_id(u: Vertex, v: Vertex) -> Tuple[Vertex, Vertex]:
     return (u, v) if u <= v else (v, u)
 
 
+# Allocation accounting for the columnar fast path's "zero per-Change
+# objects in steady state" guarantee.  ``None`` keeps ``__post_init__``
+# at a single global load + falsy test, so the hook costs nothing when
+# no one is counting.
+_ALLOC_COUNTER: Optional[List[int]] = None
+
+
+@contextmanager
+def count_change_allocations():
+    """Count every :class:`Change` constructed inside the ``with`` block.
+
+    Yields a one-element list cell; ``cell[0]`` is the running count.
+    Used to assert the columnar pipeline materialises no per-change
+    Python objects between parse and commit.
+    """
+    global _ALLOC_COUNTER
+    prev = _ALLOC_COUNTER
+    cell = [0]
+    _ALLOC_COUNTER = cell
+    try:
+        yield cell
+    finally:
+        _ALLOC_COUNTER = prev
+
+
 @dataclass(frozen=True)
 class Change:
     """A single pin change: vertex ``vertex`` enters/leaves hyperedge ``edge``.
@@ -63,6 +91,11 @@ class Change:
     edge: EdgeId
     vertex: Vertex
     insert: bool
+
+    def __post_init__(self) -> None:
+        cell = _ALLOC_COUNTER
+        if cell is not None:
+            cell[0] += 1
 
     @property
     def c(self) -> str:

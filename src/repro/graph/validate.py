@@ -8,10 +8,18 @@ silently on success.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.dynamic_hypergraph import DynamicHypergraph
 
-__all__ = ["InvariantError", "check_graph", "check_hypergraph", "check"]
+__all__ = [
+    "InvariantError",
+    "check_graph",
+    "check_hypergraph",
+    "check",
+    "validate_columnar",
+]
 
 
 class InvariantError(AssertionError):
@@ -62,6 +70,43 @@ def check_hypergraph(h: DynamicHypergraph) -> None:
             f"pin count mismatch: edges hold {pin_total}, incidence holds "
             f"{inc_total}, num_pins says {h.num_pins()}"
         )
+
+
+def validate_columnar(sub, cb) -> None:
+    """Vectorised pre-flight validation of a columnar batch.
+
+    The columnar twin of
+    :func:`repro.resilience.validation.validate_batch`: whole-column
+    checks instead of a per-``Change`` loop.  Graph batches must carry
+    canonical (``a < b``) endpoint pairs -- which also rules out
+    self-loops; both substrate kinds require well-formed, equally sized
+    ``int64``/``bool`` columns (enforced at construction, re-checked
+    here because batches can arrive from untrusted trace parsers).
+    Raises :class:`~repro.resilience.validation.BatchValidationError`.
+    """
+    from repro.resilience.validation import BatchValidationError
+
+    a, b, ins = cb.col_a, cb.col_b, cb.insert
+    if not (len(a) == len(b) == len(ins)):
+        raise BatchValidationError(-1, None, "columnar batch columns disagree on length")
+    if a.dtype != np.int64 or b.dtype != np.int64 or ins.dtype != np.bool_:
+        raise BatchValidationError(-1, None, "columnar batch columns have wrong dtypes")
+    is_hyper_sub = bool(getattr(sub, "is_hypergraph", False))
+    if cb.is_hyper != is_hyper_sub:
+        raise BatchValidationError(
+            -1, None,
+            f"columnar batch kind ({'hyper' if cb.is_hyper else 'graph'}) does not "
+            f"match substrate ({'hyper' if is_hyper_sub else 'graph'})",
+        )
+    if not cb.is_hyper and len(a):
+        bad = np.flatnonzero(a >= b)
+        if len(bad):
+            i = int(bad[0])
+            reason = (
+                "self-loop edge" if int(a[i]) == int(b[i])
+                else "non-canonical endpoint order (expected smaller endpoint first)"
+            )
+            raise BatchValidationError(i, (int(a[i]), int(b[i])), reason)
 
 
 def check(sub) -> None:

@@ -21,10 +21,15 @@ Algorithms interact with a runtime through four calls:
     executed a whole region as one NumPy pass over ``n`` logical items and
     reports how much work each contiguous chunk ``[lo, hi)`` of those
     items represents (typically a degree prefix-sum difference).  The
-    simulated backend chunks the range exactly as it would a
-    ``parallel_for`` of ``n`` tasks and schedules the per-chunk costs, so
-    vectorised kernels show the same scaling behaviour their per-item
-    twins would -- instead of booking one serial lump.
+    simulated backend chunks the range as it would a ``parallel_for`` of
+    ``n`` tasks -- rebalanced by the skew-resistant VGC chunker
+    (:func:`~repro.parallel.scheduler.vgc_chunk_costs`) so hub-heavy
+    ranges split instead of pinning the makespan -- and schedules the
+    per-chunk costs, so vectorised kernels show the same scaling
+    behaviour their per-item twins would, instead of booking one serial
+    lump.  ``chunk_cost`` must therefore be *additive* over ``[lo, hi)``
+    splits (every cost derived from prefix sums or per-item constants
+    is).
 
 Keeping the accounting explicit in the algorithm code is what lets the
 simulated backend replay the *actual* work distribution on any number of

@@ -9,14 +9,24 @@ schedule: assign each chunk, in order, to the earliest-free thread.
 Greedy list scheduling is within 2x of optimal (Graham's bound) and is what
 work-stealing runtimes approximate, so makespans here track what the C++
 system's TBB scheduler would achieve for the same cost stream.
+
+:func:`vgc_chunk_costs` adds VGC-style *vertex-group chunking* (Sun et
+al., arXiv:2502.08042) for the vectorised kernels' metered ranges: the
+count-based chunks are rebalanced against the caller's actual per-range
+cost function, recursively bisecting any chunk whose cost exceeds a
+balance factor times the target, and splitting a single pathological
+item (a hub vertex's whole gather range) into virtual sub-chunks so one
+heavy vertex no longer pins the makespan to its own cost.  Uniform cost
+streams reduce exactly to :func:`chunk_sizes`' count-based chunks.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, List, Sequence
+import math
+from typing import Callable, Iterable, List, Sequence, Tuple
 
-__all__ = ["chunk_sizes", "list_schedule_makespan", "schedule_all"]
+__all__ = ["chunk_sizes", "vgc_chunk_costs", "list_schedule_makespan", "schedule_all"]
 
 
 def chunk_sizes(n_tasks: int, max_threads: int, grain: int = 1) -> List[int]:
@@ -36,6 +46,64 @@ def chunk_sizes(n_tasks: int, max_threads: int, grain: int = 1) -> List[int]:
     if rem:
         sizes.append(rem)
     return sizes
+
+
+def vgc_chunk_costs(
+    n_tasks: int,
+    chunk_cost: Callable[[int, int], float],
+    max_threads: int,
+    grain: int = 1,
+    balance_factor: float = 2.0,
+) -> List[Tuple[int, float]]:
+    """Skew-resistant ``(size, cost)`` chunks for a metered range.
+
+    Starts from the count-based :func:`chunk_sizes` partition, reads the
+    caller's additive ``chunk_cost(lo, hi)`` per chunk, and recursively
+    bisects any chunk costing more than ``balance_factor`` times the
+    target (total over ~8 chunks per thread).  A *single item* above the
+    threshold -- one hub vertex whose neighbour range dominates the pass
+    -- is split into ``ceil(cost / target)`` virtual sub-chunks sharing
+    its cost, with nominal sizes ``1, 0, 0, ...`` so the item's task
+    overhead is not double-counted.  Chunks come back in index order;
+    a uniform cost stream returns exactly the count-based partition.
+    """
+    sizes = chunk_sizes(n_tasks, max_threads, grain)
+    if not sizes:
+        return []
+    stack: List[Tuple[int, int, float]] = []
+    total = 0.0
+    lo = 0
+    for size in sizes:
+        hi = lo + size
+        c = float(chunk_cost(lo, hi))
+        stack.append((lo, hi, c))
+        total += c
+        lo = hi
+    target = total / max(1, max_threads * 8)
+    out: List[Tuple[int, float]] = []
+    if target <= 0.0:
+        return [(hi - lo, c) for lo, hi, c in stack]
+    limit = balance_factor * target
+    stack.reverse()  # pop() walks chunks in index order
+    while stack:
+        lo, hi, c = stack.pop()
+        size = hi - lo
+        if c <= limit:
+            out.append((size, c))
+        elif size <= 1:
+            # one pathological item: virtual sub-chunks share its cost
+            k = max(1, math.ceil(c / target))
+            if k == 1:
+                out.append((size, c))
+            else:
+                share = c / k
+                out.append((size, share))
+                out.extend((0, share) for _ in range(k - 1))
+        else:
+            mid = (lo + hi) // 2
+            stack.append((mid, hi, float(chunk_cost(mid, hi))))
+            stack.append((lo, mid, float(chunk_cost(lo, mid))))
+    return out
 
 
 def list_schedule_makespan(chunk_costs: Sequence[float], threads: int) -> float:

@@ -22,7 +22,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 from repro.parallel.machine import COMPUTE_BOUND, DEFAULT_MACHINE, MachineSpec, WorkloadProfile
 from repro.parallel.metrics import RegionMetrics, RunMetrics
 from repro.parallel.runtime import ParallelRuntime
-from repro.parallel.scheduler import chunk_sizes, list_schedule_makespan
+from repro.parallel.scheduler import chunk_sizes, list_schedule_makespan, vgc_chunk_costs
 
 __all__ = ["SimulatedRuntime", "DEFAULT_THREAD_COUNTS"]
 
@@ -126,13 +126,16 @@ class SimulatedRuntime(ParallelRuntime):
     ) -> float:
         """Meter a vectorised pass as a real chunked parallel region.
 
-        The range ``[0, n)`` is chunked exactly like a ``parallel_for``
-        of ``n`` tasks; each chunk's cost is the caller-reported
-        ``chunk_cost(lo, hi)`` plus the machine's per-task and per-chunk
-        overheads, and the chunk-cost stream goes through the same greedy
-        list scheduler -- so a NumPy kernel that executes in one shot
-        still yields the full makespan curve its work distribution
-        implies.
+        The range ``[0, n)`` is partitioned by the skew-resistant VGC
+        chunker (:func:`~repro.parallel.scheduler.vgc_chunk_costs`):
+        count-based chunks rebalanced against the caller-reported
+        ``chunk_cost(lo, hi)``, with hub-dominated chunks bisected and a
+        single pathological item split into virtual sub-chunks.  Each
+        chunk's cost -- the reported range cost plus the machine's
+        per-task and per-chunk overheads -- goes through the same greedy
+        list scheduler as ``parallel_for``, so a NumPy kernel that
+        executes in one shot still yields the full makespan curve its
+        work distribution implies.
         """
         if n <= 0:
             return 0.0
@@ -144,17 +147,11 @@ class SimulatedRuntime(ParallelRuntime):
         self._flush_serial()
         mach = self.machine
         reg = RegionMetrics(region, tasks=n)
-        sizes = chunk_sizes(n, max(self.thread_counts), grain)
-        chunk_costs: List[float] = []
-        lo = 0
-        for size in sizes:
-            hi = lo + size
-            chunk_costs.append(
-                mach.chunk_overhead_units
-                + size * mach.task_overhead_units
-                + float(chunk_cost(lo, hi))
-            )
-            lo = hi
+        pieces = vgc_chunk_costs(n, chunk_cost, max(self.thread_counts), grain)
+        chunk_costs: List[float] = [
+            mach.chunk_overhead_units + size * mach.task_overhead_units + c
+            for size, c in pieces
+        ]
         reg.chunks = len(chunk_costs)
         reg.work_units = sum(chunk_costs)
         reg.span_units = max(chunk_costs, default=0.0)

@@ -34,6 +34,7 @@ facade and the experiment drivers can use it interchangeably
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional
@@ -43,6 +44,11 @@ from repro.resilience.backoff import ExponentialBackoff, SystemClock
 __all__ = ["BatchReport", "QuarantinedBatch", "ResilientMaintainer"]
 
 Vertex = Hashable
+
+# lazy %s-style formatting throughout: these sit on per-batch hot paths,
+# and building reprs of batches or quarantine records eagerly would cost
+# more than the supervision itself when logging is disabled
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -216,6 +222,7 @@ class ResilientMaintainer:
             )
             self.quarantine.append(record)
             self.stats["quarantined"] += 1
+            logger.warning("%s", record)
             return BatchReport("quarantined", attempts, error=str(last),
                                audit=self._maybe_audit())
         self.stats["applied"] += 1
@@ -248,8 +255,16 @@ class ResilientMaintainer:
             rng=self._rng,
         )
         if not mismatches:
+            logger.debug(
+                "audit #%d clean (sample=%s)",
+                self.stats["audits"], self.audit_sample,
+            )
             return "clean"
         self.stats["audit_failures"] += 1
+        logger.warning(
+            "audit #%d found %d drifted vertices; self-healing",
+            self.stats["audits"], len(mismatches),
+        )
         self.heal()
         return "healed"
 
@@ -261,6 +276,7 @@ class ResilientMaintainer:
         self.impl = self._factory()
         self.impl.batches_processed = batches
         self.stats["heals"] += 1
+        logger.info("healed by static reseed after %d batches", batches)
 
     def __repr__(self) -> str:
         s = self.stats

@@ -7,7 +7,11 @@ a :class:`Transaction`:
   by ``MaintainH``'s single mutation point) -- on failure they are
   re-applied *inverted, in reverse order*, which restores the substrate
   exactly (a graph edge journals once even though it carries two pin
-  records; its single inverse removes/restores the whole edge);
+  records; its single inverse removes/restores the whole edge).  Entries
+  are usually :class:`~repro.graph.substrate.Change` records, but any
+  object with an ``undo(sub)`` method participates -- the columnar bulk
+  path journals whole phases as
+  :class:`~repro.engine.columnar.ColumnarJournalEntry` array slices;
 * a **tau snapshot** (one dict copy -- tau only holds vertices with
   degree >= 1, so this is O(|V|) of cheap C-level copying) from which the
   level index is rebuilt in place;
@@ -25,13 +29,14 @@ it refills lazily against the restored values.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, Hashable, List
-
-from repro.graph.substrate import Change
 
 __all__ = ["Transaction"]
 
 Vertex = Hashable
+
+logger = logging.getLogger(__name__)
 
 
 class Transaction:
@@ -39,7 +44,7 @@ class Transaction:
 
     __slots__ = ("journal", "tau_snapshot", "batches_processed", "extra")
 
-    def __init__(self, journal: List[Change], tau_snapshot: Dict[Vertex, int],
+    def __init__(self, journal: List[object], tau_snapshot: Dict[Vertex, int],
                  batches_processed: int, extra: object) -> None:
         self.journal = journal
         self.tau_snapshot = tau_snapshot
@@ -58,9 +63,20 @@ class Transaction:
 
     def rollback(self, maintainer) -> None:
         """Restore ``maintainer`` to the state captured by :meth:`begin`."""
+        # lazy %s formatting: the journal repr is only built when debug
+        # logging is actually enabled (rollback sits on failure paths
+        # that tests and the chaos harness hit thousands of times)
+        logger.debug(
+            "rolling back %d journalled entries on %r",
+            len(self.journal), maintainer,
+        )
         sub = maintainer.sub
-        for change in reversed(self.journal):
-            sub.apply(change.inverse())
+        for entry in reversed(self.journal):
+            undo = getattr(entry, "undo", None)
+            if undo is not None:
+                undo(sub)
+            else:
+                sub.apply(entry.inverse())
         tau = maintainer.tau
         tau.clear()
         tau.update(self.tau_snapshot)

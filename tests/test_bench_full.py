@@ -29,8 +29,16 @@ def test_full_benchmark_meets_acceptance_bar():
     for key, w in report["workloads"].items():
         assert w["kappa_identical"] is True, key
         assert w["oracle_verified"] is True, key
+        assert w["array"]["columnar_batches"] > 0, key
+        assert w["columnar"]["columnar_batches"] > 0, key
     median_speedup = statistics.median(w["speedup"] for w in hyper.values())
     assert median_speedup >= 2.5, (
         f"hypergraph dict->array median speedup {median_speedup:.2f}x "
         f"below the 2.5x acceptance bar"
+    )
+    # the 10^6-edge tier: columnar steady state must deliver the 10x bar
+    m6 = report["workloads"]["m6_mixed"]
+    assert report["meta"]["m6"]["edges"] >= 1_000_000
+    assert m6["speedup"] >= 10.0, (
+        f"m6 dict->array speedup {m6['speedup']:.2f}x below the 10x bar"
     )
