@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""What the serving layer buys: exact snapshots under load, bounded queues.
+
+Plays the bursty remove/reinsert stream through a
+:class:`~repro.serve.server.CoreServer` (admission control -> coalescing
+queue -> maintenance -> published :class:`ReadView` snapshots) and
+measures the serving contract on both engines:
+
+* ``keep_up``  -- maintenance keeps pace with the offered load: every
+  query is answered ``fresh`` from a snapshot that reflects the whole
+  committed stream, and the query latency percentiles price the inline
+  pumping a fresh read performs.
+* ``overload`` -- the engine is throttled to one bounded batch per round
+  while the full bursty load keeps arriving, sustained (~10x the drain
+  rate at the burst peaks).  The excess turns into explicit ``deferred``
+  / ``shed`` admission decisions -- never unbounded queue growth -- and
+  reads degrade to the last published snapshot with an explicit
+  staleness stamp instead of blocking.
+
+The recorded **contract** (asserted, and written to the JSON):
+
+* every run ends view-consistent (the final published snapshot equals
+  the engine's tau) and peeling-verified -- served answers are never
+  torn;
+* the ingest queue's observed depth never exceeds ``defer_at`` plus the
+  largest admitted group (bounded by construction);
+* p99 query latency stays within the deadline budget plus one batch
+  cost (a deadline is checked between batches, so the overshoot is at
+  most the batch that was already in flight).
+
+All timing is simulated: the server runs on a
+:class:`~repro.resilience.backoff.ManualClock` advanced only by the
+per-batch maintenance cost, so every number is deterministic under a
+fixed seed.
+
+Usage::
+
+    python benchmarks/bench_serve.py            # full run, writes JSON
+    python benchmarks/bench_serve.py --quick    # CI smoke (small sizes)
+    python benchmarks/bench_serve.py --out PATH # custom output path
+
+The full run writes ``BENCH_serve.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.eval.harness import run_served_stream  # noqa: E402
+
+FULL_CONFIG = dict(
+    dataset="DBLP", scale=0.3, rounds=12, queries_per_round=16,
+    deadline_s=0.05, batch_cost_s=0.002, max_batch=64,
+    overload=dict(pump_batches_per_round=1, defer_at=64, shed_at=512,
+                  deadline_s=0.008, max_batch=16),
+)
+QUICK_CONFIG = dict(
+    dataset="DBLP", scale=0.05, rounds=5, queries_per_round=8,
+    deadline_s=0.05, batch_cost_s=0.002, max_batch=64,
+    overload=dict(pump_batches_per_round=1, defer_at=16, shed_at=128,
+                  deadline_s=0.006, max_batch=8),
+)
+
+ENGINES = ("dict", "array")
+
+
+def _result_dict(r) -> dict:
+    return {
+        "dataset": r.dataset,
+        "algorithm": r.algorithm,
+        "engine": r.engine,
+        "rounds": r.rounds,
+        "offered_changes": r.offered_changes,
+        "admission": r.admission,
+        "coalesced": r.coalesced,
+        "dropped_rounds": r.dropped_rounds,
+        "queue_depth": dataclasses.asdict(r.queue_depth),
+        "max_queue_depth": r.max_queue_depth,
+        "max_group": r.max_group,
+        "query_latency_s": dataclasses.asdict(r.query_latency),
+        "latency_p50_s": r.latency_p50,
+        "latency_p99_s": r.latency_p99,
+        "staleness_batches": dataclasses.asdict(r.staleness),
+        "statuses": r.statuses,
+        "health_transitions": len(r.health_transitions),
+        "final_health": r.final_health,
+        "failed_batches": r.failed_batches,
+        "subscription_events": r.events,
+        "view_consistent": r.view_consistent,
+        "final_verified": r.final_verified,
+    }
+
+
+def _check_common(r, label: str) -> None:
+    if not (r.view_consistent and r.final_verified):
+        raise AssertionError(f"{label}: served state diverged from peeling")
+    if r.failed_batches:
+        raise AssertionError(f"{label}: unexpected maintenance failures")
+
+
+def run_keep_up(config: dict, engine: str, seed: int) -> dict:
+    r = run_served_stream(
+        config["dataset"], rounds=config["rounds"],
+        queries_per_round=config["queries_per_round"],
+        deadline_s=config["deadline_s"],
+        batch_cost_s=config["batch_cost_s"],
+        max_batch=config["max_batch"],
+        scale=config["scale"], seed=seed, engine=engine,
+    )
+    print(r.format())
+    _check_common(r, f"keep_up/{engine}")
+    total = sum(r.statuses.values())
+    if r.statuses.get("fresh", 0) != total:
+        raise AssertionError(
+            f"keep_up/{engine}: {total - r.statuses.get('fresh', 0)} of "
+            f"{total} queries were not fresh with maintenance keeping pace"
+        )
+    return _result_dict(r)
+
+
+def run_overload(config: dict, engine: str, seed: int) -> dict:
+    o = config["overload"]
+    r = run_served_stream(
+        config["dataset"], rounds=config["rounds"],
+        queries_per_round=config["queries_per_round"],
+        deadline_s=o["deadline_s"],
+        batch_cost_s=config["batch_cost_s"],
+        max_batch=o["max_batch"],
+        pump_batches_per_round=o["pump_batches_per_round"],
+        defer_at=o["defer_at"], shed_at=o["shed_at"],
+        scale=config["scale"], seed=seed, engine=engine,
+    )
+    print(r.format())
+    _check_common(r, f"overload/{engine}")
+    decisions = sum(r.admission.values())
+    refused = r.admission.get("deferred", 0) + r.admission.get("shed", 0)
+    row = _result_dict(r)
+    row["shed_rate"] = refused / decisions if decisions else 0.0
+    row["depth_bound"] = o["defer_at"] + r.max_group
+    row["latency_budget_s"] = o["deadline_s"] + config["batch_cost_s"]
+    if r.max_queue_depth > row["depth_bound"]:
+        raise AssertionError(
+            f"overload/{engine}: queue depth {r.max_queue_depth} exceeds "
+            f"defer_at + largest group = {row['depth_bound']}"
+        )
+    if r.latency_p99 > row["latency_budget_s"]:
+        raise AssertionError(
+            f"overload/{engine}: p99 latency {r.latency_p99 * 1e3:.3f} ms "
+            f"exceeds budget {row['latency_budget_s'] * 1e3:.3f} ms"
+        )
+    return row
+
+
+def run(config: dict, seed: int) -> dict:
+    panels = {"keep_up": {}, "overload": {}}
+    for engine in ENGINES:
+        print(f"== keep-up serving ({config['dataset']}, engine={engine}) ==")
+        panels["keep_up"][engine] = run_keep_up(config, engine, seed)
+        print(f"\n== sustained overload (engine={engine}) ==")
+        panels["overload"][engine] = run_overload(config, engine, seed)
+        print()
+
+    contract = {
+        "all_runs_view_consistent": True,     # _check_common raises otherwise
+        "all_runs_peeling_verified": True,
+        "queue_depth_bounded": {
+            e: {
+                "observed": panels["overload"][e]["max_queue_depth"],
+                "bound": panels["overload"][e]["depth_bound"],
+            } for e in ENGINES
+        },
+        "p99_within_budget": {
+            e: {
+                "observed_s": panels["overload"][e]["latency_p99_s"],
+                "budget_s": panels["overload"][e]["latency_budget_s"],
+            } for e in ENGINES
+        },
+        "shed_rate": {e: panels["overload"][e]["shed_rate"] for e in ENGINES},
+    }
+    return {
+        "meta": {
+            "benchmark": "serve",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "seed": seed,
+            "config": {k: dict(v) if isinstance(v, dict) else v
+                       for k, v in config.items()},
+        },
+        "panels": panels,
+        "contract": contract,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON path")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    config = QUICK_CONFIG if args.quick else FULL_CONFIG
+    report = run(config, args.seed)
+
+    out = args.out
+    if out is None and not args.quick:
+        out = REPO_ROOT / "BENCH_serve.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+
+    c = report["contract"]
+    sheds = ", ".join(f"{e}={c['shed_rate'][e]:.0%}" for e in ENGINES)
+    print("contract passed: every run view-consistent + peeling-verified; "
+          "queue depth bounded "
+          + ", ".join(
+              f"{e} {c['queue_depth_bounded'][e]['observed']}"
+              f"<={c['queue_depth_bounded'][e]['bound']}" for e in ENGINES)
+          + "; p99 within budget; shed rate under overload: " + sheds)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

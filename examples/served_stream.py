@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Serving exact k-core answers while the graph churns underneath.
+
+The paper's framing is maintenance-as-a-service (Section I): keep core
+values current so queries answer instantly.  This example puts the
+serving layer (:mod:`repro.serve`) in front of a maintained power-law
+social graph and walks the whole contract:
+
+* every read is computed against one immutable snapshot published at a
+  committed batch boundary -- never a torn mid-batch state;
+* a standing subscription fires when a watched vertex's core value
+  crosses a threshold, stamped with the exact boundary it happened at;
+* a burst 10x the engine's drain rate is converted into explicit
+  deferred/shed admission decisions with jittered retry hints -- the
+  queue stays bounded, and reads degrade to the last snapshot with an
+  explicit staleness stamp instead of blocking;
+* a poison batch is quarantined by the resilient layer without ever
+  publishing a view; serving continues and health recovers.
+
+The run closes with the snapshot equal to fresh peeling of the final
+graph.  Run:  python examples/served_stream.py
+"""
+
+from repro import peel
+from repro.core.maintainer import CoreMaintainer
+from repro.graph.generators import powerlaw_social
+from repro.graph.streams import BurstySchedule, BurstyStream
+from repro.resilience import FaultInjector, FaultPlan
+from repro.resilience.backoff import ManualClock
+
+
+class PoisonFeed:
+    """Route batches through the chaos injector (resilient_stream.py's
+    harness) while exposing the wrapped stack for the server."""
+
+    def __init__(self, maintainer, plans):
+        self.impl = maintainer
+        self._injector = FaultInjector(maintainer, plans)
+
+    def apply_batch(self, batch):
+        return self._injector.apply_batch(batch)
+
+
+def main(n_vertices: int = 300, rounds: int = 10, seed: int = 7) -> None:
+    print("building the social graph and its served maintainer...")
+    g = powerlaw_social(n_vertices, 6, seed=seed)
+    m = CoreMaintainer(g, "mod", resilient=True, max_retries=0)
+    server = m.serve(
+        clock=ManualClock(), max_batch=32,
+        defer_at=64, shed_at=512, recover_after=1,
+        batch_cost_s=0.001,    # simulated engine cost, drives deadlines
+    )
+
+    watched = max(m.kappa(), key=m.kappa().get)
+    sub = server.subscribe(m.kappa()[watched], direction="down",
+                           vertices={watched})
+    print(f"watching vertex {watched} (core {m.kappa()[watched]}) for a "
+          "downward threshold crossing\n")
+
+    schedule = BurstySchedule(calm_size=4, burst_factor=40, p_burst=0.3,
+                              seed=3)
+    stream = BurstyStream(g, schedule, seed=seed + 1)
+
+    print("phase 1: maintenance keeps pace -- every read is fresh")
+    for _, deletion, insertion in stream.rounds(rounds):
+        for batch in (deletion, insertion):
+            server.submit(list(batch))
+            server.pump()
+        qr = server.core(watched)
+        assert qr.fresh and qr.staleness == 0
+    print(f"  {server.stats['queries']} queries, all fresh, "
+          f"view at boundary {server.view().boundary}")
+    if sub.events:
+        ev = sub.events[0]
+        print(f"  subscription fired: vertex {ev.vertex} "
+              f"{ev.old}->{ev.new} (threshold {ev.threshold}) at "
+              f"boundary {ev.boundary}")
+
+    print("\nphase 2: a sustained burst, engine throttled to 1 batch/round")
+    decisions = {"accepted": 0, "deferred": 0, "shed": 0}
+    max_depth = 0
+    for i in range(40):
+        fresh_edges = [(10_000 + 20 * i + j, 10_001 + 20 * i + j)
+                       for j in range(20)]       # 40 changes vs 32 drained
+        d = server.submit_edges(fresh_edges)
+        decisions[d.status] += 1
+        max_depth = max(max_depth, d.queue_depth)
+        if not d.accepted:
+            assert d.retry_after_s is not None
+        server.pump(max_batches=1)
+    qr = server.kappa(fresh=False)
+    print(f"  admission: {decisions}, max queue depth {max_depth} "
+          f"(bounded by the defer watermark)")
+    print(f"  degraded read: status={qr.status!r} pending={qr.pending} "
+          f"-- stamped, never torn")
+    assert decisions["deferred"] + decisions["shed"] > 0
+    assert max_depth <= server.health.defer_at + 40
+    server.pump()   # drain the backlog
+
+    print("\nphase 3: a poison batch is quarantined, serving continues")
+    publishes_before = server.views.stats["publishes"]
+    # arm a fault that crashes every attempt at the next batch: the
+    # resilient layer quarantines it, and no view is ever published
+    server.m = PoisonFeed(
+        m, [FaultPlan.raise_at(batch=0, change=0, transient=False)])
+    neighbor = next(iter(g.neighbors(watched)))
+    server.submit_edges([(watched, 20_000), (neighbor, 20_001)])
+    report = server.pump()
+    server.m = m    # disarm
+    assert report.failures == 1 and server.health.state == "shedding"
+    assert server.views.stats["publishes"] == publishes_before
+    print(f"  failed batch contained: {server.failed[-1][1].splitlines()[0]}")
+    qr = server.core(watched)
+    print(f"  reads still serve from the last snapshot: "
+          f"status={qr.status!r} boundary={qr.boundary}")
+    server.pump()   # idle probe: health steps back down
+    print(f"  health after idle pumps: {server.pump().health}")
+
+    print("\nfinal verification: snapshot == fresh peeling...", end=" ")
+    final = server.kappa()
+    assert final.fresh
+    assert final.value == peel(g), "diverged!"
+    print("clean")
+    print(f"\nstats: {server.stats}")
+    print("the served answers were exact at every stamped boundary.")
+
+
+if __name__ == "__main__":
+    main()

@@ -137,6 +137,17 @@ class ExecutionBackend:
         resynchronise any dense shadow from it."""
         raise NotImplementedError
 
+    # -- view capture ---------------------------------------------------------
+    def view_levels(self):
+        """Immutable ``{level: frozenset(labels)}`` capture of the level
+        index at this instant -- the serve layer's full snapshot rebuild.
+        The default copies the maintainer's live level index; engines
+        with a dense shadow override with a vectorised pass."""
+        return {
+            k: frozenset(bucket)
+            for k, bucket in self.m._level_index.items() if bucket
+        }
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -353,6 +364,14 @@ class ArrayBackend(ExecutionBackend):
         mids, olds, news = uq[moved], old_first[moved], final[moved]
         labels = np.asarray(m.sub.interner.labels_of(mids.tolist()),
                             dtype=object)
+        delta = m._view_delta
+        if delta is not None:
+            # first-seen-old: a vertex already recorded this batch keeps
+            # its pre-batch value (the dict and dense array agree on
+            # entry, so ``olds`` is the value as of the last commit)
+            for lbl, old in zip(labels.tolist(), olds.tolist()):
+                if lbl not in delta:
+                    delta[lbl] = old
         tau.update(zip(labels.tolist(), news.tolist()))
         for vals in (olds, news):
             order = np.argsort(vals, kind="stable")
@@ -418,6 +437,11 @@ class ArrayBackend(ExecutionBackend):
             # increment (level k and k+inc both incrementing) may have
             # moved other vertices *into* it meanwhile.
             labels = labels_of(ids.tolist())
+            delta = m._view_delta
+            if delta is not None:
+                for lbl in labels:
+                    if lbl not in delta:
+                        delta[lbl] = level
             tau.update(dict.fromkeys(labels, new))
             index.setdefault(new, set()).update(labels)
             src = index.get(level)
@@ -440,6 +464,26 @@ class ArrayBackend(ExecutionBackend):
         self.tau_array.resync(self.m.sub, self.m.tau)
         if self.edge_shadow is not None:
             self.edge_shadow.invalidate_all()
+
+    def view_levels(self):
+        # vectorised capture off the dense shadow: one group-by-value
+        # sort plus a bulk label resolution per level.  Labels are
+        # resolved *now* -- a view must never consult the live interner
+        # at read time (id recycling would rebind them).
+        m = self.m
+        ids, values = self.tau_array.snapshot()
+        if not len(ids):
+            return {}
+        labels_of = m.sub.interner.labels_of
+        order = np.argsort(values, kind="stable")
+        sv = values[order]
+        si = ids[order]
+        levels, first = np.unique(sv, return_index=True)
+        bounds = np.append(first, len(sv))
+        return {
+            int(lv): frozenset(labels_of(si[bounds[j]:bounds[j + 1]].tolist()))
+            for j, lv in enumerate(levels.tolist())
+        }
 
     def __repr__(self) -> str:
         return (

@@ -42,6 +42,21 @@ hot-loop option).
 ``(change, index)`` before each pin-change record of a batch is processed,
 and may raise to simulate a mid-batch failure at a deterministic position
 (:class:`~repro.resilience.faults.FaultInjector` drives it).
+
+View publication
+----------------
+``view_publisher`` is the snapshot-isolation seam used by
+:mod:`repro.serve`: when set, every **successful, top-level**
+``apply_batch`` ends by calling ``view_publisher(delta)`` where ``delta``
+maps each vertex whose tau was written this batch to its *pre-batch*
+value (``None`` for vertices that entered the decomposition).  The call
+fires strictly after the commit point -- never mid-transaction, and
+never for a rolled-back batch (rollback discards the pending delta) --
+so a subscriber that derives a read snapshot from the deltas only ever
+observes batch boundaries.  All tau write paths feed the delta: the
+serial ``_set_tau`` / ``_drop_vertex`` / ``_on_change_hook`` commits
+here, the array backend's vectorised bulk commits, and the columnar
+fast path's vertex creation.
 """
 
 from __future__ import annotations
@@ -99,6 +114,11 @@ class MaintainerBase:
         self.validate_batches = True
         #: chaos seam: ``hook(change, index)`` before each pin-change record
         self.fault_hook: Optional[FaultHook] = None
+        #: snapshot seam: ``publisher(delta)`` after each committed
+        #: top-level batch, ``delta = {vertex: pre-batch tau or None}``
+        #: (see module docs; :mod:`repro.serve` attaches here)
+        self.view_publisher: Optional[Callable[[Dict[Vertex, Optional[int]]], None]] = None
+        self._view_delta: Optional[Dict[Vertex, Optional[int]]] = None
         self._txn_journal: Optional[List[Change]] = None
         self._fault_index = 0
 
@@ -139,6 +159,9 @@ class MaintainerBase:
         old = self.tau.get(v)
         if old == new:
             return
+        delta = self._view_delta
+        if delta is not None and v not in delta:
+            delta[v] = old
         if old is not None:
             bucket = self._level_index.get(old)
             if bucket is not None:
@@ -154,6 +177,9 @@ class MaintainerBase:
     def _drop_vertex(self, v: Vertex) -> None:
         """Vertex degree hit zero: it leaves the decomposition."""
         old = self.tau.pop(v, None)
+        delta = self._view_delta
+        if delta is not None and old is not None and v not in delta:
+            delta[v] = old
         if old is not None:
             bucket = self._level_index.get(old)
             if bucket is not None:
@@ -163,6 +189,9 @@ class MaintainerBase:
 
     def _on_change_hook(self, v: Vertex, old: int, new: int) -> None:
         """hhc_local commits tau[v] directly; re-sync the level index."""
+        delta = self._view_delta
+        if delta is not None and v not in delta:
+            delta[v] = old
         bucket = self._level_index.get(old)
         if bucket is not None:
             bucket.discard(v)
@@ -309,19 +338,41 @@ class MaintainerBase:
         self._fault_index = 0
         if not self.transactional or self._txn_journal is not None:
             # transactions off, or already inside an enclosing transaction
-            # (the hybrid maintainer's child engines share the journal)
-            self._apply_batch(batch)
+            # (the hybrid maintainer's child engines share the journal).
+            # A nested call never publishes -- the enclosing top-level
+            # batch owns the delta and the commit point.
+            if self._txn_journal is not None or self.view_publisher is None:
+                self._apply_batch(batch)
+                return
+            self._view_delta = {}
+            try:
+                self._apply_batch(batch)
+            except BaseException:
+                self._view_delta = None
+                raise
+            self._publish_view()
             return
         txn = Transaction.begin(self)
         self._txn_journal = txn.journal
+        if self.view_publisher is not None:
+            self._view_delta = {}
         try:
             self._apply_batch(batch)
         except BaseException:
             self._txn_journal = None
+            self._view_delta = None          # rolled back: never published
             txn.rollback(self)
             raise
         finally:
             self._txn_journal = None
+        self._publish_view()
+
+    def _publish_view(self) -> None:
+        """Hand the committed batch's tau delta to the attached publisher
+        (no-op without one); fires strictly after the commit point."""
+        delta, self._view_delta = self._view_delta, None
+        if delta is not None and self.view_publisher is not None:
+            self.view_publisher(delta)
 
     def _apply_batch(self, batch) -> None:
         """The algorithm's batch processing (subclasses implement)."""

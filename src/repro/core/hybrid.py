@@ -91,6 +91,8 @@ class HybridMaintainer(MaintainerBase):
         child.transactional = False
         child.validate_batches = False
         child.fault_hook = None
+        child.view_publisher = None
+        child._view_delta = None
         child._txn_journal = None
         child._fault_index = 0
 
@@ -119,6 +121,7 @@ class HybridMaintainer(MaintainerBase):
         for child in (self._mod, self._setmb):
             child._txn_journal = self._txn_journal
             child.fault_hook = self.fault_hook
+            child._view_delta = self._view_delta
         n = len(batch)
         if n <= self.threshold:
             self._setmb.apply_batch(batch)

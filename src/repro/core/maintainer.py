@@ -324,6 +324,16 @@ class CoreMaintainer:
 
         return take_checkpoint(self)
 
+    def serve(self, **options):
+        """Build a :class:`~repro.serve.server.CoreServer` in front of
+        this maintainer: snapshot-isolated reads, admission-controlled
+        writes, deadlines, subscriptions (see docs/SERVING.md).  Writes
+        submitted to the server flow through this instance's full
+        wrapper stack (resilience / durability / replication)."""
+        from repro.serve.server import CoreServer
+
+        return CoreServer(self, **options)
+
     # -- updates -----------------------------------------------------------------
     def apply_batch(self, batch: Batch):
         """Apply one batch.  Returns the supervisor's

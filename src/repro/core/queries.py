@@ -33,6 +33,8 @@ __all__ = [
     "degeneracy_ordering",
     "core_containment_tree",
     "CoreNode",
+    "vertices_with_core_at_least",
+    "top_k_densest",
 ]
 
 Vertex = Hashable
@@ -77,6 +79,58 @@ def shell(source, v: Vertex, kappa: Optional[Dict[Vertex, int]] = None) -> Set[V
                 seen.add(w)
                 stack.append(w)
     return seen
+
+
+def vertices_with_core_at_least(source, k: int,
+                                kappa: Optional[Dict[Vertex, int]] = None
+                                ) -> Set[Vertex]:
+    """All vertices with core value >= ``k`` (the k-core's vertex set).
+
+    When ``source`` exposes a level index (a maintainer, or a serve-layer
+    :class:`~repro.serve.view.ReadView`), the answer is assembled from the
+    populated level buckets -- work proportional to the answer, never a
+    scan over V; otherwise one pass over ``kappa``.
+
+    >>> from repro.graph import DynamicGraph
+    >>> g = DynamicGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    >>> sorted(vertices_with_core_at_least(g, 2))
+    [0, 1, 2]
+    """
+    if kappa is None and hasattr(source, "levels") \
+            and hasattr(source, "vertices_at_level"):
+        out: Set[Vertex] = set()
+        for level in list(source.levels()):
+            if level >= k:
+                out.update(source.vertices_at_level(level))
+        return out
+    _, kappa = _unpack(source, kappa)
+    return {v for v, kv in kappa.items() if kv >= k}
+
+
+def top_k_densest(source, n: int = 1,
+                  kappa: Optional[Dict[Vertex, int]] = None
+                  ) -> List[Tuple[int, Set[Vertex]]]:
+    """The ``n`` innermost connected cores, densest first.
+
+    Walks core levels downward from the degeneracy and reports each
+    connected k-core component as ``(k, vertices)`` until ``n`` are
+    collected -- the serve layer's "give me the densest regions" query.
+    Components of a higher level nest inside lower-level ones (that is
+    the core hierarchy); :func:`core_containment_tree` exposes the full
+    nesting when needed.
+    """
+    sub, kappa = _unpack(source, kappa)
+    if not kappa or n <= 0:
+        return []
+    out: List[Tuple[int, Set[Vertex]]] = []
+    for k in range(max(kappa.values()), 0, -1):
+        comps = k_core_components(sub, k, kappa)
+        comps.sort(key=len, reverse=True)
+        for comp in comps:
+            out.append((k, comp))
+            if len(out) == n:
+                return out
+    return out
 
 
 def densest_core(source, kappa: Optional[Dict[Vertex, int]] = None

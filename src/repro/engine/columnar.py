@@ -209,7 +209,10 @@ def _maintain_h_graph(backend, cb):
         if created:
             tau = m.tau
             bucket = m._level_index.setdefault(0, set())
+            delta = m._view_delta
             for i, label in created:
+                if delta is not None and label not in delta:
+                    delta[label] = None  # entered the decomposition
                 tau[label] = 0
                 bucket.add(label)
                 ta.set_(i, 0)
@@ -391,7 +394,10 @@ def _maintain_h_hyper(backend, cb, conservative: bool):
         if created_v:
             tau = m.tau
             bucket = m._level_index.setdefault(0, set())
+            delta = m._view_delta
             for i, label in created_v:
+                if delta is not None and label not in delta:
+                    delta[label] = None  # entered the decomposition
                 tau[label] = 0
                 bucket.add(label)
                 ta.set_(i, 0)

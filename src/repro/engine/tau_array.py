@@ -40,7 +40,7 @@ transparently.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -223,6 +223,18 @@ class TauArray:
             ids = self._bk_arr.get(k)
             return ids if ids is not None else _EMPTY_IDS
         return self._compact_level(k)
+
+    def snapshot(self) -> Tuple[np.ndarray, np.ndarray]:
+        """One-shot copy of the live ``(ids, values)`` pairs.
+
+        The serve layer's vectorised view capture: both arrays are fresh
+        (``nonzero`` allocates, fancy indexing copies), so a published
+        snapshot is immune to later maintenance writes.  Does not touch
+        the lazy buckets -- capture cost is O(live) regardless of how
+        stale the level index is.
+        """
+        ids = np.nonzero(self.live)[0].astype(np.int64)
+        return ids, self.arr[ids]
 
     def __repr__(self) -> str:
         return f"TauArray(live={int(self.live.sum())}, capacity={len(self.arr)})"

@@ -24,6 +24,14 @@ bursty workload (Section I's motivation): a
 injected, and the result surfaces the supervisor's retry / quarantine /
 audit counters next to the usual latency statistics -- the service-facing
 half of the evaluation.
+
+:func:`run_served_stream` closes the loop on the serving story: a
+:class:`~repro.serve.server.CoreServer` fronts the maintainer on the same
+bursty workload, writes flow through admission control and the coalescing
+queue, and every read is a deadline-bounded snapshot query.  The result
+reports the admission mix (accept / defer / shed), sampled queue depth,
+query latency percentiles, the staleness distribution of served answers,
+and the final view-vs-engine consistency check.
 """
 
 from __future__ import annotations
@@ -43,11 +51,21 @@ __all__ = [
     "ExperimentResult",
     "ReplicationResult",
     "ResilienceResult",
+    "ServeResult",
     "run_scalability",
     "run_latency_vs_static",
     "run_replicated_stream",
     "run_resilient_stream",
+    "run_served_stream",
 ]
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 1]) -- 0.0 on empty input."""
+    if not samples:
+        return 0.0
+    xs = sorted(samples)
+    return xs[min(len(xs) - 1, int(round(q * (len(xs) - 1))))]
 
 
 @dataclass
@@ -471,3 +489,194 @@ def run_replicated_stream(
     finally:
         if owned:
             _shutil.rmtree(root, ignore_errors=True)
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one served bursty-stream run."""
+
+    dataset: str
+    algorithm: str
+    engine: str
+    rounds: int
+    offered_changes: int
+    admission: Dict[str, int]     #: submit decisions by status
+    coalesced: Dict[str, int]     #: queue counters (enqueued/annihilated/...)
+    dropped_rounds: int           #: rounds whose deletion half was refused
+    queue_depth: Stats            #: depth sampled at every admission decision
+    max_queue_depth: int
+    #: largest accepted group -- ``max_queue_depth`` is bounded by
+    #: ``defer_at + max_group`` by construction (accept checks the
+    #: pre-enqueue depth)
+    max_group: int
+    query_latency: Stats          #: simulated seconds per served query
+    latency_p50: float
+    latency_p99: float
+    staleness: Stats              #: committed batches behind, per query
+    statuses: Dict[str, int]      #: query results by fresh / stale / timeout
+    health_transitions: List[Tuple[str, str]]
+    final_health: str
+    failed_batches: int
+    events: int                   #: subscription events fired
+    view_consistent: bool         #: final published view == engine tau
+    final_verified: bool
+
+    def format(self) -> str:
+        a, s = self.admission, self.statuses
+        total = sum(s.values())
+        lines = [
+            f"[{self.dataset}] {self.algorithm}/{self.engine}: "
+            f"{self.rounds} served bursty rounds, "
+            f"{self.offered_changes} changes offered",
+            f"  admission: accepted={a.get('accepted', 0)} "
+            f"deferred={a.get('deferred', 0)} shed={a.get('shed', 0)} "
+            f"(dropped rounds {self.dropped_rounds}); "
+            f"coalesced away {self.coalesced.get('annihilated', 0)} "
+            f"+ {self.coalesced.get('duplicates', 0)} dup",
+            f"  queue depth: {self.queue_depth.format(unit=1.0, digits=1)} "
+            f"(max {self.max_queue_depth})",
+            f"  query latency (simulated): {self.query_latency} "
+            f"p50={self.latency_p50 * 1e3:.3f}ms "
+            f"p99={self.latency_p99 * 1e3:.3f}ms",
+            f"  staleness (batches): "
+            f"{self.staleness.format(unit=1.0, digits=2)} "
+            f"(max {self.staleness.maximum:.0f})",
+            f"  statuses: fresh={s.get('fresh', 0)}/{total} "
+            f"stale={s.get('stale', 0)} timeout={s.get('timeout', 0)}; "
+            f"health={self.final_health} "
+            f"({len(self.health_transitions)} transitions, "
+            f"{self.failed_batches} failed batches); "
+            f"events={self.events}",
+            "  final: "
+            + ("view consistent" if self.view_consistent else "VIEW DIVERGED")
+            + (", verified clean" if self.final_verified else ", TAU DIVERGED"),
+        ]
+        return "\n".join(lines)
+
+
+def run_served_stream(
+    dataset: str,
+    algorithm: str = "mod",
+    *,
+    rounds: int = 30,
+    queries_per_round: int = 8,
+    deadline_s: Optional[float] = 0.05,
+    batch_cost_s: float = 0.002,
+    max_batch: int = 64,
+    pump_batches_per_round: Optional[int] = None,
+    defer_at: int = 256,
+    shed_at: int = 1024,
+    subscribe_threshold: Optional[int] = 2,
+    scale: float = 0.5,
+    seed: int = 0,
+    engine: str = "dict",
+) -> ServeResult:
+    """Play a bursty stream through a :class:`~repro.serve.server
+    .CoreServer` and report the serving contract's measurements.
+
+    Each round offers the deletion half then the reinsertion half to
+    admission; a refused deletion drops the whole round (the client must
+    not reinsert edges it never removed), which is how overload shows up
+    as bounded shedding rather than corrupted state.  Maintenance is
+    pumped ``pump_batches_per_round`` batches per round (``None`` =
+    whatever the deadline-bounded fresh reads pull in, then a full
+    drain) -- small values simulate an engine slower than the offered
+    load, driving the health machine through DEGRADED/SHEDDING.
+
+    Time is a :class:`~repro.resilience.backoff.ManualClock` advanced
+    only by ``batch_cost_s`` per pumped batch, so latencies, deadline
+    hits, and the staleness distribution are exactly reproducible.
+    """
+    import random as _random
+
+    from repro.core.verify import verify_kappa
+    from repro.graph.streams import BurstySchedule, BurstyStream
+    from repro.resilience.backoff import ManualClock
+    from repro.serve.server import CoreServer
+
+    spec = _spec(dataset)
+    sub = spec.load(scale, seed)
+    if engine == "array":
+        sub = wrap_substrate(sub, "array")
+    m = make_maintainer(sub, algorithm, engine=engine)
+    clock = ManualClock()
+    server = CoreServer(
+        m, clock=clock, max_batch=max_batch, defer_at=defer_at,
+        shed_at=shed_at, batch_cost_s=batch_cost_s,
+    )
+    handle = (server.subscribe(subscribe_threshold)
+              if subscribe_threshold is not None else None)
+    stream = BurstyStream(sub, BurstySchedule(seed=seed), seed=seed + 1)
+    rng = _random.Random(seed + 2)
+    probes = sorted(m.tau)
+
+    admission: Dict[str, int] = {}
+    statuses: Dict[str, int] = {}
+    depths: List[float] = []
+    latencies: List[float] = []
+    staleness: List[float] = []
+    offered = dropped_rounds = max_group = 0
+
+    def _note(decision, size) -> None:
+        nonlocal max_group
+        admission[decision.status] = admission.get(decision.status, 0) + 1
+        depths.append(float(decision.queue_depth))
+        if decision.accepted:
+            max_group = max(max_group, size)
+
+    def _record(qr) -> None:
+        statuses[qr.status] = statuses.get(qr.status, 0) + 1
+        latencies.append(qr.latency_s)
+        staleness.append(float(qr.staleness))
+
+    for _, deletion, insertion in stream.rounds(rounds):
+        offered += len(list(deletion)) + len(list(insertion))
+        changes = list(deletion)
+        decision = server.submit(changes)
+        _note(decision, len(changes))
+        if decision.accepted:
+            if pump_batches_per_round is None:
+                # keep-up mode: apply the removals before offering the
+                # reinsertions, else the queue coalesces the round away
+                server.pump()
+            changes = list(insertion)
+            decision = server.submit(changes)
+            _note(decision, len(changes))
+        else:
+            dropped_rounds += 1
+        if pump_batches_per_round is not None:
+            # slow-engine mode: bounded maintenance; opposing halves
+            # still in the queue annihilate, which is load shed for free
+            server.pump(max_batches=pump_batches_per_round)
+        for _ in range(queries_per_round):
+            _record(server.core(rng.choice(probes), deadline=deadline_s))
+        _record(server.vertices_with_core_at_least(2, deadline=deadline_s))
+
+    report = server.pump()   # quiesce: drain whatever admission let through
+    view = server.view()
+    view_consistent = view.kappa() == dict(m.tau)
+    final_clean = verify_kappa(m, raise_on_mismatch=False) == []
+    return ServeResult(
+        dataset=dataset,
+        algorithm=algorithm,
+        engine=engine,
+        rounds=rounds,
+        offered_changes=offered,
+        admission=admission,
+        coalesced=dict(server.queue.stats),
+        dropped_rounds=dropped_rounds,
+        queue_depth=Stats.of(depths) if depths else Stats.of([0.0]),
+        max_queue_depth=int(max(depths)) if depths else 0,
+        max_group=max_group,
+        query_latency=Stats.of(latencies),
+        latency_p50=_percentile(latencies, 0.50),
+        latency_p99=_percentile(latencies, 0.99),
+        staleness=Stats.of(staleness),
+        statuses=statuses,
+        health_transitions=list(server.health.transitions),
+        final_health=report.health,
+        failed_batches=server.stats["failed_batches"],
+        events=len(handle.events) if handle is not None else 0,
+        view_consistent=view_consistent,
+        final_verified=final_clean,
+    )

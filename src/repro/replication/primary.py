@@ -129,9 +129,10 @@ class ReplicatedMaintainer:
         shipment (1 = all, 0 = never).  A replica reaching the same
         watermark with a different fingerprint raises
         :class:`~repro.replication.shipment.ReplicationDivergence`.
-        Note: a quarantined-but-logged batch (resilient inner layer)
-        makes the *primary* the diverged party; disable stamping when
-        combining quarantine faults with replication.
+        Safe to combine with a resilient inner layer: a batch that
+        quarantines after being WAL-logged is retracted by an abort
+        record, so standbys skip it exactly as the primary's memory did
+        and the fingerprints agree.
     auto_pump:
         Pump the transport after every applied batch (default).  With a
         manual clock and no faults this keeps every standby within one

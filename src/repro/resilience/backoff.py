@@ -108,9 +108,22 @@ class ExponentialBackoff:
         Fraction of the delay drawn uniformly at random and *added*
         (``0.25`` -> up to +25%).  Deterministic: the draw is seeded by
         ``(seed, key, attempt)``, never by global RNG state or time.
+        Ignored under ``mode="full"``.
     seed:
         Base seed for the jitter stream.
+    mode:
+        ``"equal"`` (default) -- the historical additive jitter: the
+        capped exponential delay plus up to ``jitter`` of itself.
+        ``"full"`` -- AWS-style *full jitter*: the delay is drawn
+        uniformly from ``[0, capped exponential]``.  Full jitter is the
+        right policy when many independent clients retry against one
+        shared resource (the serving layer's admission retry-after
+        hints): equal jitter keeps the herd clustered near the same
+        instant, full jitter spreads it across the whole window.  Both
+        modes are pure functions of ``(seed, key, attempt)``.
     """
+
+    MODES = ("equal", "full")
 
     def __init__(
         self,
@@ -120,6 +133,7 @@ class ExponentialBackoff:
         *,
         jitter: float = 0.25,
         seed: int = 0,
+        mode: str = "equal",
     ) -> None:
         if initial < 0 or max_delay < 0:
             raise ValueError("delays must be >= 0")
@@ -127,11 +141,14 @@ class ExponentialBackoff:
             raise ValueError("factor must be >= 1 (backoff never shrinks)")
         if not 0.0 <= jitter <= 1.0:
             raise ValueError("jitter must be in [0, 1]")
+        if mode not in self.MODES:
+            raise ValueError(f"unknown jitter mode {mode!r}; choose from {self.MODES}")
         self.initial = float(initial)
         self.factor = float(factor)
         self.max_delay = float(max_delay)
         self.jitter = float(jitter)
         self.seed = int(seed)
+        self.mode = mode
 
     @classmethod
     def coerce(
@@ -152,7 +169,12 @@ class ExponentialBackoff:
         if attempt < 0:
             raise ValueError("attempt must be >= 0")
         base = min(self.initial * self.factor ** attempt, self.max_delay)
-        if not self.jitter or not base:
+        if not base:
+            return base
+        if self.mode == "full":
+            rng = random.Random(self.seed * 1_000_003 + key * 9_176 + attempt)
+            return base * rng.random()
+        if not self.jitter:
             return base
         rng = random.Random(self.seed * 1_000_003 + key * 9_176 + attempt)
         return base * (1.0 + self.jitter * rng.random())
@@ -160,5 +182,6 @@ class ExponentialBackoff:
     def __repr__(self) -> str:
         return (
             f"ExponentialBackoff(initial={self.initial}, factor={self.factor}, "
-            f"max_delay={self.max_delay}, jitter={self.jitter}, seed={self.seed})"
+            f"max_delay={self.max_delay}, jitter={self.jitter}, seed={self.seed}, "
+            f"mode={self.mode!r})"
         )

@@ -41,6 +41,23 @@ A batch that fails pre-flight validation is *not* logged (the WAL holds
 only batches that could apply) but is still handed to the inner
 maintainer so its failure policy -- raise, or quarantine under a
 supervisor -- is unchanged.
+
+Abort records
+-------------
+A batch can be logged and then *fail to commit in memory*: the resilient
+supervisor exhausts its retries and quarantines it, or (without a
+supervisor) the transactional apply raises after the WAL append.  The
+log alone would then disagree with the session -- recovery and
+honestly-replaying standbys, seeing no fault, would apply the batch the
+live session refused, and the primary's ``tau_fingerprint`` stamps would
+trip against its own replicas.  ``apply_batch`` therefore retracts such
+a batch with a WAL *abort record* (``("Q", seqno, reason)``): every
+reader skips the batch while its sequence position stays consumed, so
+disk, standbys and memory stay one timeline.  A simulated ``kill -9``
+(:class:`~repro.resilience.durability.errors.CrashError`, a
+``BaseException``) is deliberately *not* retracted: a crash mid-apply
+must keep redo semantics -- recovery replays the logged batch, exactly
+as an uninterrupted session would have committed it.
 """
 
 from __future__ import annotations
@@ -133,7 +150,8 @@ class DurableMaintainer:
         )
         self._since_checkpoint = 0
         self.durability_stats: Dict[str, int] = {
-            "wal_batches": 0, "unlogged_batches": 0, "checkpoints": 0,
+            "wal_batches": 0, "unlogged_batches": 0, "aborted_batches": 0,
+            "checkpoints": 0,
         }
         for stale in self.directory.glob("*.tmp"):
             stale.unlink()
@@ -165,13 +183,28 @@ class DurableMaintainer:
             return self.impl.apply_batch(batch)
         self.wal.append_batch(self._seq, batch)
         self.durability_stats["wal_batches"] += 1
+        seq = self._seq
         try:
             result = self.impl.apply_batch(batch)
+        except Exception as exc:
+            # logged but never committed: retract it so recovery and
+            # replication skip it like the live session did.  CrashError
+            # (BaseException) passes through untouched -- crash redo
+            # semantics require the logged batch to replay.
+            self.wal.append_abort(seq, f"{type(exc).__name__}: {exc}")
+            self.durability_stats["aborted_batches"] += 1
+            raise
         finally:
-            # the record exists on disk either way; replaying a batch that
-            # failed to apply is safe (changes are idempotent no-ops the
-            # second time), so the position always advances
+            # the record exists on disk either way; the position always
+            # advances (an aborted position is consumed, never reused)
             self._seq += 1
+        if result is not None and getattr(result, "ok", True) is False:
+            # the resilient supervisor swallowed the failure and
+            # quarantined the batch: same retraction, polite report path
+            self.wal.append_abort(
+                seq, getattr(result, "error", None) or "quarantined"
+            )
+            self.durability_stats["aborted_batches"] += 1
         self._since_checkpoint += 1
         if self.checkpoint_every and self._since_checkpoint >= self.checkpoint_every:
             self.checkpoint()

@@ -97,6 +97,9 @@ class RecoveryReport:
     wal_gap: Optional[Tuple[int, int]] = None
     #: committed batches whose replay raised: ``[(seqno, error)]``
     replay_errors: List[Tuple[int, str]] = field(default_factory=list)
+    #: batches retracted by a WAL abort record (quarantined or failed
+    #: after logging); skipped, but their positions stay consumed
+    batches_aborted: int = 0
     #: change groups discarded because their commit record never landed
     torn_batches: int = 0
     #: bytes physically truncated off the damaged/uncommitted tail
@@ -260,6 +263,12 @@ class RecoveryManager:
             cp, self.rt, algorithm=self.algorithm, engine=self.engine, **self.kwargs
         )
         next_seq = base_seq
+        # aborted batches are skipped by the scan, but their positions
+        # were consumed: a resumed session must continue past them
+        for seqno, _reason in scan.aborted:
+            if seqno >= base_seq:
+                report.batches_aborted += 1
+            next_seq = max(next_seq, seqno + 1)
         for seqno, changes in scan.committed:
             if seqno < base_seq:
                 continue  # already inside the checkpoint

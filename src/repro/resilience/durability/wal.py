@@ -10,18 +10,26 @@ first batch sequence number they hold.  A segment is a flat sequence of
     | length (u32le) | crc32 (u32le)  | payload (length bytes) |
     +----------------+----------------+------------------------+
 
-The payload is a pickled tuple, one of two kinds:
+The payload is a pickled tuple, one of three kinds:
 
 * ``("C", seqno, (edge, vertex, insert))`` -- one pin-change record of
   batch ``seqno`` (the paper's unit of change, Section II-C);
 * ``("B", seqno, n)`` -- the *commit record* closing batch ``seqno``,
-  carrying its change count.
+  carrying its change count;
+* ``("Q", seqno, reason)`` -- the *abort record*: batch ``seqno`` was
+  logged but did **not** commit in memory (the resilient supervisor
+  quarantined it, or the apply raised after logging).  Every reader --
+  recovery replay, replication shipping, payload decoding -- skips an
+  aborted batch while still consuming its sequence position, so disk,
+  standbys and the primary's memory agree on exactly which batches are
+  part of the timeline.
 
-A batch is **replayable iff its commit record landed**: change records
-without a trailing commit are a torn batch and are discarded wholesale
-on recovery, which is what makes a crash mid-append atomic at batch
-granularity.  Segments rotate only at batch boundaries, so no batch
-spans two files.
+A batch is **replayable iff its commit record landed and no abort record
+for it follows**: change records without a trailing commit are a torn
+batch and are discarded wholesale on recovery, which is what makes a
+crash mid-append atomic at batch granularity.  Segments rotate only at
+batch boundaries, so no batch spans two files (an abort record always
+lands in the same segment as the batch it aborts).
 
 Sync policies
 -------------
@@ -137,8 +145,9 @@ def _parse_record(data: bytes, offset: int):
 
     Returns ``((kind, seqno, obj), end_offset, None)`` on success --
     ``obj`` is a :class:`Change` for ``"C"`` records, the change count
-    for ``"B"`` -- or ``(None, offset, reason)`` for any torn-write shape
-    a crash (or a torn shipment) can leave.
+    for ``"B"``, the abort reason string for ``"Q"`` -- or
+    ``(None, offset, reason)`` for any torn-write shape a crash (or a
+    torn shipment) can leave.
     """
     size = len(data)
     if offset + _RECORD_HEADER.size > size:
@@ -164,6 +173,9 @@ def _parse_record(data: bytes, offset: int):
             # damage to report, not an exception to leak
             _, seqno, n = record
             obj = int(n)
+        elif kind == "Q":
+            _, seqno, reason = record
+            obj = str(reason)
         else:
             raise ValueError(kind)
     except Exception:
@@ -192,11 +204,17 @@ def decode_payload(data: bytes):
         kind, seqno, obj = parsed
         if kind == "C":
             open_groups.setdefault(seqno, []).append(obj)
-        else:
+        elif kind == "B":
             group = open_groups.pop(seqno, [])
             if len(group) != obj:
                 return committed, "batch commit count mismatch"
             committed.append((seqno, group))
+        else:  # "Q": the batch aborted after commit -- retract it
+            open_groups.pop(seqno, None)
+            for i in range(len(committed) - 1, -1, -1):
+                if committed[i][0] == seqno:
+                    del committed[i]
+                    break
     if open_groups:
         return committed, "torn payload tail"
     return committed, None
@@ -286,7 +304,7 @@ class WriteAheadLog:
         self._synced_offset = 0
         self._unsynced_bytes = 0
         self.stats: Dict[str, int] = {
-            "records": 0, "batches": 0, "syncs": 0, "rotations": 0,
+            "records": 0, "batches": 0, "aborts": 0, "syncs": 0, "rotations": 0,
         }
 
     # -- write path ------------------------------------------------------------
@@ -318,6 +336,31 @@ class WriteAheadLog:
                 self.sync()
         self._append(("B", seqno, n))
         self.stats["batches"] += 1
+        if self.sync_policy.kind in ("record", "batch"):
+            self.sync()
+        elif self._unsynced_bytes >= self.sync_policy.threshold:
+            self.sync()
+
+    def append_abort(self, seqno: int, reason: str = "") -> None:
+        """Retract batch ``seqno`` after the fact: it was logged but never
+        committed in memory (quarantined, or the apply raised after
+        logging).  The abort record makes every reader -- recovery,
+        replication, shipments -- skip the batch while still consuming
+        its position, so replaying the log reproduces the live session's
+        state instead of resurrecting the batch the session refused.
+
+        Must be called before the next ``append_batch`` (the record goes
+        into the batch's own segment; rotation only happens at the start
+        of the next batch, so it always does).
+        """
+        if self._fh is None:
+            # an abort can only follow an append_batch for the same
+            # seqno, which opened the segment -- but stay defensive for
+            # direct use (e.g. retracting a batch from a reopened log)
+            first = seqno if self.start_seqno is None else min(seqno, self.start_seqno)
+            self._open_segment(first)
+        self._append(("Q", seqno, str(reason)))
+        self.stats["aborts"] += 1
         if self.sync_policy.kind in ("record", "batch"):
             self.sync()
         elif self._unsynced_bytes >= self.sync_policy.threshold:
@@ -469,6 +512,9 @@ class ScanResult:
 
     #: committed batches in log order: ``[(seqno, [Change, ...]), ...]``
     committed: List[Tuple[int, List[Change]]] = field(default_factory=list)
+    #: batches retracted by an abort record: ``[(seqno, reason), ...]``;
+    #: they consume their positions but are never replayed
+    aborted: List[Tuple[int, str]] = field(default_factory=list)
     #: change groups whose commit record never landed (torn batches)
     uncommitted: Dict[int, List[Change]] = field(default_factory=dict)
     #: ``(segment, offset, reason)`` of the first damaged record, if any
@@ -506,7 +552,7 @@ def scan_wal(directory) -> ScanResult:
             result.records += 1
             if kind == "C":
                 result.uncommitted.setdefault(seqno, []).append(obj)
-            else:
+            elif kind == "B":
                 group = result.uncommitted.pop(seqno, [])
                 if len(group) != obj:
                     # a commit whose group is incomplete: logical damage,
@@ -514,6 +560,17 @@ def scan_wal(directory) -> ScanResult:
                     result.damage = (seg, end, "batch commit count mismatch")
                     break
                 result.committed.append((seqno, group))
+                result.commit_end = (seg, end)
+            else:  # "Q": retract the committed batch it names
+                result.uncommitted.pop(seqno, None)
+                for i in range(len(result.committed) - 1, -1, -1):
+                    if result.committed[i][0] == seqno:
+                        del result.committed[i]
+                        break
+                result.aborted.append((seqno, obj))
+                # torn-tail repair truncates back to commit_end; the
+                # abort record must survive that truncation or the
+                # retracted batch would resurrect on the next recovery
                 result.commit_end = (seg, end)
             offset = end
         if result.damage is not None:
@@ -554,6 +611,10 @@ def read_wal_from(directory, seqno: int):
                 Path(directory),
             )
     open_groups: Dict[int, List[Change]] = {}
+    # one-batch lookahead: a committed batch is held back until the next
+    # record proves no abort record retracts it (the abort, when present,
+    # is appended right after the batch's commit record)
+    pending: Optional[Tuple[int, List[Change]]] = None
     for i, seg in enumerate(segments):
         # every batch of this segment is < seqno iff the next segment
         # starts at or below it (rotation is batch-aligned)
@@ -564,15 +625,27 @@ def read_wal_from(directory, seqno: int):
         while offset < size:
             parsed, end, damage = _parse_record(data, offset)
             if damage is not None:
+                if pending is not None:
+                    yield pending
                 return
             kind, s, obj = parsed
             if kind == "C":
                 if s >= seqno:
                     open_groups.setdefault(s, []).append(obj)
-            else:
+            elif kind == "B":
                 group = open_groups.pop(s, [])
                 if s >= seqno:
                     if len(group) != obj:
+                        if pending is not None:
+                            yield pending
                         return
-                    yield s, group
+                    if pending is not None:
+                        yield pending
+                    pending = (s, group)
+            else:  # "Q": retract the batch it names
+                open_groups.pop(s, None)
+                if pending is not None and pending[0] == s:
+                    pending = None
             offset = end
+    if pending is not None:
+        yield pending

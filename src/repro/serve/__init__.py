@@ -1,0 +1,49 @@
+"""Snapshot-isolated query serving over live k-core maintenance.
+
+The serving layer (docs/SERVING.md) separates readers from the mutating
+engine:
+
+* :mod:`~repro.serve.view` -- immutable :class:`ReadView` snapshots at
+  committed batch boundaries, published through the maintainer's
+  ``view_publisher`` seam and chained copy-on-write.
+* :mod:`~repro.serve.admission` -- bounded coalescing ingest queue plus
+  watermark-based accept / defer / shed admission.
+* :mod:`~repro.serve.health` -- the HEALTHY / DEGRADED / SHEDDING state
+  machine driving admission and read degradation.
+* :mod:`~repro.serve.deadline` -- per-query budgets and the stamped
+  :class:`QueryResult`.
+* :mod:`~repro.serve.subscriptions` -- threshold triggers evaluated on
+  published view deltas.
+* :mod:`~repro.serve.server` -- :class:`CoreServer`, the facade tying
+  the planes together (``CoreMaintainer.serve()`` builds one).
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    IngestQueue,
+)
+from repro.serve.deadline import Deadline, QueryResult
+from repro.serve.health import DEGRADED, HEALTHY, SHEDDING, HealthMonitor
+from repro.serve.server import CoreServer, PumpReport
+from repro.serve.subscriptions import CoreEvent, Subscription, SubscriptionRegistry
+from repro.serve.view import ReadView, ViewManager
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "IngestQueue",
+    "Deadline",
+    "QueryResult",
+    "HealthMonitor",
+    "HEALTHY",
+    "DEGRADED",
+    "SHEDDING",
+    "CoreServer",
+    "PumpReport",
+    "CoreEvent",
+    "Subscription",
+    "SubscriptionRegistry",
+    "ReadView",
+    "ViewManager",
+]

@@ -1,0 +1,176 @@
+"""Admission control and backpressure for the ingest path.
+
+Writes do not go straight to the engine: they are offered to an
+:class:`AdmissionController`, which either enqueues them on the bounded,
+coalescing :class:`IngestQueue` (``accepted``), refuses them with a
+jittered retry-after hint (``deferred``), or drops them under overload
+(``shed``).  The decision is driven by the
+:class:`~repro.serve.health.HealthMonitor` watermarks, so the queue
+depth is bounded by construction -- sustained 10x overload cannot grow
+memory or maintenance latency without bound, it converts the excess
+into explicit ``deferred`` / ``shed`` decisions the client can see.
+
+Coalescing
+----------
+The queue keys pending work by ``(edge, vertex)`` pin.  An arriving
+change that *opposes* a pending one (insert vs delete of the same pin)
+annihilates both -- the net effect on the decomposition is zero, a
+consequence of the same order-insensitivity that makes batch
+maintenance correct (docs/ALGORITHMS.md).  A duplicate of a pending
+change is absorbed.  Both cases save the engine real work before it is
+ever scheduled; the columnar fast path in particular refuses batches
+containing opposing pairs, so folding them here keeps bursty
+remove/reinsert streams on the vectorised path.
+
+Retry-after hints use :class:`~repro.resilience.backoff
+.ExponentialBackoff` in **full-jitter** mode: many independent clients
+told to retry get decorrelated delays drawn from ``[0, base]``, so the
+retry wave does not arrive as a second thundering herd.  Hints are
+deterministic given the backoff seed -- the overload tests assert them
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional
+
+from repro.graph.substrate import Change
+from repro.resilience.backoff import ExponentialBackoff
+from repro.serve.health import HEALTHY, HealthMonitor
+
+__all__ = ["AdmissionDecision", "IngestQueue", "AdmissionController"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of offering work to the serving layer."""
+
+    #: ``accepted`` / ``deferred`` / ``shed``
+    status: str
+    #: pending changes in the ingest queue after this decision
+    queue_depth: int
+    #: health state the decision was made under
+    health: str
+    #: suggested client wait before retrying (rejections only)
+    retry_after_s: Optional[float] = None
+    #: changes enqueued (after coalescing; 0 on rejection)
+    enqueued: int = 0
+    #: changes annihilated against an opposing pending change
+    annihilated: int = 0
+    #: changes absorbed as duplicates of pending ones
+    duplicates: int = 0
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == "accepted"
+
+
+class IngestQueue:
+    """Bounded FIFO of pending pin changes with opposing-pair coalescing.
+
+    Pending work lives in one insertion-ordered dict keyed by
+    ``(edge, vertex)`` -- membership, annihilation and duplicate
+    absorption are all O(1) per change, and :meth:`drain` pops in FIFO
+    order of first arrival.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Dict[tuple, Change] = {}
+        self.stats: Dict[str, int] = {
+            "enqueued": 0, "annihilated": 0, "duplicates": 0, "drained": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def push(self, change: Change) -> str:
+        """Add one change; returns ``queued`` / ``annihilated`` /
+        ``duplicate``."""
+        key = (change.edge, change.vertex)
+        pending = self._pending.get(key)
+        if pending is not None:
+            if pending.insert != change.insert:
+                # opposing pair: net zero against the decomposition
+                del self._pending[key]
+                self.stats["annihilated"] += 1
+                return "annihilated"
+            self.stats["duplicates"] += 1
+            return "duplicate"
+        self._pending[key] = change
+        self.stats["enqueued"] += 1
+        return "queued"
+
+    def drain(self, max_changes: Optional[int] = None) -> List[Change]:
+        """Pop up to ``max_changes`` pending changes, FIFO."""
+        pending = self._pending
+        if max_changes is None or max_changes >= len(pending):
+            out = list(pending.values())
+            pending.clear()
+        else:
+            keys = list(pending.keys())[:max_changes]
+            out = [pending.pop(k) for k in keys]
+        self.stats["drained"] += len(out)
+        return out
+
+    def __repr__(self) -> str:
+        return f"IngestQueue(depth={len(self._pending)}, stats={self.stats})"
+
+
+class AdmissionController:
+    """Watermark-based accept / defer / shed, with jittered retry hints."""
+
+    def __init__(self, queue: IngestQueue, health: HealthMonitor, *,
+                 backoff: Optional[ExponentialBackoff] = None) -> None:
+        self.queue = queue
+        self.health = health
+        self.backoff = backoff if backoff is not None else ExponentialBackoff(
+            initial=0.05, factor=2.0, max_delay=5.0, mode="full", seed=0,
+        )
+        self._rejections = 0          # consecutive, drives the hint attempt
+        self.stats: Dict[str, int] = {
+            "accepted": 0, "deferred": 0, "shed": 0, "changes_offered": 0,
+        }
+
+    def offer(self, changes: Iterable[Change]) -> AdmissionDecision:
+        """Offer a group of changes; all-or-nothing per group."""
+        changes = list(changes)
+        health = self.health
+        depth = len(self.queue)
+        state = health.note_depth(depth)
+        self.stats["changes_offered"] += len(changes)
+        if state != HEALTHY:
+            status = "shed" if state == "shedding" else "deferred"
+            self.stats[status] += 1
+            self._rejections += 1
+            hint = self.backoff.delay(
+                min(self._rejections - 1, 16), key=self.stats[status]
+            )
+            if status == "shed":
+                hint *= 2.0           # shed clients back off harder
+            return AdmissionDecision(
+                status=status, queue_depth=depth, health=state,
+                retry_after_s=hint,
+            )
+        self._rejections = 0
+        enq = ann = dup = 0
+        for ch in changes:
+            outcome = self.queue.push(ch)
+            if outcome == "queued":
+                enq += 1
+            elif outcome == "annihilated":
+                ann += 1
+            else:
+                dup += 1
+        depth = len(self.queue)
+        health.note_depth(depth)      # the accept may have crossed a mark
+        self.stats["accepted"] += 1
+        return AdmissionDecision(
+            status="accepted", queue_depth=depth, health=health.state,
+            enqueued=enq, annihilated=ann, duplicates=dup,
+        )
+
+    def __repr__(self) -> str:
+        return f"AdmissionController(stats={self.stats})"

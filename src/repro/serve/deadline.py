@@ -1,0 +1,93 @@
+"""Per-query deadline budgets and the stamped query result.
+
+Every read against :class:`~repro.serve.server.CoreServer` returns a
+:class:`QueryResult` -- never a bare value -- carrying the snapshot
+coordinates the answer was computed at (``epoch`` / ``boundary``), how
+far behind the committed stream that snapshot is (``staleness``,
+``pending``), the wall-clock latency, and a status:
+
+* ``fresh`` -- the view reflects every committed batch;
+* ``stale`` -- maintenance is ahead of the view (pumping was skipped or
+  cut short); the value is the last *published* snapshot, exact as of
+  ``boundary``;
+* ``timeout`` -- the deadline expired; whatever snapshot was reachable
+  in budget is returned, staleness-stamped.
+
+A :class:`Deadline` is a small clock-carrying budget: queries check it
+between pump steps, so a deadline bounds how much inline maintenance a
+read will do before degrading to the last snapshot.  With no deadline a
+fresh read pumps the whole queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["Deadline", "QueryResult"]
+
+
+class Deadline:
+    """A wall-clock budget measured on an injectable clock."""
+
+    __slots__ = ("budget_s", "clock", "_start")
+
+    def __init__(self, budget_s: float, clock) -> None:
+        if budget_s < 0:
+            raise ValueError("deadline budget must be >= 0")
+        self.budget_s = float(budget_s)
+        self.clock = clock
+        self._start = clock.now()
+
+    @property
+    def elapsed(self) -> float:
+        return self.clock.now() - self._start
+
+    @property
+    def remaining(self) -> float:
+        return self.budget_s - self.elapsed
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining <= 0.0
+
+    @classmethod
+    def coerce(cls, value, clock) -> Optional["Deadline"]:
+        """``None`` | seconds | Deadline -> Deadline or None."""
+        if value is None or isinstance(value, cls):
+            return value
+        return cls(float(value), clock)
+
+    def __repr__(self) -> str:
+        return f"Deadline(budget={self.budget_s}, remaining={self.remaining:.6f})"
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """A served read, stamped with its snapshot coordinates."""
+
+    #: the answer, computed against one immutable snapshot
+    value: Any
+    #: ``fresh`` / ``stale`` / ``timeout``
+    status: str
+    #: publish counter of the snapshot served
+    epoch: int
+    #: committed batches reflected by the snapshot
+    boundary: int
+    #: committed batches the snapshot is behind (0 when fresh)
+    staleness: int
+    #: admitted changes not yet applied by maintenance
+    pending: int
+    #: wall-clock seconds spent serving (includes any inline pumping)
+    latency_s: float
+
+    @property
+    def fresh(self) -> bool:
+        return self.status == "fresh"
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResult({self.value!r}, status={self.status!r}, "
+            f"epoch={self.epoch}, boundary={self.boundary}, "
+            f"staleness={self.staleness}, pending={self.pending})"
+        )

@@ -1,0 +1,120 @@
+"""The serving health state machine.
+
+Three states, strictly ordered::
+
+    HEALTHY  ->  DEGRADED  ->  SHEDDING
+       ^____________|____________|
+
+* **HEALTHY** -- queue below the defer watermark, no recent failures:
+  writes are admitted, fresh reads pump inline.
+* **DEGRADED** -- queue at/above the defer watermark, or recovering
+  from worse: new writes are deferred (client retries with a jittered
+  hint), reads still pump toward freshness.
+* **SHEDDING** -- queue at/above the shed watermark or a maintenance
+  failure (quarantine / rollback) just happened: new writes are shed
+  outright and reads stop pumping inline, serving the last published
+  snapshot with an explicit staleness stamp.
+
+Escalation is immediate (one bad observation suffices); recovery is
+hysteretic -- the monitor steps down **one state at a time**, each step
+requiring ``recover_after`` consecutive clean commits with the queue
+below the relevant watermark.  That asymmetry is deliberate: a serving
+layer that flaps between admitting and shedding under a sustained
+overload spike is worse than one that stays conservatively degraded a
+few batches longer.
+
+The machine is fully deterministic: state is a pure function of the
+observation sequence, which is what lets the overload tests assert
+exact shed/defer decisions under a programmed burst schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = ["HealthMonitor", "HEALTHY", "DEGRADED", "SHEDDING"]
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+SHEDDING = "shedding"
+
+_RANK = {HEALTHY: 0, DEGRADED: 1, SHEDDING: 2}
+_DOWN = {SHEDDING: DEGRADED, DEGRADED: HEALTHY}
+
+
+class HealthMonitor:
+    """Watermark + failure driven health, with hysteretic recovery.
+
+    Parameters
+    ----------
+    defer_at / shed_at:
+        Ingest-queue depth watermarks (in pending changes).
+    recover_after:
+        Consecutive clean commits required per recovery step.
+    """
+
+    def __init__(self, *, defer_at: int = 256, shed_at: int = 1024,
+                 recover_after: int = 2) -> None:
+        if not 0 < defer_at <= shed_at:
+            raise ValueError("need 0 < defer_at <= shed_at")
+        if recover_after < 1:
+            raise ValueError("recover_after must be >= 1")
+        self.defer_at = defer_at
+        self.shed_at = shed_at
+        self.recover_after = recover_after
+        self.state = HEALTHY
+        self._clean = 0
+        #: (from, to) transition log, for tests and the eval harness
+        self.transitions: List[Tuple[str, str]] = []
+        self.stats: Dict[str, int] = {"failures": 0, "clean_commits": 0}
+
+    # -- observations ---------------------------------------------------------
+    def _floor_for(self, depth: int) -> str:
+        """The lowest state the current queue depth permits."""
+        if depth >= self.shed_at:
+            return SHEDDING
+        if depth >= self.defer_at:
+            return DEGRADED
+        return HEALTHY
+
+    def _escalate(self, target: str) -> None:
+        if _RANK[target] > _RANK[self.state]:
+            self.transitions.append((self.state, target))
+            self.state = target
+            self._clean = 0
+
+    def note_depth(self, depth: int) -> str:
+        """Observe the ingest queue depth (admission calls this per
+        offer); escalates immediately, never recovers."""
+        self._escalate(self._floor_for(depth))
+        return self.state
+
+    def note_failure(self) -> str:
+        """A maintenance failure (rollback, quarantine) happened."""
+        self.stats["failures"] += 1
+        self._escalate(SHEDDING)
+        return self.state
+
+    def note_commit(self, depth: int) -> str:
+        """A batch committed cleanly at the given residual queue depth;
+        the only path by which health improves."""
+        self.stats["clean_commits"] += 1
+        floor = self._floor_for(depth)
+        if _RANK[floor] >= _RANK[self.state]:
+            # the queue alone justifies the current state (or worse)
+            self._escalate(floor)
+            self._clean = 0
+            return self.state
+        self._clean += 1
+        if self._clean >= self.recover_after:
+            down = _DOWN[self.state]
+            self.transitions.append((self.state, down))
+            self.state = down
+            self._clean = 0
+        return self.state
+
+    def __repr__(self) -> str:
+        return (
+            f"HealthMonitor(state={self.state!r}, defer_at={self.defer_at}, "
+            f"shed_at={self.shed_at}, clean={self._clean})"
+        )

@@ -1,0 +1,321 @@
+"""The serving facade: snapshot reads + admission-controlled writes.
+
+:class:`CoreServer` sits in front of a maintainer (a bare algorithm, or
+the full :class:`~repro.core.maintainer.CoreMaintainer` stack with
+resilience / durability / replication) and separates the two planes:
+
+* **Write plane** -- :meth:`submit` offers changes to the admission
+  controller; :meth:`pump` drains the coalesced queue into the engine
+  in bounded batches.  A maintenance failure (rollback without a
+  supervisor, quarantine with one) is contained: the batch is recorded
+  in :attr:`failed`, health degrades to shedding, and serving
+  continues from the last published snapshot.
+* **Read plane** -- every query is computed against one immutable
+  :class:`~repro.serve.view.ReadView` and returned as a
+  :class:`~repro.serve.deadline.QueryResult` stamped with snapshot
+  coordinates, staleness, and status.  ``fresh=True`` reads pump inline
+  toward the committed frontier, bounded by their deadline; under
+  ``SHEDDING`` health, or once the deadline expires, reads degrade to
+  the last published snapshot instead of waiting -- the bounded-
+  staleness contract of :class:`~repro.replication.replica.ReplicaSet`,
+  applied to a single process.
+
+The server also owns the subscription registry: threshold triggers are
+evaluated against each published view delta, on the writer path,
+strictly after the commit point.
+
+Concurrency contract
+--------------------
+Value reads (``core``, ``kappa``, ``vertices_with_core_at_least``) are
+safe from concurrent reader threads while a writer pumps: they touch
+only published immutable views.  Structure-walking queries
+(``top_k_densest``, anything taking adjacency from ``view.sub``) read
+the live substrate and must be serialised with maintenance -- call them
+from the pumping thread, or pause pumping.  docs/SERVING.md spells the
+contract out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.queries import top_k_densest as _top_k_densest
+from repro.core.queries import vertices_with_core_at_least as _core_at_least
+from repro.graph.batch import Batch
+from repro.graph.substrate import Change, graph_edge_changes
+from repro.resilience.backoff import ExponentialBackoff, SystemClock
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    IngestQueue,
+)
+from repro.serve.deadline import Deadline, QueryResult
+from repro.serve.health import SHEDDING, HealthMonitor
+from repro.serve.subscriptions import SubscriptionRegistry
+from repro.serve.view import ReadView, ViewManager
+
+__all__ = ["CoreServer", "PumpReport"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class PumpReport:
+    """One :meth:`CoreServer.pump` call's outcome."""
+
+    batches: int
+    changes: int
+    failures: int
+    #: pending changes left in the queue (deadline/max_batches cut)
+    remaining: int
+    health: str
+
+
+class CoreServer:
+    """Snapshot-isolated query serving over live maintenance.
+
+    Parameters
+    ----------
+    maintainer:
+        Anything maintainer-shaped: a :class:`~repro.core.maintainer
+        .CoreMaintainer` (writes then flow through its whole
+        resilience / durability / replication stack) or a bare
+        algorithm instance.
+    clock:
+        Injectable clock (``now``/``sleep``); shared with the view
+        manager, deadlines, and the admission backoff.
+    max_batch:
+        Maximum changes per engine batch when pumping.
+    defer_at / shed_at / recover_after:
+        Health watermarks, in pending changes
+        (:class:`~repro.serve.health.HealthMonitor`).
+    backoff:
+        Retry-hint generator for rejected writes; defaults to
+        full-jitter :class:`~repro.resilience.backoff.ExponentialBackoff`.
+    flatten_depth / flatten_ratio:
+        View-chain flattening policy (:class:`~repro.serve.view
+        .ViewManager`).
+    batch_cost_s:
+        Simulated per-batch maintenance cost, charged to the clock while
+        pumping.  Zero (default) for real use; tests and the eval
+        harness set it with a :class:`~repro.resilience.backoff
+        .ManualClock` to exercise deadlines deterministically.
+    """
+
+    def __init__(
+        self,
+        maintainer,
+        *,
+        clock=None,
+        max_batch: int = 64,
+        defer_at: int = 256,
+        shed_at: int = 1024,
+        recover_after: int = 2,
+        backoff: Optional[ExponentialBackoff] = None,
+        flatten_depth: int = 8,
+        flatten_ratio: float = 0.25,
+        batch_cost_s: float = 0.0,
+    ) -> None:
+        self.m = maintainer
+        self.clock = clock if clock is not None else SystemClock()
+        self.max_batch = max_batch
+        self.batch_cost_s = batch_cost_s
+        self.health = HealthMonitor(
+            defer_at=defer_at, shed_at=shed_at, recover_after=recover_after,
+        )
+        self.queue = IngestQueue()
+        self.admission = AdmissionController(
+            self.queue, self.health, backoff=backoff,
+        )
+        self.subscriptions = SubscriptionRegistry()
+        self.views = ViewManager(
+            self._algorithm(), clock=self.clock,
+            flatten_depth=flatten_depth, flatten_ratio=flatten_ratio,
+        )
+        self.views.on_publish = self._on_publish
+        #: batches maintenance refused (rolled back / quarantined), kept
+        #: for operator replay -- mirrors ``QuarantinedBatch``
+        self.failed: List[Tuple[Batch, str]] = []
+        self.stats: Dict[str, int] = {
+            "queries": 0, "timeouts": 0, "stale_reads": 0,
+            "pumped_batches": 0, "pumped_changes": 0,
+            "failed_batches": 0, "reattaches": 0,
+        }
+
+    # -- plumbing -------------------------------------------------------------
+    def _algorithm(self):
+        """The algorithm instance at the bottom of the wrapper stack --
+        where the ``view_publisher`` seam and ``batches_processed``
+        live."""
+        resolve = getattr(self.m, "_algorithm_impl", None)
+        if resolve is not None:
+            return resolve()
+        m = self.m
+        seen = 0
+        while hasattr(m, "impl") and seen < 5:
+            m = m.impl
+            seen += 1
+        return m
+
+    def _ensure_attached(self) -> None:
+        """Re-bind the view manager if the supervisor healed the stack
+        (``heal()`` replaces the algorithm instance wholesale); the
+        chain restarts from a full rebuild of the healed state."""
+        algo = self._algorithm()
+        if algo is not self.views.maintainer:
+            self.views.attach(algo)
+            self.stats["reattaches"] += 1
+
+    def _on_publish(self, view: ReadView, delta: Dict) -> None:
+        self.subscriptions.evaluate(view, delta)
+
+    @property
+    def committed_batches(self) -> int:
+        return self._algorithm().batches_processed
+
+    def view(self) -> ReadView:
+        """The latest published immutable snapshot."""
+        return self.views.current()
+
+    # -- write plane ----------------------------------------------------------
+    def submit(self, changes: Iterable[Change]) -> AdmissionDecision:
+        """Offer changes for ingestion (no engine work happens here)."""
+        return self.admission.offer(changes)
+
+    def submit_edges(self, edges: Iterable[tuple],
+                     insert: bool = True) -> AdmissionDecision:
+        """Graph convenience: offer whole (u, v) edges."""
+        changes: List[Change] = []
+        for u, v in edges:
+            changes.extend(graph_edge_changes(u, v, insert))
+        return self.submit(changes)
+
+    def pump(self, max_batches: Optional[int] = None,
+             deadline=None) -> PumpReport:
+        """Drain admitted work into the engine in bounded batches.
+
+        Stops at ``max_batches``, at an expired ``deadline``, or when
+        the queue is empty.  Each committed batch publishes a new view
+        (via the maintainer's ``view_publisher`` seam) and improves
+        health; each refused batch is contained and degrades it.
+        """
+        dl = Deadline.coerce(deadline, self.clock)
+        self._ensure_attached()
+        batches = changes = failures = 0
+        while len(self.queue):
+            if max_batches is not None and batches >= max_batches:
+                break
+            if dl is not None and dl.expired:
+                break
+            drained = self.queue.drain(self.max_batch)
+            if not drained:
+                break
+            batch = Batch(drained)
+            if self.batch_cost_s:
+                self.clock.sleep(self.batch_cost_s)
+            ok, error = True, None
+            try:
+                result = self.m.apply_batch(batch)
+                if result is not None and getattr(result, "ok", True) is False:
+                    error = str(getattr(result, "error", None) or "quarantined")
+                    ok = False
+            except Exception as exc:  # CrashError is a BaseException: passes
+                ok, error = False, f"{type(exc).__name__}: {exc}"
+            batches += 1
+            changes += len(drained)
+            self._ensure_attached()
+            if ok:
+                self.health.note_commit(len(self.queue))
+            else:
+                failures += 1
+                self.failed.append((batch, error))
+                self.stats["failed_batches"] += 1
+                self.health.note_failure()
+        if batches == 0 and not len(self.queue):
+            # idle probe: an explicit pump that finds maintenance caught
+            # up is a clean observation -- the only way health can step
+            # back down after a failure drained the queue (reads never
+            # probe: under SHEDDING they must not touch the engine)
+            self.health.note_commit(0)
+        self.stats["pumped_batches"] += batches
+        self.stats["pumped_changes"] += changes
+        return PumpReport(
+            batches=batches, changes=changes, failures=failures,
+            remaining=len(self.queue), health=self.health.state,
+        )
+
+    # -- read plane -----------------------------------------------------------
+    def _serve(self, compute: Callable[[ReadView], object], deadline,
+               fresh: bool) -> QueryResult:
+        t0 = self.clock.now()
+        dl = Deadline.coerce(deadline, self.clock)
+        if fresh and len(self.queue) and self.health.state != SHEDDING:
+            # pull the view toward the admitted frontier, inside budget;
+            # under shedding health reads never add load to maintenance
+            self.pump(deadline=dl)
+        else:
+            self._ensure_attached()
+        view = self.views.current()
+        value = compute(view)
+        staleness = max(0, self.committed_batches - view.boundary)
+        pending = len(self.queue)
+        timed_out = dl is not None and dl.expired
+        if timed_out:
+            status = "timeout"
+            self.stats["timeouts"] += 1
+        elif staleness == 0 and pending == 0:
+            status = "fresh"
+        else:
+            status = "stale"
+        if status != "fresh" and not timed_out:
+            self.stats["stale_reads"] += 1
+        self.stats["queries"] += 1
+        return QueryResult(
+            value=value, status=status, epoch=view.epoch,
+            boundary=view.boundary, staleness=staleness, pending=pending,
+            latency_s=self.clock.now() - t0,
+        )
+
+    def core(self, v: Vertex, *, deadline=None, fresh: bool = True
+             ) -> QueryResult:
+        """Core value of one vertex (O(1) against the snapshot)."""
+        return self._serve(lambda view: view.kappa_of(v), deadline, fresh)
+
+    def kappa(self, *, deadline=None, fresh: bool = True) -> QueryResult:
+        """The full core mapping (materialised from the snapshot)."""
+        return self._serve(lambda view: view.kappa(), deadline, fresh)
+
+    def vertices_with_core_at_least(self, k: int, *, deadline=None,
+                                    fresh: bool = True) -> QueryResult:
+        """The k-core's vertex set, off the snapshot's level buckets."""
+        return self._serve(
+            lambda view: _core_at_least(view, k), deadline, fresh,
+        )
+
+    def top_k_densest(self, n: int = 1, *, deadline=None,
+                      fresh: bool = True) -> QueryResult:
+        """The ``n`` densest connected cores.  Walks the **live**
+        substrate for adjacency -- serialise with maintenance (see the
+        concurrency contract in the module docs)."""
+        return self._serve(
+            lambda view: _top_k_densest(view.sub, n, kappa=view.kappa()),
+            deadline, fresh,
+        )
+
+    def query(self, compute: Callable[[ReadView], object], *, deadline=None,
+              fresh: bool = True) -> QueryResult:
+        """Escape hatch: run ``compute(view)`` against one snapshot."""
+        return self._serve(compute, deadline, fresh)
+
+    # -- subscriptions --------------------------------------------------------
+    def subscribe(self, threshold: int, **kwargs):
+        """Register a threshold trigger (see :mod:`repro.serve
+        .subscriptions`)."""
+        return self.subscriptions.subscribe(threshold, **kwargs)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoreServer(health={self.health.state!r}, "
+            f"queue={len(self.queue)}, view={self.views.current()!r})"
+        )

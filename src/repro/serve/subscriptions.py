@@ -1,0 +1,137 @@
+"""Threshold subscriptions: "fire when kappa(v) crosses k".
+
+Subscriptions are evaluated **at publish time**, against the batch delta
+the view manager hands over with each new snapshot -- cost proportional
+to the vertices the batch actually moved, never a scan of V.  Events
+therefore inherit snapshot semantics: an event's ``(old, new)`` pair is
+the change across exactly one committed batch boundary, stamped with the
+view's ``epoch`` and ``boundary``, and a rolled-back or quarantined
+batch (which never publishes) can never fire a subscriber.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Set
+
+__all__ = ["CoreEvent", "Subscription", "SubscriptionRegistry"]
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class CoreEvent:
+    """One threshold crossing, observed at a published batch boundary."""
+
+    vertex: Vertex
+    old: int
+    new: int
+    threshold: int
+    #: ``up`` (old < k <= new) or ``down`` (new < k <= old)
+    direction: str
+    epoch: int
+    boundary: int
+
+
+@dataclass
+class Subscription:
+    """A standing threshold trigger.
+
+    ``vertices=None`` watches the whole decomposition; ``direction`` is
+    ``"up"``, ``"down"`` or ``"both"``.  Fired events accumulate in
+    ``events`` and are additionally handed to ``callback`` when set (a
+    callback exception is contained: it marks the subscription
+    ``broken`` rather than poisoning the maintenance path).
+    """
+
+    threshold: int
+    vertices: Optional[Set[Vertex]] = None
+    direction: str = "both"
+    callback: Optional[Callable[[CoreEvent], None]] = None
+    events: List[CoreEvent] = field(default_factory=list)
+    active: bool = True
+    broken: Optional[str] = None
+
+    def matches(self, v: Vertex) -> bool:
+        return self.vertices is None or v in self.vertices
+
+    def _fire(self, event: CoreEvent) -> None:
+        self.events.append(event)
+        if self.callback is not None:
+            try:
+                self.callback(event)
+            except Exception as exc:   # noqa: BLE001 -- contain subscriber bugs
+                self.broken = f"{type(exc).__name__}: {exc}"
+                self.active = False
+
+
+class SubscriptionRegistry:
+    """All standing subscriptions for one server."""
+
+    def __init__(self) -> None:
+        self._subs: List[Subscription] = []
+        self.stats: Dict[str, int] = {"events": 0, "evaluations": 0}
+
+    def subscribe(self, threshold: int, *, vertices=None,
+                  direction: str = "both",
+                  callback: Optional[Callable[[CoreEvent], None]] = None
+                  ) -> Subscription:
+        if direction not in ("up", "down", "both"):
+            raise ValueError("direction must be 'up', 'down' or 'both'")
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        sub = Subscription(
+            threshold=threshold,
+            vertices=set(vertices) if vertices is not None else None,
+            direction=direction, callback=callback,
+        )
+        self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        sub.active = False
+        try:
+            self._subs.remove(sub)
+        except ValueError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def evaluate(self, view, delta: Dict[Vertex, Optional[int]]) -> List[CoreEvent]:
+        """Fire matching subscriptions for one published batch delta.
+
+        ``delta`` maps each written vertex to its pre-batch value
+        (``None`` = absent); the post-batch value is read from the view.
+        """
+        self.stats["evaluations"] += 1
+        if not self._subs or not delta:
+            return []
+        fired: List[CoreEvent] = []
+        for v, old in delta.items():
+            o = 0 if old is None else old
+            n = view.kappa_of(v)
+            if o == n:
+                continue
+            for sub in self._subs:
+                if not sub.active or not sub.matches(v):
+                    continue
+                k = sub.threshold
+                if o < k <= n and sub.direction in ("up", "both"):
+                    direction = "up"
+                elif n < k <= o and sub.direction in ("down", "both"):
+                    direction = "down"
+                else:
+                    continue
+                event = CoreEvent(
+                    vertex=v, old=o, new=n, threshold=k,
+                    direction=direction, epoch=view.epoch,
+                    boundary=view.boundary,
+                )
+                sub._fire(event)
+                fired.append(event)
+        self.stats["events"] += len(fired)
+        return fired
+
+    def __repr__(self) -> str:
+        return f"SubscriptionRegistry(n={len(self._subs)}, stats={self.stats})"

@@ -640,7 +640,8 @@ def test_durable_rejected_batch_is_not_logged_but_advances_seq(tmp_path):
         m.apply_batch(Batch([Change((1, 1), 1, True)]))  # self-loop
     m.insert_edges([(51, 52)])
     assert m.impl.durability_stats == {
-        "wal_batches": 2, "unlogged_batches": 1, "checkpoints": 1,
+        "wal_batches": 2, "unlogged_batches": 1, "aborted_batches": 0,
+        "checkpoints": 1,
     }
     assert m.impl.wal_seqno == 3  # the bad batch consumed a position
     m.impl.wal.sync()
@@ -676,10 +677,12 @@ def test_durable_composes_with_resilient_supervisor(tmp_path):
     assert m2.kappa() == m.kappa()
 
 
-def test_quarantined_but_logged_batch_replays_on_recovery(tmp_path):
-    """Quarantine is an in-memory liveness policy: a structurally valid
-    batch that only failed because of a transient runtime fault *was*
-    logged, so recovery (which sees no fault) applies it."""
+def test_quarantined_but_logged_batch_is_retracted_on_recovery(tmp_path):
+    """A structurally valid batch that quarantined on a runtime fault was
+    WAL-logged *before* the failure.  The durable facade retracts it with
+    an abort record, so recovery skips it -- the recovered state matches
+    the live session that refused the batch, not a phantom timeline in
+    which it applied -- while the consumed WAL position stays consumed."""
     m = CoreMaintainer(
         erdos_renyi(10, 20, seed=6), algorithm="mod",
         resilient=True, max_retries=0, durable=str(tmp_path),
@@ -689,10 +692,19 @@ def test_quarantined_but_logged_batch_replays_on_recovery(tmp_path):
     inj.apply_batch(Batch(graph_edge_changes(50, 51, True)))
     assert len(m.quarantined_batches) == 1
     assert m.kappa_of(50) == 0  # the live session skipped it
+    assert m.impl.durability_stats["aborted_batches"] == 1
+    m.insert_edges([(51, 52)])  # the stream continues past the abort
     m.impl.wal.sync()
+    scan = scan_wal(tmp_path)
+    assert [s for s, _ in scan.aborted] == [0]
+    assert [s for s, _ in scan.committed] == [1]
     _abandon(m)
     m2 = CoreMaintainer.recover(tmp_path)
-    assert m2.kappa_of(50) == 1  # recovery replayed the durable record
+    assert m2.kappa_of(50) == 0  # recovery honoured the retraction
+    assert m2.kappa() == m.kappa()
+    assert m2.last_recovery.batches_aborted == 1
+    # the aborted position is consumed: the resumed session appends past it
+    assert m2.impl.wal_seqno == 2
     verify_kappa(m2.impl.impl)
 
 

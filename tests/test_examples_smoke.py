@@ -80,6 +80,14 @@ class TestExamples:
         assert "old primary fenced" in out
         assert "zero committed batches lost" in out
 
+    def test_served_stream_run_small(self, capsys):
+        mod = runpy.run_path(str(EXAMPLES / "served_stream.py"))
+        mod["main"](n_vertices=80, rounds=4, seed=7)
+        out = capsys.readouterr().out
+        assert "all fresh" in out
+        assert "stamped, never torn" in out
+        assert "snapshot == fresh peeling... clean" in out
+
     def test_distributed_example_run_small(self, capsys):
         mod = runpy.run_path(str(EXAMPLES / "distributed_cores.py"))
         from repro.distributed import hash_partition

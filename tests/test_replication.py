@@ -522,6 +522,41 @@ def test_divergence_raises_instead_of_serving_wrong_cores(tmp_path):
         m.sync_replicas()
 
 
+def test_quarantine_under_divergence_tripwire_stays_converged(tmp_path):
+    """A batch that quarantines *after* being WAL-logged used to poison
+    the fingerprint tripwire: standbys replayed the logged batch the
+    primary's memory had rolled back, and ``divergence_every=1`` tripped
+    against the primary's own honest replicas.  The WAL abort record
+    retracts the batch, so a resilient inner layer now composes with
+    replication's strictest checking."""
+    m = CoreMaintainer(
+        _make_sub("graph"), algorithm="mod",
+        resilient=True, max_retries=0,
+        durable=str(tmp_path / "primary"),
+        durability={"checkpoint_every": 4},
+        replicas=2, replication={"divergence_every": 1},
+    )
+    poison = N_BATCHES - 1
+    inj = FaultInjector(
+        m, [FaultPlan.raise_at(batch=poison, change=1, transient=False)]
+    )
+    reports = [inj.apply_batch(Batch(list(b))) for b in _stream("graph")]
+    assert reports[poison].status == "quarantined"
+    m.sync_replicas()                 # raised ReplicationDivergence pre-fix
+    rm = m.impl
+    assert rm.converged and rm.max_lag() == 0
+    # the abort record is on disk, and the position stayed consumed
+    assert rm.impl.wal.stats["aborts"] == 1
+    assert rm.impl.durability_stats["aborted_batches"] == 1
+    assert rm.committed_seqno == N_BATCHES
+    oracle = _oracle_kappa("graph", poison)     # the stream minus the batch
+    assert m.kappa() == oracle
+    for r in m.replicas:
+        assert r.kappa() == oracle
+        assert r.applied_seqno == rm.committed_seqno
+        verify_kappa(r.maintainer)
+
+
 # ---------------------------------------------------------------------------
 # fencing (satellite 4's regression)
 # ---------------------------------------------------------------------------
