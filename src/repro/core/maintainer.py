@@ -85,6 +85,13 @@ class CoreMaintainer:
         / ``order``.
     rt:
         Optional parallel runtime (serial by default).
+    threads:
+        Convenience alternative to ``rt``: build and *own* a
+        :class:`~repro.parallel.threads.ThreadRuntime` with this many
+        workers — the engine's chunk kernels then dispatch to a real
+        thread pool (see ``parallel_map_ranges``).  The pool is released
+        by :meth:`close` (or the context-manager exit).  Mutually
+        exclusive with ``rt``.
     engine:
         ``"auto"`` (default) -- use the vectorised flat-array engine when
         the substrate is array-backed; ``"array"`` -- convert a plain
@@ -135,6 +142,7 @@ class CoreMaintainer:
         algorithm: str = "mod",
         rt=None,
         *,
+        threads: Optional[int] = None,
         engine: str = "auto",
         resilient: bool = False,
         max_retries: int = 1,
@@ -147,6 +155,14 @@ class CoreMaintainer:
         replication: Optional[Dict] = None,
         **kwargs,
     ) -> None:
+        self._owned_rt = None
+        if threads is not None:
+            if rt is not None:
+                raise ValueError("pass rt= or threads=, not both")
+            from repro.parallel.threads import ThreadRuntime
+
+            rt = ThreadRuntime(threads)
+            self._owned_rt = rt
         sub = wrap_substrate(sub, engine)
         kwargs["engine"] = engine
         if resilient:
@@ -220,7 +236,23 @@ class CoreMaintainer:
         self = cls.__new__(cls)
         self.impl = durable_impl
         self.last_recovery = report
+        self._owned_rt = None  # a recovered session never owns its runtime
         return self
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Release resources this facade owns: the thread pool when
+        constructed with ``threads=`` (idempotent; a caller-supplied
+        ``rt=`` is never touched)."""
+        owned = getattr(self, "_owned_rt", None)
+        if owned is not None:
+            owned.close()
+
+    def __enter__(self) -> "CoreMaintainer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- queries -----------------------------------------------------------------
     @property
@@ -244,6 +276,11 @@ class CoreMaintainer:
     def engine(self) -> str:
         """``"array"`` when the vectorised flat-array path is active."""
         return self._algorithm_impl().engine
+
+    @property
+    def rt(self):
+        """The parallel runtime the algorithm charges work to."""
+        return self._algorithm_impl().rt
 
     @property
     def resilient(self) -> bool:

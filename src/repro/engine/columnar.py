@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.engine.frontier import gather_ranges
 from repro.engine.tau_array import INF
+from repro.parallel.runtime import map_ranges
 from repro.structures.level_accumulator import LevelAccumulator
 
 __all__ = ["ColumnarJournalEntry", "maintain_h_columnar"]
@@ -171,11 +172,9 @@ def _maintain_h_graph(backend, cb):
     journal = m._txn_journal
     # metering mirrors the reference path: one serial bookkeeping unit
     # per pin record, plus the two-pin classification context per record
-    # as one chunked parallel region
+    # (4 units per edge, split across the delete/insert classify regions
+    # below so the chunk kernels execute under the same accounting)
     rt.serial(2 * n)
-    rt.parallel_ranges(
-        2 * n, lambda lo, hi: 2.0 * (hi - lo), region="maintain_h_columnar"
-    )
 
     I = LevelAccumulator()
     D = LevelAccumulator()
@@ -184,15 +183,26 @@ def _maintain_h_graph(backend, cb):
 
     if nd:
         arr = ta.arr
-        tu = arr[dui]
-        tv = arr[dvi]
         # both endpoint records classify: the min endpoint records
         # D[min] + I[max]; the max endpoint records nothing -- except at
         # a tie, where both records emit D + I (classify_delete's tie
-        # case, applied per endpoint)
-        a = np.minimum(tu, tv)
-        b = np.maximum(tu, tv)
-        tie = tu == tv
+        # case, applied per endpoint).  Pure elementwise chunk kernel:
+        # reads the pre-batch tau snapshot, writes disjoint slices.
+        a = np.empty(nd, dtype=np.int64)
+        b = np.empty(nd, dtype=np.int64)
+        tie = np.empty(nd, dtype=bool)
+
+        def classify_deletes(lo, hi, arr=arr, a=a, b=b, tie=tie):
+            tu = arr[dui[lo:hi]]
+            tv = arr[dvi[lo:hi]]
+            np.minimum(tu, tv, out=a[lo:hi])
+            np.maximum(tu, tv, out=b[lo:hi])
+            np.equal(tu, tv, out=tie[lo:hi])
+
+        map_ranges(
+            rt, nd, classify_deletes, lambda lo, hi: 4.0 * (hi - lo),
+            region="maintain_h_columnar",
+        )
         emitted += _acc_add(D, np.concatenate((a, a[tie])))
         emitted += _acc_add(I, np.concatenate((b, b[tie])))
         dropped = g.bulk_remove_edge_ids(dui, dvi)
@@ -217,12 +227,22 @@ def _maintain_h_graph(backend, cb):
                 bucket.add(label)
                 ta.set_(i, 0)
         arr = ta.arr  # may have been reallocated registering new ids
-        tu = arr[iui]
-        tv = arr[ivi]
         # per edge: the min endpoint records I[min] (new-edge semantics,
         # so no deletion record); at a tie both records emit
-        a = np.minimum(tu, tv)
-        tie = tu == tv
+        ni_ = len(iui)
+        a = np.empty(ni_, dtype=np.int64)
+        tie = np.empty(ni_, dtype=bool)
+
+        def classify_inserts(lo, hi, arr=arr, a=a, tie=tie):
+            tu = arr[iui[lo:hi]]
+            tv = arr[ivi[lo:hi]]
+            np.minimum(tu, tv, out=a[lo:hi])
+            np.equal(tu, tv, out=tie[lo:hi])
+
+        map_ranges(
+            rt, ni_, classify_inserts, lambda lo, hi: 4.0 * (hi - lo),
+            region="maintain_h_columnar",
+        )
         emitted += _acc_add(I, np.concatenate((a, a[tie])))
         if journal is not None:
             journal.append(ColumnarJournalEntry(False, iu, iv, True))
@@ -300,11 +320,26 @@ def _maintain_h_hyper(backend, cb, conservative: bool):
         starts, counts, pool = h.pin_arrays()
         pins, ptr = gather_ranges(starts, counts, pool, aff)
         arr = ta.arr
-        owner = np.repeat(aff, np.diff(ptr))
         del_keys = np.sort((dei << 32) | dvi)
-        deleted_pin = np.isin((owner << 32) | pins, del_keys)
-        vals = np.where(deleted_pin, INF, arr[pins])
-        surv_min = np.minimum.reduceat(vals, ptr[:-1])
+        # per-edge surviving-pin minimum: segment boundaries (ptr) are
+        # edge boundaries, so the reduceat chunks cleanly -- each chunk
+        # covers whole edges and writes a disjoint slice of surv_min
+        surv_min = np.empty(len(aff), dtype=np.int64)
+
+        def surviving_min(lo, hi, arr=arr, surv_min=surv_min):
+            base = ptr[lo]
+            local_ptr = ptr[lo:hi + 1] - base
+            pins_c = pins[base:ptr[hi]]
+            owner_c = np.repeat(aff[lo:hi], np.diff(local_ptr))
+            deleted_c = np.isin((owner_c << 32) | pins_c, del_keys)
+            vals_c = np.where(deleted_c, INF, arr[pins_c])
+            surv_min[lo:hi] = np.minimum.reduceat(vals_c, local_ptr[:-1])
+
+        map_ranges(
+            rt, len(aff), surviving_min,
+            lambda lo, hi: float(ptr[hi] - ptr[lo]),
+            region="maintain_h_columnar",
+        )
         g_order = np.argsort(dei, kind="stable")
         seg = np.searchsorted(aff, dei[g_order])
         gtv = arr[dvi[g_order]]
@@ -323,8 +358,11 @@ def _maintain_h_hyper(backend, cb, conservative: bool):
         rec = gtv <= m_others
         emitted += _acc_add(D, gtv[rec])
         emitted += _acc_add(I, m_others[rec & (m_others < INF)])
+        # the suffix-exclusive min scans *across* segment boundaries
+        # (later same-edge deletions), so it stays serial; meter its
+        # per-record pass (the pin gather is accounted in the map above)
         rt.parallel_ranges(
-            len(pins) + nd, lambda lo, hi: float(hi - lo),
+            nd, lambda lo, hi: float(hi - lo),
             region="maintain_h_columnar",
         )
         dropped_v, _dead_e = h.bulk_remove_pin_ids(dei, dvi)
@@ -352,7 +390,21 @@ def _maintain_h_hyper(backend, cb, conservative: bool):
         if len(aff_i):
             starts, counts, pool = h.pin_arrays()
             pins_i, ptr_i = gather_ranges(starts, counts, pool, aff_i)
-            surv_i = np.minimum.reduceat(arr[pins_i], ptr_i[:-1])
+            # per-edge min over surviving pins; chunks at edge boundaries
+            surv_i = np.empty(len(aff_i), dtype=np.int64)
+
+            def insert_surviving_min(lo, hi, arr=arr, surv_i=surv_i):
+                base = ptr_i[lo]
+                local_ptr = ptr_i[lo:hi + 1] - base
+                surv_i[lo:hi] = np.minimum.reduceat(
+                    arr[pins_i[base:ptr_i[hi]]], local_ptr[:-1]
+                )
+
+            map_ranges(
+                rt, len(aff_i), insert_surviving_min,
+                lambda lo, hi: float(ptr_i[hi] - ptr_i[lo]),
+                region="maintain_h_columnar",
+            )
             n_gathered = len(pins_i)
         tv_eff = np.empty(ni, dtype=np.int64)
         for k, v in enumerate(iv.tolist()):
@@ -386,8 +438,10 @@ def _maintain_h_hyper(backend, cb, conservative: bool):
             & ((gtv < m_others) | ((gtv == m_others) & conservative))
         )
         emitted += _acc_add(D, m_others[drops])
+        # the prefix-exclusive min scans across segment boundaries
+        # (earlier same-edge insertions): serial, metered per record
         rt.parallel_ranges(
-            n_gathered + ni, lambda lo, hi: float(hi - lo),
+            ni, lambda lo, hi: float(hi - lo),
             region="maintain_h_columnar",
         )
         eids_new, vids_new, created_v, _created_e = h.bulk_add_pins(ie, iv)

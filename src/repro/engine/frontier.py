@@ -23,15 +23,20 @@ the vertex is the edge's min witness else ``m1`` (Algorithm 2 line 8's
 min-over-other-pins, exact under ties), and h-indexes the contributions
 per vertex with the same segment kernel.
 
-Work accounting mirrors the dict path: one charge unit per gathered
-neighbour value (graphs) / incidence contribution plus shadow pin read
-(hypergraphs), plus one per frontier h-index evaluation.  The charges go
-through ``rt.parallel_ranges`` with per-chunk costs read off the gather's
-CSR prefix sums (``out_ptr``), so under the
-:class:`~repro.parallel.simulated.SimulatedRuntime` each vectorised
-iteration is metered as a real chunked parallel region -- the same
-scheduling treatment ``hhc_local``'s per-vertex ``parallel_for``
-receives -- instead of one serial lump.
+Execution and accounting both go through the runtime's
+``parallel_map_ranges`` seam: each iteration's h-index pass is expressed
+as a race-free *chunk kernel* -- ``run_chunk(lo, hi)`` gathers its own
+CSR/incidence ranges from the shared read-only tau snapshot (Jacobi
+semantics) and writes only the disjoint slice ``new[lo:hi]`` -- with
+per-chunk costs read off the gather's CSR prefix sums (``out_ptr``).
+Under the :class:`~repro.parallel.simulated.SimulatedRuntime` the kernel
+runs serially and is metered exactly as before (same VGC chunking, same
+totals); under a :class:`~repro.parallel.threads.ThreadRuntime` the
+chunks dispatch to real threads and overlap, since the NumPy gathers,
+sorts and reductions release the GIL.  Chunked results are bit-identical
+to serial: chunks are disjoint, the per-chunk ``_segment_h_index`` call
+clips at a bound that can never alter an h-index (h <= segment size),
+and the commit/merge that follows every iteration stays serial.
 """
 
 from __future__ import annotations
@@ -41,6 +46,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.core.static import _segment_h_index
+from repro.parallel.runtime import map_ranges
 
 __all__ = ["gather_ranges", "hhc_frontier_csr", "hhc_frontier_incidence"]
 
@@ -53,11 +59,20 @@ _IOTA = np.zeros(0, dtype=np.int64)
 
 def _iota(n: int) -> np.ndarray:
     """Read-only ``arange(n)`` served from a growing module-level buffer
-    (the convergence loop requests one per iteration)."""
+    (the convergence loop requests several per iteration).
+
+    Thread-safe for concurrent chunk kernels: the buffer is captured into
+    a local before the length check, so a racing grow by another thread
+    can only waste an allocation, never hand back a short slice -- and the
+    contents are constant (``arange``), so sharing the buffer read-only
+    across threads is sound.
+    """
     global _IOTA
-    if len(_IOTA) < n:
-        _IOTA = np.arange(max(n, 2 * len(_IOTA)), dtype=np.int64)
-    return _IOTA[:n]
+    buf = _IOTA
+    if len(buf) < n:
+        buf = np.arange(max(n, 2 * len(buf)), dtype=np.int64)
+        _IOTA = buf
+    return buf[:n]
 
 
 def _gather_ranges(starts: np.ndarray, counts: np.ndarray, pool: np.ndarray,
@@ -131,16 +146,14 @@ def hhc_frontier_csr(
 
     Returns the number of iterations run.
     """
-    starts, counts, pool = graph.adjacency_arrays()
-    arr = tau.arr
-    live = tau.live
     frontier = np.asarray(frontier, dtype=np.int64)
-    scratch = np.zeros(len(arr), dtype=bool)
+    scratch = np.zeros(len(tau.arr), dtype=bool)
     iterations = 0
     while len(frontier):
         if max_iterations is not None and iterations >= max_iterations:
             break
-        # adjacency views can move under mutation; re-read defensively
+        # adjacency views can move under mutation between iterations (the
+        # commit hook below may trigger structural work); re-read per pass
         starts, counts, pool = graph.adjacency_arrays()
         arr = tau.arr
         live = tau.live
@@ -151,20 +164,39 @@ def hhc_frontier_csr(
         if not len(F):
             break
         iterations += 1
-        nbrs, out_ptr = _gather_ranges(starts, counts, pool, F)
-        vals = arr[nbrs]
-        seg = np.repeat(np.arange(len(F), dtype=np.int64), np.diff(out_ptr))
-        new = _segment_h_index(vals, seg, out_ptr)
+        # CSR layout of the whole frontier's gathers up front: the prefix
+        # sums both parameterise the chunk costs and let every chunk slice
+        # out its own ranges independently
+        cnt = counts[F]
+        f_starts = starts[F]
+        out_ptr = np.zeros(len(F) + 1, dtype=np.int64)
+        np.cumsum(cnt, out=out_ptr[1:])
+        new = np.empty(len(F), dtype=np.int64)
+
+        def run_chunk(lo, hi, arr=arr, pool=pool, f_starts=f_starts,
+                      cnt=cnt, out_ptr=out_ptr, new=new):
+            # race-free Jacobi chunk kernel: reads the shared tau snapshot
+            # and adjacency pool, writes only the disjoint slice
+            # new[lo:hi]; the h-index clip bound is local to the chunk but
+            # any bound >= the segment size yields the same h-index
+            base = out_ptr[lo]
+            local_ptr = out_ptr[lo:hi + 1] - base
+            chunk_cnt = cnt[lo:hi]
+            pos = np.repeat(f_starts[lo:hi] - local_ptr[:-1], chunk_cnt)
+            pos = pos + _iota(int(local_ptr[-1]))
+            vals = arr[pool[pos]]
+            seg = np.repeat(_iota(hi - lo), chunk_cnt)
+            new[lo:hi] = _segment_h_index(vals, seg, local_ptr)
+
+        # per frontier vertex: its gathered neighbours + one h-index
+        # evaluation, chunk costs straight off the CSR prefix sums
+        map_ranges(
+            rt, len(F), run_chunk,
+            lambda lo, hi: float(out_ptr[hi] - out_ptr[lo]) + (hi - lo),
+            region="frontier_csr",
+        )
         old = arr[F]
         changed_mask = new != old
-        if rt is not None:
-            # per frontier vertex: its gathered neighbours + one h-index
-            # evaluation, chunk costs straight off the CSR prefix sums
-            rt.parallel_ranges(
-                len(F),
-                lambda lo, hi: float(out_ptr[hi] - out_ptr[lo]) + (hi - lo),
-                region="frontier_csr",
-            )
         if not changed_mask.any():
             break
         changed = F[changed_mask]
@@ -237,36 +269,52 @@ def hhc_frontier_incidence(
         if not len(F):
             break
         iterations += 1
+        # the incidence gather and shadow refresh stay serial: the refresh
+        # mutates shared shadow state, and the dirty-edge set needs the
+        # whole gather.  Only the pure contribution + h-index pass chunks.
         inc, out_ptr = _gather_ranges(v_starts, v_counts, v_pool, F)
         dirty = np.unique(inc)
         pin_reads = shadow.refresh_ids(dirty)
-        # contribution of edge e to its pin v: min tau over the other pins
-        # = second order statistic when v is the min witness, else the min
-        owner = np.repeat(F, np.diff(out_ptr))
-        contrib = np.where(
-            shadow.witness[inc] == owner, shadow.m2[inc], shadow.m1[inc]
-        )
-        seg = np.repeat(np.arange(len(F), dtype=np.int64), np.diff(out_ptr))
-        new = _segment_h_index(contrib, seg, out_ptr)
-        old = arr[F]
-        changed_mask = new != old
-        if rt is not None:
+        if rt is not None and pin_reads and len(dirty):
             # the shadow refresh scans pins grouped by dirty edge; spread
             # its cost uniformly over the refreshed edges as one region
-            if pin_reads and len(dirty):
-                per_edge = pin_reads / len(dirty)
-                rt.parallel_ranges(
-                    len(dirty),
-                    lambda lo, hi: per_edge * (hi - lo),
-                    region="shadow_refresh",
-                )
-            # per frontier vertex: its incidence contributions + one
-            # h-index evaluation, chunked off the CSR prefix sums
+            per_edge = pin_reads / len(dirty)
             rt.parallel_ranges(
-                len(F),
-                lambda lo, hi: float(out_ptr[hi] - out_ptr[lo]) + (hi - lo),
-                region="frontier_incidence",
+                len(dirty),
+                lambda lo, hi: per_edge * (hi - lo),
+                region="shadow_refresh",
             )
+        # read the shadow columns after the refresh (it may reallocate)
+        witness = shadow.witness
+        m1 = shadow.m1
+        m2 = shadow.m2
+        new = np.empty(len(F), dtype=np.int64)
+
+        def run_chunk(lo, hi, F=F, inc=inc, out_ptr=out_ptr, new=new,
+                      witness=witness, m1=m1, m2=m2):
+            # race-free Jacobi chunk kernel over the refreshed shadow:
+            # contribution of edge e to its pin v is the min tau over the
+            # *other* pins -- the second order statistic when v is the min
+            # witness, else the min -- then one h-index per vertex; writes
+            # only the disjoint slice new[lo:hi]
+            base = out_ptr[lo]
+            local_ptr = out_ptr[lo:hi + 1] - base
+            inc_c = inc[base:out_ptr[hi]]
+            chunk_cnt = np.diff(local_ptr)
+            owner = np.repeat(F[lo:hi], chunk_cnt)
+            contrib = np.where(witness[inc_c] == owner, m2[inc_c], m1[inc_c])
+            seg = np.repeat(_iota(hi - lo), chunk_cnt)
+            new[lo:hi] = _segment_h_index(contrib, seg, local_ptr)
+
+        # per frontier vertex: its incidence contributions + one h-index
+        # evaluation, chunked off the CSR prefix sums
+        map_ranges(
+            rt, len(F), run_chunk,
+            lambda lo, hi: float(out_ptr[hi] - out_ptr[lo]) + (hi - lo),
+            region="frontier_incidence",
+        )
+        old = arr[F]
+        changed_mask = new != old
         if not changed_mask.any():
             break
         changed = F[changed_mask]

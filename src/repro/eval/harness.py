@@ -570,6 +570,7 @@ def run_served_stream(
     scale: float = 0.5,
     seed: int = 0,
     engine: str = "dict",
+    rt=None,
 ) -> ServeResult:
     """Play a bursty stream through a :class:`~repro.serve.server
     .CoreServer` and report the serving contract's measurements.
@@ -598,7 +599,9 @@ def run_served_stream(
     sub = spec.load(scale, seed)
     if engine == "array":
         sub = wrap_substrate(sub, "array")
-    m = make_maintainer(sub, algorithm, engine=engine)
+    # rt= plumbs a real runtime (e.g. ThreadRuntime) under the server's
+    # maintenance pump; None keeps the serial default
+    m = make_maintainer(sub, algorithm, rt, engine=engine)
     clock = ManualClock()
     server = CoreServer(
         m, clock=clock, max_batch=max_batch, defer_at=defer_at,

@@ -10,8 +10,11 @@ provides three interchangeable backends behind a single
 :class:`~repro.parallel.runtime.SerialRuntime`
     Plain loops; the reference semantics.
 :class:`~repro.parallel.threads.ThreadRuntime`
-    Real ``ThreadPoolExecutor`` threads.  Provided for API completeness and
-    result cross-checking; it does not (and cannot) scale under the GIL.
+    Real ``ThreadPoolExecutor`` threads.  Pure-Python ``parallel_for``
+    bodies cannot scale under the GIL, but the ``parallel_map_ranges``
+    execution form dispatches VGC-balanced chunk kernels whose NumPy
+    passes release the GIL — on multi-core hosts the vectorised engine
+    scales for real (``bench_wallclock.py --threads``).
 :class:`~repro.parallel.simulated.SimulatedRuntime`
     The substitution used for the figures.  It executes the algorithm's
     *actual* parallel decomposition -- the same chunks of vertex tasks the
@@ -30,7 +33,7 @@ clock is the only modeled quantity.
 
 from repro.parallel.machine import MachineSpec, WorkloadProfile
 from repro.parallel.metrics import RegionMetrics, RunMetrics
-from repro.parallel.runtime import ParallelRuntime, SerialRuntime
+from repro.parallel.runtime import ParallelRuntime, SerialRuntime, map_ranges
 from repro.parallel.simulated import SimulatedRuntime
 from repro.parallel.threads import ThreadRuntime
 
@@ -43,4 +46,5 @@ __all__ = [
     "SimulatedRuntime",
     "ThreadRuntime",
     "WorkloadProfile",
+    "map_ranges",
 ]

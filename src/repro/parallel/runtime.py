@@ -31,6 +31,15 @@ Algorithms interact with a runtime through four calls:
     splits (every cost derived from prefix sums or per-item constants
     is).
 
+``parallel_map_ranges(n, run_chunk, chunk_cost, region=...)``
+    The *execution* twin of ``parallel_ranges``: instead of accounting a
+    pass the caller already ran, the runtime is handed the computation
+    itself as a chunk kernel ``run_chunk(lo, hi)`` and decides how to
+    split ``[0, n)``.  Serial backends run one chunk; the simulator runs
+    one chunk and charges the unchanged VGC-modeled costs; the thread
+    backend dispatches VGC-balanced chunks to its pool so NumPy kernels
+    that release the GIL overlap on real cores.
+
 Keeping the accounting explicit in the algorithm code is what lets the
 simulated backend replay the *actual* work distribution on any number of
 virtual threads; the serial and thread backends simply ignore it.
@@ -41,7 +50,7 @@ from __future__ import annotations
 import time
 from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
 
-__all__ = ["ParallelRuntime", "SerialRuntime"]
+__all__ = ["ParallelRuntime", "SerialRuntime", "map_ranges"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -96,6 +105,35 @@ class ParallelRuntime:
         self.charge(total)
         return total
 
+    def parallel_map_ranges(
+        self,
+        n: int,
+        run_chunk: Callable[[int, int], None],
+        chunk_cost: Callable[[int, int], float],
+        *,
+        region: str = "ranges",
+        grain: int = 1,
+    ) -> float:
+        """Execute *and* account a chunkable vectorised pass over ``n`` items.
+
+        ``run_chunk(lo, hi)`` must compute the contiguous item range
+        ``[lo, hi)`` and be safe to run on any partition of ``[0, n)``, in
+        any order or concurrently — in practice a *Jacobi* chunk kernel
+        that reads shared read-only snapshots and writes only a disjoint
+        output slice.  ``chunk_cost`` has the same additive contract as in
+        :meth:`parallel_ranges` and drives how real backends split the
+        range.  Returns the total work units accounted for the region.
+
+        The base implementation runs the whole range as one chunk and
+        delegates the accounting to :meth:`parallel_ranges`, so serial and
+        simulated backends keep byte-identical work metering whether a
+        kernel uses this form or the account-only one.
+        """
+        if n <= 0:
+            return 0.0
+        run_chunk(0, n)
+        return self.parallel_ranges(n, chunk_cost, region=region, grain=grain)
+
     # -- accounting --------------------------------------------------------------
     def charge(self, units: float) -> None:
         """Account abstract work units (no-op outside the simulator)."""
@@ -128,3 +166,25 @@ class ParallelRuntime:
 
 class SerialRuntime(ParallelRuntime):
     """Plain sequential execution; the semantics reference for tests."""
+
+
+def map_ranges(
+    rt: "ParallelRuntime | None",
+    n: int,
+    run_chunk: Callable[[int, int], None],
+    chunk_cost: Callable[[int, int], float],
+    *,
+    region: str = "ranges",
+    grain: int = 1,
+) -> float:
+    """Kernel-side dispatch helper for callers whose runtime may be ``None``.
+
+    Runs ``run_chunk`` through ``rt.parallel_map_ranges`` when a runtime is
+    present, or as one serial unaccounted chunk when the kernel was invoked
+    without one (direct kernel calls in tests and tools).
+    """
+    if rt is None:
+        if n > 0:
+            run_chunk(0, n)
+        return 0.0
+    return rt.parallel_map_ranges(n, run_chunk, chunk_cost, region=region, grain=grain)

@@ -162,6 +162,30 @@ class SimulatedRuntime(ParallelRuntime):
             self.region_log.append(reg)
         return reg.work_units
 
+    def parallel_map_ranges(
+        self,
+        n: int,
+        run_chunk: Callable[[int, int], None],
+        chunk_cost: Callable[[int, int], float],
+        *,
+        region: str = "ranges",
+        grain: int = 1,
+    ) -> float:
+        """Execute a chunk kernel serially, metering unchanged VGC costs.
+
+        The simulator's execution form runs the whole range as one chunk
+        (chunk kernels are pure over disjoint slices, so any serial
+        partition is bit-identical) and then delegates to
+        :meth:`parallel_ranges` — the exact metering path account-only
+        kernels used before the execution form existed.  Simulation
+        semantics and work-unit totals are therefore unchanged by
+        construction; this override exists to document that invariant.
+        """
+        if n <= 0:
+            return 0.0
+        run_chunk(0, n)
+        return self.parallel_ranges(n, chunk_cost, region=region, grain=grain)
+
     def region_breakdown(self, threads: int) -> str:
         """Where simulated time goes: per-region-name totals at ``threads``.
 

@@ -16,7 +16,12 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
-from bench_wallclock import FULL_CONFIG, run  # noqa: E402
+from bench_wallclock import (  # noqa: E402
+    FULL_CONFIG,
+    available_cpus,
+    run,
+    run_thread_sweep,
+)
 
 pytestmark = pytest.mark.slow
 
@@ -42,3 +47,32 @@ def test_full_benchmark_meets_acceptance_bar():
     assert m6["speedup"] >= 10.0, (
         f"m6 dict->array speedup {m6['speedup']:.2f}x below the 10x bar"
     )
+
+
+def test_full_thread_scaling_meets_acceptance_bar():
+    """Real-thread wall-clock scaling on the m6 tier: correctness is
+    machine-independent (oracle-verified, kappa bit-identical to the
+    serial run at every t); the >=1.8x @ t=4 wall-clock bar only binds
+    on hosts that actually have 4 cores."""
+    sweep = run_thread_sweep(FULL_CONFIG, [1, 2, 4])
+    assert sweep["oracle_verified"] is True
+    assert sweep["kappa_identical"] is True
+    cpus = available_cpus()
+    assert sweep["cpus"] == cpus
+    if cpus >= 4:
+        for engine, per_engine in sweep["engines"].items():
+            assert per_engine["speedup"]["4"] >= 1.8, (
+                f"{engine} engine: {per_engine['speedup']['4']:.2f}x at t=4 "
+                f"on a {cpus}-cpu host, below the 1.8x scaling bar"
+            )
+        assert sweep["scaling_target_met"] is True
+    else:
+        # single/dual-core host: the sweep still must not fall off a
+        # cliff -- dispatch overhead bounded by the same 0.5x floor the
+        # quick mode asserts
+        for engine, per_engine in sweep["engines"].items():
+            for t, sp in per_engine["speedup_best"].items():
+                assert sp >= 0.5, (
+                    f"{engine} at t={t}: {sp:.2f}x of t=1 -- threaded "
+                    f"dispatch overhead exceeded the floor on {cpus} cpu(s)"
+                )

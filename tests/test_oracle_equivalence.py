@@ -218,6 +218,97 @@ def test_array_hypergraph_remove_reinsert(algorithm):
         verify_kappa(m)
 
 
+# -- real-thread execution: oracle equivalence and bit-determinism -----------
+#
+# The thread backend dispatches the engine's chunk kernels to a real pool
+# (parallel_map_ranges).  The kernels are Jacobi-style -- read a shared
+# snapshot, write a disjoint output slice -- so the results must be
+# *bit-identical* to serial execution at any thread count, not merely
+# oracle-correct.  CI's threaded lane selects the threads2 params.
+
+THREAD_SWEEP = [1, 2, 4]
+
+
+def _columnarize(batch, is_hyper):
+    from repro.graph.columnar import ColumnarBatch
+
+    cb = ColumnarBatch.from_batch(batch, is_hyper=is_hyper)
+    assert cb is not None, "protocol batch failed to columnarise"
+    return cb
+
+
+@pytest.mark.parametrize("threads", THREAD_SWEEP, ids=lambda t: f"threads{t}")
+@pytest.mark.parametrize("columnar", [False, True], ids=["array", "columnar"])
+def test_threaded_graph_matches_oracle(threads, columnar):
+    from repro.engine import ArrayGraph
+
+    g = ArrayGraph.from_graph(powerlaw_social(150, 8, seed=21))
+    with ThreadRuntime(threads=threads) as rt:
+        m = make_maintainer(g, "mod", rt, engine="array")
+        proto = BatchProtocol(g, seed=22)
+        for _ in range(2):
+            deletion, insertion = proto.remove_reinsert(20)
+            for batch in (deletion, insertion):
+                if columnar:
+                    batch = _columnarize(batch, False)
+                m.apply_batch(batch)
+                verify_kappa(m)
+        if columnar:
+            assert m.backend.columnar_batches > 0
+
+
+@pytest.mark.parametrize("threads", THREAD_SWEEP, ids=lambda t: f"threads{t}")
+@pytest.mark.parametrize("columnar", [False, True], ids=["array", "columnar"])
+def test_threaded_hypergraph_matches_oracle(threads, columnar):
+    from repro.engine import ArrayHypergraph
+
+    h = ArrayHypergraph.from_hypergraph(affiliation_hypergraph(70, 110, 4.0, seed=23))
+    with ThreadRuntime(threads=threads) as rt:
+        m = make_maintainer(h, "mod", rt, engine="array")
+        proto = BatchProtocol(h, seed=24)
+        for _ in range(2):
+            deletion, insertion = proto.remove_reinsert(12)
+            for batch in (deletion, insertion):
+                if columnar:
+                    batch = _columnarize(batch, True)
+                m.apply_batch(batch)
+                verify_kappa(m)
+        if columnar:
+            assert m.backend.columnar_batches > 0
+
+
+@pytest.mark.parametrize("make_sub", [
+    pytest.param(lambda: powerlaw_social(400, 7, seed=31), id="graph"),
+    pytest.param(lambda: affiliation_hypergraph(120, 200, 4.0, seed=31),
+                 id="hypergraph"),
+])
+def test_threaded_bit_determinism(make_sub):
+    """tau must be *bit-identical* -- not merely oracle-correct -- across
+    every thread count, because the chunk kernels are Jacobi (shared
+    read-only snapshot in, disjoint output slice out)."""
+    from repro.engine import ArrayGraph, ArrayHypergraph
+
+    def run(rt):
+        base = make_sub()
+        sub = (ArrayHypergraph.from_hypergraph(base)
+               if getattr(base, "is_hypergraph", False)
+               else ArrayGraph.from_graph(base))
+        m = make_maintainer(sub, "mod", rt, engine="array")
+        proto = BatchProtocol(sub, seed=32)
+        for _ in range(2):
+            deletion, insertion = proto.remove_reinsert(30)
+            m.apply_batch(deletion)
+            m.apply_batch(insertion)
+        return dict(m.tau), m.kappa()
+
+    ref_tau, ref_kappa = run(SerialRuntime())
+    for t in (1, 2, 4, 8):
+        with ThreadRuntime(threads=t) as rt:
+            tau, kappa = run(rt)
+        assert tau == ref_tau, f"tau diverged at threads={t}"
+        assert kappa == ref_kappa, f"kappa diverged at threads={t}"
+
+
 def test_all_algorithms_registered():
     assert set(ALGORITHMS) == {
         "mod", "set", "setmb", "hybrid", "traversal", "order", "mod-approx",

@@ -14,7 +14,7 @@ from repro.parallel.machine import (
     MachineSpec,
     WorkloadProfile,
 )
-from repro.parallel.runtime import SerialRuntime
+from repro.parallel.runtime import SerialRuntime, map_ranges
 from repro.parallel.scheduler import chunk_sizes, list_schedule_makespan, schedule_all
 from repro.parallel.simulated import DEFAULT_THREAD_COUNTS, SimulatedRuntime
 from repro.parallel.threads import ThreadRuntime
@@ -241,3 +241,186 @@ class TestSerialAndThreadRuntimes:
     def test_thread_counts_advertised(self):
         assert SimulatedRuntime().thread_counts == DEFAULT_THREAD_COUNTS
         assert ThreadRuntime(threads=3).thread_counts == (3,)
+
+
+def _skewed_cost(weights):
+    """Additive chunk_cost from per-item weights (prefix-sum difference)."""
+    prefix = [0.0]
+    for w in weights:
+        prefix.append(prefix[-1] + w)
+    return lambda lo, hi: prefix[hi] - prefix[lo]
+
+
+class TestParallelMapRanges:
+    """The execution twin of parallel_ranges: run_chunk(lo, hi) computes a
+    chunk, the runtime decides the split.  These tests pin the seam
+    contract every backend must honour."""
+
+    def test_serial_runs_one_chunk(self):
+        rt = SerialRuntime()
+        calls = []
+        total = rt.parallel_map_ranges(
+            10, lambda lo, hi: calls.append((lo, hi)), lambda lo, hi: 2.0 * (hi - lo)
+        )
+        assert calls == [(0, 10)]
+        assert total == 20.0
+
+    def test_empty_range_skips_kernel(self):
+        for rt in (SerialRuntime(), SimulatedRuntime(), ThreadRuntime(threads=2)):
+            calls = []
+            out = rt.parallel_map_ranges(
+                0, lambda lo, hi: calls.append((lo, hi)), lambda lo, hi: hi - lo
+            )
+            assert out == 0.0 and calls == []
+            if hasattr(rt, "close"):
+                rt.close()
+
+    def test_map_ranges_helper_without_runtime(self):
+        calls = []
+        out = map_ranges(None, 5, lambda lo, hi: calls.append((lo, hi)),
+                         lambda lo, hi: 100.0)
+        assert calls == [(0, 5)]
+        assert out == 0.0  # no runtime, nothing accounted
+        assert map_ranges(None, 0, lambda lo, hi: calls.append((lo, hi)),
+                          lambda lo, hi: 1.0) == 0.0
+        assert calls == [(0, 5)]
+
+    def test_map_ranges_helper_delegates(self):
+        rt = SerialRuntime()
+        calls = []
+        out = map_ranges(rt, 4, lambda lo, hi: calls.append((lo, hi)),
+                         lambda lo, hi: float(hi - lo))
+        assert calls == [(0, 4)] and out == 4.0
+
+    def test_simulated_metering_identical_to_parallel_ranges(self):
+        """A kernel migrated from the account-only form to the execution
+        form must leave the simulator's work/time model byte-identical --
+        the acceptance invariant for the frontier regions."""
+        weights = [float(1 + (i * 7) % 23) for i in range(400)]
+
+        a = SimulatedRuntime()
+        a.parallel_ranges(400, _skewed_cost(weights), region="frontier_csr")
+        b = SimulatedRuntime()
+        b.parallel_map_ranges(400, lambda lo, hi: None, _skewed_cost(weights),
+                              region="frontier_csr")
+        ma, mb = a.metrics(), b.metrics()
+        assert ma.work_units == mb.work_units
+        assert ma.elapsed_ns == mb.elapsed_ns
+        assert ma.tasks == mb.tasks
+
+    def test_thread_chunks_partition_range(self):
+        import threading
+
+        n = 1000
+        seen = []
+        lock = threading.Lock()
+        out = [0] * n
+
+        def run_chunk(lo, hi):
+            with lock:
+                seen.append((lo, hi))
+            for i in range(lo, hi):
+                out[i] = i + 1
+
+        with ThreadRuntime(threads=4) as rt:
+            total = rt.parallel_map_ranges(
+                n, run_chunk, lambda lo, hi: float(hi - lo), region="kern")
+            assert rt.region_chunks["kern"] == len(seen)
+        assert total == float(n)
+        seen.sort()
+        # exact disjoint cover of [0, n)
+        assert seen[0][0] == 0 and seen[-1][1] == n
+        assert all(a[1] == b[0] for a, b in zip(seen, seen[1:]))
+        assert len(seen) > 1  # genuinely split
+        assert out == list(range(1, n + 1))  # every slice actually computed
+
+    def test_thread_single_thread_runs_inline(self):
+        seen = []
+        with ThreadRuntime(threads=1) as rt:
+            rt.parallel_map_ranges(64, lambda lo, hi: seen.append((lo, hi)),
+                                   lambda lo, hi: float(hi - lo), region="k1")
+            assert rt.region_chunks["k1"] == 1
+        assert seen == [(0, 64)]
+
+    def test_thread_charges_fold_across_pool_threads(self):
+        """Worker-side charges land in per-thread cells and fold exactly --
+        the accounting-race fix: no lost updates from bare ``+=``."""
+        n = 512
+        with ThreadRuntime(threads=4) as rt:
+            rt.parallel_map_ranges(
+                n,
+                lambda lo, hi: rt.charge(float(hi - lo)),  # from pool threads
+                lambda lo, hi: float(hi - lo),  # charged on the dispatcher
+                region="acct")
+            # dispatcher total + worker charges, no lost updates
+            assert rt.work_units == 2.0 * n
+            assert rt.region_tasks["acct"] == n
+            assert rt.regions == 1 and rt.tasks == n
+
+    def test_thread_reset_clock_epoch_isolates_runs(self):
+        with ThreadRuntime(threads=2) as rt:
+            rt.parallel_map_ranges(100, lambda lo, hi: rt.charge(hi - lo),
+                                   lambda lo, hi: float(hi - lo))
+            assert rt.work_units == 200.0
+            rt.reset_clock()
+            assert rt.work_units == 0.0
+            assert rt.regions == 0 and not rt.region_seconds
+            rt.serial(3.0)
+            rt.charge_atomic(2.0)
+            assert rt.work_units == 5.0
+            assert rt.serial_units == 3.0 and rt.atomic_ops == 2.0
+
+    def test_thread_nested_dispatch_runs_inline(self):
+        """A kernel that (transitively) re-enters the runtime from a pool
+        worker must run inline instead of deadlocking on a saturated pool."""
+        inner_calls = []
+
+        with ThreadRuntime(threads=2) as rt:
+
+            def outer(lo, hi):
+                rt.parallel_map_ranges(
+                    8, lambda a, b: inner_calls.append((a, b)),
+                    lambda a, b: float(b - a), region="inner")
+
+            rt.parallel_map_ranges(64, outer, lambda lo, hi: float(hi - lo),
+                                   region="outer", grain=1)
+        # every nested invocation collapsed to one full-range chunk
+        assert inner_calls and all(c == (0, 8) for c in inner_calls)
+
+    def test_thread_chunk_error_propagates_after_join(self):
+        import threading
+
+        done = []
+        lock = threading.Lock()
+
+        def run_chunk(lo, hi):
+            if lo == 0:
+                raise ValueError("boom")
+            with lock:
+                done.append((lo, hi))
+
+        with ThreadRuntime(threads=4) as rt:
+            with pytest.raises(ValueError, match="boom"):
+                rt.parallel_map_ranges(1000, run_chunk,
+                                       lambda lo, hi: float(hi - lo))
+        # all surviving chunks were joined before the raise: no chunk can
+        # still be writing into caller arrays after the error surfaces
+        assert sum(hi - lo for lo, hi in done) < 1000
+
+    def test_thread_region_seconds_and_breakdown(self):
+        with ThreadRuntime(threads=2) as rt:
+            rt.parallel_map_ranges(256, lambda lo, hi: None,
+                                   lambda lo, hi: float(hi - lo), region="hot")
+            rt.parallel_for(range(4), lambda x: x, region="warm")
+            assert rt.region_seconds["hot"] >= 0.0
+            assert rt.region_seconds["warm"] >= 0.0
+            report = rt.timing_breakdown()
+            assert "hot" in report and "warm" in report and "seconds" in report
+
+    def test_thread_close_idempotent(self):
+        rt = ThreadRuntime(threads=2)
+        rt.close()
+        rt.close()  # second close is a no-op
+        with ThreadRuntime(threads=2) as rt2:
+            assert rt2.parallel_for([1, 2], lambda x: x) == [1, 2]
+        rt2.close()
