@@ -1,0 +1,229 @@
+#!/usr/bin/env python
+"""Sharded distributed scaling study: supersteps, boundary bytes, balance.
+
+Runs the sharded :class:`~repro.distributed.core.DistributedModMaintainer`
+over a skewed (powerlaw) generator across ``nodes x partitioner``:
+
+* ``scaling``  -- for every partitioner in {hash, degree_balanced,
+  edge_cut} and node count in {1, 2, 4, 8}: partition quality (edge-cut
+  fraction, replication factor, load imbalance), initial-convergence
+  supersteps, and steady-state per-batch traffic (boundary bytes, ingress
+  bytes, supersteps) over a remove/reinsert stream.  Every stream ends
+  with a full peeling verification.
+* ``cut_invariance`` -- the locality contract: a 2-shard path graph with
+  a single cut edge is maintained at several sizes; steady-state
+  boundary bytes per batch must be *identical* across sizes (traffic is
+  proportional to the edge cut, not ``|V|``).
+
+Contracts (asserted, and recorded in the JSON):
+
+1. boundary bytes per batch on the fixed-cut path graph do not grow with
+   ``|V|``;
+2. on the skewed graph the edge-cut partitioner moves fewer steady-state
+   boundary bytes than hash partitioning (lower cut -> less traffic).
+
+All timing is *simulated* (the :class:`~repro.distributed.cluster.ClusterSpec`
+cost model), so every number is deterministic under a fixed seed.
+
+Usage::
+
+    python benchmarks/bench_distributed.py            # full run, writes JSON
+    python benchmarks/bench_distributed.py --quick    # CI smoke (small sizes)
+    python benchmarks/bench_distributed.py --out PATH # custom output path
+
+The full run writes ``BENCH_distributed.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.peel import peel  # noqa: E402
+from repro.core.verify import diff_kappa  # noqa: E402
+from repro.distributed import (  # noqa: E402
+    PARTITIONERS,
+    ClusterSpec,
+    DistributedModMaintainer,
+    partition_stats,
+)
+from repro.graph.batch import Batch, BatchProtocol  # noqa: E402
+from repro.graph.dynamic_graph import DynamicGraph  # noqa: E402
+from repro.graph.generators import powerlaw_social  # noqa: E402
+
+FULL_CONFIG = dict(
+    n_vertices=400, m_max=10, nodes=(1, 2, 4, 8), rounds=5, batch=25,
+    path_sizes=(64, 256, 1024), path_rounds=4,
+)
+QUICK_CONFIG = dict(
+    n_vertices=120, m_max=6, nodes=(1, 2, 4, 8), rounds=2, batch=10,
+    path_sizes=(32, 128), path_rounds=3,
+)
+
+
+def run_scaling(config: dict, seed: int) -> list:
+    """nodes x partitioner sweep on the skewed generator."""
+    rows = []
+    for name in sorted(PARTITIONERS):
+        for nodes in config["nodes"]:
+            g = powerlaw_social(config["n_vertices"], config["m_max"],
+                                seed=seed)
+            partition = PARTITIONERS[name](g, nodes)
+            pstats = partition_stats(g, partition, nodes)
+            m = DistributedModMaintainer(
+                g, ClusterSpec(nodes=nodes), partition=dict(partition))
+            startup = m.cluster.metrics.snapshot()
+            proto = BatchProtocol(g, seed=seed + 1)
+            batch_stats = []
+            for _ in range(config["rounds"]):
+                deletion, insertion = proto.remove_reinsert(config["batch"])
+                for batch in (deletion, insertion):
+                    m.apply_batch(batch)
+                    for change in batch:
+                        g.apply(change)
+                    batch_stats.append(m.last_batch_stats)
+            if diff_kappa(m.kappa(), peel(g)) != []:
+                raise AssertionError(
+                    f"{name}/{nodes}: distributed kappa diverged from peeling")
+            n_batches = len(batch_stats)
+            metrics = m.cluster.metrics
+            row = {
+                "partitioner": name,
+                "nodes": nodes,
+                "partition": pstats.as_dict(),
+                "startup_supersteps": startup["supersteps"],
+                "startup_message_bytes": startup["message_bytes"],
+                "batches": n_batches,
+                "mean_supersteps_per_batch": (
+                    sum(s["supersteps"] for s in batch_stats) / n_batches),
+                "mean_message_bytes_per_batch": (
+                    sum(s["message_bytes"] for s in batch_stats) / n_batches),
+                "mean_ingress_bytes_per_batch": (
+                    sum(s["ingress_bytes"] for s in batch_stats) / n_batches),
+                "total_message_bytes": metrics.message_bytes,
+                "bytes_sent_per_node": list(metrics.bytes_sent_per_node),
+                "work_imbalance": metrics.load_imbalance(),
+                "elapsed_simulated_s": metrics.elapsed_seconds(),
+                "verified": True,
+            }
+            print(f"  {name:>15s} nodes={nodes}: "
+                  f"cut={pstats.edge_cut_fraction:.2f} "
+                  f"rep={pstats.replication_factor:.2f} "
+                  f"imbalance={metrics.load_imbalance():.2f} "
+                  f"bytes/batch={row['mean_message_bytes_per_batch']:.0f}")
+            rows.append(row)
+    return rows
+
+
+def run_cut_invariance(config: dict, seed: int) -> list:
+    """Fixed-cut path graphs at growing |V|: steady-state boundary bytes
+    per batch must not grow."""
+    rows = []
+    for n in config["path_sizes"]:
+        g = DynamicGraph.from_edges([(i, i + 1) for i in range(n - 1)])
+        partition = {v: 0 if v < n // 2 else 1 for v in range(n)}
+        m = DistributedModMaintainer(g, ClusterSpec(nodes=2),
+                                     partition=partition)
+        per_batch = []
+        for _ in range(config["path_rounds"]):
+            m.apply_batch(Batch.from_graph_edges([(2, 3)], insert=False))
+            per_batch.append(m.last_batch_stats["message_bytes"])
+            m.apply_batch(Batch.from_graph_edges([(2, 3)], insert=True))
+            per_batch.append(m.last_batch_stats["message_bytes"])
+        assert m.kappa() == peel(g)
+        row = {
+            "n_vertices": n,
+            "cut_edges": 1,
+            "message_bytes_per_batch": per_batch,
+            "steady_state_bytes": per_batch[-1],
+        }
+        print(f"  path |V|={n:>5d}: bytes/batch={per_batch}")
+        rows.append(row)
+    return rows
+
+
+def run(config: dict, seed: int) -> dict:
+    print(f"== scaling sweep (powerlaw n={config['n_vertices']}, "
+          f"nodes {config['nodes']}) ==")
+    scaling = run_scaling(config, seed)
+
+    print("\n== cut invariance (2-shard path, 1 cut edge) ==")
+    invariance = run_cut_invariance(config, seed)
+
+    # contract 1: fixed cut -> flat traffic as |V| grows
+    steady = [row["steady_state_bytes"] for row in invariance]
+    flat = all(b == steady[0] for b in steady)
+
+    # contract 2: lower cut -> less steady-state boundary traffic
+    # (compare edge_cut vs hash at the largest node count)
+    top = max(config["nodes"])
+    by_name = {row["partitioner"]: row for row in scaling
+               if row["nodes"] == top}
+    cut_bytes = by_name["edge_cut"]["mean_message_bytes_per_batch"]
+    hash_bytes = by_name["hash"]["mean_message_bytes_per_batch"]
+    ordered = cut_bytes <= hash_bytes
+
+    return {
+        "meta": {
+            "benchmark": "distributed",
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "seed": seed,
+            "config": {k: list(v) if isinstance(v, tuple) else v
+                       for k, v in config.items()},
+        },
+        "scaling": scaling,
+        "cut_invariance": invariance,
+        "contract": {
+            "fixed_cut_traffic_flat": flat,
+            "steady_state_bytes_by_size": steady,
+            "edge_cut_leq_hash_bytes": ordered,
+            "edge_cut_bytes_per_batch": cut_bytes,
+            "hash_bytes_per_batch": hash_bytes,
+            "pass": flat and ordered,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output JSON path")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    config = QUICK_CONFIG if args.quick else FULL_CONFIG
+    report = run(config, args.seed)
+
+    out = args.out
+    if out is None and not args.quick:
+        out = REPO_ROOT / "BENCH_distributed.json"
+    if out is not None:
+        out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {out}")
+
+    contract = report["contract"]
+    assert contract["fixed_cut_traffic_flat"], (
+        "boundary traffic grew with |V| at a fixed cut: "
+        f"{contract['steady_state_bytes_by_size']}")
+    assert contract["edge_cut_leq_hash_bytes"], (
+        "edge-cut partitioning moved more boundary bytes than hash: "
+        f"{contract['edge_cut_bytes_per_batch']:.0f} > "
+        f"{contract['hash_bytes_per_batch']:.0f}")
+    print("contract passed: fixed-cut traffic flat across sizes "
+          f"({contract['steady_state_bytes_by_size']} bytes/batch); "
+          f"edge_cut {contract['edge_cut_bytes_per_batch']:.0f} <= "
+          f"hash {contract['hash_bytes_per_batch']:.0f} bytes/batch")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

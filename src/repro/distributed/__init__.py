@@ -1,42 +1,79 @@
-"""Distributed k-core computation and maintenance (§VI exploration).
+"""Sharded distributed k-core computation and maintenance (§VI).
 
 The paper closes with: "implementing these algorithms in distributed
 systems to further explore scalability."  The h-index/coreness connection
 the paper builds on was in fact *born* distributed (Montresor et al. [23]):
 each vertex only ever needs its neighbours' current values, so the
-algorithm maps directly onto value-update message passing.
-
-This subpackage provides that exploration on a simulated cluster:
+algorithm maps directly onto value-update message passing -- and mod's
+order-free increments confine cross-partition traffic to boundary
+vertices, which is the locality argument this subpackage tests.
 
 * :mod:`repro.distributed.cluster` -- a deterministic BSP (Pregel-style)
-  cluster: vertices are partitioned across nodes, supersteps alternate
-  local compute and value-update message exchange, and a declarative
-  :class:`ClusterSpec` prices compute, per-message overhead and network
-  latency so elapsed time, message volume and load balance can be studied
-  as the node count grows.
-* :mod:`repro.distributed.partition` -- hash and degree-balanced
-  partitioners.
-* :mod:`repro.distributed.core` -- the distributed static h-index
-  computation (the [23] algorithm, hypergraph-extended like Algorithm 2)
-  and a distributed ``mod`` maintainer: batch changes are applied
-  everywhere, per-level insertion/deletion records are combined with one
-  all-reduce, increments are applied to owned vertices, and convergence
-  proceeds by supersteps.
+  cluster simulation: supersteps alternate local compute and message
+  exchange, and a declarative :class:`ClusterSpec` prices compute,
+  per-message overhead, payload **bytes** and network latency so elapsed
+  time, boundary traffic and load balance can be studied as node count
+  grows.
+* :mod:`repro.distributed.partition` -- hash, degree-balanced and
+  edge-cut (LDG) partitioners, the stable :func:`owner_of` rule for
+  vertices interned after partitioning, and :func:`partition_stats`
+  (edge-cut fraction / replication factor / load balance).
+* :mod:`repro.engine.shard` -- :class:`~repro.engine.shard.ShardSubstrate`:
+  one node's owned vertices plus the ghost/halo ring over a real
+  (dict or array) substrate, and the :class:`~repro.engine.shard.HaloDelta`
+  boundary wire format.
+* :mod:`repro.distributed.core` -- :class:`DistributedHIndex` (the [23]
+  computation over shards, delta-only boundary messages) and
+  :class:`DistributedModMaintainer` (routed batches, shard-local
+  classification, one all-reduce, communication-free increments,
+  delta-exchanging convergence supersteps).
 
-Structure is replicated, values are partitioned -- the standard setting
-for analysing this algorithm family, where all traffic is value updates.
+Structure is *sharded* and values are partitioned: no node holds a
+whole-graph replica, per-node memory is owned + boundary, and
+steady-state traffic is proportional to the partition's edge cut.
 """
 
-from repro.distributed.cluster import ClusterMetrics, ClusterSpec, SimulatedCluster
+from repro.distributed.cluster import (
+    ITEM_BYTES,
+    ClusterMetrics,
+    ClusterSpec,
+    SimulatedCluster,
+)
 from repro.distributed.core import DistributedHIndex, DistributedModMaintainer
-from repro.distributed.partition import degree_balanced_partition, hash_partition
+from repro.distributed.partition import (
+    PARTITIONERS,
+    PartitionStats,
+    degree_balanced_partition,
+    edge_cut_partition,
+    hash_partition,
+    owner_of,
+    partition_counts,
+    partition_stats,
+)
+from repro.engine.shard import (
+    HaloDelta,
+    ShardSubstrate,
+    build_shards,
+    initial_halo_exports,
+)
 
 __all__ = [
+    "ITEM_BYTES",
     "ClusterMetrics",
     "ClusterSpec",
     "DistributedHIndex",
     "DistributedModMaintainer",
+    "HaloDelta",
+    "PARTITIONERS",
+    "PartitionStats",
+    "ShardSubstrate",
     "SimulatedCluster",
+    "build_shards",
     "degree_balanced_partition",
+    "edge_cut_partition",
     "hash_partition",
+    "initial_halo_exports",
+    "owner_of",
+    "partition_counts",
+    "partition_stats",
 ]

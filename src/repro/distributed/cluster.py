@@ -12,6 +12,13 @@ the per-round synchronisation cost (latency dominates when work per
 superstep is small -- the distributed analogue of the shared-memory
 barrier costs in :mod:`repro.parallel`).
 
+Message cost is accounted by **payload bytes**: every send carries an
+``nbytes`` (delta arrays report their real array size; unannotated
+payloads are estimated at :data:`ITEM_BYTES` per item), the wire charge is
+``msg_ns + nbytes * byte_ns``, and :class:`ClusterMetrics` accumulates the
+byte totals per node -- the quantity the sharded maintainer's
+boundary-traffic contracts are written against.
+
 The cluster is transport only: algorithms own semantics.  Messages to the
 node that sent them are free local delivery.
 """
@@ -19,11 +26,14 @@ node that sent them are free local delivery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
-__all__ = ["ClusterSpec", "ClusterMetrics", "SimulatedCluster"]
+__all__ = ["ClusterSpec", "ClusterMetrics", "SimulatedCluster", "ITEM_BYTES"]
 
 Vertex = Hashable
+
+#: default wire size of one payload item: a (vertex id, value) pair of int64s
+ITEM_BYTES = 16
 
 
 @dataclass(frozen=True)
@@ -33,7 +43,8 @@ class ClusterSpec:
     nodes: int = 4
     work_unit_ns: float = 6.0           # same unit as the shared-memory model
     msg_ns: float = 250.0               # serialise + deserialise one message
-    item_ns: float = 25.0               # per payload item inside a combined message
+    item_ns: float = 25.0               # per payload item (legacy point-to-point costing)
+    byte_ns: float = 1.5625             # per payload byte (== item_ns / ITEM_BYTES)
     network_latency_ns: float = 50_000.0  # per-superstep synchronisation
     allreduce_ns_per_item: float = 400.0
     #: combine all updates from one node to another into a single message
@@ -65,7 +76,12 @@ class ClusterMetrics:
     messages: int = 0
     local_deliveries: int = 0
     elapsed_ns: float = 0.0
+    #: payload bytes over the wire, node-to-node (boundary traffic)
+    message_bytes: int = 0
+    #: payload bytes routed in from the client (batch sub-streams)
+    ingress_bytes: int = 0
     work_units_per_node: List[float] = field(default_factory=list)
+    bytes_sent_per_node: List[int] = field(default_factory=list)
 
     def elapsed_seconds(self) -> float:
         return self.elapsed_ns / 1e9
@@ -81,6 +97,16 @@ class ClusterMetrics:
         mean = self.total_work / len(self.work_units_per_node)
         return max(self.work_units_per_node) / mean if mean else 1.0
 
+    def snapshot(self) -> dict:
+        """A scalar snapshot, for windowed deltas (per-batch accounting)."""
+        return {
+            "supersteps": self.supersteps,
+            "messages": self.messages,
+            "message_bytes": self.message_bytes,
+            "ingress_bytes": self.ingress_bytes,
+            "elapsed_ns": self.elapsed_ns,
+        }
+
 
 class SimulatedCluster:
     """Message transport + cost accounting for BSP algorithms.
@@ -92,7 +118,7 @@ class SimulatedCluster:
             inbox = cluster.inbox(node)
             ... compute ...
             cluster.charge(node, units)
-            cluster.send(node, dest_node, payload)
+            cluster.send(node, dest_node, payload, items=n, nbytes=b)
         cluster.end_superstep()
 
     Messages sent during superstep *t* appear in inboxes during *t + 1*.
@@ -102,13 +128,14 @@ class SimulatedCluster:
         self.spec = spec
         self.nodes = spec.nodes
         self.metrics = ClusterMetrics(
-            work_units_per_node=[0.0] * spec.nodes)
+            work_units_per_node=[0.0] * spec.nodes,
+            bytes_sent_per_node=[0] * spec.nodes)
         self._inboxes: List[List[object]] = [[] for _ in range(spec.nodes)]
         self._outboxes: List[List[object]] = [[] for _ in range(spec.nodes)]
         self._step_work = [0.0] * spec.nodes
         self._step_msgs = [0] * spec.nodes
-        self._step_items = [0] * spec.nodes
-        self._combiner: Dict[Tuple[int, int], List[object]] = {}
+        self._step_bytes = [0] * spec.nodes
+        self._combiner: Dict[Tuple[int, int], List[Tuple[object, int]]] = {}
         self._in_step = False
 
     # -- superstep lifecycle ------------------------------------------------------
@@ -118,7 +145,7 @@ class SimulatedCluster:
         self._in_step = True
         self._step_work = [0.0] * self.nodes
         self._step_msgs = [0] * self.nodes
-        self._step_items = [0] * self.nodes
+        self._step_bytes = [0] * self.nodes
         self._combiner = {}
 
     def end_superstep(self) -> None:
@@ -127,18 +154,15 @@ class SimulatedCluster:
         self._in_step = False
         spec = self.spec
         # flush combined messages: one wire message per (src, dst) pair,
-        # payload items priced separately on both endpoints
+        # payload bytes priced on both endpoints
         for (src, dst), payloads in sorted(self._combiner.items()):
-            self._outboxes[dst].extend(payloads)
-            self.metrics.messages += 1
-            self._step_msgs[src] += 1
-            self._step_msgs[dst] += 1
-            self._step_items[src] += len(payloads)
-            self._step_items[dst] += len(payloads)
+            self._outboxes[dst].extend(p for p, _ in payloads)
+            nbytes = sum(b for _, b in payloads)
+            self._account_wire(src, dst, nbytes)
         self._combiner = {}
         per_node_ns = [
-            w * spec.work_unit_ns + m * spec.msg_ns + i * spec.item_ns
-            for w, m, i in zip(self._step_work, self._step_msgs, self._step_items)
+            w * spec.work_unit_ns + m * spec.msg_ns + b * spec.byte_ns
+            for w, m, b in zip(self._step_work, self._step_msgs, self._step_bytes)
         ]
         self.metrics.elapsed_ns += max(per_node_ns, default=0.0)
         if self.nodes > 1:
@@ -161,28 +185,71 @@ class SimulatedCluster:
         self._step_work[node] += units
         self.metrics.work_units_per_node[node] += units
 
-    def send(self, src: int, dst: int, payload: object) -> None:
+    def _account_wire(self, src: int, dst: int, nbytes: int) -> None:
+        """Book one wire message of ``nbytes`` payload on both endpoints."""
+        self.metrics.messages += 1
+        self.metrics.message_bytes += nbytes
+        self.metrics.bytes_sent_per_node[src] += nbytes
+        self._step_msgs[src] += 1
+        self._step_msgs[dst] += 1
+        self._step_bytes[src] += nbytes
+        self._step_bytes[dst] += nbytes
+
+    def send(self, src: int, dst: int, payload: object, *,
+             items: int = 1, nbytes: Optional[int] = None) -> None:
+        """Send ``payload`` from ``src`` to ``dst`` (delivered next
+        superstep).  ``nbytes`` is the wire size; when omitted it is
+        estimated as ``items * ITEM_BYTES``."""
         if not self._in_step:
             raise RuntimeError("send outside a superstep")
+        if nbytes is None:
+            nbytes = items * ITEM_BYTES
         if src == dst:
             self._outboxes[dst].append(payload)
             self.metrics.local_deliveries += 1
         elif self.spec.combine_messages:
-            self._combiner.setdefault((src, dst), []).append(payload)
+            self._combiner.setdefault((src, dst), []).append((payload, nbytes))
         else:
             self._outboxes[dst].append(payload)
-            self.metrics.messages += 1
-            self._step_msgs[src] += 1
-            self._step_msgs[dst] += 1
+            self._account_wire(src, dst, nbytes)
+
+    def charge_message(self, src: int, dst: int, *,
+                       items: int = 1, nbytes: Optional[int] = None) -> None:
+        """Account the cost of a point-to-point message whose *effect* the
+        (sequential) driver applies directly -- halo fills and hyperedge
+        shipping inside a structural superstep, where BSP-delayed delivery
+        would be semantically wrong.  Pure accounting: nothing is enqueued."""
+        if not self._in_step:
+            raise RuntimeError("charge_message outside a superstep")
+        if src == dst:
+            self.metrics.local_deliveries += 1
+            return
+        if nbytes is None:
+            nbytes = items * ITEM_BYTES
+        self._account_wire(src, dst, nbytes)
+
+    def ingress(self, dst: int, *, items: int, nbytes: Optional[int] = None) -> None:
+        """Account a client -> node message (a routed batch sub-stream):
+        one wire message billed to the receiving node only."""
+        if not self._in_step:
+            raise RuntimeError("ingress outside a superstep")
+        if nbytes is None:
+            nbytes = items * ITEM_BYTES
+        self.metrics.messages += 1
+        self.metrics.ingress_bytes += nbytes
+        self._step_msgs[dst] += 1
+        self._step_bytes[dst] += nbytes
 
     # -- collectives ------------------------------------------------------------------
-    def allreduce_merge(self, per_node_items: List[int]) -> None:
+    def allreduce_merge(self, per_node_items: List[int], *,
+                        item_bytes: int = ITEM_BYTES) -> None:
         """Charge an all-reduce combining ``sum(per_node_items)`` items
         (e.g. the I/D level records of the distributed mod maintainer)."""
         total = sum(per_node_items)
         self.metrics.elapsed_ns += self.spec.allreduce_ns_per_item * max(1, total)
         if self.nodes > 1:
             self.metrics.elapsed_ns += self.spec.network_latency_ns
+            self.metrics.message_bytes += total * item_bytes
         self.metrics.messages += max(0, self.nodes - 1) * 2  # reduce + bcast
 
     def __repr__(self) -> str:

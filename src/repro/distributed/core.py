@@ -1,39 +1,50 @@
-"""Distributed h-index computation and mod-style maintenance.
+"""Sharded distributed h-index computation and mod-style maintenance.
 
-Faithful BSP renditions of the paper's algorithm family:
+Each cluster node owns a genuine **shard** -- a
+:class:`~repro.engine.shard.ShardSubstrate` holding only its owned
+vertices plus the ghost/halo ring of boundary neighbours -- and the
+protocol exchanges *delta-only* boundary messages.  No node holds a
+whole-graph replica, and no node keeps value replicas beyond its halo:
 
 * :class:`DistributedHIndex` -- the [23]-style distributed coreness
-  computation, extended to hypergraphs exactly like Algorithm 2: every
-  node owns a vertex partition, keeps *replicas* of remote values it has
-  heard about (initially degrees), recomputes its active owned vertices
-  each superstep, and broadcasts changed values to the owner nodes of the
-  affected neighbours.  Replicas are stale by at most one superstep --
+  computation, hypergraph-extended exactly like Algorithm 2.  Every node
+  recomputes its active owned vertices each superstep from shard-local
+  structure (an owned vertex's incident units are all present, so
+  recomputation never needs the wire) reading neighbour values from the
+  halo, then ships one :class:`~repro.engine.shard.HaloDelta` per
+  destination: the changed ``(vertex, tau)`` pairs for nodes holding
+  those vertices as ghosts.  Halos are stale by at most one superstep --
   precisely the asynchronous-read model Algorithm 1 permits, so
   convergence to kappa carries over.
 
 * :class:`DistributedModMaintainer` -- the ``mod`` batch pipeline on the
-  cluster.  Structure is replicated, so every node applies the batch; each
-  *pin change* is classified once, by the owner of its changed vertex;
-  the per-level I/D records are combined with one all-reduce; and because
-  the resolved increments are a deterministic function of the combined
-  records, every node applies them redundantly to owned values *and*
-  replicas with no further traffic -- the communication-free increment
-  phase is the distributed payoff of mod's order-free design.  Convergence
-  then runs as h-index supersteps.
+  cluster.  A batch is *routed*: each unit goes only to the shards that
+  host it (a graph edge to its two endpoint owners; a hyperedge change
+  to the nodes owning at least one pin).  Each pin change is classified
+  once, by the owner of its changed vertex, against shard-local values;
+  the per-level I/D records are combined with one all-reduce; and
+  because the resolved increments are a deterministic function of the
+  combined records, every node applies them to owned values *and* halo
+  values with no further traffic -- the communication-free increment
+  phase is the distributed payoff of mod's order-free design.
+  Convergence then runs as delta-exchanging h-index supersteps.
 
-Both classes expose the cluster's :class:`ClusterMetrics`, which the §VI
-exploration benchmark sweeps over node counts.
+The paper's locality argument lands here: steady-state boundary traffic
+is proportional to the *edge cut* of the partition (cut units whose
+values actually changed), never to ``|V|``.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, List, Optional, Set
+from typing import Callable, Dict, Hashable, List, Optional, Set
 
 from repro.core.mod import resolve_paper, resolve_safe
 from repro.core.pin_cases import classify_delete, classify_insert
 from repro.distributed.cluster import ClusterSpec, SimulatedCluster
-from repro.distributed.partition import hash_partition
+from repro.distributed.partition import PARTITIONERS, owner_of
+from repro.engine.shard import HaloDelta, ShardSubstrate, build_shards, initial_halo_exports
+from repro.graph.substrate import Change
 from repro.structures.hindex import h_index_counting
 from repro.structures.level_accumulator import LevelAccumulator
 
@@ -41,247 +52,281 @@ __all__ = ["DistributedHIndex", "DistributedModMaintainer"]
 
 Vertex = Hashable
 
+#: wire size of one routed batch row: two int64 columns + direction flag
+ROW_BYTES = 17
+
 
 class DistributedHIndex:
-    """Distributed static/continued h-index convergence over a substrate.
+    """Distributed static/continued h-index convergence over shards.
 
     Parameters
     ----------
     sub:
-        Graph or hypergraph (structure treated as replicated).
+        Graph or hypergraph -- read once at construction to cut the
+        shards, **not retained**: the shards are the only structural
+        state this object keeps.
     spec:
         Cluster cost parameters.
     partition:
-        Vertex -> node map; defaults to hash partitioning.
+        Vertex -> node map; defaults to ``PARTITIONERS[partitioner]``.
+    partitioner:
+        Named partitioning strategy (``hash`` / ``degree_balanced`` /
+        ``edge_cut``) used when no explicit partition is given.
+    backend:
+        Per-shard substrate engine: ``"dict"`` (DynamicGraph /
+        DynamicHypergraph) or ``"array"`` (ArrayGraph / ArrayHypergraph).
     """
 
     def __init__(self, sub, spec: ClusterSpec,
-                 partition: Optional[Dict[Vertex, int]] = None) -> None:
-        self.sub = sub
+                 partition: Optional[Dict[Vertex, int]] = None, *,
+                 partitioner: str = "hash", backend: str = "dict") -> None:
         self.cluster = SimulatedCluster(spec)
-        self.partition = partition if partition is not None else hash_partition(sub, spec.nodes)
-        n = spec.nodes
-        # node-local views: owned values and replicas of remote values
-        self.local: List[Dict[Vertex, int]] = [{} for _ in range(n)]
-        self.known: List[Dict[Vertex, int]] = [{} for _ in range(n)]
-        self.active: List[Set[Vertex]] = [set() for _ in range(n)]
-        for v in sub.vertices():
-            owner = self.partition[v]
-            self.local[owner][v] = sub.degree(v)
-        # structure is replicated: degrees are known everywhere at start
-        for node in range(n):
-            for v in sub.vertices():
-                if self.partition[v] != node:
-                    self.known[node][v] = sub.degree(v)
+        self.nodes = spec.nodes
+        if partition is None:
+            partition = PARTITIONERS[partitioner](sub, spec.nodes)
+        self.partition = partition
+        self.shards: List[ShardSubstrate] = build_shards(
+            sub, self.owner, spec.nodes, backend=backend)
+        self.active: List[Set[Vertex]] = [set() for _ in range(spec.nodes)]
+        self._initial_halo_exchange()
 
-    # -- value views -------------------------------------------------------------
+    # -- ownership ------------------------------------------------------------
     def owner(self, v: Vertex) -> int:
-        node = self.partition.get(v)
-        if node is None:
-            node = self.partition.setdefault(
-                v, hash_partition_single(v, self.cluster.nodes))
-        return node
+        return owner_of(self.partition, v, self.nodes)
 
+    # -- value views -----------------------------------------------------------
     def value_at(self, node: int, v: Vertex) -> int:
-        own = self.local[node].get(v)
-        if own is not None:
-            return own
-        return self.known[node].get(v, self.sub.degree(v))
+        """Node-local view of tau(v) (authoritative or halo)."""
+        return self.shards[node].value_of(v)
 
     def tau(self) -> Dict[Vertex, int]:
-        """The authoritative (owner-side) values."""
+        """The authoritative (owner-side) values, gathered for the caller."""
         out: Dict[Vertex, int] = {}
-        for node_vals in self.local:
-            out.update(node_vals)
+        for shard in self.shards:
+            out.update(shard.tau)
         return out
+
+    def tau_of(self, v: Vertex) -> int:
+        """Point read at the owner (no global gather)."""
+        return self.shards[self.owner(v)].tau.get(v, 0)
 
     # -- activation --------------------------------------------------------------
     def activate(self, v: Vertex) -> None:
-        if self.sub.has_vertex(v):
-            self.active[self.owner(v)].add(v)
+        node = self.owner(v)
+        if self.shards[node].local.has_vertex(v):
+            self.active[node].add(v)
 
     def activate_all(self) -> None:
-        for v in self.sub.vertices():
-            self.activate(v)
+        for node, shard in enumerate(self.shards):
+            self.active[node].update(shard.tau)
+
+    # -- the initial boundary exchange -------------------------------------------
+    def _initial_halo_exchange(self) -> None:
+        """Seed ghost halos with one boundary-sized message per (src, dst)
+        pair: each owner ships its boundary vertices' values to the nodes
+        holding them as ghosts.  Replaces whole-value-map replication --
+        total volume is the ghost-copy count, not ``nodes * |V|``.  The
+        deltas land in next-superstep inboxes and are absorbed by the
+        first :meth:`run` superstep."""
+        cluster = self.cluster
+        cluster.begin_superstep()
+        for node, shard in enumerate(self.shards):
+            exports = initial_halo_exports(shard)
+            for dst, delta in exports.items():
+                cluster.send(node, dst, delta,
+                             items=len(delta), nbytes=delta.nbytes)
+            cluster.charge(node, len(shard.tau))
+        cluster.end_superstep()
 
     # -- the superstep loop ----------------------------------------------------------
-    def _recompute(self, node: int, v: Vertex) -> int:
-        sub = self.sub
+    def _recompute(self, node: int, shard: ShardSubstrate, v: Vertex) -> int:
+        local = shard.local
+        value_of = shard.value_of
         L: List[float] = []
         work = 0
-        for e in sub.incident(v):
+        for e in local.incident(v):
             m: float = math.inf
-            for w in sub.pins(e):
+            for w in local.pins(e):
                 if w != v:
                     work += 1
-                    t = self.value_at(node, w)
+                    t = value_of(w)
                     if t < m:
                         m = t
             L.append(m)
         self.cluster.charge(node, work + len(L))
         return h_index_counting(L)
 
-    def run(self, max_supersteps: Optional[int] = None) -> Dict[Vertex, int]:
-        """Supersteps until quiescence; returns the converged values."""
+    def run(self, max_supersteps: Optional[int] = None,
+            on_superstep: Optional[Callable[["DistributedHIndex"], None]] = None,
+            ) -> Dict[Vertex, int]:
+        """Supersteps until quiescence; returns the converged values.
+
+        ``on_superstep`` (if given) is called after every completed
+        superstep -- the halo-staleness audits hook in here.
+        """
         cluster = self.cluster
-        sub = self.sub
         steps = 0
         while any(self.active) or cluster.any_pending():
             steps += 1
             if max_supersteps is not None and steps > max_supersteps:
                 break
             cluster.begin_superstep()
+            stamp = cluster.metrics.supersteps
             for node in range(cluster.nodes):
-                # 1. absorb incoming value updates, activating neighbours
-                for payload in cluster.inbox(node):
-                    v, new = payload
-                    self.known[node][v] = new
-                    cluster.charge(node, 1)
-                    for w in sub.neighbors(v):
-                        if self.partition.get(w) == node:
-                            self.active[node].add(w)
-                # 2. recompute active owned vertices
-                worklist = [v for v in self.active[node] if sub.has_vertex(v)]
-                self.active[node] = set()
+                shard = self.shards[node]
+                active = self.active[node]
+                # 1. absorb boundary deltas, activating owned neighbours
+                for delta in cluster.inbox(node):
+                    cluster.charge(node, len(delta))
+                    for v in shard.import_delta(delta, stamp=stamp):
+                        for w in shard.local.neighbors(v):
+                            if shard.is_owned(w):
+                                active.add(w)
+                # 2. recompute active owned vertices from the shard
+                worklist = [v for v in active if shard.local.has_vertex(v)]
+                active = self.active[node] = set()
+                outgoing: Dict[int, List] = {}
                 for v in worklist:
-                    new = self._recompute(node, v)
-                    if new != self.local[node].get(v):
-                        self.local[node][v] = new
-                        # self-reactivation plus notify remote owners once
-                        self.active[node].add(v)
+                    new = self._recompute(node, shard, v)
+                    if new != shard.tau.get(v):
+                        shard.tau[v] = new
+                        # self-reactivation plus owned-neighbour activation;
+                        # foreign neighbours' owners get the delta
+                        active.add(v)
                         dests = set()
-                        for w in sub.neighbors(v):
-                            dest = self.owner(w)
-                            if dest == node:
-                                self.active[node].add(w)
+                        for w in shard.local.neighbors(v):
+                            dst = self.owner(w)
+                            if dst == node:
+                                active.add(w)
                             else:
-                                dests.add(dest)
-                        for dest in dests:
-                            cluster.send(node, dest, (v, new))
+                                dests.add(dst)
+                        for dst in dests:
+                            outgoing.setdefault(dst, []).append((v, new))
+                # 3. delta-only boundary messages: one per destination
+                for dst in sorted(outgoing):
+                    delta = HaloDelta.pack(outgoing[dst])
+                    cluster.send(node, dst, delta,
+                                 items=len(delta), nbytes=delta.nbytes)
             cluster.end_superstep()
+            if on_superstep is not None:
+                on_superstep(self)
         return self.tau()
 
-
-def hash_partition_single(v: Vertex, nodes: int) -> int:
-    from repro.distributed.partition import _stable_hash
-
-    return _stable_hash(v) % nodes
+    # -- accounting ----------------------------------------------------------
+    def shard_footprints(self) -> List[Dict[str, int]]:
+        return [shard.footprint() for shard in self.shards]
 
 
 class DistributedModMaintainer:
-    """Batch k-core maintenance on the simulated cluster (mod pipeline)."""
+    """Batch k-core maintenance over sharded substrates (mod pipeline).
+
+    The construction substrate is read once to cut shards (and, for
+    hypergraphs, to seed the router's edge->hosts directory) and then
+    dropped; batches are routed to the shards hosting each unit.
+    """
 
     def __init__(self, sub, spec: ClusterSpec,
-                 partition: Optional[Dict[Vertex, int]] = None,
+                 partition: Optional[Dict[Vertex, int]] = None, *,
+                 partitioner: str = "hash", backend: str = "dict",
                  increment_policy: str = "paper") -> None:
-        self.engine = DistributedHIndex(sub, spec, partition)
+        self.engine = DistributedHIndex(
+            sub, spec, partition, partitioner=partitioner, backend=backend)
+        self.is_hyper = bool(getattr(sub, "is_hypergraph", False))
+        #: router-side directory (hypergraphs only): hyperedge -> host
+        #: nodes.  Pure routing metadata -- node ids, no structure.
+        self._edge_hosts: Dict[object, Set[int]] = {}
+        if self.is_hyper:
+            owner = self.engine.owner
+            for e, pins in sub.hyperedges():
+                self._edge_hosts[e] = {owner(p) for p in pins}
+        self.increment_policy = increment_policy
+        self.batches_processed = 0
+        #: metric deltas of the most recent apply_batch (traffic contracts)
+        self.last_batch_stats: Dict[str, float] = {}
         # initial convergence from degrees (the static computation)
         self.engine.activate_all()
         self.engine.run()
-        self.increment_policy = increment_policy
-        self.batches_processed = 0
-
-    @property
-    def sub(self):
-        return self.engine.sub
 
     @property
     def cluster(self) -> SimulatedCluster:
         return self.engine.cluster
 
+    @property
+    def shards(self) -> List[ShardSubstrate]:
+        return self.engine.shards
+
     def kappa(self) -> Dict[Vertex, int]:
         return self.engine.tau()
 
     def kappa_of(self, v: Vertex) -> int:
-        return self.engine.tau().get(v, 0)
+        return self.engine.tau_of(v)
 
-    def _value_of(self, v: Vertex) -> int:
-        owner = self.engine.owner(v)
-        return self.engine.local[owner].get(v, 0)
+    def shard_footprints(self) -> List[Dict[str, int]]:
+        return self.engine.shard_footprints()
 
+    # -- batch routing -----------------------------------------------------------
+    def _route_columnar(self, batch) -> Optional[List[int]]:
+        """Owner-keyed split of a :class:`ColumnarBatch` into per-shard
+        sub-batches; returns per-node routed row counts (ingress sizes).
+        Falls through to per-change counting for non-columnar batches."""
+        from repro.graph.columnar import ColumnarBatch
+
+        if not isinstance(batch, ColumnarBatch):
+            return None
+        owner = self.engine.owner
+        hosts = None
+        if self.is_hyper:
+            edge_hosts = self._edge_hosts
+
+            def hosts(e):  # noqa: F811 - deliberate rebind
+                return edge_hosts.get(e, ())
+
+        parts = batch.split_by_owner(owner, self.engine.nodes, edge_hosts=hosts)
+        counts = [0] * self.engine.nodes
+        for node, part in parts.items():
+            counts[node] = len(part)
+        return counts
+
+    # -- the batch pipeline ------------------------------------------------------
     def apply_batch(self, batch) -> None:
         engine = self.engine
-        sub = engine.sub
         cluster = engine.cluster
+        shards = engine.shards
+        owner = engine.owner
+        before = cluster.metrics.snapshot()
 
-        # classify with pre-batch values, per the mod pipeline; owner of
-        # the changed vertex records (each change classified exactly once)
-        tau_view = engine.tau()
         per_node_records = [0] * cluster.nodes
         I = LevelAccumulator()
         D = LevelAccumulator()
         touched: Set[Vertex] = set()
+        ingress_rows = self._route_columnar(batch)
+        count_rows = ingress_rows is None
+        if count_rows:
+            ingress_rows = [0] * cluster.nodes
 
-        new_edges = set()
-        if getattr(sub, "is_hypergraph", False):
+        # hyperedges created by this batch (batch-start membership, per
+        # the mod pipeline's edge_is_new contract)
+        new_edges: Set[object] = set()
+        if self.is_hyper:
             for change in batch:
-                if change.insert and not sub.has_edge(change.edge):
+                if change.insert and change.edge not in self._edge_hosts:
                     new_edges.add(change.edge)
 
         cluster.begin_superstep()
+        stamp = cluster.metrics.supersteps
         for change in batch:
-            # structure replicated: every node applies every change
-            for node in range(cluster.nodes):
-                cluster.charge(node, 1)
-            if change.insert:
-                applied = sub.apply(change)
-                if not applied:
-                    continue
-                pins_ctx = tuple(sub.pins(change.edge))
-                pin_changes = [change]
-                if not getattr(sub, "is_hypergraph", False):
-                    from repro.graph.substrate import Change as _Change
-
-                    u, w = change.edge
-                    pin_changes = [_Change(change.edge, u, True),
-                                   _Change(change.edge, w, True)]
-                for pc in pin_changes:
-                    res = classify_insert(
-                        tau_view, pc, pins_ctx,
-                        edge_is_new=(not getattr(sub, "is_hypergraph", False))
-                        or pc.edge in new_edges,
-                    )
-                    owner = engine.owner(pc.vertex)
-                    cluster.charge(owner, len(pins_ctx))
-                    per_node_records[owner] += len(res.inserts) + len(res.deletes)
-                    for lvl, cnt in res.inserts:
-                        I.add(lvl, cnt)
-                    for lvl, cnt in res.deletes:
-                        D.add(lvl, cnt)
-                touched.update(pins_ctx)
-                for p in pins_ctx:
-                    node = engine.owner(p)
-                    if p not in engine.local[node]:
-                        engine.local[node][p] = 0
-                        tau_view[p] = 0
+            if self.is_hyper:
+                self._apply_hyper_change(change, new_edges, stamp, touched,
+                                         per_node_records, I, D,
+                                         ingress_rows if count_rows else None)
             else:
-                if not sub.has_pin(change.edge, change.vertex):
-                    continue
-                pins_ctx = tuple(sub.pins(change.edge))
-                sub.apply(change)
-                pin_changes = [change]
-                if not getattr(sub, "is_hypergraph", False):
-                    from repro.graph.substrate import Change as _Change
-
-                    u, w = change.edge
-                    pin_changes = [_Change(change.edge, u, False),
-                                   _Change(change.edge, w, False)]
-                for pc in pin_changes:
-                    res = classify_delete(tau_view, pc, pins_ctx)
-                    owner = engine.owner(pc.vertex)
-                    cluster.charge(owner, len(pins_ctx))
-                    per_node_records[owner] += len(res.inserts) + len(res.deletes)
-                    for lvl, cnt in res.inserts:
-                        I.add(lvl, cnt)
-                    for lvl, cnt in res.deletes:
-                        D.add(lvl, cnt)
-                touched.update(pins_ctx)
-                for p in pins_ctx:
-                    if not sub.has_vertex(p):
-                        engine.local[engine.owner(p)].pop(p, None)
-                        for node in range(cluster.nodes):
-                            engine.known[node].pop(p, None)
-                        touched.discard(p)
+                self._apply_graph_change(change, stamp, touched,
+                                         per_node_records, I, D,
+                                         ingress_rows if count_rows else None)
+        # the router's sub-batch messages, one per non-empty destination
+        for node, rows in enumerate(ingress_rows):
+            if rows:
+                cluster.ingress(node, items=rows, nbytes=rows * ROW_BYTES)
         cluster.end_superstep()
 
         # one all-reduce combines every node's records; the resolution is
@@ -290,26 +335,187 @@ class DistributedModMaintainer:
         resolve = resolve_paper if self.increment_policy == "paper" else resolve_safe
         resolution = resolve(I, D)
 
-        # communication-free increment phase: owned values and replicas
-        # move by the same deterministic rule on every node
+        # communication-free increment phase: owned values and the halo
+        # ring move by the same deterministic rule on every node
         cluster.begin_superstep()
         for node in range(cluster.nodes):
-            for v, val in list(engine.local[node].items()):
+            shard = shards[node]
+            for v, val in list(shard.tau.items()):
                 inc = resolution.increment(val)
                 cluster.charge(node, 1)
                 if inc > 0:
-                    engine.local[node][v] = val + inc
+                    shard.tau[v] = val + inc
                     engine.active[node].add(v)
                 elif resolution.should_activate(val):
                     engine.active[node].add(v)
-            for v, val in list(engine.known[node].items()):
+            for v, val in list(shard.halo.items()):
                 inc = resolution.increment(val)
                 cluster.charge(node, 1)
                 if inc > 0:
-                    engine.known[node][v] = val + inc
+                    shard.halo[v] = val + inc
         cluster.end_superstep()
 
         for v in touched:
             engine.activate(v)
         engine.run()
         self.batches_processed += 1
+        after = cluster.metrics.snapshot()
+        self.last_batch_stats = {k: after[k] - before[k] for k in after}
+
+    # -- graph units -------------------------------------------------------------
+    def _apply_graph_change(self, change: Change, stamp: int,
+                            touched: Set[Vertex], per_node_records: List[int],
+                            I: LevelAccumulator, D: LevelAccumulator,
+                            ingress_rows: Optional[List[int]]) -> None:
+        engine = self.engine
+        cluster = engine.cluster
+        shards = engine.shards
+        u, w = change.edge
+        nu, nw = engine.owner(u), engine.owner(w)
+        dests = {nu, nw}
+        pins_ctx = (u, w)
+        endpoint_owners = ((u, nu), (w, nw))
+
+        if change.insert:
+            if shards[nu].local.has_edge(change.edge):
+                return  # already present, or the twin pin record
+            if ingress_rows is not None:
+                for n in dests:
+                    ingress_rows[n] += 1
+            for n in dests:
+                shards[n].local.add_edge(u, w)
+            # register values; a ghost new to a shard gets its tau shipped
+            # by the owner (one item over the wire per crossing endpoint)
+            for p, pn in endpoint_owners:
+                shards[pn].register(p)
+                for n in dests - {pn}:
+                    sh = shards[n]
+                    if not sh.is_owned(p) and p not in sh.halo:
+                        sh.set_halo(p, shards[pn].tau.get(p, 0), stamp=stamp)
+                        cluster.charge_message(pn, n, items=1)
+            # each pin record classified once, by its owner, shard-locally
+            for p, pn in endpoint_owners:
+                res = classify_insert(
+                    shards[pn].values(), Change(change.edge, p, True),
+                    pins_ctx, edge_is_new=True)
+                cluster.charge(pn, len(pins_ctx))
+                per_node_records[pn] += len(res.inserts) + len(res.deletes)
+                for lvl, cnt in res.inserts:
+                    I.add(lvl, cnt)
+                for lvl, cnt in res.deletes:
+                    D.add(lvl, cnt)
+            touched.update(pins_ctx)
+        else:
+            if not shards[nu].local.has_edge(change.edge):
+                return  # absent, or the twin pin record
+            if ingress_rows is not None:
+                for n in dests:
+                    ingress_rows[n] += 1
+            for n in dests:
+                shards[n].local.remove_edge(u, w)
+            for p, pn in endpoint_owners:
+                res = classify_delete(
+                    shards[pn].values(), Change(change.edge, p, False), pins_ctx)
+                cluster.charge(pn, len(pins_ctx))
+                per_node_records[pn] += len(res.inserts) + len(res.deletes)
+                for lvl, cnt in res.inserts:
+                    I.add(lvl, cnt)
+                for lvl, cnt in res.deletes:
+                    D.add(lvl, cnt)
+            touched.update(pins_ctx)
+            for n in dests:
+                shards[n].gc(pins_ctx)
+            for p, pn in endpoint_owners:
+                if not shards[pn].local.has_vertex(p):
+                    touched.discard(p)  # globally dead
+
+    # -- hypergraph units ----------------------------------------------------------
+    def _apply_hyper_change(self, change: Change, new_edges: Set[object],
+                            stamp: int, touched: Set[Vertex],
+                            per_node_records: List[int],
+                            I: LevelAccumulator, D: LevelAccumulator,
+                            ingress_rows: Optional[List[int]]) -> None:
+        engine = self.engine
+        cluster = engine.cluster
+        shards = engine.shards
+        owner = engine.owner
+        e, v = change.edge, change.vertex
+        nv = owner(v)
+        hosts = self._edge_hosts.get(e)
+
+        if change.insert:
+            if hosts and shards[min(hosts)].local.has_pin(e, v):
+                return  # duplicate pin insert
+            if hosts is None:
+                hosts = self._edge_hosts[e] = set()
+            if hosts and nv not in hosts:
+                # owner(v) becomes a host: one existing host ships the
+                # full pin set with its (exact, quiescent) value view
+                src = min(hosts)
+                src_shard = shards[src]
+                dst_shard = shards[nv]
+                prior = tuple(src_shard.local.pins(e))
+                for p in prior:
+                    dst_shard.local.add_pin(e, p)
+                    if not dst_shard.is_owned(p) and p not in dst_shard.halo:
+                        dst_shard.set_halo(p, src_shard.value_of(p), stamp=stamp)
+                cluster.charge_message(src, nv, items=2 * len(prior))
+            hosts.add(nv)
+            if ingress_rows is not None:
+                for n in hosts:
+                    ingress_rows[n] += 1
+            for n in hosts:
+                shards[n].local.add_pin(e, v)
+            shards[nv].register(v)
+            v_val = shards[nv].tau.get(v, 0)
+            for n in hosts:
+                if n == nv:
+                    continue
+                sh = shards[n]
+                if v not in sh.halo:
+                    sh.set_halo(v, v_val, stamp=stamp)
+                    cluster.charge_message(nv, n, items=1)
+            pins_ctx = tuple(shards[nv].local.pins(e))
+            res = classify_insert(shards[nv].values(), change, pins_ctx,
+                                  edge_is_new=e in new_edges)
+            cluster.charge(nv, len(pins_ctx))
+            per_node_records[nv] += len(res.inserts) + len(res.deletes)
+            for lvl, cnt in res.inserts:
+                I.add(lvl, cnt)
+            for lvl, cnt in res.deletes:
+                D.add(lvl, cnt)
+            touched.update(pins_ctx)
+        else:
+            if not hosts or not shards[nv].local.has_pin(e, v):
+                return
+            if ingress_rows is not None:
+                for n in hosts:
+                    ingress_rows[n] += 1
+            pins_ctx = tuple(shards[nv].local.pins(e))
+            res = classify_delete(shards[nv].values(), change, pins_ctx)
+            cluster.charge(nv, len(pins_ctx))
+            per_node_records[nv] += len(res.inserts) + len(res.deletes)
+            for lvl, cnt in res.inserts:
+                I.add(lvl, cnt)
+            for lvl, cnt in res.deletes:
+                D.add(lvl, cnt)
+            involved = set(hosts)
+            for n in hosts:
+                shards[n].local.remove_pin(e, v)
+            touched.update(pins_ctx)
+            remaining = tuple(p for p in pins_ctx if p != v)
+            if not remaining:
+                del self._edge_hosts[e]
+            elif nv not in {owner(p) for p in remaining}:
+                # owner(v) lost its last owned pin of e: the whole edge
+                # (and any ghosts it alone supported) leaves that shard
+                sh = shards[nv]
+                if sh.local.has_edge(e):
+                    for p in tuple(sh.local.pins(e)):
+                        sh.local.remove_pin(e, p)
+                hosts.discard(nv)
+            for n in involved:
+                shards[n].gc(pins_ctx)
+            for p in pins_ctx:
+                if not shards[owner(p)].local.has_vertex(p):
+                    touched.discard(p)  # globally dead

@@ -162,6 +162,39 @@ class ColumnarBatch:
 
         return Batch(list(self))
 
+    # -- routing ---------------------------------------------------------------
+    def split_by_owner(self, owner, nodes: int, *,
+                       edge_hosts=None) -> "dict[int, ColumnarBatch]":
+        """Owner-keyed split into per-shard sub-batches (the router's cut).
+
+        Each row lands in the sub-batch of every node that must apply it:
+        for a graph edge the two endpoint owners; for a hypergraph pin the
+        owner of the pin vertex plus every current host of the hyperedge
+        (``edge_hosts(e)`` -> iterable of node ids, from the router's
+        directory).  Rows keep their batch order within each sub-batch.
+        Only non-empty sub-batches are returned.
+        """
+        a = self.col_a.tolist()
+        b = self.col_b.tolist()
+        rows: dict = {n: [] for n in range(nodes)}
+        if self.is_hyper:
+            for i, (e, v) in enumerate(zip(a, b)):
+                dests = {owner(v)}
+                if edge_hosts is not None:
+                    dests.update(edge_hosts(e))
+                for n in dests:
+                    rows[n].append(i)
+        else:
+            for i, (u, v) in enumerate(zip(a, b)):
+                for n in {owner(u), owner(v)}:
+                    rows[n].append(i)
+        out = {}
+        for n, idx in rows.items():
+            if idx:
+                out[n] = ColumnarBatch(self.col_a[idx], self.col_b[idx],
+                                       self.insert[idx], is_hyper=self.is_hyper)
+        return out
+
     # -- views ----------------------------------------------------------------
     def deletions_columns(self) -> Tuple[np.ndarray, np.ndarray]:
         mask = ~self.insert

@@ -37,13 +37,16 @@ class TestDistributedDepth:
     def test_value_at_prefers_owned(self):
         g = erdos_renyi(30, 60, seed=2)
         d = DistributedHIndex(g, ClusterSpec(nodes=2))
-        v = next(iter(g.vertices()))
+        # a boundary vertex: owned on one shard, ghosted on the other
+        ghost_node, v = next(
+            (n, gv) for n, shard in enumerate(d.shards) for gv in shard.halo
+        )
         owner = d.owner(v)
-        other = 1 - owner
-        d.local[owner][v] = 7
+        assert owner != ghost_node
+        d.shards[owner].tau[v] = 7
         assert d.value_at(owner, v) == 7
-        d.known[other][v] = 5
-        assert d.value_at(other, v) == 5
+        d.shards[ghost_node].set_halo(v, 5, stamp=0)
+        assert d.value_at(ghost_node, v) == 5
 
     def test_allreduce_accounting(self):
         from repro.distributed.cluster import SimulatedCluster

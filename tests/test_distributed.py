@@ -1,25 +1,48 @@
-"""Tests for the distributed (§VI) exploration: cluster simulation,
-partitioners, distributed static computation and maintenance."""
+"""Tests for the sharded distributed (§VI) layer: cluster simulation,
+partitioners, shard substrates, distributed static computation and
+maintenance.
+
+The maintainer no longer holds (or mutates) the caller's substrate -- it
+cuts shards from it at construction and drops it.  Oracle checks
+therefore mirror-apply each batch to a caller-side copy before peeling.
+"""
 
 from __future__ import annotations
+
+import inspect
 
 import pytest
 
 from repro.core.peel import peel
 from repro.core.verify import diff_kappa
-from repro.distributed.cluster import ClusterMetrics, ClusterSpec, SimulatedCluster
+from repro.distributed.cluster import (
+    ITEM_BYTES,
+    ClusterMetrics,
+    ClusterSpec,
+    SimulatedCluster,
+)
 from repro.distributed.core import DistributedHIndex, DistributedModMaintainer
 from repro.distributed.partition import (
+    PARTITIONERS,
     degree_balanced_partition,
+    edge_cut_partition,
     hash_partition,
     partition_counts,
+    partition_stats,
 )
+from repro.engine.shard import build_shards, initial_halo_exports
 from repro.graph.batch import BatchProtocol
 from repro.graph.generators import (
     affiliation_hypergraph,
     erdos_renyi,
     powerlaw_social,
 )
+
+
+def mirror_apply(sub, batch) -> None:
+    """Apply a batch to the caller-side oracle substrate."""
+    for change in batch:
+        sub.apply(change)
 
 
 class TestPartitioners:
@@ -43,20 +66,77 @@ class TestPartitioners:
                 balanced = max(loads) / (sum(loads) / nodes)
                 assert balanced < 1.05  # LPT is near-perfect here
 
+    def test_edge_cut_partition_cuts_less_than_hash(self):
+        g = powerlaw_social(300, 8, seed=2)
+        nodes = 4
+        cuts = {}
+        for name in ("hash", "edge_cut"):
+            p = PARTITIONERS[name](g, nodes)
+            cuts[name] = partition_stats(g, p, nodes).edge_cut_fraction
+        assert cuts["edge_cut"] < cuts["hash"]
+
+    def test_edge_cut_partition_respects_capacity(self):
+        g = powerlaw_social(200, 6, seed=3)
+        nodes = 4
+        p = edge_cut_partition(g, nodes, balance=1.1)
+        counts = partition_counts(p, nodes)
+        cap = -(-int(1.1 * g.num_vertices()) // nodes)
+        assert max(counts) <= cap
+
     def test_single_node_allowed(self, fig1_graph):
         p = hash_partition(fig1_graph, 1)
         assert set(p.values()) == {0}
 
     def test_zero_nodes_rejected(self, fig1_graph):
-        with pytest.raises(ValueError):
-            hash_partition(fig1_graph, 0)
-        with pytest.raises(ValueError):
-            degree_balanced_partition(fig1_graph, 0)
+        for strategy in PARTITIONERS.values():
+            with pytest.raises(ValueError):
+                strategy(fig1_graph, 0)
 
     def test_partition_counts(self, fig1_graph):
         p = hash_partition(fig1_graph, 2)
         counts = partition_counts(p, 2)
         assert sum(counts) == fig1_graph.num_vertices()
+
+
+class TestPartitionStats:
+    def test_single_node_has_no_cut(self, fig1_graph):
+        p = hash_partition(fig1_graph, 1)
+        s = partition_stats(fig1_graph, p, 1)
+        assert s.cut_units == 0
+        assert s.edge_cut_fraction == 0.0
+        assert s.replication_factor == 1.0
+        assert s.ghost_copies == 0
+
+    def test_two_shard_path_cut(self):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph.from_edges([(i, i + 1) for i in range(9)])
+        p = {v: 0 if v < 5 else 1 for v in range(10)}
+        s = partition_stats(g, p, 2)
+        assert s.n_units == 9
+        assert s.cut_units == 1        # only (4, 5) crosses
+        assert s.ghost_copies == 2     # 4 ghosted on node 1, 5 on node 0
+        assert s.replication_factor == pytest.approx(1.2)
+
+    def test_stats_predict_shard_memory(self):
+        g = powerlaw_social(150, 6, seed=4)
+        nodes = 4
+        p = edge_cut_partition(g, nodes)
+        s = partition_stats(g, p, nodes)
+        shards = build_shards(g, lambda v: p[v], nodes)
+        assert sum(sh.num_ghosts for sh in shards) == s.ghost_copies
+        assert sum(sh.num_owned for sh in shards) == g.num_vertices()
+
+    def test_hypergraph_stats(self):
+        h = affiliation_hypergraph(40, 60, 4.0, seed=5)
+        p = hash_partition(h, 3)
+        s = partition_stats(h, p, 3)
+        assert s.n_units == h.num_edges()
+        assert 0.0 <= s.edge_cut_fraction <= 1.0
+        assert s.replication_factor >= 1.0
+        assert s.load_imbalance >= 1.0
+        d = s.as_dict()
+        assert d["nodes"] == 3
 
 
 class TestCluster:
@@ -123,6 +203,135 @@ class TestCluster:
             ClusterSpec(nodes=0)
 
 
+class TestClusterByteAccounting:
+    def test_send_books_payload_bytes(self):
+        c = SimulatedCluster(ClusterSpec(nodes=2))
+        c.begin_superstep()
+        c.send(0, 1, "x", items=3, nbytes=100)
+        c.end_superstep()
+        assert c.metrics.message_bytes == 100
+        assert c.metrics.bytes_sent_per_node == [100, 0]
+
+    def test_send_default_bytes_from_items(self):
+        c = SimulatedCluster(ClusterSpec(nodes=2))
+        c.begin_superstep()
+        c.send(0, 1, "x", items=4)
+        c.end_superstep()
+        assert c.metrics.message_bytes == 4 * ITEM_BYTES
+
+    def test_bytes_priced_into_elapsed(self):
+        spec = ClusterSpec(nodes=2, work_unit_ns=0.0, msg_ns=0.0,
+                           network_latency_ns=0.0, byte_ns=2.0)
+        c = SimulatedCluster(spec)
+        c.begin_superstep()
+        c.send(0, 1, "x", nbytes=50)
+        c.end_superstep()
+        assert c.metrics.elapsed_ns == pytest.approx(100.0)
+
+    def test_charge_message_accounts_without_delivering(self):
+        c = SimulatedCluster(ClusterSpec(nodes=2))
+        c.begin_superstep()
+        c.charge_message(0, 1, items=2)
+        c.end_superstep()
+        assert c.metrics.messages == 1
+        assert c.metrics.message_bytes == 2 * ITEM_BYTES
+        c.begin_superstep()
+        assert c.inbox(1) == []  # nothing was enqueued
+        c.end_superstep()
+
+    def test_charge_message_self_is_local(self):
+        c = SimulatedCluster(ClusterSpec(nodes=2))
+        c.begin_superstep()
+        c.charge_message(1, 1)
+        c.end_superstep()
+        assert c.metrics.messages == 0
+        assert c.metrics.local_deliveries == 1
+
+    def test_ingress_bills_receiver_only(self):
+        c = SimulatedCluster(ClusterSpec(nodes=2))
+        c.begin_superstep()
+        c.ingress(1, items=10, nbytes=170)
+        c.end_superstep()
+        assert c.metrics.ingress_bytes == 170
+        assert c.metrics.message_bytes == 0
+        assert c.metrics.bytes_sent_per_node == [0, 0]
+
+    def test_snapshot_delta(self):
+        c = SimulatedCluster(ClusterSpec(nodes=2))
+        before = c.metrics.snapshot()
+        c.begin_superstep()
+        c.send(0, 1, "x", nbytes=64)
+        c.end_superstep()
+        after = c.metrics.snapshot()
+        assert after["message_bytes"] - before["message_bytes"] == 64
+        assert after["supersteps"] - before["supersteps"] == 1
+
+
+class TestShardSubstrate:
+    def test_owned_degree_equals_global_degree(self):
+        g = powerlaw_social(120, 5, seed=6)
+        p = hash_partition(g, 3)
+        shards = build_shards(g, lambda v: p[v], 3)
+        for shard in shards:
+            for v in shard.tau:
+                assert shard.local.degree(v) == g.degree(v)
+
+    def test_ghosts_are_exactly_boundary(self):
+        g = erdos_renyi(60, 150, seed=7)
+        p = hash_partition(g, 4)
+        shards = build_shards(g, lambda v: p[v], 4)
+        for shard in shards:
+            for v in shard.halo:
+                # every ghost co-occurs with an owned vertex in some edge
+                assert any(shard.is_owned(w) for w in shard.local.neighbors(v))
+
+    def test_no_full_replica_on_any_node(self):
+        """The anti-replication acceptance check: on a contiguously split
+        path graph every shard holds owned + O(1) boundary, never |V|."""
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        n = 100
+        g = DynamicGraph.from_edges([(i, i + 1) for i in range(n - 1)])
+        p = {v: 0 if v < n // 2 else 1 for v in range(n)}
+        m = DistributedModMaintainer(g, ClusterSpec(nodes=2), partition=p)
+        for fp in m.shard_footprints():
+            assert fp["vertices"] <= n // 2 + 1   # owned half + one ghost
+        # and the maintainer retains no construction substrate at all
+        assert all(not hasattr(obj, "sub")
+                   for obj in (m, m.engine))
+
+    def test_hyperedge_present_in_full_on_every_host(self):
+        h = affiliation_hypergraph(40, 60, 4.0, seed=8)
+        p = hash_partition(h, 3)
+        shards = build_shards(h, lambda v: p[v], 3)
+        for e, pins in h.hyperedges():
+            pins = tuple(pins)
+            hosts = {p[v] for v in pins}
+            for n in hosts:
+                assert sorted(shards[n].local.pins(e)) == sorted(pins)
+
+    def test_initial_halo_exchange_is_boundary_sized(self):
+        """Satellite 1: seeding volume == ghost-copy count, not nodes*|V|."""
+        g = powerlaw_social(150, 6, seed=9)
+        nodes = 4
+        p = hash_partition(g, nodes)
+        shards = build_shards(g, lambda v: p[v], nodes)
+        stats = partition_stats(g, p, nodes)
+        exported = sum(len(delta)
+                       for shard in shards
+                       for delta in initial_halo_exports(shard).values())
+        assert exported == stats.ghost_copies
+        assert exported < nodes * g.num_vertices()
+
+    def test_quadratic_seeding_path_is_gone(self):
+        """Satellite 1, source level: the old per-node full replica maps
+        (`known`, and per-node `local` value dicts) no longer exist."""
+        src = inspect.getsource(DistributedHIndex)
+        assert "known" not in src
+        m_src = inspect.getsource(DistributedModMaintainer)
+        assert "known" not in m_src
+
+
 class TestDistributedStatic:
     @pytest.mark.parametrize("nodes", [1, 2, 5])
     def test_matches_peel_on_graphs(self, nodes):
@@ -138,13 +347,19 @@ class TestDistributedStatic:
         d.activate_all()
         assert d.run() == peel(h)
 
-    def test_partition_choice_does_not_change_result(self):
+    @pytest.mark.parametrize("partitioner", sorted(PARTITIONERS))
+    def test_partition_choice_does_not_change_result(self, partitioner):
         g = erdos_renyi(80, 200, seed=5)
-        for strategy in (hash_partition, degree_balanced_partition):
-            d = DistributedHIndex(g, ClusterSpec(nodes=4),
-                                  partition=strategy(g, 4))
-            d.activate_all()
-            assert d.run() == peel(g)
+        d = DistributedHIndex(g, ClusterSpec(nodes=4), partitioner=partitioner)
+        d.activate_all()
+        assert d.run() == peel(g)
+
+    @pytest.mark.parametrize("backend", ["dict", "array"])
+    def test_backends_agree(self, backend):
+        g = erdos_renyi(70, 180, seed=19)
+        d = DistributedHIndex(g, ClusterSpec(nodes=3), backend=backend)
+        d.activate_all()
+        assert d.run() == peel(g)
 
     def test_message_volume_zero_on_single_node(self):
         g = erdos_renyi(60, 150, seed=6)
@@ -152,11 +367,12 @@ class TestDistributedStatic:
         d.activate_all()
         d.run()
         assert d.cluster.metrics.messages == 0
+        assert d.cluster.metrics.message_bytes == 0
 
-    def test_message_combining_reduces_wire_messages(self):
-        """The Pregel combiner ablation: one wire message per node pair
-        per superstep instead of one per value update -- identical
-        results, far fewer messages."""
+    def test_deltas_already_combined_per_destination(self):
+        """The protocol sends one HaloDelta per (src, dst) per superstep,
+        so the Pregel combiner has nothing left to merge: wire message
+        count (and the result) are identical with it on or off."""
         g = powerlaw_social(150, 7, seed=21)
         results = {}
         messages = {}
@@ -167,11 +383,9 @@ class TestDistributedStatic:
             results[combine] = d.run()
             messages[combine] = d.cluster.metrics.messages
         assert results[False] == results[True] == peel(g)
-        assert messages[True] < messages[False] / 2
+        assert messages[True] == messages[False]
 
     def test_combined_payloads_delivered(self):
-        from repro.distributed.cluster import SimulatedCluster
-
         c = SimulatedCluster(ClusterSpec(nodes=2, combine_messages=True))
         c.begin_superstep()
         c.send(0, 1, "a")
@@ -190,33 +404,71 @@ class TestDistributedStatic:
             d = DistributedHIndex(g, ClusterSpec(nodes=nodes))
             d.activate_all()
             d.run()
-            volumes.append(d.cluster.metrics.messages)
+            volumes.append(d.cluster.metrics.message_bytes)
         assert volumes[1] > volumes[0]
 
 
+GRAPH_MATRIX = [(p, n) for p in sorted(PARTITIONERS) for n in (2, 4, 8)]
+
+
 class TestDistributedMaintenance:
-    @pytest.mark.parametrize("nodes", [1, 2, 4])
-    def test_graph_stream_matches_oracle(self, nodes):
+    @pytest.mark.parametrize("partitioner,nodes", GRAPH_MATRIX)
+    def test_graph_stream_matches_oracle(self, partitioner, nodes):
         g = powerlaw_social(120, 6, seed=8)
-        m = DistributedModMaintainer(g, ClusterSpec(nodes=nodes))
+        m = DistributedModMaintainer(g, ClusterSpec(nodes=nodes),
+                                     partitioner=partitioner)
         proto = BatchProtocol(g, seed=9)
-        for _ in range(3):
+        for _ in range(2):
             deletion, insertion = proto.remove_reinsert(10)
             m.apply_batch(deletion)
+            mirror_apply(g, deletion)
             assert diff_kappa(m.kappa(), peel(g)) == []
             m.apply_batch(insertion)
+            mirror_apply(g, insertion)
             assert diff_kappa(m.kappa(), peel(g)) == []
 
-    def test_hypergraph_pin_stream_matches_oracle(self):
+    @pytest.mark.parametrize("partitioner,nodes", GRAPH_MATRIX)
+    def test_hypergraph_pin_stream_matches_oracle(self, partitioner, nodes):
         h = affiliation_hypergraph(50, 80, 4.0, seed=10)
-        m = DistributedModMaintainer(h, ClusterSpec(nodes=3))
+        m = DistributedModMaintainer(h, ClusterSpec(nodes=nodes),
+                                     partitioner=partitioner)
         proto = BatchProtocol(h, seed=11)
-        for _ in range(3):
+        for _ in range(2):
             deletion, insertion = proto.remove_reinsert(8)
             m.apply_batch(deletion)
+            mirror_apply(h, deletion)
             assert diff_kappa(m.kappa(), peel(h)) == []
             m.apply_batch(insertion)
+            mirror_apply(h, insertion)
             assert diff_kappa(m.kappa(), peel(h)) == []
+
+    @pytest.mark.parametrize("backend", ["dict", "array"])
+    def test_array_backend_matches_oracle(self, backend):
+        g = powerlaw_social(100, 5, seed=22)
+        m = DistributedModMaintainer(g, ClusterSpec(nodes=4),
+                                     partitioner="edge_cut", backend=backend)
+        proto = BatchProtocol(g, seed=23)
+        deletion, insertion = proto.remove_reinsert(12)
+        m.apply_batch(deletion)
+        mirror_apply(g, deletion)
+        assert diff_kappa(m.kappa(), peel(g)) == []
+        m.apply_batch(insertion)
+        mirror_apply(g, insertion)
+        assert diff_kappa(m.kappa(), peel(g)) == []
+
+    def test_columnar_batch_routed(self):
+        import numpy as np
+
+        from repro.graph.columnar import ColumnarBatch
+
+        g = erdos_renyi(80, 200, seed=24)
+        m = DistributedModMaintainer(g, ClusterSpec(nodes=3))
+        edges = sorted(g.edges())[:15]
+        cb = ColumnarBatch.from_graph_edges(np.array(edges), insert=False)
+        m.apply_batch(cb)
+        mirror_apply(g, cb)
+        assert diff_kappa(m.kappa(), peel(g)) == []
+        assert m.cluster.metrics.ingress_bytes > 0
 
     def test_safe_policy_variant(self):
         g = erdos_renyi(80, 200, seed=12)
@@ -225,8 +477,26 @@ class TestDistributedMaintenance:
         proto = BatchProtocol(g, seed=13)
         deletion, insertion = proto.remove_reinsert(12)
         m.apply_batch(deletion)
+        mirror_apply(g, deletion)
         m.apply_batch(insertion)
+        mirror_apply(g, insertion)
         assert diff_kappa(m.kappa(), peel(g)) == []
+
+    def test_new_vertices_get_stable_owners(self):
+        """Vertices first seen in a batch are assigned by the owner_of
+        rule and maintained correctly thereafter."""
+        import numpy as np
+
+        from repro.graph.columnar import ColumnarBatch
+
+        g = erdos_renyi(40, 100, seed=25)
+        m = DistributedModMaintainer(g, ClusterSpec(nodes=4))
+        new = [(1000, 1001), (1001, 1002), (1000, 1002), (0, 1000)]
+        cb = ColumnarBatch.from_graph_edges(np.array(new), insert=True)
+        m.apply_batch(cb)
+        mirror_apply(g, cb)
+        assert diff_kappa(m.kappa(), peel(g)) == []
+        assert m.kappa_of(1001) == peel(g)[1001]
 
     def test_metrics_exposed(self):
         g = erdos_renyi(60, 150, seed=14)
@@ -234,8 +504,136 @@ class TestDistributedMaintenance:
         proto = BatchProtocol(g, seed=15)
         deletion, insertion = proto.remove_reinsert(5)
         m.apply_batch(deletion)
+        mirror_apply(g, deletion)
         m.apply_batch(insertion)
         metrics = m.cluster.metrics
         assert metrics.supersteps > 0
         assert metrics.elapsed_seconds() > 0
         assert m.batches_processed == 2
+        assert set(m.last_batch_stats) == set(metrics.snapshot())
+
+
+class TestBoundaryTraffic:
+    def _path_maintainer(self, n: int):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        g = DynamicGraph.from_edges([(i, i + 1) for i in range(n - 1)])
+        partition = {v: 0 if v < n // 2 else 1 for v in range(n)}
+        return DistributedModMaintainer(g, ClusterSpec(nodes=2),
+                                        partition=partition)
+
+    def test_steady_state_path_traffic_is_constant_per_batch(self):
+        """Satellite 6 regression: an interior remove/reinsert on a
+        2-shard path graph generates boundary traffic independent of |V|
+        -- O(1) per batch, proportional to the cut (here: one edge)."""
+        from repro.graph.batch import Batch
+
+        per_size = {}
+        for n in (32, 256):
+            m = self._path_maintainer(n)
+            bytes_per_batch = []
+            for _ in range(3):
+                m.apply_batch(Batch.from_graph_edges([(2, 3)], insert=False))
+                bytes_per_batch.append(m.last_batch_stats["message_bytes"])
+                m.apply_batch(Batch.from_graph_edges([(2, 3)], insert=True))
+                bytes_per_batch.append(m.last_batch_stats["message_bytes"])
+            per_size[n] = bytes_per_batch
+        # identical traffic at 8x the graph size: O(1), not O(|V|)
+        assert per_size[32] == per_size[256]
+
+    def test_boundary_traffic_scales_with_cut_not_vertices(self):
+        """Doubling |V| at a fixed cut leaves convergence traffic flat;
+        the volume tracks the partition's cut, not the graph size."""
+        def run(n):
+            d_m = self._path_maintainer(n)
+            return d_m.cluster.metrics.message_bytes
+
+        small, large = run(64), run(512)
+        assert large <= small * 2  # far below the 8x vertex growth
+
+
+class TestHyperedgeMigration:
+    def test_pin_insert_onto_new_owner_ships_edge_once(self):
+        """When a pin insert makes a new node host a hyperedge, exactly
+        one structure shipment crosses the wire and κ stays exact."""
+        from repro.graph.batch import Batch
+        from repro.graph.dynamic_hypergraph import DynamicHypergraph
+        from repro.graph.substrate import Change
+
+        h = DynamicHypergraph()
+        for v in (0, 1, 2):
+            h.add_pin(0, v)
+        partition = {0: 0, 1: 0, 2: 0, 3: 1}
+        m = DistributedModMaintainer(h, ClusterSpec(nodes=2),
+                                     partition=partition)
+        assert m._edge_hosts[0] == {0}
+        batch = Batch([Change(0, 3, True)])
+        m.apply_batch(batch)
+        mirror_apply(h, batch)
+        assert m._edge_hosts[0] == {0, 1}
+        assert sorted(m.shards[1].local.pins(0)) == [0, 1, 2, 3]
+        assert diff_kappa(m.kappa(), peel(h)) == []
+
+    def test_pin_delete_evicts_edge_from_former_host(self):
+        from repro.graph.batch import Batch
+        from repro.graph.dynamic_hypergraph import DynamicHypergraph
+        from repro.graph.substrate import Change
+
+        h = DynamicHypergraph()
+        for v in (0, 1, 3):
+            h.add_pin(0, v)
+        h.add_pin(1, 3)
+        h.add_pin(1, 4)
+        partition = {0: 0, 1: 0, 3: 1, 4: 1}
+        m = DistributedModMaintainer(h, ClusterSpec(nodes=2),
+                                     partition=partition)
+        assert m._edge_hosts[0] == {0, 1}
+        batch = Batch([Change(0, 3, False)])
+        m.apply_batch(batch)
+        mirror_apply(h, batch)
+        # node 1 owns no remaining pin of edge 0: the edge left its shard
+        assert m._edge_hosts[0] == {0}
+        assert not m.shards[1].local.has_edge(0)
+        assert diff_kappa(m.kappa(), peel(h)) == []
+
+
+class TestColumnarRouting:
+    def test_graph_split_covers_every_row(self):
+        import numpy as np
+
+        from repro.graph.columnar import ColumnarBatch
+
+        edges = np.array([(0, 2), (1, 3), (0, 3), (2, 4)])
+        cb = ColumnarBatch.from_graph_edges(edges, insert=True)
+        owner = lambda v: v % 2  # noqa: E731
+        parts = cb.split_by_owner(owner, 2)
+        assert len(parts[0]) == 3   # (0,2), (0,3), (2,4)
+        assert len(parts[1]) == 2   # (1,3), (0,3)
+        total_rows = {n: {(int(a), int(b)) for a, b in
+                          zip(parts[n].col_a, parts[n].col_b)}
+                      for n in parts}
+        for u, v in edges:
+            for n in {owner(int(u)), owner(int(v))}:
+                assert (min(int(u), int(v)), max(int(u), int(v))) in total_rows[n]
+
+    def test_hyper_split_uses_edge_hosts(self):
+        from repro.graph.columnar import ColumnarBatch
+
+        cb = ColumnarBatch.from_pins([7, 7, 8], [0, 1, 2], True)
+        hosts = {7: {0, 1}, 8: set()}
+        parts = cb.split_by_owner(lambda v: v % 2, 2,
+                                  edge_hosts=lambda e: hosts[e])
+        # edge 7 rows go to both hosts; edge 8 row only to owner(2)=0
+        assert len(parts[0]) == 3
+        assert len(parts[1]) == 2
+
+    def test_split_preserves_direction_and_order(self):
+        import numpy as np
+
+        from repro.graph.columnar import ColumnarBatch
+
+        cb = ColumnarBatch(np.array([0, 2, 4]), np.array([1, 3, 5]),
+                           np.array([True, False, True]), is_hyper=False)
+        parts = cb.split_by_owner(lambda v: 0, 1)
+        assert list(parts[0].insert) == [True, False, True]
+        assert list(parts[0].col_a) == [0, 2, 4]

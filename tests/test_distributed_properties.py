@@ -1,5 +1,6 @@
-"""Property-based tests for the distributed engine: any graph, any
-partition, any message-combining mode -- same core values."""
+"""Property-based tests for the sharded distributed engine: any graph,
+any partition, any message-combining mode -- same core values; every
+partitioner total/deterministic/covering; halo staleness bounded."""
 
 from __future__ import annotations
 
@@ -9,6 +10,7 @@ from hypothesis import strategies as st
 from repro.core.peel import peel
 from repro.distributed.cluster import ClusterSpec
 from repro.distributed.core import DistributedHIndex, DistributedModMaintainer
+from repro.distributed.partition import PARTITIONERS, owner_of
 from repro.graph.batch import Batch
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.graph.substrate import graph_edge_changes
@@ -58,4 +60,94 @@ class TestDistributedProperties:
             if u != v:
                 batch.extend(graph_edge_changes(u, v, insert))
         m.apply_batch(batch)
+        for change in batch:
+            g.apply(change)
         assert m.kappa() == peel(g)
+
+    @given(case=graph_partition_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_no_shard_holds_everything_it_does_not_touch(self, case):
+        """Per-shard structure is owned + boundary: total vertex copies
+        across shards never exceed |V| * nodes, and equal |V| plus the
+        ghost count (each vertex held once per hosting shard)."""
+        g, nodes, partition, _ = case
+        if g.num_vertices() == 0:
+            return
+        d = DistributedHIndex(g, ClusterSpec(nodes=nodes),
+                              partition=dict(partition))
+        total_copies = sum(sh.local.num_vertices() for sh in d.shards)
+        total_ghosts = sum(sh.num_ghosts for sh in d.shards)
+        assert sum(sh.num_owned for sh in d.shards) == g.num_vertices()
+        assert total_copies == g.num_vertices() + total_ghosts
+
+
+class TestPartitionerProperties:
+    """Satellite 2: every partitioner is total, deterministic, and covers
+    all vertices -- including ones interned after partitioning."""
+
+    @given(edges=st.sets(st.tuples(st.integers(0, N - 1),
+                                   st.integers(0, N - 1)), max_size=40),
+           nodes=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_total_deterministic_covering(self, edges, nodes):
+        g = DynamicGraph.from_edges((u, v) for u, v in edges if u != v)
+        for name, strategy in PARTITIONERS.items():
+            p1 = strategy(g, nodes)
+            p2 = strategy(g, nodes)
+            assert p1 == p2, name                      # deterministic
+            assert set(p1) == set(g.vertices()), name  # total & covering
+            assert all(0 <= n < nodes for n in p1.values()), name
+
+    @given(label=st.one_of(st.integers(), st.text(max_size=8)),
+           nodes=st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_new_vertex_rule_is_stable_and_memoised(self, label, nodes):
+        partition = {}
+        first = owner_of(partition, label, nodes)
+        assert 0 <= first < nodes
+        assert partition[label] == first            # memoised
+        assert owner_of(partition, label, nodes) == first
+        # independent components agree without sharing state
+        assert owner_of({}, label, nodes) == first
+
+    def test_new_vertex_rule_respects_existing_assignment(self):
+        partition = {"v": 3}
+        assert owner_of(partition, "v", 8) == 3
+
+
+class TestHaloStaleness:
+    """Satellite 3: ghost values are stale by at most one superstep and
+    never *ahead* of the owner -- at every superstep boundary each halo
+    value equals the owner's current value or the owner's value at the
+    previous boundary."""
+
+    @given(case=graph_partition_cases())
+    @settings(max_examples=20, deadline=None)
+    def test_halo_stale_by_at_most_one_superstep(self, case):
+        g, nodes, partition, _ = case
+        if g.num_vertices() == 0:
+            return
+        d = DistributedHIndex(g, ClusterSpec(nodes=nodes),
+                              partition=dict(partition))
+        prev = d.tau()
+        violations = []
+
+        def audit(engine):
+            nonlocal prev
+            now = engine.tau()
+            for shard in engine.shards:
+                for v, halo_val in shard.halo.items():
+                    if halo_val not in (now.get(v, 0), prev.get(v, 0)):
+                        violations.append((shard.node, v, halo_val,
+                                           prev.get(v, 0), now.get(v, 0)))
+            prev = now
+
+        d.activate_all()
+        result = d.run(on_superstep=audit)
+        assert violations == []
+        assert result == peel(g)
+        # and at quiescence every halo equals the owner's value exactly
+        final = d.tau()
+        for shard in d.shards:
+            for v, halo_val in shard.halo.items():
+                assert halo_val == final.get(v, 0)

@@ -90,7 +90,6 @@ class TestExamples:
 
     def test_distributed_example_run_small(self, capsys):
         mod = runpy.run_path(str(EXAMPLES / "distributed_cores.py"))
-        from repro.distributed import hash_partition
-
-        r = mod["run"](nodes=2, combine=True, partitioner=hash_partition)
+        r = mod["run"](nodes=2, partitioner_name="hash")
         assert r["supersteps"] > 0 and r["imbalance"] >= 1.0
+        assert r["boundary_kb"] > 0 and r["cut"] > 0

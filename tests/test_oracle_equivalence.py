@@ -309,6 +309,61 @@ def test_threaded_bit_determinism(make_sub):
         assert kappa == ref_kappa, f"kappa diverged at threads={t}"
 
 
+# -- sharded distributed execution: κ == peeling at every batch boundary ------
+#
+# The distributed maintainer cuts the substrate into per-node shards
+# (owned vertices + ghost halo ring) at construction and never mutates
+# the caller's graph, so the oracle side mirror-applies each batch.
+
+DIST_MATRIX = [(p, n) for p in ("hash", "degree_balanced", "edge_cut")
+               for n in (2, 4, 8)]
+
+
+def _mirror(sub, batch):
+    for change in batch:
+        sub.apply(change)
+
+
+@pytest.mark.parametrize("partitioner,nodes", DIST_MATRIX)
+def test_sharded_graph_matches_peeling(partitioner, nodes):
+    from repro.core.peel import peel
+    from repro.core.verify import diff_kappa
+    from repro.distributed import ClusterSpec, DistributedModMaintainer
+
+    g = powerlaw_social(110, 6, seed=41)
+    m = DistributedModMaintainer(g, ClusterSpec(nodes=nodes),
+                                 partitioner=partitioner)
+    proto = BatchProtocol(g, seed=42)
+    for _ in range(2):
+        deletion, insertion = proto.remove_reinsert(12)
+        m.apply_batch(deletion)
+        _mirror(g, deletion)
+        assert diff_kappa(m.kappa(), peel(g)) == []
+        m.apply_batch(insertion)
+        _mirror(g, insertion)
+        assert diff_kappa(m.kappa(), peel(g)) == []
+
+
+@pytest.mark.parametrize("partitioner,nodes", DIST_MATRIX)
+def test_sharded_hypergraph_matches_peeling(partitioner, nodes):
+    from repro.core.peel import peel
+    from repro.core.verify import diff_kappa
+    from repro.distributed import ClusterSpec, DistributedModMaintainer
+
+    h = affiliation_hypergraph(60, 90, 4.0, seed=43)
+    m = DistributedModMaintainer(h, ClusterSpec(nodes=nodes),
+                                 partitioner=partitioner)
+    proto = BatchProtocol(h, seed=44)
+    for _ in range(2):
+        deletion, insertion = proto.remove_reinsert(10)
+        m.apply_batch(deletion)
+        _mirror(h, deletion)
+        assert diff_kappa(m.kappa(), peel(h)) == []
+        m.apply_batch(insertion)
+        _mirror(h, insertion)
+        assert diff_kappa(m.kappa(), peel(h)) == []
+
+
 def test_all_algorithms_registered():
     assert set(ALGORITHMS) == {
         "mod", "set", "setmb", "hybrid", "traversal", "order", "mod-approx",
